@@ -1,0 +1,46 @@
+//! The common estimator interface.
+
+use dace_plan::{Dataset, PlanTree};
+
+/// Latency floor before log transforms, matching `dace-core`.
+const MS_FLOOR: f64 = 1e-4;
+
+/// Log-space training target for a plan's root latency.
+#[inline]
+pub fn log_ms(ms: f64) -> f32 {
+    ms.max(MS_FLOOR).ln() as f32
+}
+
+/// A trainable cost estimator: everything the evaluation harness needs to
+/// run a model through the paper's experiments.
+pub trait CostEstimator {
+    /// Short display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Train on labeled plans.
+    fn fit(&mut self, train: &Dataset);
+
+    /// Predict a plan's latency in milliseconds.
+    fn predict_ms(&self, tree: &PlanTree) -> f64;
+
+    /// Total scalar parameters (for the model-size column of Table II).
+    fn param_count(&self) -> usize;
+
+    /// Model size in megabytes (f32 parameters).
+    fn size_mb(&self) -> f64 {
+        (self.param_count() * 4) as f64 / 1_048_576.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_ms_floors_tiny_values() {
+        assert!(log_ms(0.0).is_finite());
+        assert!(log_ms(-5.0).is_finite());
+        assert!((log_ms(1.0) - 0.0).abs() < 1e-6);
+        assert!(log_ms(100.0) > log_ms(1.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! The "PostgreSQL" baseline: a linear model mapping the optimizer's
+//! estimated cost to execution time.
+//!
+//! The paper (Sec. V-B): "For PostgreSQL, the estimated cost is not in the
+//! same units as the execution time, so we processed it with a linear model
+//! as the execution time predicted by PostgreSQL." We fit ordinary least
+//! squares in log–log space, which is the standard calibration.
+
+use dace_plan::{Dataset, PlanTree};
+
+use crate::estimator::{log_ms, CostEstimator};
+
+/// `ln(time) ≈ a · ln(cost) + b`, fit by least squares.
+#[derive(Debug, Clone)]
+pub struct PgLinear {
+    slope: f64,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl PgLinear {
+    /// Unfitted model (predicts cost unchanged until [`CostEstimator::fit`]).
+    pub fn new() -> PgLinear {
+        PgLinear {
+            slope: 1.0,
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients `(slope, intercept)`.
+    pub fn coefficients(&self) -> (f64, f64) {
+        (self.slope, self.intercept)
+    }
+}
+
+impl Default for PgLinear {
+    fn default() -> Self {
+        PgLinear::new()
+    }
+}
+
+impl CostEstimator for PgLinear {
+    fn name(&self) -> &'static str {
+        "PostgreSQL"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let n = train.len() as f64;
+        if train.is_empty() {
+            return;
+        }
+        let xs: Vec<f64> = train
+            .plans
+            .iter()
+            .map(|p| (1.0 + p.tree.est_cost()).ln())
+            .collect();
+        let ys: Vec<f64> = train
+            .plans
+            .iter()
+            .map(|p| log_ms(p.latency_ms()) as f64)
+            .collect();
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        self.slope = if var > 1e-12 { cov / var } else { 0.0 };
+        self.intercept = my - self.slope * mx;
+        self.fitted = true;
+    }
+
+    fn predict_ms(&self, tree: &PlanTree) -> f64 {
+        let x = (1.0 + tree.est_cost()).ln();
+        (self.slope * x + self.intercept).exp()
+    }
+
+    fn param_count(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dace_plan::{LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+
+    fn plan_with(cost: f64, ms: f64) -> LabeledPlan {
+        let mut b = TreeBuilder::new();
+        let id = {
+            let mut n = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+            n.est_cost = cost;
+            n.actual_ms = ms;
+            b.leaf(n)
+        };
+        LabeledPlan {
+            tree: b.finish(id),
+            db_id: 0,
+            machine: MachineId::M1,
+        }
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // time = 0.004 × cost ⇒ perfect log-log fit with slope 1.
+        let ds = Dataset::from_plans(
+            (1..200)
+                .map(|i| plan_with(i as f64 * 50.0, i as f64 * 50.0 * 0.004))
+                .collect(),
+        );
+        let mut pg = PgLinear::new();
+        pg.fit(&ds);
+        let (slope, _) = pg.coefficients();
+        assert!((slope - 1.0).abs() < 0.05, "slope {slope}");
+        let tree = &ds.plans[100].tree;
+        let pred = pg.predict_ms(tree);
+        let actual = ds.plans[100].latency_ms();
+        assert!((pred / actual).max(actual / pred) < 1.1);
+    }
+
+    #[test]
+    fn cannot_capture_operator_dependence() {
+        // Two operator regimes with 10× different cost→time ratios: a
+        // single linear model must be badly wrong on at least one.
+        let mut plans = Vec::new();
+        for i in 1..100 {
+            let c = i as f64 * 100.0;
+            plans.push(plan_with(c, c * 0.001));
+            plans.push(plan_with(c, c * 0.01));
+        }
+        let ds = Dataset::from_plans(plans);
+        let mut pg = PgLinear::new();
+        pg.fit(&ds);
+        let q = |p: &LabeledPlan| {
+            let pred = pg.predict_ms(&p.tree).max(1e-9);
+            let act = p.latency_ms();
+            (pred / act).max(act / pred)
+        };
+        let worst = ds.plans.iter().map(q).fold(0.0f64, f64::max);
+        assert!(worst > 2.0, "linear model should not fit both regimes");
+    }
+
+    #[test]
+    fn param_count_is_trivial() {
+        assert_eq!(PgLinear::new().param_count(), 2);
+        assert!(PgLinear::new().size_mb() < 1e-4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Substrate micro-benchmarks: data generation, statistics, cardinality
+//! estimation, planning, execution and end-to-end label collection.
+//! These bound the data-collection cost of every experiment and back the
+//! "PostgreSQL" rows of Table II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use dace_catalog::{generate_database, suite_specs, ColumnStats};
+use dace_engine::{collect_dataset, execute, plan_query, CostModel, MachineProfile};
+use dace_plan::MachineId;
+use dace_query::ComplexWorkloadGen;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for scale in [0.05, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_imdb_like", scale),
+            &scale,
+            |b, &scale| b.iter(|| black_box(generate_database(&suite_specs()[0], scale))),
+        );
+    }
+    let values: Vec<i64> = (0..100_000).map(|i| (i * 37) % 5_000).collect();
+    group.bench_function("column_stats_100k", |b| {
+        b.iter(|| black_box(ColumnStats::from_column(&values)))
+    });
+    group.finish();
+}
+
+fn bench_planner_executor(c: &mut Criterion) {
+    let db = generate_database(&suite_specs()[0], 0.1);
+    let queries = ComplexWorkloadGen::default().generate(&db, 128);
+    let cost_model = CostModel::default();
+
+    let mut group = c.benchmark_group("engine");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("plan_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(dace_engine::plan(&db, q, &cost_model));
+        })
+    });
+    group.bench_function("execute_plan", |b| {
+        let plans: Vec<_> = queries.iter().map(|q| plan_query(&db, q)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            let mut p = plans[i % plans.len()].clone();
+            i += 1;
+            execute(&db, &mut p);
+            black_box(p.actual_rows);
+        })
+    });
+    group.bench_function("latency_annotate", |b| {
+        let mut plans: Vec<_> = queries.iter().map(|q| plan_query(&db, q)).collect();
+        for p in &mut plans {
+            execute(&db, p);
+        }
+        let profile = MachineProfile::m1();
+        let mut i = 0;
+        b.iter(|| {
+            let mut p = plans[i % plans.len()].clone();
+            i += 1;
+            profile.apply(&db, &mut p, i as u64);
+            black_box(p.actual_ms);
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("collect_dataset_64", |b| {
+        b.iter(|| black_box(collect_dataset(&db, &queries[..64], MachineId::M1)))
+    });
+    group.finish();
+}
+
+fn bench_plan_structures(c: &mut Criterion) {
+    let db = generate_database(&suite_specs()[0], 0.1);
+    let queries = ComplexWorkloadGen::default().generate(&db, 32);
+    let trees: Vec<_> = queries
+        .iter()
+        .map(|q| plan_query(&db, q).to_plan_tree())
+        .collect();
+    let mut group = c.benchmark_group("plan");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("dfs+mask+heights", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let t = &trees[i % trees.len()];
+            i += 1;
+            black_box((t.dfs(), t.ancestor_matrix(), t.heights()));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_datagen,
+    bench_planner_executor,
+    bench_plan_structures
+);
+criterion_main!(benches);

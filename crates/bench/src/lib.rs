@@ -1,0 +1,3 @@
+//! Criterion benchmark crate. See `benches/` for the benchmark
+//! definitions: `table2_throughput` reproduces Table II, `substrate`
+//! covers the optimizer/executor, `nn_kernels` the tensor library.

@@ -1,0 +1,96 @@
+//! A generated database: schema + columnar data + statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{ColumnId, Schema, TableId};
+use crate::stats::{ColumnStats, TableStats};
+use crate::suite::DatabaseSpec;
+
+/// Columnar data of one table: `columns[c][r]` is the code of row `r` in
+/// column `c` (see crate docs for the code encodings; NULL is
+/// [`crate::stats::NULL_CODE`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// One value vector per column.
+    pub columns: Vec<Vec<i64>>,
+}
+
+impl TableData {
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+}
+
+/// A fully materialized synthetic database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    /// The spec this database was generated from.
+    pub spec: DatabaseSpec,
+    /// The schema.
+    pub schema: Schema,
+    /// Columnar table data, parallel to `schema.tables`.
+    pub tables: Vec<TableData>,
+    /// Statistics, parallel to `schema.tables`.
+    pub stats: Vec<TableStats>,
+}
+
+impl Database {
+    /// Suite id of this database.
+    #[inline]
+    pub fn db_id(&self) -> u16 {
+        self.spec.db_id
+    }
+
+    /// Data of `table`.
+    #[inline]
+    pub fn table_data(&self, table: TableId) -> &TableData {
+        &self.tables[table.index()]
+    }
+
+    /// Statistics of `table`.
+    #[inline]
+    pub fn table_stats(&self, table: TableId) -> &TableStats {
+        &self.stats[table.index()]
+    }
+
+    /// Statistics of a column by global id.
+    #[inline]
+    pub fn column_stats(&self, column: ColumnId) -> &ColumnStats {
+        &self.stats[column.table().index()].columns[column.column() as usize]
+    }
+
+    /// Column values by global id.
+    #[inline]
+    pub fn column_data(&self, column: ColumnId) -> &[i64] {
+        &self.tables[column.table().index()].columns[column.column() as usize]
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> u64 {
+        self.stats.iter().map(|s| s.row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate_database;
+    use crate::schema::{ColumnId, TableId};
+    use crate::suite::suite_specs;
+
+    #[test]
+    fn accessors_are_consistent() {
+        let db = generate_database(&suite_specs()[4], 0.01);
+        for tid in db.schema.table_ids() {
+            let data = db.table_data(tid);
+            let stats = db.table_stats(tid);
+            assert_eq!(data.rows() as u64, stats.row_count);
+            assert_eq!(data.columns.len(), db.schema.table(tid).columns.len());
+            assert_eq!(data.columns.len(), stats.columns.len());
+        }
+        let cid = ColumnId::new(TableId(0), 0);
+        assert_eq!(db.column_data(cid).len(), db.table_data(TableId(0)).rows());
+        assert!(db.total_rows() > 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Table statistics: equi-depth histograms, most-common values, distinct
+//! counts — the inputs to the engine's cardinality estimator.
+//!
+//! Statistics are computed from a bounded sample of each column (like
+//! PostgreSQL's `ANALYZE` with `default_statistics_target`), so they carry
+//! realistic sampling error on skewed columns.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel code representing SQL NULL in columnar storage.
+pub const NULL_CODE: i64 = i64::MIN;
+
+/// Number of equi-depth histogram buckets per column.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Number of most-common values tracked per column.
+pub const MCV_COUNT: usize = 8;
+
+/// Maximum rows sampled per column when computing statistics.
+pub const STATS_SAMPLE_ROWS: usize = 10_000;
+
+/// Equi-depth histogram over non-null, non-MCV values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `bounds.len() == buckets + 1`; bucket `i` covers `[bounds[i], bounds[i+1]]`
+    /// with equal row mass. Empty if the column had no histogram-worthy values.
+    pub bounds: Vec<i64>,
+}
+
+impl Histogram {
+    /// Fraction of values `< v` (exclusive), assuming uniform spread inside
+    /// buckets — PostgreSQL's `ineq_histogram_selectivity` logic.
+    pub fn fraction_below(&self, v: i64) -> f64 {
+        let b = &self.bounds;
+        if b.len() < 2 {
+            return 0.5;
+        }
+        let buckets = b.len() - 1;
+        if v <= b[0] {
+            return 0.0;
+        }
+        if v > b[buckets] {
+            return 1.0;
+        }
+        // Find the bucket containing v.
+        let idx = match b.binary_search(&v) {
+            Ok(i) => i.min(buckets - 1),
+            Err(i) => i - 1,
+        };
+        let lo = b[idx];
+        let hi = b[idx + 1];
+        let within = if hi > lo {
+            (v - lo) as f64 / (hi - lo) as f64
+        } else {
+            0.5
+        };
+        (idx as f64 + within) / buckets as f64
+    }
+
+    /// Quantile `q` in `[0,1]` mapped back to a value (inverse of
+    /// [`Histogram::fraction_below`], up to bucket resolution).
+    pub fn value_at(&self, q: f64) -> i64 {
+        let b = &self.bounds;
+        if b.len() < 2 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let buckets = (b.len() - 1) as f64;
+        let pos = q * buckets;
+        let idx = (pos.floor() as usize).min(b.len() - 2);
+        let frac = pos - idx as f64;
+        let lo = b[idx] as f64;
+        let hi = b[idx + 1] as f64;
+        (lo + frac * (hi - lo)).round() as i64
+    }
+}
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Estimated number of distinct non-null values.
+    pub n_distinct: f64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    /// Minimum non-null value (0 if all null).
+    pub min: i64,
+    /// Maximum non-null value (0 if all null).
+    pub max: i64,
+    /// Most common values with their frequencies (fraction of all rows).
+    pub mcvs: Vec<(i64, f64)>,
+    /// Equi-depth histogram over the remaining values.
+    pub histogram: Histogram,
+}
+
+impl ColumnStats {
+    /// Compute statistics from (a sample of) a column.
+    pub fn from_column(values: &[i64]) -> ColumnStats {
+        // Deterministic stride sample.
+        let stride = (values.len() / STATS_SAMPLE_ROWS).max(1);
+        let mut sample: Vec<i64> = values.iter().copied().step_by(stride).collect();
+        let total = sample.len().max(1) as f64;
+        let nulls = sample.iter().filter(|&&v| v == NULL_CODE).count() as f64;
+        sample.retain(|&v| v != NULL_CODE);
+        if sample.is_empty() {
+            return ColumnStats {
+                n_distinct: 0.0,
+                null_frac: 1.0,
+                min: 0,
+                max: 0,
+                mcvs: Vec::new(),
+                histogram: Histogram { bounds: Vec::new() },
+            };
+        }
+        sample.sort_unstable();
+        let min = sample[0];
+        let max = *sample.last().unwrap();
+
+        // Distinct count and value frequencies from the sorted sample.
+        let mut freqs: Vec<(i64, usize)> = Vec::new();
+        for &v in &sample {
+            match freqs.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => freqs.push((v, 1)),
+            }
+        }
+        let n_distinct = freqs.len() as f64;
+
+        // MCVs: values noticeably more frequent than average.
+        let avg = sample.len() as f64 / n_distinct;
+        let mut candidates: Vec<(i64, usize)> = freqs
+            .iter()
+            .copied()
+            .filter(|&(_, c)| (c as f64) > 1.5 * avg && c > 1)
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(MCV_COUNT);
+        let mcvs: Vec<(i64, f64)> = candidates
+            .iter()
+            .map(|&(v, c)| (v, c as f64 / total))
+            .collect();
+
+        // Histogram over non-MCV values.
+        let mcv_set: Vec<i64> = mcvs.iter().map(|&(v, _)| v).collect();
+        let rest: Vec<i64> = sample
+            .iter()
+            .copied()
+            .filter(|v| !mcv_set.contains(v))
+            .collect();
+        let histogram = equi_depth(&rest);
+
+        ColumnStats {
+            n_distinct,
+            null_frac: nulls / total,
+            min,
+            max,
+            mcvs,
+            histogram,
+        }
+    }
+
+    /// Total row-fraction captured by the MCV list.
+    pub fn mcv_frac(&self) -> f64 {
+        self.mcvs.iter().map(|&(_, f)| f).sum()
+    }
+
+    /// Approximate quantile (rank in `[0,1]`) of `v` within the column,
+    /// used to normalize predicate literals for plan encodings.
+    pub fn rank_of(&self, v: i64) -> f64 {
+        if self.max <= self.min {
+            return 0.5;
+        }
+        if self.histogram.bounds.len() >= 2 {
+            self.histogram.fraction_below(v)
+        } else {
+            ((v - self.min) as f64 / (self.max - self.min) as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Approximate value at quantile `q` (inverse of [`ColumnStats::rank_of`]).
+    pub fn value_at_rank(&self, q: f64) -> i64 {
+        if self.histogram.bounds.len() >= 2 {
+            self.histogram.value_at(q)
+        } else {
+            let span = (self.max - self.min) as f64;
+            self.min + (q.clamp(0.0, 1.0) * span).round() as i64
+        }
+    }
+}
+
+/// Build an equi-depth histogram over already-filtered values.
+fn equi_depth(sorted_like: &[i64]) -> Histogram {
+    if sorted_like.len() < 2 {
+        return Histogram { bounds: Vec::new() };
+    }
+    let mut v = sorted_like.to_vec();
+    v.sort_unstable();
+    let buckets = HISTOGRAM_BUCKETS.min(v.len() - 1).max(1);
+    let mut bounds = Vec::with_capacity(buckets + 1);
+    for b in 0..=buckets {
+        let idx = (b * (v.len() - 1)) / buckets;
+        bounds.push(v[idx]);
+    }
+    Histogram { bounds }
+}
+
+/// Statistics of a whole table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Exact row count (a real DBMS keeps `reltuples` close to exact).
+    pub row_count: u64,
+    /// Per-column statistics, in column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_column_histogram_is_linear() {
+        let values: Vec<i64> = (0..10_000).collect();
+        let stats = ColumnStats::from_column(&values);
+        assert_eq!(stats.min, 0);
+        assert!(stats.null_frac.abs() < 1e-9);
+        // fraction below the midpoint should be close to 0.5
+        let f = stats.histogram.fraction_below(5_000);
+        assert!((f - 0.5).abs() < 0.05, "got {f}");
+        // rank/value round-trip.
+        let v = stats.value_at_rank(0.25);
+        assert!((stats.rank_of(v) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn skewed_column_yields_mcvs() {
+        // 70% of rows are value 7.
+        let mut values = vec![7i64; 7_000];
+        values.extend(0..3_000);
+        let stats = ColumnStats::from_column(&values);
+        assert!(!stats.mcvs.is_empty());
+        assert_eq!(stats.mcvs[0].0, 7);
+        assert!((stats.mcvs[0].1 - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn null_fraction_counted() {
+        let mut values = vec![NULL_CODE; 500];
+        values.extend(0..500);
+        let stats = ColumnStats::from_column(&values);
+        assert!((stats.null_frac - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let values = vec![NULL_CODE; 100];
+        let stats = ColumnStats::from_column(&values);
+        assert_eq!(stats.null_frac, 1.0);
+        assert_eq!(stats.n_distinct, 0.0);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded() {
+        let values: Vec<i64> = (0..1000).map(|i| (i * i) % 997).collect();
+        let stats = ColumnStats::from_column(&values);
+        let mut prev = 0.0;
+        for v in (-10..1010).step_by(7) {
+            let f = stats.histogram.fraction_below(v);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f + 1e-12 >= prev, "not monotone at {v}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn constant_column() {
+        let values = vec![42i64; 1000];
+        let stats = ColumnStats::from_column(&values);
+        assert_eq!(stats.min, 42);
+        assert_eq!(stats.max, 42);
+        assert_eq!(stats.n_distinct, 1.0);
+        // rank_of degrades gracefully.
+        assert_eq!(stats.rank_of(42), 0.5);
+    }
+}

@@ -1,0 +1,378 @@
+//! The 20-database synthetic suite standing in for the Zero-Shot benchmark.
+//!
+//! Each [`DatabaseSpec`] deterministically expands (via its seed) into a
+//! [`Schema`] with a distinct shape, size and data-distribution mix. The
+//! names echo the Zero-Shot suite's databases to keep the experiment tables
+//! readable; the content is synthetic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{ColumnDef, FkEdge, Schema, TableDef, TableId};
+use crate::types::{ColumnType, Distribution};
+
+/// Number of databases in the suite (the paper's benchmark has 20).
+pub const SUITE_SIZE: usize = 20;
+
+/// Topology of a schema's foreign-key graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemaShape {
+    /// One large fact table referencing every dimension table.
+    Star,
+    /// Fact → dimensions → sub-dimensions (two-level tree).
+    Snowflake,
+    /// A linear chain `t0 ← t1 ← … ← tn`.
+    Chain,
+    /// A random FK tree with a few extra cross edges.
+    Mixed,
+}
+
+/// Parameters from which one synthetic database is generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseSpec {
+    /// Database name (IMDB-like, TPCH-like, …).
+    pub name: String,
+    /// Suite index, doubles as the `db_id` on labeled plans.
+    pub db_id: u16,
+    /// RNG seed for schema and data generation.
+    pub seed: u64,
+    /// FK-graph topology.
+    pub shape: SchemaShape,
+    /// Number of tables.
+    pub n_tables: u32,
+    /// Rows of the largest (fact) table at scale 1.0.
+    pub fact_rows: u64,
+    /// Rows of dimension tables at scale 1.0 (upper bound; the generator
+    /// varies per table).
+    pub dim_rows: u64,
+    /// Zipf skew applied to categorical and FK columns (0 = uniform).
+    pub skew: f64,
+    /// Probability that an attribute column is correlated with another.
+    pub correlation: f64,
+    /// Attribute columns per table, in `attr_cols_min..=attr_cols_max`.
+    pub attr_cols_min: u32,
+    /// See `attr_cols_min`.
+    pub attr_cols_max: u32,
+}
+
+/// The index of the IMDB-like database within [`suite_specs`], the database
+/// the paper's workload-3 experiments hold out.
+pub const IMDB_LIKE_DB: u16 = 0;
+
+/// The index of the TPCH-like database, used for the data-drift experiment.
+pub const TPCH_LIKE_DB: u16 = 1;
+
+/// The full 20-database suite. Deterministic: the same specs every call.
+pub fn suite_specs() -> Vec<DatabaseSpec> {
+    // (name, shape, n_tables, fact_rows, dim_rows, skew, correlation)
+    let presets: [(&str, SchemaShape, u32, u64, u64, f64, f64); SUITE_SIZE] = [
+        ("imdb_like", SchemaShape::Snowflake, 12, 40_000, 6_000, 1.05, 0.30),
+        ("tpch_like", SchemaShape::Star, 8, 30_000, 4_000, 0.60, 0.20),
+        ("accidents_like", SchemaShape::Star, 4, 20_000, 2_500, 0.90, 0.35),
+        ("airline_like", SchemaShape::Star, 9, 25_000, 3_000, 0.70, 0.25),
+        ("baseball_like", SchemaShape::Mixed, 15, 15_000, 2_000, 0.85, 0.30),
+        ("basketball_like", SchemaShape::Mixed, 9, 12_000, 1_500, 0.80, 0.25),
+        ("carcinogenesis_like", SchemaShape::Chain, 6, 8_000, 2_000, 0.50, 0.15),
+        ("consumer_like", SchemaShape::Star, 3, 18_000, 1_000, 1.10, 0.40),
+        ("credit_like", SchemaShape::Snowflake, 8, 22_000, 2_500, 0.75, 0.20),
+        ("employee_like", SchemaShape::Chain, 6, 16_000, 1_200, 0.40, 0.10),
+        ("financial_like", SchemaShape::Snowflake, 8, 26_000, 3_500, 0.95, 0.30),
+        ("fhnk_like", SchemaShape::Star, 3, 24_000, 1_800, 0.65, 0.20),
+        ("geneea_like", SchemaShape::Mixed, 17, 14_000, 1_600, 0.88, 0.35),
+        ("genome_like", SchemaShape::Chain, 6, 30_000, 5_000, 0.55, 0.15),
+        ("hepatitis_like", SchemaShape::Star, 7, 9_000, 900, 0.70, 0.25),
+        ("movielens_like", SchemaShape::Snowflake, 7, 35_000, 4_500, 1.15, 0.40),
+        ("seznam_like", SchemaShape::Star, 4, 28_000, 2_200, 1.00, 0.30),
+        ("ssb_like", SchemaShape::Star, 5, 32_000, 3_800, 0.45, 0.15),
+        ("tournament_like", SchemaShape::Mixed, 10, 11_000, 1_400, 0.78, 0.22),
+        ("walmart_like", SchemaShape::Snowflake, 6, 27_000, 3_200, 1.08, 0.38),
+    ];
+    presets
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, shape, n_tables, fact_rows, dim_rows, skew, correlation))| {
+            DatabaseSpec {
+                name: name.to_string(),
+                db_id: i as u16,
+                seed: 0xDACE_0000 + i as u64,
+                shape,
+                n_tables,
+                fact_rows,
+                dim_rows,
+                skew,
+                correlation,
+                attr_cols_min: 2,
+                attr_cols_max: 6,
+            }
+        })
+        .collect()
+}
+
+impl DatabaseSpec {
+    /// Expand the spec into a concrete [`Schema`].
+    ///
+    /// Table 0 is always the largest ("fact") table. Every table gets a
+    /// serial primary key as column 0, FK columns as dictated by the shape,
+    /// and a seeded mix of attribute columns.
+    pub fn build_schema(&self) -> Schema {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.n_tables.max(2);
+        let fk_targets = self.fk_parents(n, &mut rng);
+
+        let mut tables = Vec::with_capacity(n as usize);
+        let mut fks = Vec::new();
+        for t in 0..n {
+            let name = format!("{}_{}", table_basename(&mut rng), t);
+            let base_rows = if t == 0 {
+                self.fact_rows
+            } else {
+                // Dimensions vary from a tenth of dim_rows up to dim_rows.
+                rng.gen_range(self.dim_rows / 10 + 1..=self.dim_rows)
+            };
+            let mut columns = vec![ColumnDef {
+                name: "id".into(),
+                col_type: ColumnType::Int,
+                distribution: Distribution::Serial,
+                null_frac: 0.0,
+                indexed: true,
+            }];
+            // FK columns.
+            for &parent in &fk_targets[t as usize] {
+                let parent_name = format!("t{parent}_id");
+                fks.push(FkEdge {
+                    child: TableId(t),
+                    child_column: columns.len() as u32,
+                    parent: TableId(parent),
+                });
+                columns.push(ColumnDef {
+                    name: parent_name,
+                    col_type: ColumnType::Int,
+                    distribution: Distribution::ForeignKey {
+                        parent_table: parent,
+                        s: if rng.gen_bool(0.5) { (self.skew * 0.6).min(0.85) } else { 0.0 },
+                    },
+                    null_frac: 0.0,
+                    indexed: true,
+                });
+            }
+            // Attribute columns.
+            let n_attrs = rng.gen_range(self.attr_cols_min..=self.attr_cols_max);
+            for a in 0..n_attrs {
+                let source_column = if columns.len() > 1 && rng.gen_bool(self.correlation) {
+                    Some(rng.gen_range(1..columns.len()) as u32)
+                } else {
+                    None
+                };
+                columns.push(self.attr_column(a, source_column, base_rows, &mut rng));
+            }
+            tables.push(TableDef {
+                name,
+                base_rows,
+                columns,
+            });
+        }
+        Schema {
+            name: self.name.clone(),
+            tables,
+            fks,
+        }
+    }
+
+    /// FK parents of each table according to the shape.
+    fn fk_parents(&self, n: u32, rng: &mut SmallRng) -> Vec<Vec<u32>> {
+        let mut parents = vec![Vec::new(); n as usize];
+        match self.shape {
+            SchemaShape::Star => {
+                // Fact (0) references every dimension.
+                for d in 1..n {
+                    parents[0].push(d);
+                }
+            }
+            SchemaShape::Snowflake => {
+                // First layer: roughly half the tables are dimensions of the
+                // fact; the rest hang off a random first-layer dimension.
+                let first_layer = (n - 1).div_ceil(2).max(1);
+                for d in 1..=first_layer {
+                    parents[0].push(d);
+                }
+                for d in first_layer + 1..n {
+                    let parent = rng.gen_range(1..=first_layer);
+                    parents[d as usize].push(parent);
+                }
+            }
+            SchemaShape::Chain => {
+                for t in 0..n - 1 {
+                    parents[t as usize].push(t + 1);
+                }
+            }
+            SchemaShape::Mixed => {
+                // Random tree rooted at 0 (each table references a random
+                // earlier table — child holds the FK), plus a couple of
+                // extra cross edges on the fact table.
+                for t in 1..n {
+                    let target = rng.gen_range(0..t);
+                    // Edge direction: the *larger* table holds the FK; table
+                    // 0 is largest, so reference from the smaller-indexed
+                    // side toward the larger-indexed side half the time.
+                    if rng.gen_bool(0.5) {
+                        parents[t as usize].push(target);
+                    } else {
+                        parents[target as usize].push(t);
+                    }
+                }
+            }
+        }
+        parents
+    }
+
+    /// One seeded attribute column.
+    fn attr_column(
+        &self,
+        idx: u32,
+        source_column: Option<u32>,
+        base_rows: u64,
+        rng: &mut SmallRng,
+    ) -> ColumnDef {
+        if let Some(source_column) = source_column {
+            return ColumnDef {
+                name: format!("attr{idx}_corr"),
+                col_type: ColumnType::Int,
+                distribution: Distribution::Correlated {
+                    source_column,
+                    spread: rng.gen_range(1..50),
+                },
+                null_frac: 0.0,
+                indexed: false,
+            };
+        }
+        let choice = rng.gen_range(0..5u32);
+        let (col_type, distribution, name) = match choice {
+            0 => (
+                ColumnType::Int,
+                Distribution::Uniform {
+                    lo: 0,
+                    hi: rng.gen_range(10..100_000),
+                },
+                format!("attr{idx}_num"),
+            ),
+            1 => (
+                ColumnType::Text,
+                Distribution::Zipf {
+                    n: rng.gen_range(5..2_000),
+                    s: self.skew,
+                },
+                format!("attr{idx}_cat"),
+            ),
+            2 => (
+                ColumnType::Float,
+                Distribution::Normal {
+                    mean: rng.gen_range(0.0..1_000.0),
+                    std: rng.gen_range(1.0..200.0),
+                },
+                format!("attr{idx}_val"),
+            ),
+            3 => (
+                ColumnType::Date,
+                Distribution::Uniform { lo: 0, hi: 9_000 },
+                format!("attr{idx}_date"),
+            ),
+            _ => (
+                ColumnType::Int,
+                Distribution::Zipf {
+                    n: rng.gen_range(2..(base_rows / 2).max(3)),
+                    s: self.skew * 0.8,
+                },
+                format!("attr{idx}_code"),
+            ),
+        };
+        ColumnDef {
+            name,
+            col_type,
+            distribution,
+            null_frac: if rng.gen_bool(0.3) {
+                rng.gen_range(0.0..0.15)
+            } else {
+                0.0
+            },
+            indexed: rng.gen_bool(0.25),
+        }
+    }
+}
+
+fn table_basename(rng: &mut SmallRng) -> &'static str {
+    const NAMES: [&str; 16] = [
+        "orders", "items", "events", "users", "title", "cast", "company", "keyword", "region",
+        "nation", "supplier", "part", "lineage", "games", "players", "votes",
+    ];
+    NAMES[rng.gen_range(0..NAMES.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_distinct_databases() {
+        let specs = suite_specs();
+        assert_eq!(specs.len(), SUITE_SIZE);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), SUITE_SIZE);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.db_id, i as u16);
+        }
+    }
+
+    #[test]
+    fn schemas_are_deterministic() {
+        let spec = &suite_specs()[0];
+        let a = spec.build_schema();
+        let b = spec.build_schema();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_schema_is_well_formed() {
+        for spec in suite_specs() {
+            let schema = spec.build_schema();
+            assert_eq!(schema.tables.len(), spec.n_tables as usize);
+            // Every FK edge points at valid tables/columns and the child
+            // column really is an FK distribution onto the right parent.
+            for e in &schema.fks {
+                let child = schema.table(e.child);
+                let col = &child.columns[e.child_column as usize];
+                match col.distribution {
+                    Distribution::ForeignKey { parent_table, .. } => {
+                        assert_eq!(parent_table, e.parent.0);
+                    }
+                    ref other => panic!("FK edge onto non-FK column: {other:?}"),
+                }
+            }
+            // Column 0 of every table is the serial PK.
+            for t in &schema.tables {
+                assert_eq!(t.columns[0].distribution, Distribution::Serial);
+                assert!(t.base_rows > 0);
+                assert!(t.columns.len() >= 2, "table with no attributes");
+            }
+            // The FK graph must connect at least two tables so joins exist.
+            assert!(!schema.fks.is_empty(), "{}: no FK edges", schema.name);
+        }
+    }
+
+    #[test]
+    fn star_schema_fact_references_all_dims() {
+        let spec = suite_specs()
+            .into_iter()
+            .find(|s| s.shape == SchemaShape::Star)
+            .unwrap();
+        let schema = spec.build_schema();
+        let fact_fks = schema
+            .fks
+            .iter()
+            .filter(|e| e.child == TableId(0))
+            .count();
+        assert_eq!(fact_fks, spec.n_tables as usize - 1);
+    }
+}

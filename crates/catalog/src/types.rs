@@ -1,0 +1,101 @@
+//! Column types and value distributions for the data generator.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical SQL type of a column.
+///
+/// All values are physically stored as `i64` codes (see the crate docs); the
+/// logical type only affects SQL rendering and which predicates the workload
+/// generator emits (e.g. `LIKE` only on text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// Fixed-point decimal, code = value * 100.
+    Float,
+    /// Dictionary-coded string, code = dictionary id.
+    Text,
+    /// Days since 2000-01-01.
+    Date,
+    /// 0 / 1.
+    Bool,
+}
+
+impl ColumnType {
+    /// SQL type name for DDL rendering.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "BIGINT",
+            ColumnType::Float => "NUMERIC(18,2)",
+            ColumnType::Text => "TEXT",
+            ColumnType::Date => "DATE",
+            ColumnType::Bool => "BOOLEAN",
+        }
+    }
+}
+
+/// Value distribution a generated column is drawn from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform integers in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Zipf over `n` distinct values with skew `s` (s = 0 is uniform;
+    /// s around 1 is heavily skewed, like real-world categorical data).
+    Zipf {
+        /// Number of distinct values.
+        n: u64,
+        /// Skew exponent.
+        s: f64,
+    },
+    /// Rounded normal with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Dense primary key: row i gets value i.
+    Serial,
+    /// Foreign key into another table's serial primary key, with Zipf skew
+    /// `s` over the parent keys (s = 0 gives uniform fan-out).
+    ForeignKey {
+        /// Index of the parent table within the schema.
+        parent_table: u32,
+        /// Fan-out skew.
+        s: f64,
+    },
+    /// Value correlated with another column of the same table:
+    /// `v = other + noise`, noise ~ Uniform[-spread, spread]. Correlated
+    /// columns are what break the optimizer's independence assumption and
+    /// create realistic cardinality estimation errors.
+    Correlated {
+        /// Index of the source column within the table.
+        source_column: u32,
+        /// Half-width of the additive uniform noise.
+        spread: i64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_names() {
+        assert_eq!(ColumnType::Int.sql_name(), "BIGINT");
+        assert_eq!(ColumnType::Text.sql_name(), "TEXT");
+    }
+
+    #[test]
+    fn distributions_serialize_roundtrip() {
+        let d = Distribution::Zipf { n: 100, s: 1.1 };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Distribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

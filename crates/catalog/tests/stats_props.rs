@@ -1,0 +1,79 @@
+//! Property tests for statistics: histograms, MCVs and rank mappings must
+//! behave for arbitrary value distributions.
+
+use dace_catalog::{ColumnStats, NULL_CODE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded(
+        values in proptest::collection::vec(-10_000i64..10_000, 3..2_000),
+        probes in proptest::collection::vec(-12_000i64..12_000, 1..20),
+    ) {
+        let stats = ColumnStats::from_column(&values);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_unstable();
+        let mut prev = 0.0f64;
+        for &p in &sorted_probes {
+            let f = stats.histogram.fraction_below(p);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-9 >= prev, "monotonicity violated");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn mcv_frequencies_are_a_subdistribution(
+        values in proptest::collection::vec(0i64..50, 10..3_000)
+    ) {
+        let stats = ColumnStats::from_column(&values);
+        let total = stats.mcv_frac();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&total));
+        for &(_, f) in &stats.mcvs {
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+        // MCVs are distinct values.
+        let mut vals: Vec<i64> = stats.mcvs.iter().map(|&(v, _)| v).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        prop_assert_eq!(vals.len(), stats.mcvs.len());
+    }
+
+    #[test]
+    fn rank_and_value_are_rough_inverses(
+        values in proptest::collection::vec(-1_000_000i64..1_000_000, 50..2_000),
+        q in 0.05f64..0.95,
+    ) {
+        let stats = ColumnStats::from_column(&values);
+        let v = stats.value_at_rank(q);
+        let back = stats.rank_of(v);
+        // Histogram resolution bounds the roundtrip error.
+        prop_assert!((back - q).abs() < 0.25, "q={q} v={v} back={back}");
+    }
+
+    #[test]
+    fn null_fraction_is_counted(
+        n_null in 0usize..500,
+        n_val in 1usize..500,
+    ) {
+        let mut values = vec![NULL_CODE; n_null];
+        values.extend((0..n_val as i64).map(|i| i * 3));
+        let stats = ColumnStats::from_column(&values);
+        let expected = n_null as f64 / (n_null + n_val) as f64;
+        prop_assert!((stats.null_frac - expected).abs() < 0.05);
+        prop_assert!(stats.n_distinct >= 1.0);
+    }
+
+    #[test]
+    fn min_max_bound_the_domain(values in proptest::collection::vec(-5_000i64..5_000, 1..1_000)) {
+        let stats = ColumnStats::from_column(&values);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert!(stats.min >= lo);
+        prop_assert!(stats.max <= hi);
+        // Sampling strides can miss extremes but never invent new ones.
+        prop_assert!(stats.min <= stats.max);
+    }
+}

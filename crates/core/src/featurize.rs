@@ -1,0 +1,230 @@
+//! Plan featurization (the paper's Sec. IV-B encoder).
+//!
+//! Per node: 16-way one-hot of the operator type, then robust-scaled
+//! `ln(1 + est_cost)` and `ln(1 + est_cardinality)` — nothing else. DACE
+//! deliberately ignores predicates, tables and literals (Insight I): the
+//! model must work on databases it has never seen.
+
+use dace_nn::{RobustScaler, Tensor2};
+use dace_plan::{Dataset, PlanTree, NODE_TYPE_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Node encoding width: 16 one-hot + scaled cost + scaled cardinality.
+pub const FEATURE_DIM: usize = NODE_TYPE_COUNT + 2;
+
+/// Featurization variants used by the ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct FeatureConfig {
+    /// Use the *actual* cardinality instead of the optimizer estimate —
+    /// the DACE-A upper-bound variant of Fig. 12.
+    pub use_actual_cardinality: bool,
+    /// Disable the tree-structured attention mask (DACE w/o TA, Fig. 10):
+    /// every node attends to every node.
+    pub disable_tree_attention: bool,
+}
+
+
+/// Featurized plan, ready for the model.
+#[derive(Debug, Clone)]
+pub struct PlanFeatures {
+    /// Node encodings in DFS order, `n × FEATURE_DIM`.
+    pub x: Tensor2,
+    /// Tree-structured attention mask (`n × n`, row-major): node `i` may
+    /// attend to node `j` iff `i` is an ancestor-or-self of `j`.
+    pub mask: Vec<bool>,
+    /// Node heights in DFS order (root = 0).
+    pub heights: Vec<u32>,
+    /// Training target per node: `ln(actual_ms)` of the sub-plan.
+    pub targets: Vec<f32>,
+}
+
+/// Latency floor before the log transform (sub-microsecond labels are
+/// measurement noise).
+const MS_FLOOR: f64 = 1e-4;
+
+/// Fitted featurizer: the robust scalers are part of the pre-trained model
+/// and travel with it to unseen databases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Featurizer {
+    /// Scaler over `ln(1 + est_cost)`.
+    pub cost_scaler: RobustScaler,
+    /// Scaler over `ln(1 + est_rows)`.
+    pub card_scaler: RobustScaler,
+    /// Variant flags.
+    pub config: FeatureConfig,
+}
+
+impl Featurizer {
+    /// Fit scalers over every node of every training plan.
+    pub fn fit(train: &Dataset, config: FeatureConfig) -> Featurizer {
+        let mut costs = Vec::new();
+        let mut cards = Vec::new();
+        for plan in &train.plans {
+            for id in plan.tree.ids() {
+                let node = plan.tree.node(id);
+                costs.push((1.0 + node.est_cost).ln());
+                let card = if config.use_actual_cardinality {
+                    node.actual_rows
+                } else {
+                    node.est_rows
+                };
+                cards.push((1.0 + card).ln());
+            }
+        }
+        Featurizer {
+            cost_scaler: RobustScaler::fit(&costs),
+            card_scaler: RobustScaler::fit(&cards),
+            config,
+        }
+    }
+
+    /// Featurize one plan (targets come from the plan's actual labels; they
+    /// are zeros for unlabeled inference plans).
+    pub fn encode(&self, tree: &PlanTree) -> PlanFeatures {
+        let order = tree.dfs();
+        let n = order.len();
+        let mut x = Tensor2::zeros(n, FEATURE_DIM);
+        let mut targets = Vec::with_capacity(n);
+        for (i, &id) in order.iter().enumerate() {
+            let node = tree.node(id);
+            let row = x.row_mut(i);
+            row[node.node_type.one_hot_index()] = 1.0;
+            row[NODE_TYPE_COUNT] = self.cost_scaler.transform((1.0 + node.est_cost).ln()) as f32;
+            let card = if self.config.use_actual_cardinality {
+                node.actual_rows
+            } else {
+                node.est_rows
+            };
+            row[NODE_TYPE_COUNT + 1] = self.card_scaler.transform((1.0 + card).ln()) as f32;
+            targets.push(node.actual_ms.max(MS_FLOOR).ln() as f32);
+        }
+        let mask = if self.config.disable_tree_attention {
+            vec![true; n * n]
+        } else {
+            tree.ancestor_matrix()
+        };
+        PlanFeatures {
+            x,
+            mask,
+            heights: tree.heights(),
+            targets,
+        }
+    }
+
+    /// Convert a model output (log-ms) back to milliseconds.
+    #[inline]
+    pub fn to_ms(log_ms: f32) -> f64 {
+        (log_ms as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dace_plan::{LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+
+    fn toy_plan(cost: f64, rows: f64, ms: f64) -> LabeledPlan {
+        let mut b = TreeBuilder::new();
+        let scan = {
+            let mut n = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+            n.est_cost = cost / 2.0;
+            n.est_rows = rows;
+            n.actual_ms = ms / 2.0;
+            n.actual_rows = rows * 1.5;
+            b.leaf(n)
+        };
+        let root = {
+            let mut n = PlanNode::new(NodeType::GroupAggregate, OpPayload::Other);
+            n.est_cost = cost;
+            n.est_rows = 1.0;
+            n.actual_ms = ms;
+            b.internal(n, vec![scan])
+        };
+        LabeledPlan {
+            tree: b.finish(root),
+            db_id: 0,
+            machine: MachineId::M1,
+        }
+    }
+
+    fn toy_dataset() -> Dataset {
+        Dataset::from_plans((1..50).map(|i| toy_plan(i as f64 * 10.0, i as f64, i as f64)).collect())
+    }
+
+    #[test]
+    fn encoding_has_one_hot_plus_scaled_scalars() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        let feats = f.encode(&ds.plans[10].tree);
+        assert_eq!(feats.x.rows(), 2);
+        assert_eq!(feats.x.cols(), FEATURE_DIM);
+        // Row 0 is the root (GroupAggregate) in DFS order.
+        assert_eq!(feats.x.get(0, NodeType::GroupAggregate.one_hot_index()), 1.0);
+        assert_eq!(feats.x.get(1, NodeType::SeqScan.one_hot_index()), 1.0);
+        // Exactly one one-hot bit per row.
+        for r in 0..2 {
+            let ones = (0..NODE_TYPE_COUNT)
+                .filter(|&c| feats.x.get(r, c) == 1.0)
+                .count();
+            assert_eq!(ones, 1);
+        }
+        assert_eq!(feats.heights, vec![0, 1]);
+        assert_eq!(feats.mask, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn targets_are_log_latency() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        let feats = f.encode(&ds.plans[5].tree);
+        let root_ms = ds.plans[5].tree.actual_ms();
+        assert!((feats.targets[0] as f64 - root_ms.ln()).abs() < 1e-5);
+        assert!((Featurizer::to_ms(feats.targets[0]) - root_ms).abs() < 1e-3);
+    }
+
+    #[test]
+    fn actual_cardinality_variant_changes_encoding() {
+        let ds = toy_dataset();
+        let est = Featurizer::fit(&ds, FeatureConfig::default());
+        let act = Featurizer::fit(
+            &ds,
+            FeatureConfig {
+                use_actual_cardinality: true,
+                ..Default::default()
+            },
+        );
+        let fe = est.encode(&ds.plans[10].tree);
+        let fa = act.encode(&ds.plans[10].tree);
+        // actual_rows = 1.5 × est_rows in the toy plans, so the cardinality
+        // feature must differ.
+        assert_ne!(
+            fe.x.get(1, NODE_TYPE_COUNT + 1),
+            fa.x.get(1, NODE_TYPE_COUNT + 1)
+        );
+    }
+
+    #[test]
+    fn no_tree_attention_gives_full_mask() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(
+            &ds,
+            FeatureConfig {
+                disable_tree_attention: true,
+                ..Default::default()
+            },
+        );
+        let feats = f.encode(&ds.plans[0].tree);
+        assert!(feats.mask.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn scalers_are_robust_to_scale() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        let feats = f.encode(&ds.plans[24].tree);
+        // Scaled features of a mid-range plan should be O(1).
+        assert!(feats.x.get(0, NODE_TYPE_COUNT).abs() < 5.0);
+        assert!(feats.x.get(0, NODE_TYPE_COUNT + 1).abs() < 5.0);
+    }
+}

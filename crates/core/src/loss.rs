@@ -1,0 +1,138 @@
+//! The tree-structure-based loss adjuster (Eq. 4 and 7).
+//!
+//! Nodes deeper in the plan get exponentially smaller loss weights
+//! (`w = α^height`), so sub-plan supervision helps without the repeated
+//! learning of deep nodes that plagues QPPNet (information redundancy):
+//! a leaf under four ancestors is implicitly "seen" by every ancestor's
+//! context, so its own direct loss contribution is discounted.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes per-node loss weights `α^height`.
+///
+/// * `α = 0`  → DACE w/o SP: only the root (height 0) is supervised.
+/// * `α = 1`  → DACE w/o LA: all sub-plans weighted equally (QPPNet-style).
+/// * `α = 0.5` → the paper's tuned value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossAdjuster {
+    /// The height-decay base in `[0, 1]`.
+    pub alpha: f32,
+}
+
+impl Default for LossAdjuster {
+    fn default() -> Self {
+        LossAdjuster { alpha: 0.5 }
+    }
+}
+
+impl LossAdjuster {
+    /// Adjuster with the given α.
+    pub fn new(alpha: f32) -> LossAdjuster {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        LossAdjuster { alpha }
+    }
+
+    /// Loss weight for one node height.
+    #[inline]
+    pub fn weight(&self, height: u32) -> f32 {
+        if self.alpha == 0.0 {
+            // 0^0 = 1 for the root, 0 elsewhere.
+            if height == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.alpha.powi(height as i32)
+        }
+    }
+
+    /// Weights for a whole plan's heights (DFS order).
+    pub fn weights(&self, heights: &[u32]) -> Vec<f32> {
+        heights.iter().map(|&h| self.weight(h)).collect()
+    }
+
+    /// Weighted squared-log-error loss and its gradient w.r.t. predictions.
+    ///
+    /// `loss = Σ_i w_i (pred_i − target_i)² / Σ_i w_i`; the normalization
+    /// keeps gradient magnitudes comparable across plans of different sizes.
+    pub fn loss_and_grad(
+        &self,
+        preds: &[f32],
+        targets: &[f32],
+        heights: &[u32],
+    ) -> (f32, Vec<f32>) {
+        assert_eq!(preds.len(), targets.len());
+        assert_eq!(preds.len(), heights.len());
+        let weights = self.weights(heights);
+        let wsum: f32 = weights.iter().sum::<f32>().max(1e-12);
+        let mut loss = 0.0;
+        let mut grad = vec![0.0f32; preds.len()];
+        for i in 0..preds.len() {
+            let err = preds[i] - targets[i];
+            loss += weights[i] * err * err;
+            grad[i] = 2.0 * weights[i] * err / wsum;
+        }
+        (loss / wsum, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_paper_example() {
+        // Fig. 3: α = 0.5 → heights 0..4 weigh 1, .5, .25, .125, .0625.
+        let la = LossAdjuster::new(0.5);
+        let w = la.weights(&[0, 1, 2, 3, 4]);
+        assert_eq!(w, vec![1.0, 0.5, 0.25, 0.125, 0.0625]);
+    }
+
+    #[test]
+    fn alpha_zero_supervises_root_only() {
+        let la = LossAdjuster::new(0.0);
+        assert_eq!(la.weights(&[0, 1, 2]), vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn alpha_one_is_uniform() {
+        let la = LossAdjuster::new(1.0);
+        assert_eq!(la.weights(&[0, 3, 7]), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let la = LossAdjuster::new(0.5);
+        let targets = [1.0f32, 2.0, 3.0];
+        let heights = [0u32, 1, 1];
+        let mut preds = vec![1.5f32, 1.0, 4.0];
+        let (_, grad) = la.loss_and_grad(&preds, &targets, &heights);
+        let eps = 1e-3;
+        for i in 0..preds.len() {
+            let orig = preds[i];
+            preds[i] = orig + eps;
+            let (lp, _) = la.loss_and_grad(&preds, &targets, &heights);
+            preds[i] = orig - eps;
+            let (lm, _) = la.loss_and_grad(&preds, &targets, &heights);
+            preds[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad[i]).abs() < 1e-3, "i={i}: {num} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn deeper_nodes_contribute_less() {
+        let la = LossAdjuster::default();
+        // Same error at the root vs. at height 3: root loss dominates.
+        let (root_err, _) = la.loss_and_grad(&[2.0, 0.0], &[0.0, 0.0], &[0, 3]);
+        let (deep_err, _) = la.loss_and_grad(&[0.0, 2.0], &[0.0, 0.0], &[0, 3]);
+        assert!(root_err > deep_err * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = LossAdjuster::new(1.5);
+    }
+}

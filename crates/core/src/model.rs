@@ -1,0 +1,246 @@
+//! The DACE network: one tree-masked attention layer feeding a three-layer
+//! LoRA MLP that predicts every sub-plan's log-latency in parallel.
+
+use dace_nn::{LoraLinear, LoraMode, MaskedSelfAttention, Param, Relu, Tensor2};
+use serde::{Deserialize, Serialize};
+
+use crate::featurize::{PlanFeatures, FEATURE_DIM};
+
+/// Width of the penultimate hidden layer `h₂` — the encoding dimension the
+/// pre-trained-encoder interface exposes (Eq. 9: `w_E = h₂`).
+pub const ENCODING_DIM: usize = 64;
+
+/// Attention key/query and value width (paper: `d_k = d_v = 128`).
+const D_K: usize = 128;
+const D_V: usize = 128;
+/// MLP layer widths (paper: `W₁, W₂, W₃ = 128, 64, 1`).
+const H1: usize = 128;
+/// LoRA ranks per MLP layer (paper: `r₁, r₂, r₃ = 32, 16, 8`).
+const RANKS: [usize; 3] = [32, 16, 8];
+
+/// The DACE model (Sec. IV-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaceModel {
+    /// Tree-masked single-head self-attention (Eq. 5).
+    pub attention: MaskedSelfAttention,
+    /// MLP layer 1 with LoRA rank 32.
+    pub l1: LoraLinear,
+    /// MLP layer 2 with LoRA rank 16.
+    pub l2: LoraLinear,
+    /// MLP layer 3 with LoRA rank 8.
+    pub l3: LoraLinear,
+    #[serde(skip, default = "default_relus")]
+    relus: (Relu, Relu),
+}
+
+fn default_relus() -> (Relu, Relu) {
+    (Relu::new(), Relu::new())
+}
+
+impl DaceModel {
+    /// Seeded model with the paper's dimensions.
+    pub fn new(seed: u64) -> DaceModel {
+        DaceModel {
+            attention: MaskedSelfAttention::new(FEATURE_DIM, D_K, D_V, seed),
+            l1: LoraLinear::new(D_V, H1, RANKS[0], seed ^ 0x01),
+            l2: LoraLinear::new(H1, ENCODING_DIM, RANKS[1], seed ^ 0x02),
+            l3: LoraLinear::new(ENCODING_DIM, 1, RANKS[2], seed ^ 0x03),
+            relus: default_relus(),
+        }
+    }
+
+    /// Training forward pass: per-node log-latency predictions (`n × 1`).
+    pub fn forward(&mut self, feats: &PlanFeatures) -> Tensor2 {
+        let a = self.attention.forward(&feats.x, &feats.mask);
+        let h1 = self.relus.0.forward(&self.l1.forward(&a));
+        let h2 = self.relus.1.forward(&self.l2.forward(&h1));
+        self.l3.forward(&h2)
+    }
+
+    /// Backward pass from per-node prediction gradients (`n × 1`).
+    pub fn backward(&mut self, d_pred: &Tensor2) {
+        let d = self.l3.backward(d_pred);
+        let d = self.relus.1.backward(&d);
+        let d = self.l2.backward(&d);
+        let d = self.relus.0.backward(&d);
+        let d = self.l1.backward(&d);
+        let _ = self.attention.backward(&d);
+    }
+
+    /// Inference: per-node log-latency predictions without caching.
+    pub fn predict(&self, feats: &PlanFeatures) -> Tensor2 {
+        let a = self.attention.forward_inference(&feats.x, &feats.mask);
+        let h1 = self.relus.0.forward_inference(&self.l1.forward_inference(&a));
+        let h2 = self.relus.1.forward_inference(&self.l2.forward_inference(&h1));
+        self.l3.forward_inference(&h2)
+    }
+
+    /// Root-node log-latency (node 0 in DFS order).
+    pub fn predict_root(&self, feats: &PlanFeatures) -> f32 {
+        self.predict(feats).get(0, 0)
+    }
+
+    /// The pre-trained-encoder output: the root's `h₂` activations
+    /// (`ENCODING_DIM` values), the paper's `w_E` (Eq. 9).
+    pub fn encode(&self, feats: &PlanFeatures) -> Vec<f32> {
+        let a = self.attention.forward_inference(&feats.x, &feats.mask);
+        let h1 = self.relus.0.forward_inference(&self.l1.forward_inference(&a));
+        let h2 = self.relus.1.forward_inference(&self.l2.forward_inference(&h1));
+        h2.row(0).to_vec()
+    }
+
+    /// All parameters (base + LoRA) for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.attention.params_mut();
+        params.extend(self.l1.params_mut());
+        params.extend(self.l2.params_mut());
+        params.extend(self.l3.params_mut());
+        params
+    }
+
+    /// Switch between pre-training and LoRA fine-tuning. In fine-tune mode
+    /// the attention projections freeze too: the paper fine-tunes only
+    /// `ΔW` of the MLP (Eq. 8).
+    pub fn set_mode(&mut self, mode: LoraMode) {
+        let finetune = mode == LoraMode::Finetune;
+        for p in self.attention.params_mut() {
+            p.trainable = !finetune;
+        }
+        self.l1.set_mode(mode);
+        self.l2.set_mode(mode);
+        self.l3.set_mode(mode);
+    }
+
+    /// Base (non-LoRA) parameter count — the "DACE" row of Table II.
+    pub fn base_param_count(&self) -> usize {
+        self.attention.param_count()
+            + self.l1.base_param_count()
+            + self.l2.base_param_count()
+            + self.l3.base_param_count()
+    }
+
+    /// LoRA adapter parameter count — what "DACE-LoRA" adds.
+    pub fn lora_param_count(&self) -> usize {
+        self.l1.lora_param_count() + self.l2.lora_param_count() + self.l3.lora_param_count()
+    }
+
+    /// Model size in megabytes (f32 parameters).
+    pub fn size_mb(&self) -> f64 {
+        (self.base_param_count() * 4) as f64 / 1_048_576.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{FeatureConfig, Featurizer};
+    use dace_plan::{Dataset, LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+
+    fn toy_features() -> PlanFeatures {
+        let mut b = TreeBuilder::new();
+        let s1 = {
+            let mut n = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+            n.est_cost = 100.0;
+            n.est_rows = 1000.0;
+            n.actual_ms = 3.0;
+            b.leaf(n)
+        };
+        let s2 = {
+            let mut n = PlanNode::new(NodeType::IndexScan, OpPayload::Other);
+            n.est_cost = 50.0;
+            n.est_rows = 10.0;
+            n.actual_ms = 1.0;
+            b.leaf(n)
+        };
+        let j = {
+            let mut n = PlanNode::new(NodeType::HashJoin, OpPayload::Other);
+            n.est_cost = 400.0;
+            n.est_rows = 500.0;
+            n.actual_ms = 8.0;
+            b.internal(n, vec![s1, s2])
+        };
+        let plan = LabeledPlan {
+            tree: b.finish(j),
+            db_id: 0,
+            machine: MachineId::M1,
+        };
+        let ds = Dataset::from_plans(vec![plan.clone()]);
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        f.encode(&plan.tree)
+    }
+
+    #[test]
+    fn forward_shapes_are_per_node() {
+        let mut model = DaceModel::new(1);
+        let feats = toy_features();
+        let preds = model.forward(&feats);
+        assert_eq!(preds.rows(), 3);
+        assert_eq!(preds.cols(), 1);
+        assert!(preds.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_and_inference_forward_agree() {
+        let mut model = DaceModel::new(2);
+        let feats = toy_features();
+        let a = model.forward(&feats);
+        let b = model.predict(&feats);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert_eq!(model.predict_root(&feats), b.get(0, 0));
+    }
+
+    #[test]
+    fn encoder_output_has_encoding_dim() {
+        let model = DaceModel::new(3);
+        let feats = toy_features();
+        let e = model.encode(&feats);
+        assert_eq!(e.len(), ENCODING_DIM);
+    }
+
+    #[test]
+    fn parameter_budget_is_lightweight() {
+        let model = DaceModel::new(4);
+        // The paper reports 0.064 MB for DACE and a LoRA add-on ~25% of it.
+        assert!(model.size_mb() < 0.2, "model too large: {} MB", model.size_mb());
+        let lora_ratio = model.lora_param_count() as f64 / model.base_param_count() as f64;
+        assert!(lora_ratio < 0.6, "LoRA ratio {lora_ratio}");
+    }
+
+    #[test]
+    fn finetune_mode_freezes_base_weights() {
+        let mut model = DaceModel::new(5);
+        model.set_mode(LoraMode::Finetune);
+        assert!(!model.attention.wq.trainable);
+        assert!(!model.l1.w.trainable);
+        assert!(model.l1.lora_a.trainable);
+        model.set_mode(LoraMode::Pretrain);
+        assert!(model.attention.wq.trainable);
+        assert!(!model.l1.lora_a.trainable);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut model = DaceModel::new(6);
+        let feats = toy_features();
+        let preds = model.forward(&feats);
+        model.backward(&preds);
+        let grad_norm: f32 = model
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum();
+        assert!(grad_norm > 0.0, "no gradient flowed");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let model = DaceModel::new(7);
+        let feats = toy_features();
+        let before = model.predict_root(&feats);
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: DaceModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.predict_root(&feats), before);
+    }
+}

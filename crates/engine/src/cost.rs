@@ -1,0 +1,205 @@
+//! PostgreSQL-style cost model: abstract cost units per operator.
+//!
+//! Constants default to PostgreSQL's stock settings. Costs are *total*
+//! (cumulative over the sub-plan) like `EXPLAIN`'s second cost number; the
+//! planner minimizes them and DACE later learns to correct their systematic
+//! mismatch with wall-clock time.
+
+use serde::{Deserialize, Serialize};
+
+/// Page size used to convert row widths into page counts.
+pub const PAGE_BYTES: f64 = 8192.0;
+
+/// Cost-model constants (PostgreSQL names and defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a sequentially fetched page.
+    pub seq_page_cost: f64,
+    /// Cost of a randomly fetched page.
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of one operator/function evaluation.
+    pub cpu_operator_cost: f64,
+    /// Per-tuple cost of transferring rows from parallel workers.
+    pub parallel_tuple_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            parallel_tuple_cost: 0.1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Heap pages of a table with `rows` rows of `width` bytes.
+    pub fn pages(&self, rows: f64, width: f64) -> f64 {
+        (rows * width / PAGE_BYTES).ceil().max(1.0)
+    }
+
+    /// Sequential scan: read all pages, process all tuples, evaluate
+    /// `n_preds` quals per tuple.
+    pub fn seq_scan(&self, rows: f64, width: f64, n_preds: usize) -> f64 {
+        self.pages(rows, width) * self.seq_page_cost
+            + rows * (self.cpu_tuple_cost + n_preds as f64 * self.cpu_operator_cost)
+    }
+
+    /// B-tree index scan fetching `out_rows` of `rows` total: random heap
+    /// page per matched tuple (uncorrelated assumption) plus index CPU.
+    pub fn index_scan(&self, rows: f64, out_rows: f64) -> f64 {
+        let descent = (rows.max(2.0)).log2() * self.cpu_operator_cost * 2.0;
+        descent
+            + out_rows
+                * (self.random_page_cost + self.cpu_index_tuple_cost + self.cpu_tuple_cost)
+    }
+
+    /// Index-only scan: like [`CostModel::index_scan`] without heap fetches.
+    pub fn index_only_scan(&self, rows: f64, out_rows: f64) -> f64 {
+        let descent = (rows.max(2.0)).log2() * self.cpu_operator_cost * 2.0;
+        descent + out_rows * (self.cpu_index_tuple_cost + self.cpu_tuple_cost)
+            + self.pages(out_rows, 8.0) * self.seq_page_cost
+    }
+
+    /// Bitmap index scan producing a TID bitmap over `out_rows` matches.
+    pub fn bitmap_index_scan(&self, rows: f64, out_rows: f64) -> f64 {
+        let descent = (rows.max(2.0)).log2() * self.cpu_operator_cost * 2.0;
+        descent + out_rows * self.cpu_index_tuple_cost
+    }
+
+    /// Bitmap heap scan: fetch the (partially sequential) pages holding
+    /// `out_rows` matches out of a `pages`-page table.
+    pub fn bitmap_heap_scan(&self, pages: f64, rows: f64, out_rows: f64) -> f64 {
+        // Fraction of pages touched grows sub-linearly with matches.
+        let touched = (pages * (1.0 - (-out_rows / pages.max(1.0)).exp())).max(1.0);
+        let page_cost = (self.seq_page_cost + self.random_page_cost) / 2.0;
+        touched * page_cost + out_rows * self.cpu_tuple_cost + rows * 0.1 * self.cpu_operator_cost
+    }
+
+    /// Hash-table build over `rows` input tuples.
+    pub fn hash_build(&self, rows: f64, width: f64) -> f64 {
+        rows * (self.cpu_operator_cost * 1.5 + self.cpu_tuple_cost)
+            + self.pages(rows, width) * 0.05
+    }
+
+    /// Hash-join probe phase: `probe_rows` probes emitting `out_rows`.
+    pub fn hash_probe(&self, probe_rows: f64, out_rows: f64) -> f64 {
+        probe_rows * self.cpu_operator_cost * 1.5 + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Nested-loop join: `outer_rows` rescans of an inner of cost
+    /// `inner_rescan`, emitting `out_rows`.
+    pub fn nested_loop(&self, outer_rows: f64, inner_rescan: f64, out_rows: f64) -> f64 {
+        outer_rows * inner_rescan + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Sort of `rows` tuples (comparison sort CPU term).
+    pub fn sort(&self, rows: f64, width: f64) -> f64 {
+        let r = rows.max(2.0);
+        r * r.log2() * self.cpu_operator_cost * 2.0 + self.pages(rows, width) * 0.1
+    }
+
+    /// Merge-join pass over two sorted inputs.
+    pub fn merge_pass(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        (left_rows + right_rows) * self.cpu_operator_cost + out_rows * self.cpu_tuple_cost
+    }
+
+    /// Hash aggregation of `rows` into `groups`.
+    pub fn hash_agg(&self, rows: f64, groups: f64) -> f64 {
+        rows * self.cpu_operator_cost * 2.0 + groups * self.cpu_tuple_cost
+    }
+
+    /// Sorted (group) aggregation of `rows` into `groups`; input must
+    /// already be sorted.
+    pub fn group_agg(&self, rows: f64, groups: f64) -> f64 {
+        rows * self.cpu_operator_cost + groups * self.cpu_tuple_cost
+    }
+
+    /// Materialize `rows` tuples.
+    pub fn materialize(&self, rows: f64, width: f64) -> f64 {
+        rows * self.cpu_operator_cost * 0.5 + self.pages(rows, width) * 0.05
+    }
+
+    /// Rescan cost of a materialized inner (cheap: memory pass).
+    pub fn materialize_rescan(&self, rows: f64) -> f64 {
+        rows * self.cpu_operator_cost * 0.25
+    }
+
+    /// Gather `rows` from parallel workers; the child ran at `child_cost`
+    /// split across `workers`.
+    pub fn gather(&self, child_cost: f64, rows: f64, workers: f64) -> f64 {
+        child_cost / workers + rows * self.parallel_tuple_cost + 1000.0 * self.cpu_operator_cost
+    }
+
+    /// LIMIT node: pays for the fraction of the child it consumes.
+    pub fn limit(&self, child_cost: f64, child_rows: f64, n: f64) -> f64 {
+        let frac = (n / child_rows.max(1.0)).min(1.0);
+        child_cost * frac + n.min(child_rows) * self.cpu_tuple_cost * 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_scan_scales_linearly() {
+        let cm = CostModel::default();
+        let small = cm.seq_scan(1_000.0, 64.0, 1);
+        let large = cm.seq_scan(10_000.0, 64.0, 1);
+        assert!(large > 9.0 * small && large < 11.0 * small);
+    }
+
+    #[test]
+    fn index_scan_beats_seq_scan_for_selective_predicates() {
+        let cm = CostModel::default();
+        let rows = 100_000.0;
+        let seq = cm.seq_scan(rows, 64.0, 1);
+        let idx_selective = cm.index_scan(rows, 10.0);
+        let idx_broad = cm.index_scan(rows, rows);
+        assert!(idx_selective < seq);
+        assert!(idx_broad > seq, "full index scan should lose to seq scan");
+    }
+
+    #[test]
+    fn hash_join_beats_nested_loop_on_large_inputs() {
+        let cm = CostModel::default();
+        let inner_scan = cm.seq_scan(50_000.0, 64.0, 0);
+        let hj = cm.hash_build(50_000.0, 64.0) + cm.hash_probe(50_000.0, 50_000.0);
+        let nl = cm.nested_loop(50_000.0, inner_scan, 50_000.0);
+        assert!(hj < nl / 100.0);
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let cm = CostModel::default();
+        let s1 = cm.sort(1_000.0, 16.0);
+        let s10 = cm.sort(10_000.0, 16.0);
+        assert!(s10 > 10.0 * s1);
+    }
+
+    #[test]
+    fn limit_caps_cost() {
+        let cm = CostModel::default();
+        let full = 1_000.0;
+        let limited = cm.limit(full, 10_000.0, 100.0);
+        assert!(limited < full * 0.02);
+        // Limit larger than the input costs the whole child.
+        assert!(cm.limit(full, 50.0, 100.0) >= full);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let cm = CostModel::default();
+        assert_eq!(cm.pages(1.0, 8.0), 1.0);
+        assert_eq!(cm.pages(1025.0, 8.0), 2.0);
+    }
+}

@@ -1,0 +1,828 @@
+//! Cost-based physical planning: scan selection, dynamic-programming join
+//! enumeration and plan-tree construction.
+
+use dace_catalog::{ColumnId, Database, TableId};
+use dace_plan::{
+    JoinInfo, NodeType, OpPayload, PlanNode, PlanTree, PredicateInfo, ScanInfo, TreeBuilder,
+};
+use dace_query::{JoinEdge, Predicate, Query};
+
+use crate::card::CardEstimator;
+use crate::cost::CostModel;
+
+/// What the executor must do at a physical node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOp {
+    /// Evaluate `predicates` over `table`, yielding selected row ids.
+    Scan {
+        /// Scanned table.
+        table: TableId,
+        /// Predicates applied at this node.
+        predicates: Vec<Predicate>,
+    },
+    /// Equi-join of the two children along `edge`.
+    Join {
+        /// The FK edge joined along.
+        edge: JoinEdge,
+    },
+    /// Pass-through nodes (Hash, Sort, Materialize, Gather).
+    PassThrough,
+    /// Aggregation, optionally grouped.
+    Aggregate {
+        /// GROUP BY column.
+        group_by: Option<ColumnId>,
+    },
+    /// LIMIT to `n` rows.
+    Limit {
+        /// Row limit.
+        n: u64,
+    },
+}
+
+/// A physical plan node with estimates, execution instructions and children.
+///
+/// This is the planner's and executor's working representation;
+/// [`PhysPlan::to_plan_tree`] converts it into the serializable
+/// [`dace_plan::PlanTree`] the models consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysPlan {
+    /// Operator type.
+    pub node_type: NodeType,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated *cumulative* cost (sub-plan total, abstract units).
+    pub est_cost: f64,
+    /// Output tuple width in bytes.
+    pub width: u32,
+    /// Payload for the plan tree.
+    pub payload: OpPayload,
+    /// Execution instruction.
+    pub exec: ExecOp,
+    /// Actual output rows, filled by the executor.
+    pub actual_rows: f64,
+    /// Actual cumulative elapsed ms, filled by the latency model.
+    pub actual_ms: f64,
+    /// Children (outer/probe side first for joins).
+    pub children: Vec<PhysPlan>,
+}
+
+impl PhysPlan {
+    fn new(
+        node_type: NodeType,
+        est_rows: f64,
+        est_cost: f64,
+        width: u32,
+        payload: OpPayload,
+        exec: ExecOp,
+        children: Vec<PhysPlan>,
+    ) -> PhysPlan {
+        PhysPlan {
+            node_type,
+            est_rows: est_rows.max(1.0),
+            est_cost,
+            width,
+            payload,
+            exec,
+            actual_rows: 0.0,
+            actual_ms: 0.0,
+            children,
+        }
+    }
+
+    /// Number of nodes in this sub-plan.
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(PhysPlan::len).sum::<usize>()
+    }
+
+    /// True iff the plan has no nodes (never; present for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Convert into a [`PlanTree`] (estimates and any filled-in actuals).
+    pub fn to_plan_tree(&self) -> PlanTree {
+        let mut builder = TreeBuilder::new();
+        let root = self.build_into(&mut builder);
+        builder.finish(root)
+    }
+
+    fn build_into(&self, builder: &mut TreeBuilder) -> dace_plan::NodeId {
+        let children: Vec<dace_plan::NodeId> = self
+            .children
+            .iter()
+            .map(|c| c.build_into(builder))
+            .collect();
+        let mut node = PlanNode::new(self.node_type, self.payload.clone());
+        node.est_rows = self.est_rows;
+        node.est_cost = self.est_cost;
+        node.width = self.width;
+        node.actual_rows = self.actual_rows;
+        node.actual_ms = self.actual_ms;
+        builder.internal(node, children)
+    }
+}
+
+/// Plan `query` against `db` under `cost_model`.
+///
+/// Scans are chosen among sequential / index / bitmap / index-only (plus a
+/// parallel Gather alternative for large sequential scans); join orders are
+/// enumerated with dynamic programming over connected subsets (System R
+/// style, bushy plans allowed) choosing among hash join, nested loop
+/// (with inner index lookup or materialization) and sort-merge join;
+/// aggregation picks hash vs. sorted grouping by cost.
+pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> PhysPlan {
+    assert!(!query.tables.is_empty(), "query references no tables");
+    assert!(
+        query.tables.len() <= 20,
+        "join enumeration capped at 20 relations"
+    );
+    let est = CardEstimator::new(db);
+
+    // Best access path per base relation.
+    let base: Vec<PhysPlan> = query
+        .tables
+        .iter()
+        .map(|&t| best_scan(db, query, t, cost_model, &est))
+        .collect();
+
+    // Join enumeration.
+    let joined = if query.tables.len() == 1 {
+        base.into_iter().next().unwrap()
+    } else if query.tables.len() <= 9 {
+        dp_join(db, query, base, cost_model, &est)
+    } else {
+        greedy_join(db, query, base, cost_model, &est)
+    };
+
+    // Aggregation.
+    let with_agg = if query.aggregates.is_empty() {
+        joined
+    } else {
+        add_aggregate(db, query, joined, cost_model, &est)
+    };
+
+    // LIMIT.
+    match query.limit {
+        Some(n) => {
+            let child_rows = with_agg.est_rows;
+            let child_cost = with_agg.est_cost;
+            let out = (n as f64).min(child_rows);
+            let cost = cost_model.limit(child_cost, child_rows, n as f64);
+            PhysPlan::new(
+                NodeType::Limit,
+                out,
+                cost,
+                with_agg.width,
+                OpPayload::Other,
+                ExecOp::Limit { n },
+                vec![with_agg],
+            )
+        }
+        None => with_agg,
+    }
+}
+
+/// Threshold row count above which a parallel Gather plan is considered.
+const GATHER_MIN_ROWS: f64 = 15_000.0;
+/// Simulated parallel workers.
+const GATHER_WORKERS: f64 = 2.0;
+
+/// Pick the cheapest access path for `table`.
+fn best_scan(
+    db: &Database,
+    query: &Query,
+    table: TableId,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> PhysPlan {
+    let stats = db.table_stats(table);
+    let rows = stats.row_count as f64;
+    let n_cols = db.schema.table(table).columns.len();
+    let width = (n_cols * 8) as u32;
+    let preds: Vec<Predicate> = query.predicates_on(table).into_iter().cloned().collect();
+    let sel = est.scan_selectivity(query, table);
+    let out_rows = (rows * sel).max(1.0);
+    let payload = scan_payload(db, table, &preds, est);
+    let exec = ExecOp::Scan {
+        table,
+        predicates: preds.clone(),
+    };
+
+    // Sequential scan (always available).
+    let seq_cost = cm.seq_scan(rows, width as f64, preds.len());
+    let mut best = PhysPlan::new(
+        NodeType::SeqScan,
+        out_rows,
+        seq_cost,
+        width,
+        payload.clone(),
+        exec.clone(),
+        vec![],
+    );
+
+    // Parallel alternative for big sequential scans.
+    if rows > GATHER_MIN_ROWS {
+        let gather_cost = cm.gather(seq_cost, out_rows, GATHER_WORKERS);
+        if gather_cost < best.est_cost {
+            let child = PhysPlan::new(
+                NodeType::SeqScan,
+                out_rows,
+                seq_cost / GATHER_WORKERS,
+                width,
+                payload.clone(),
+                exec.clone(),
+                vec![],
+            );
+            best = PhysPlan::new(
+                NodeType::Gather,
+                out_rows,
+                gather_cost,
+                width,
+                OpPayload::Other,
+                ExecOp::PassThrough,
+                vec![child],
+            );
+        }
+    }
+
+    // Index paths need an indexed predicate column; drive the index with the
+    // most selective indexed predicate.
+    let indexed: Option<(&Predicate, f64)> = preds
+        .iter()
+        .filter(|p| db.schema.column(p.column).indexed)
+        .map(|p| (p, est.predicate_selectivity(p)))
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    if let Some((index_pred, index_sel)) = indexed {
+        let fetched = (rows * index_sel).max(1.0);
+
+        // Plain index scan.
+        let idx_cost = cm.index_scan(rows, fetched);
+        if idx_cost < best.est_cost {
+            best = PhysPlan::new(
+                NodeType::IndexScan,
+                out_rows,
+                idx_cost,
+                width,
+                payload.clone(),
+                exec.clone(),
+                vec![],
+            );
+        }
+
+        // Index-only scan when the predicate is on the primary key.
+        if index_pred.column.column() == 0 {
+            let io_cost = cm.index_only_scan(rows, fetched);
+            if io_cost < best.est_cost {
+                best = PhysPlan::new(
+                    NodeType::IndexOnlyScan,
+                    out_rows,
+                    io_cost,
+                    width,
+                    payload.clone(),
+                    exec.clone(),
+                    vec![],
+                );
+            }
+        }
+
+        // Bitmap scan pair.
+        let pages = cm.pages(rows, width as f64);
+        let bis_cost = cm.bitmap_index_scan(rows, fetched);
+        let bhs_cost = bis_cost + cm.bitmap_heap_scan(pages, rows, fetched);
+        if bhs_cost < best.est_cost {
+            let index_child = PhysPlan::new(
+                NodeType::BitmapIndexScan,
+                fetched,
+                bis_cost,
+                8,
+                OpPayload::Other,
+                ExecOp::Scan {
+                    table,
+                    predicates: vec![index_pred.clone()],
+                },
+                vec![],
+            );
+            best = PhysPlan::new(
+                NodeType::BitmapHeapScan,
+                out_rows,
+                bhs_cost,
+                width,
+                payload,
+                exec,
+                vec![index_child],
+            );
+        }
+    }
+    best
+}
+
+fn scan_payload(
+    db: &Database,
+    table: TableId,
+    preds: &[Predicate],
+    est: &CardEstimator<'_>,
+) -> OpPayload {
+    let infos = preds
+        .iter()
+        .map(|p| {
+            let stats = db.column_stats(p.column);
+            let (lo, hi) = match p.values.as_slice() {
+                [v] => (stats.rank_of(*v), 0.0),
+                [lo, hi, ..] => (stats.rank_of(*lo), stats.rank_of(*hi)),
+                [] => (0.5, 0.0),
+            };
+            PredicateInfo {
+                column_id: p.column.0,
+                op: p.op,
+                literal_rank: lo,
+                literal_rank_hi: hi,
+                est_selectivity: est.predicate_selectivity(p),
+            }
+        })
+        .collect();
+    OpPayload::Scan(ScanInfo {
+        table_id: table.0,
+        table_name: db.schema.table(table).name.clone(),
+        predicates: infos,
+    })
+}
+
+/// Dynamic programming over connected table subsets (DPsub).
+fn dp_join(
+    db: &Database,
+    query: &Query,
+    base: Vec<PhysPlan>,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> PhysPlan {
+    let k = query.tables.len();
+    let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+    let mut dp: Vec<Option<PhysPlan>> = vec![None; (full as usize) + 1];
+    for (i, b) in base.into_iter().enumerate() {
+        dp[1 << i] = Some(b);
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 || dp[mask as usize].is_some() {
+            continue;
+        }
+        let mut best: Option<PhysPlan> = None;
+        // Enumerate proper submasks.
+        let mut left = (mask - 1) & mask;
+        while left > 0 {
+            let right = mask ^ left;
+            // Avoid symmetric duplicates: join operators already consider
+            // both build/probe assignments, so only visit left < right once.
+            if left < right {
+                left = (left - 1) & mask;
+                continue;
+            }
+            if let (Some(l), Some(r)) = (&dp[left as usize], &dp[right as usize]) {
+                if let Some(edge) = connecting_edge(query, left, right) {
+                    let candidate = best_join(db, query, l, r, edge, cm, est);
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| candidate.est_cost < b.est_cost)
+                    {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            left = (left - 1) & mask;
+        }
+        dp[mask as usize] = best;
+    }
+    dp[full as usize]
+        .take()
+        .expect("query join graph is connected")
+}
+
+/// Greedy fallback for very wide queries: repeatedly join the pair with the
+/// smallest estimated output.
+fn greedy_join(
+    db: &Database,
+    query: &Query,
+    base: Vec<PhysPlan>,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> PhysPlan {
+    // Each fragment tracks its table mask.
+    let mut frags: Vec<(u32, PhysPlan)> = base
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| (1u32 << i, b))
+        .collect();
+    while frags.len() > 1 {
+        let mut best: Option<(usize, usize, PhysPlan)> = None;
+        for i in 0..frags.len() {
+            for j in 0..frags.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(edge) = connecting_edge(query, frags[i].0, frags[j].0) {
+                    let cand = best_join(db, query, &frags[i].1, &frags[j].1, edge, cm, est);
+                    if best.as_ref().is_none_or(|b| cand.est_cost < b.2.est_cost) {
+                        best = Some((i, j, cand));
+                    }
+                }
+            }
+        }
+        let (i, j, joined) = best.expect("join graph is connected");
+        let mask = frags[i].0 | frags[j].0;
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        frags.swap_remove(hi);
+        frags.swap_remove(lo);
+        frags.push((mask, joined));
+    }
+    frags.pop().unwrap().1
+}
+
+/// The join edge connecting table subsets `left` and `right`, if any.
+/// Query join graphs are trees (the generators add one new table per edge),
+/// so at most one edge connects any two disjoint fragments.
+fn connecting_edge(query: &Query, left: u32, right: u32) -> Option<JoinEdge> {
+    let idx = |t: TableId| query.tables.iter().position(|&x| x == t).unwrap() as u32;
+    query.joins.iter().copied().find(|e| {
+        let c = 1u32 << idx(e.child);
+        let p = 1u32 << idx(e.parent);
+        (left & c != 0 && right & p != 0) || (left & p != 0 && right & c != 0)
+    })
+}
+
+/// Cheapest physical join of `l` and `r` along `edge`.
+fn best_join(
+    db: &Database,
+    _query: &Query,
+    l: &PhysPlan,
+    r: &PhysPlan,
+    edge: JoinEdge,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> PhysPlan {
+    let left_has_child = plan_tables(l).contains(&edge.child);
+    let out_rows = est.join_rows(&edge, l.est_rows, r.est_rows, left_has_child);
+    let width = l.width + r.width;
+    let payload = join_payload(db, edge);
+    let exec = ExecOp::Join { edge };
+
+    // Hash join: build on the smaller side, probe from the larger.
+    let (probe, build) = if l.est_rows >= r.est_rows { (l, r) } else { (r, l) };
+    let hash_cost = build.est_cost
+        + probe.est_cost
+        + cm.hash_build(build.est_rows, build.width as f64)
+        + cm.hash_probe(probe.est_rows, out_rows);
+    let hash_node = PhysPlan::new(
+        NodeType::Hash,
+        build.est_rows,
+        build.est_cost + cm.hash_build(build.est_rows, build.width as f64),
+        build.width,
+        OpPayload::Other,
+        ExecOp::PassThrough,
+        vec![build.clone()],
+    );
+    let mut best = PhysPlan::new(
+        NodeType::HashJoin,
+        out_rows,
+        hash_cost,
+        width,
+        payload.clone(),
+        exec.clone(),
+        vec![probe.clone(), hash_node],
+    );
+
+    // Nested loop with an index lookup on the inner side: available when the
+    // inner fragment is the single parent table (PK lookup per outer row).
+    for (outer, inner) in [(l, r), (r, l)] {
+        let inner_tables = plan_tables(inner);
+        if inner_tables.len() == 1 && inner_tables[0] == edge.parent && is_scan(inner) {
+            let parent_rows = db.table_stats(edge.parent).row_count as f64;
+            let per_probe = out_rows / outer.est_rows.max(1.0);
+            let rescan = cm.index_scan(parent_rows, per_probe.max(1.0));
+            let nl_cost =
+                outer.est_cost + cm.nested_loop(outer.est_rows, rescan, out_rows);
+            if nl_cost < best.est_cost {
+                let mut inner_idx = inner.clone();
+                inner_idx.node_type = NodeType::IndexScan;
+                inner_idx.est_cost = outer.est_rows.max(1.0) * rescan;
+                inner_idx.est_rows = per_probe.max(1.0);
+                best = PhysPlan::new(
+                    NodeType::NestedLoop,
+                    out_rows,
+                    nl_cost,
+                    width,
+                    payload.clone(),
+                    exec.clone(),
+                    vec![outer.clone(), inner_idx],
+                );
+            }
+        }
+    }
+
+    // Nested loop over a materialized inner (wins only for tiny inputs).
+    {
+        let (outer, inner) = if l.est_rows <= r.est_rows { (l, r) } else { (r, l) };
+        let mat_cost = inner.est_cost + cm.materialize(inner.est_rows, inner.width as f64);
+        let rescan = cm.materialize_rescan(inner.est_rows);
+        let nl_cost = outer.est_cost
+            + mat_cost
+            + cm.nested_loop((outer.est_rows - 1.0).max(0.0), rescan, out_rows);
+        if nl_cost < best.est_cost {
+            let mat = PhysPlan::new(
+                NodeType::Materialize,
+                inner.est_rows,
+                mat_cost,
+                inner.width,
+                OpPayload::Other,
+                ExecOp::PassThrough,
+                vec![inner.clone()],
+            );
+            best = PhysPlan::new(
+                NodeType::NestedLoop,
+                out_rows,
+                nl_cost,
+                width,
+                payload.clone(),
+                exec.clone(),
+                vec![outer.clone(), mat],
+            );
+        }
+    }
+
+    // Sort-merge join.
+    {
+        let sort_l = cm.sort(l.est_rows, l.width as f64);
+        let sort_r = cm.sort(r.est_rows, r.width as f64);
+        let merge_cost = l.est_cost
+            + sort_l
+            + r.est_cost
+            + sort_r
+            + cm.merge_pass(l.est_rows, r.est_rows, out_rows);
+        if merge_cost < best.est_cost {
+            let mk_sort = |side: &PhysPlan, sort_cost: f64| {
+                PhysPlan::new(
+                    NodeType::Sort,
+                    side.est_rows,
+                    side.est_cost + sort_cost,
+                    side.width,
+                    OpPayload::Other,
+                    ExecOp::PassThrough,
+                    vec![side.clone()],
+                )
+            };
+            best = PhysPlan::new(
+                NodeType::MergeJoin,
+                out_rows,
+                merge_cost,
+                width,
+                payload,
+                exec,
+                vec![mk_sort(l, sort_l), mk_sort(r, sort_r)],
+            );
+        }
+    }
+    best
+}
+
+fn join_payload(db: &Database, edge: JoinEdge) -> OpPayload {
+    let child_t = db.schema.table(edge.child);
+    let parent_t = db.schema.table(edge.parent);
+    OpPayload::Join(JoinInfo {
+        left_column: edge.child_column_id().0,
+        right_column: edge.parent_column_id().0,
+        condition: format!(
+            "{}.{} = {}.{}",
+            child_t.name,
+            child_t.columns[edge.child_column as usize].name,
+            parent_t.name,
+            parent_t.columns[0].name
+        ),
+    })
+}
+
+/// Base tables covered by a sub-plan.
+fn plan_tables(p: &PhysPlan) -> Vec<TableId> {
+    let mut tables = Vec::new();
+    collect_tables(p, &mut tables);
+    tables.sort();
+    tables.dedup();
+    tables
+}
+
+fn collect_tables(p: &PhysPlan, out: &mut Vec<TableId>) {
+    if let ExecOp::Scan { table, .. } = p.exec {
+        out.push(table);
+    }
+    for c in &p.children {
+        collect_tables(c, out);
+    }
+}
+
+/// A leaf access path (possibly wrapped in Gather / bitmap pair).
+fn is_scan(p: &PhysPlan) -> bool {
+    matches!(
+        p.node_type,
+        NodeType::SeqScan
+            | NodeType::IndexScan
+            | NodeType::IndexOnlyScan
+            | NodeType::BitmapHeapScan
+    )
+}
+
+/// Add the aggregation operator: hash aggregation vs. sort + group
+/// aggregation by cost; plain aggregation maps to GroupAggregate sans sort.
+fn add_aggregate(
+    db: &Database,
+    query: &Query,
+    child: PhysPlan,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> PhysPlan {
+    let in_rows = child.est_rows;
+    let groups = match query.group_by {
+        Some(col) => est.group_count(col, in_rows),
+        None => 1.0,
+    };
+    let width = (query.aggregates.len() as u32 + 1) * 8;
+    let exec = ExecOp::Aggregate {
+        group_by: query.group_by,
+    };
+    let _ = db;
+    if query.group_by.is_none() {
+        // Plain aggregate: single pass.
+        let cost = child.est_cost + cm.group_agg(in_rows, 1.0);
+        return PhysPlan::new(
+            NodeType::GroupAggregate,
+            1.0,
+            cost,
+            width,
+            OpPayload::Other,
+            exec,
+            vec![child],
+        );
+    }
+    let hash_cost = child.est_cost + cm.hash_agg(in_rows, groups);
+    let sorted_cost =
+        child.est_cost + cm.sort(in_rows, child.width as f64) + cm.group_agg(in_rows, groups);
+    if hash_cost <= sorted_cost {
+        PhysPlan::new(
+            NodeType::HashAggregate,
+            groups,
+            hash_cost,
+            width,
+            OpPayload::Other,
+            exec,
+            vec![child],
+        )
+    } else {
+        let sort = PhysPlan::new(
+            NodeType::Sort,
+            in_rows,
+            child.est_cost + cm.sort(in_rows, child.width as f64),
+            child.width,
+            OpPayload::Other,
+            ExecOp::PassThrough,
+            vec![child],
+        );
+        PhysPlan::new(
+            NodeType::GroupAggregate,
+            groups,
+            sorted_cost,
+            width,
+            OpPayload::Other,
+            exec,
+            vec![sort],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dace_catalog::{generate_database, suite_specs};
+    use dace_query::ComplexWorkloadGen;
+
+    fn db() -> Database {
+        generate_database(&suite_specs()[0], 0.02)
+    }
+
+    #[test]
+    fn single_table_plan_is_a_scan() {
+        let db = db();
+        let q = Query::scan(0, TableId(0));
+        let p = plan(&db, &q, &CostModel::default());
+        assert!(is_scan(&p) || p.node_type == NodeType::Gather);
+        assert!(p.est_rows >= 1.0);
+        assert!(p.est_cost > 0.0);
+    }
+
+    #[test]
+    fn join_plans_cover_all_tables_and_costs_are_monotone() {
+        let db = db();
+        let queries = ComplexWorkloadGen::default().generate(&db, 100);
+        for q in &queries {
+            let p = plan(&db, q, &CostModel::default());
+            let covered = plan_tables(&p);
+            let mut expect = q.tables.clone();
+            expect.sort();
+            assert_eq!(covered, expect, "plan must cover all query tables");
+            // Cumulative cost is monotone up the tree.
+            check_cost_monotone(&p);
+        }
+    }
+
+    fn check_cost_monotone(p: &PhysPlan) {
+        for c in &p.children {
+            // Limit nodes legitimately cost less than their children;
+            // everything else accumulates.
+            if p.node_type != NodeType::Limit && p.node_type != NodeType::Gather {
+                assert!(
+                    p.est_cost >= c.est_cost * 0.999,
+                    "{:?} cost {} < child {:?} cost {}",
+                    p.node_type,
+                    p.est_cost,
+                    c.node_type,
+                    c.est_cost
+                );
+            }
+            check_cost_monotone(c);
+        }
+    }
+
+    #[test]
+    fn aggregated_queries_get_aggregate_roots() {
+        let db = db();
+        let queries = ComplexWorkloadGen::default().generate(&db, 150);
+        let mut saw_agg = false;
+        for q in &queries {
+            if q.aggregates.is_empty() {
+                continue;
+            }
+            let p = plan(&db, q, &CostModel::default());
+            let root_ty = match q.limit {
+                Some(_) => p.children[0].node_type,
+                None => p.node_type,
+            };
+            assert!(
+                matches!(root_ty, NodeType::HashAggregate | NodeType::GroupAggregate),
+                "aggregate query got {root_ty:?} root"
+            );
+            saw_agg = true;
+        }
+        assert!(saw_agg);
+    }
+
+    #[test]
+    fn plan_tree_conversion_preserves_structure() {
+        let db = db();
+        let q = ComplexWorkloadGen::default().generate(&db, 20).pop().unwrap();
+        let p = plan(&db, &q, &CostModel::default());
+        let tree = p.to_plan_tree();
+        assert_eq!(tree.len(), p.len());
+        assert_eq!(tree.node(tree.root()).node_type, p.node_type);
+        assert!((tree.est_cost() - p.est_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selective_pk_predicate_prefers_index_path() {
+        let db = db();
+        let mut q = Query::scan(0, TableId(0));
+        q.predicates = vec![dace_query::Predicate {
+            column: ColumnId::new(TableId(0), 0),
+            op: dace_plan::CmpOp::Eq,
+            values: vec![5],
+        }];
+        let p = plan(&db, &q, &CostModel::default());
+        assert!(
+            matches!(
+                p.node_type,
+                NodeType::IndexScan | NodeType::IndexOnlyScan | NodeType::BitmapHeapScan
+            ),
+            "selective PK lookup chose {:?}",
+            p.node_type
+        );
+    }
+
+    #[test]
+    fn plans_use_diverse_operators() {
+        let db = db();
+        let queries = ComplexWorkloadGen::default().generate(&db, 300);
+        let mut seen = std::collections::HashSet::new();
+        for q in &queries {
+            let p = plan(&db, q, &CostModel::default());
+            collect_types(&p, &mut seen);
+        }
+        // The corpus should exercise a healthy operator variety.
+        assert!(
+            seen.len() >= 8,
+            "only {} operator types in 300 plans: {seen:?}",
+            seen.len()
+        );
+        assert!(seen.contains(&NodeType::HashJoin) || seen.contains(&NodeType::NestedLoop));
+    }
+
+    fn collect_types(p: &PhysPlan, out: &mut std::collections::HashSet<NodeType>) {
+        out.insert(p.node_type);
+        for c in &p.children {
+            collect_types(c, out);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! expts <experiment...|all> [--scale S] [--out DIR]
+//! ```
+//!
+//! `--scale` multiplies query counts and training epochs (default 1.0 =
+//! the repository's reference reproduction size; the paper's full size is
+//! ~25× larger). Reports print to stdout and are written to `DIR`
+//! (default `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dace_eval::experiments::{run_experiment, Ctx, EXPERIMENTS};
+use dace_eval::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut out_dir = PathBuf::from("results");
+    let mut dace_epochs: Option<usize> = None;
+    let mut baseline_epochs: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--dace-epochs" => {
+                i += 1;
+                dace_epochs = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--baseline-epochs" => {
+                i += 1;
+                baseline_epochs = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|(id, _, _)| id.to_string()).collect();
+    }
+
+    let mut cfg = EvalConfig::scaled(scale);
+    if let Some(e) = dace_epochs {
+        cfg.dace_epochs = e;
+    }
+    if let Some(e) = baseline_epochs {
+        cfg.baseline_epochs = e;
+    }
+    eprintln!("# config: {cfg:?}");
+    let ctx = Ctx::new(cfg);
+    fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    for target in &targets {
+        let start = Instant::now();
+        match run_experiment(target, &ctx) {
+            Some(report) => {
+                let secs = start.elapsed().as_secs_f64();
+                println!("\n==================== {target} ({secs:.1}s) ====================\n");
+                println!("{report}");
+                let path = out_dir.join(format!("{target}.md"));
+                fs::write(&path, &report).expect("cannot write report");
+                eprintln!("# wrote {}", path.display());
+            }
+            None => {
+                eprintln!("unknown experiment '{target}'");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: expts <experiment...|all> [--scale S] [--out DIR] [--dace-epochs N] [--baseline-epochs N]\n\nexperiments:"
+    );
+    for (id, desc, _) in EXPERIMENTS {
+        eprintln!("  {id:<8} {desc}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,91 @@
+//! Pre-train a DACE estimator on the synthetic suite and save it as a JSON
+//! artifact — the "ship a pre-trained model" deployment story.
+//!
+//! ```text
+//! pretrain [--dbs N] [--queries Q] [--epochs E] [--exclude DB_ID] [--out FILE]
+//! ```
+
+use dace_core::{TrainConfig, Trainer};
+use dace_eval::{collect_suite_m1, EvalConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n_dbs = 19usize;
+    let mut queries = 400usize;
+    let mut epochs = 30usize;
+    let mut exclude: Option<u16> = Some(0);
+    let mut out = String::from("dace_pretrained.json");
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let val = args.get(i).cloned();
+        match flag.as_str() {
+            "--dbs" => n_dbs = parse(&val, "--dbs"),
+            "--queries" => queries = parse(&val, "--queries"),
+            "--epochs" => epochs = parse(&val, "--epochs"),
+            "--exclude" => exclude = Some(parse(&val, "--exclude")),
+            "--no-exclude" => {
+                exclude = None;
+                continue;
+            }
+            "--out" => out = val.unwrap_or_else(|| die("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: pretrain [--dbs N] [--queries Q] [--epochs E] [--exclude DB_ID | --no-exclude] [--out FILE]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let cfg = EvalConfig {
+        queries_per_db: queries,
+        ..EvalConfig::default()
+    };
+    eprintln!("collecting workload 1 across the suite ({queries} queries/db)…");
+    let mut suite = collect_suite_m1(&cfg);
+    if let Some(d) = exclude {
+        suite = suite.exclude_db(d);
+        eprintln!("excluded database {d} (held out for evaluation)");
+    }
+    // Keep the first n_dbs databases' plans.
+    let keep: Vec<u16> = {
+        let mut ids: Vec<u16> = suite.plans.iter().map(|p| p.db_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().take(n_dbs).collect()
+    };
+    suite.plans.retain(|p| keep.contains(&p.db_id));
+
+    eprintln!(
+        "training DACE on {} plans from {} databases for {epochs} epochs…",
+        suite.len(),
+        keep.len()
+    );
+    let est = Trainer::new(TrainConfig {
+        epochs,
+        ..Default::default()
+    })
+    .fit(&suite);
+    std::fs::write(&out, est.to_json()).expect("cannot write model artifact");
+    eprintln!(
+        "wrote {out}: {} base params ({:.3} MB) + {} LoRA params",
+        est.model.base_param_count(),
+        est.model.size_mb(),
+        est.model.lora_param_count()
+    );
+}
+
+fn parse<T: std::str::FromStr>(val: &Option<String>, flag: &str) -> T {
+    val.as_ref()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,176 @@
+//! Suite-wide data collection shared by all experiments.
+
+use dace_catalog::{generate_database, suite_specs, Database};
+use dace_engine::collect_dataset;
+use dace_plan::{Dataset, MachineId};
+use dace_query::{ComplexWorkloadGen, MscnSet, MscnWorkloadGen};
+
+/// Scaling configuration for an experiment run. `EvalConfig::scaled(s)`
+/// multiplies query counts and epochs by `s`, so `--scale 1.0` is the
+/// default reproduction size and smaller values give smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Row-count scale of the generated databases.
+    pub db_scale: f64,
+    /// Complex-workload queries collected per database (workloads 1/2).
+    pub queries_per_db: usize,
+    /// Workload-3 training queries (the paper's 100k, scaled).
+    pub wl3_train: usize,
+    /// Workload-3 synthetic test size (paper: 5000).
+    pub wl3_synthetic: usize,
+    /// Workload-3 scale test size (paper: 500).
+    pub wl3_scale: usize,
+    /// Workload-3 JOB-light test size (paper: 70).
+    pub wl3_job_light: usize,
+    /// Training epochs for DACE.
+    pub dace_epochs: usize,
+    /// Training epochs for the baselines.
+    pub baseline_epochs: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            db_scale: 0.3,
+            queries_per_db: 400,
+            wl3_train: 4_000,
+            wl3_synthetic: 800,
+            wl3_scale: 300,
+            wl3_job_light: 70,
+            dace_epochs: 30,
+            baseline_epochs: 20,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Scale query counts and epochs by `s` (≥ 0.05), keeping the database
+    /// size fixed so cardinalities stay comparable across scales.
+    pub fn scaled(s: f64) -> EvalConfig {
+        let base = EvalConfig::default();
+        let s = s.max(0.05);
+        let q = |n: usize| ((n as f64 * s) as usize).max(8);
+        EvalConfig {
+            db_scale: base.db_scale,
+            queries_per_db: q(base.queries_per_db),
+            wl3_train: q(base.wl3_train),
+            wl3_synthetic: q(base.wl3_synthetic),
+            wl3_scale: q(base.wl3_scale),
+            wl3_job_light: base.wl3_job_light.min(q(base.wl3_job_light * 2)),
+            dace_epochs: ((base.dace_epochs as f64 * s.max(0.4)) as usize).max(4),
+            baseline_epochs: ((base.baseline_epochs as f64 * s.max(0.4)) as usize).max(4),
+        }
+    }
+}
+
+/// Generate database `db_id` of the suite at the configured scale.
+pub fn suite_db(cfg: &EvalConfig, db_id: u16) -> Database {
+    generate_database(&suite_specs()[db_id as usize], cfg.db_scale)
+}
+
+/// Collect the complex workload (workload 1) for one database on a machine.
+pub fn collect_db(cfg: &EvalConfig, db_id: u16, machine: MachineId) -> Dataset {
+    let db = suite_db(cfg, db_id);
+    let queries = ComplexWorkloadGen::default().generate(&db, cfg.queries_per_db);
+    collect_dataset(&db, &queries, machine)
+}
+
+/// Collect workload 1 across all 20 databases on M1 (the paper's Sec. V-A
+/// setup). Databases are generated, executed and dropped one at a time to
+/// bound memory.
+pub fn collect_suite_m1(cfg: &EvalConfig) -> Dataset {
+    collect_suite(cfg, MachineId::M1)
+}
+
+/// Collect the complex workload across all 20 databases on `machine`.
+pub fn collect_suite(cfg: &EvalConfig, machine: MachineId) -> Dataset {
+    let mut all = Dataset::new();
+    for spec in suite_specs() {
+        all.extend(collect_db(cfg, spec.db_id, machine));
+    }
+    all
+}
+
+/// The MSCN benchmark on the IMDB-like database (workload 3).
+#[derive(Debug, Clone)]
+pub struct Workload3 {
+    /// Training set (the paper's 100k queries, scaled).
+    pub train: Dataset,
+    /// Synthetic test set.
+    pub synthetic: Dataset,
+    /// Scale test set.
+    pub scale: Dataset,
+    /// JOB-light test set.
+    pub job_light: Dataset,
+}
+
+impl Workload3 {
+    /// The three test sets with display names.
+    pub fn test_sets(&self) -> [(&'static str, &Dataset); 3] {
+        [
+            ("Synthetic", &self.synthetic),
+            ("Scale", &self.scale),
+            ("JOB-light", &self.job_light),
+        ]
+    }
+}
+
+/// Collect workload 3 on M1 (IMDB-like database, id 0).
+pub fn workload3(cfg: &EvalConfig) -> Workload3 {
+    let db = suite_db(cfg, dace_catalog::suite::IMDB_LIKE_DB);
+    let gen = MscnWorkloadGen::default();
+    let train_q = gen.gen_train(&db, cfg.wl3_train);
+    let synthetic_q = gen.gen_test(&db, MscnSet::Synthetic, cfg.wl3_synthetic);
+    let scale_q = gen.gen_test(&db, MscnSet::Scale, cfg.wl3_scale);
+    let job_q = gen.gen_test(&db, MscnSet::JobLight, cfg.wl3_job_light);
+    Workload3 {
+        train: collect_dataset(&db, &train_q, MachineId::M1),
+        synthetic: collect_dataset(&db, &synthetic_q, MachineId::M1),
+        scale: collect_dataset(&db, &scale_q, MachineId::M1),
+        job_light: collect_dataset(&db, &job_q, MachineId::M1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_config_shrinks_counts() {
+        let full = EvalConfig::scaled(1.0);
+        let small = EvalConfig::scaled(0.1);
+        assert!(small.queries_per_db < full.queries_per_db);
+        assert!(small.wl3_train < full.wl3_train);
+        assert!(small.dace_epochs >= 4);
+        assert_eq!(small.db_scale, full.db_scale);
+    }
+
+    #[test]
+    fn collect_db_produces_labeled_plans() {
+        let cfg = EvalConfig {
+            queries_per_db: 30,
+            ..EvalConfig::scaled(0.05)
+        };
+        let ds = collect_db(&cfg, 2, MachineId::M1);
+        assert_eq!(ds.len(), 30);
+        assert!(ds.plans.iter().all(|p| p.db_id == 2));
+        assert!(ds.plans.iter().all(|p| p.latency_ms() > 0.0));
+    }
+
+    #[test]
+    fn workload3_sets_have_configured_sizes() {
+        let cfg = EvalConfig {
+            wl3_train: 40,
+            wl3_synthetic: 20,
+            wl3_scale: 10,
+            wl3_job_light: 12,
+            ..EvalConfig::scaled(0.05)
+        };
+        let w3 = workload3(&cfg);
+        assert_eq!(w3.train.len(), 40);
+        assert_eq!(w3.synthetic.len(), 20);
+        assert_eq!(w3.scale.len(), 10);
+        assert_eq!(w3.job_light.len(), 12);
+        assert!(w3.train.plans.iter().all(|p| p.db_id == 0));
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 4: Zero-Shot's mean qerror grows with the number of plan nodes —
+//! the motivation for sub-plan learning.
+
+use std::fmt::Write as _;
+
+use dace_baselines::{CostEstimator, ZeroShot};
+use dace_catalog::suite::IMDB_LIKE_DB;
+
+use crate::metrics::QErrorStats;
+use crate::models::eval_model;
+
+use super::{node_count_buckets, Ctx};
+
+pub(super) fn run(ctx: &Ctx) -> String {
+    let suite = ctx.suite_m1();
+    let train = suite.exclude_db(IMDB_LIKE_DB);
+    let test = suite.filter_db(IMDB_LIKE_DB);
+
+    let mut zs = ZeroShot::new(4);
+    zs.epochs = ctx.cfg.baseline_epochs;
+    zs.fit(&train);
+
+    let mut out = String::from(
+        "Fig. 4 — Zero-Shot qerror by plan node count (trained on 19 DBs, tested on IMDB-like)\n\n",
+    );
+    let _ = writeln!(out, "| Nodes | Plans | Mean qerror | Median |");
+    let _ = writeln!(out, "|-------|-------|-------------|--------|");
+    for (label, bucket) in node_count_buckets(&test) {
+        let stats: QErrorStats = eval_model(&zs, &bucket);
+        let _ = writeln!(
+            out,
+            "| {label:>5} | {:>5} | {:>11.2} | {:>6.2} |",
+            stats.count, stats.mean, stats.median
+        );
+    }
+    out.push_str("\nExpected shape: mean qerror increases with node count.\n");
+    out
+}

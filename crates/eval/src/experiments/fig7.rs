@@ -1,0 +1,85 @@
+//! Fig. 7: robustness under data drift — the TPCH-like database regenerated
+//! at growing scale factors. ADMs never saw the TPCH-like database; WDMs
+//! trained on it at scale 1× only.
+
+use std::fmt::Write as _;
+
+use dace_baselines::{CostEstimator, Mscn, PgLinear, QueryFormer, ZeroShot};
+use dace_catalog::suite::TPCH_LIKE_DB;
+use dace_catalog::{generate_database, suite_specs};
+use dace_core::FeatureConfig;
+use dace_engine::collect_dataset;
+use dace_plan::MachineId;
+use dace_query::ComplexWorkloadGen;
+
+use crate::models::{eval_dace, eval_model, train_dace};
+
+use super::Ctx;
+
+/// Scale multipliers standing in for the paper's 1 GB → 100 GB sweep.
+const DRIFT_SCALES: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+pub(super) fn run(ctx: &Ctx) -> String {
+    let cfg = &ctx.cfg;
+    let spec = &suite_specs()[TPCH_LIKE_DB as usize];
+
+    // ADMs: trained on the other 19 databases (workload 1).
+    let adm_train = ctx.suite_m1().exclude_db(TPCH_LIKE_DB);
+    let dace = train_dace(&adm_train, cfg.dace_epochs, 0.5, FeatureConfig::default());
+    let mut zs = ZeroShot::new(31);
+    zs.epochs = cfg.baseline_epochs;
+    zs.fit(&adm_train);
+
+    // WDMs: trained on TPCH-like at base scale.
+    let base_db = generate_database(spec, cfg.db_scale);
+    let train_q = ComplexWorkloadGen::default().generate(&base_db, cfg.queries_per_db * 2);
+    let wdm_train = collect_dataset(&base_db, &train_q, MachineId::M1);
+    let mut pg = PgLinear::new();
+    pg.fit(&wdm_train);
+    let mut mscn = Mscn::new(32);
+    mscn.epochs = cfg.baseline_epochs;
+    mscn.fit(&wdm_train);
+    let mut qf = QueryFormer::new(33);
+    qf.epochs = cfg.baseline_epochs;
+    qf.fit(&wdm_train);
+
+    let mut out = String::from(
+        "Fig. 7 — data drift: TPCH-like regenerated at growing scale, no retraining.\n\
+         WDMs trained at 1×; ADMs trained without the TPCH-like database.\n\n\
+         Median qerror (p95 in parentheses):\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "| Scale | PostgreSQL | MSCN | QueryFormer | Zero-Shot | DACE |"
+    );
+    let _ = writeln!(
+        out,
+        "|-------|------------|------|-------------|-----------|------|"
+    );
+    for &s in &DRIFT_SCALES {
+        let db = generate_database(spec, cfg.db_scale * s);
+        let gen = ComplexWorkloadGen {
+            seed: 0xD21F7 + s as u64,
+            ..Default::default()
+        };
+        let queries = gen.generate(&db, (cfg.queries_per_db / 2).max(30));
+        let test = collect_dataset(&db, &queries, MachineId::M1);
+        let cell = |st: crate::metrics::QErrorStats| format!("{:.2} ({:.1})", st.median, st.p95);
+        let _ = writeln!(
+            out,
+            "| {:>4}x | {:>10} | {:>4} | {:>11} | {:>9} | {:>4} |",
+            s,
+            cell(eval_model(&pg, &test)),
+            cell(eval_model(&mscn, &test)),
+            cell(eval_model(&qf, &test)),
+            cell(eval_model(&zs, &test)),
+            cell(eval_dace(&dace, &test)),
+        );
+    }
+    out.push_str(
+        "\nExpected shape: WDM error balloons with scale (falling behind PostgreSQL at the\n\
+         largest drift); DACE degrades least and stays best throughout (paper: ≤5%\n\
+         median / ≤29% p95 degradation for DACE vs 41%/66% for Zero-Shot).\n",
+    );
+    out
+}

@@ -1,0 +1,71 @@
+//! Fig. 9: cold start — MSCN vs DACE-MSCN by number of training queries.
+//! The DACE encoder lets MSCN beat the DBMS baseline from 100 queries on.
+
+use std::fmt::Write as _;
+
+use dace_baselines::{CostEstimator, Mscn, PgLinear};
+use dace_catalog::suite::IMDB_LIKE_DB;
+use dace_core::FeatureConfig;
+use dace_plan::Dataset;
+
+use crate::models::{eval_model, train_dace};
+
+use super::Ctx;
+
+pub(super) fn run(ctx: &Ctx) -> String {
+    let wl3 = ctx.wl3();
+    let adm_train = ctx.suite_m1().exclude_db(IMDB_LIKE_DB);
+    let dace = train_dace(&adm_train, ctx.cfg.dace_epochs, 0.5, FeatureConfig::default());
+
+    // PostgreSQL reference line (fit on the full training set — the DBMS is
+    // assumed calibrated).
+    let mut pg = PgLinear::new();
+    pg.fit(&wl3.train);
+    let pg_stats = eval_model(&pg, &wl3.job_light);
+
+    // Query-count sweep (the paper's 100 → 100,000, truncated to the
+    // collected training set).
+    let sweep: Vec<usize> = [100usize, 300, 1_000, 3_000, 10_000, 100_000]
+        .iter()
+        .copied()
+        .filter(|&n| n <= wl3.train.len())
+        .collect();
+    let sweep = if sweep.is_empty() {
+        vec![wl3.train.len()]
+    } else {
+        sweep
+    };
+
+    let mut out = String::from(
+        "Fig. 9 — JOB-light qerror by number of training queries (median, p95).\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "PostgreSQL reference: median {:.2}, p95 {:.2}\n",
+        pg_stats.median, pg_stats.p95
+    );
+    let _ = writeln!(out, "| #Queries | MSCN          | DACE-MSCN     |");
+    let _ = writeln!(out, "|----------|---------------|---------------|");
+    for &n in &sweep {
+        let train = Dataset::from_plans(wl3.train.plans[..n].to_vec());
+        let mut mscn = Mscn::new(51);
+        mscn.epochs = ctx.cfg.baseline_epochs;
+        mscn.fit(&train);
+        let m = eval_model(&mscn, &wl3.job_light);
+        let mut dm = Mscn::with_encoder(51, dace.clone());
+        dm.epochs = ctx.cfg.baseline_epochs;
+        dm.fit(&train);
+        let d = eval_model(&dm, &wl3.job_light);
+        let _ = writeln!(
+            out,
+            "| {n:>8} | {:>5.2} / {:>5.1} | {:>5.2} / {:>5.1} |",
+            m.median, m.p95, d.median, d.p95
+        );
+    }
+    out.push_str(
+        "\nExpected shape: plain MSCN needs thousands of queries to reach the PostgreSQL\n\
+         reference; DACE-MSCN beats it already at the smallest budget and dominates MSCN\n\
+         at every point (the cold-start fix).\n",
+    );
+    out
+}

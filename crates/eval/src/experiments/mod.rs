@@ -1,0 +1,174 @@
+//! One runner per table/figure of the paper's evaluation. See DESIGN.md §4
+//! for the experiment index and the expected result shapes.
+
+use std::cell::OnceCell;
+
+use dace_plan::{Dataset, MachineId};
+
+use crate::data::{collect_suite, workload3, EvalConfig, Workload3};
+
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod table1;
+mod table2;
+
+/// Shared, lazily-collected datasets for one harness invocation, so running
+/// `all` collects each expensive corpus exactly once.
+pub struct Ctx {
+    /// Scaling configuration.
+    pub cfg: EvalConfig,
+    suite_m1: OnceCell<Dataset>,
+    suite_m2: OnceCell<Dataset>,
+    wl3: OnceCell<Workload3>,
+}
+
+impl Ctx {
+    /// Fresh context.
+    pub fn new(cfg: EvalConfig) -> Ctx {
+        Ctx {
+            cfg,
+            suite_m1: OnceCell::new(),
+            suite_m2: OnceCell::new(),
+            wl3: OnceCell::new(),
+        }
+    }
+
+    /// Workload 1: the complex workload over all 20 databases on M1.
+    pub fn suite_m1(&self) -> &Dataset {
+        self.suite_m1
+            .get_or_init(|| collect_suite(&self.cfg, MachineId::M1))
+    }
+
+    /// Workload 2: the same query statements executed on M2.
+    pub fn suite_m2(&self) -> &Dataset {
+        self.suite_m2
+            .get_or_init(|| collect_suite(&self.cfg, MachineId::M2))
+    }
+
+    /// Workload 3: the MSCN benchmark on the IMDB-like database.
+    pub fn wl3(&self) -> &Workload3 {
+        self.wl3.get_or_init(|| workload3(&self.cfg))
+    }
+}
+
+/// All experiments in paper order: `(id, description, runner)`.
+pub type Runner = fn(&Ctx) -> String;
+
+/// Registry of every reproducible table and figure.
+pub const EXPERIMENTS: &[(&str, &str, Runner)] = &[
+    (
+        "fig4",
+        "Zero-Shot qerror grows with plan node count (motivation)",
+        fig4::run,
+    ),
+    (
+        "fig5",
+        "Per-database median qerror: DACE vs Zero-Shot vs DACE-LoRA",
+        fig5::run,
+    ),
+    (
+        "table1",
+        "Workload-3 qerror percentiles for all models",
+        table1::run,
+    ),
+    (
+        "fig6",
+        "MSCN/QueryFormer with and without the DACE encoder (JOB-light)",
+        fig6::run,
+    ),
+    (
+        "table2",
+        "Model size, training and inference efficiency",
+        table2::run,
+    ),
+    ("fig7", "Data drift on the TPCH-like database", fig7::run),
+    (
+        "fig8",
+        "Accuracy by number of training databases (DACE vs Zero-Shot)",
+        fig8::run,
+    ),
+    (
+        "fig9",
+        "MSCN vs DACE-MSCN by number of training queries",
+        fig9::run,
+    ),
+    (
+        "fig10",
+        "Ablation: tree attention and loss-adjuster variants",
+        fig10::run,
+    ),
+    (
+        "fig11",
+        "qerror by plan node count: DACE vs DACE w/o LA",
+        fig11::run,
+    ),
+    (
+        "fig12",
+        "DACE vs DACE-A (actual cardinalities) by training databases",
+        fig12::run,
+    ),
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<String> {
+    EXPERIMENTS
+        .iter()
+        .find(|(name, _, _)| *name == id)
+        .map(|(_, _, runner)| runner(ctx))
+}
+
+/// Bucket plans by node count; returns `(label, plans)` per bucket.
+pub(crate) fn node_count_buckets(ds: &Dataset) -> Vec<(String, Dataset)> {
+    let edges: [(usize, usize); 5] = [(1, 4), (5, 8), (9, 12), (13, 16), (17, usize::MAX)];
+    edges
+        .iter()
+        .map(|&(lo, hi)| {
+            let label = if hi == usize::MAX {
+                format!("{lo}+")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            let plans: Vec<_> = ds
+                .plans
+                .iter()
+                .filter(|p| {
+                    let n = p.tree.len();
+                    n >= lo && n <= hi
+                })
+                .cloned()
+                .collect();
+            (label, Dataset::from_plans(plans))
+        })
+        .filter(|(_, d)| !d.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
+        for expected in [
+            "fig4", "fig5", "table1", "fig6", "table2", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        let ctx = Ctx::new(EvalConfig::scaled(0.05));
+        assert!(run_experiment("fig99", &ctx).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Table II: model size, training throughput and inference throughput.
+//!
+//! Throughputs are measured on this machine, so absolute numbers differ from
+//! the paper's GPU setup; the *ordering* (DACE smallest and fastest by large
+//! factors, LoRA tuning faster than full training) is the reproduced shape.
+//! "PostgreSQL" inference is the substrate's plan-costing path (the analogue
+//! of the optimizer costing a plan).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dace_baselines::{CostEstimator, Mscn, PgLinear, QppNet, QueryFormer, TPool, ZeroShot};
+use dace_catalog::suite::IMDB_LIKE_DB;
+use dace_core::FeatureConfig;
+use dace_plan::Dataset;
+
+use crate::data::suite_db;
+use crate::models::{train_dace, Dace};
+
+use super::Ctx;
+
+/// Measure seconds of a closure.
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+pub(super) fn run(ctx: &Ctx) -> String {
+    let wl3 = ctx.wl3();
+    // Fixed-size slices so throughput numbers are comparable across scales.
+    let train_n = wl3.train.len().min(512);
+    let train: Dataset = Dataset::from_plans(wl3.train.plans[..train_n].to_vec());
+    let test = &wl3.synthetic;
+    let epochs = 4usize;
+
+    let mut out = String::from(
+        "Table II — efficiency analysis (measured on this machine, CPU only).\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "| {:<18} | {:>10} | {:>16} | {:>17} |",
+        "Model", "Size (MB)", "Train (q/s)", "Inference (q/s)"
+    );
+    let _ = writeln!(
+        out,
+        "|{}|{}|{}|{}|",
+        "-".repeat(20),
+        "-".repeat(12),
+        "-".repeat(18),
+        "-".repeat(19)
+    );
+
+    // PostgreSQL: inference = the optimizer costing path.
+    {
+        let db = suite_db(&ctx.cfg, IMDB_LIKE_DB);
+        let queries = dace_query::MscnWorkloadGen::default().gen_train(&db, 200);
+        let (_, secs) = time(|| {
+            for q in &queries {
+                let _ = dace_engine::plan_query(&db, q);
+            }
+        });
+        let _ = writeln!(
+            out,
+            "| {:<18} | {:>10} | {:>16} | {:>17.0} |",
+            "PostgreSQL",
+            "-",
+            "-",
+            queries.len() as f64 / secs
+        );
+    }
+
+    let report = |m: &mut dyn CostEstimator| {
+        let (_, train_secs) = time(|| m.fit(&train));
+        let train_qps = (train.len() * epochs) as f64 / train_secs;
+        let (_, inf_secs) = time(|| {
+            for p in &test.plans {
+                let _ = m.predict_ms(&p.tree);
+            }
+        });
+        let inf_qps = test.len() as f64 / inf_secs;
+        format!(
+            "| {:<18} | {:>10.3} | {:>16.0} | {:>17.0} |",
+            m.name(),
+            m.size_mb(),
+            train_qps,
+            inf_qps
+        )
+    };
+
+    let mut pg = PgLinear::new();
+    let mut mscn = Mscn::new(21);
+    mscn.epochs = epochs;
+    let mut qpp = QppNet::new(22);
+    qpp.epochs = epochs;
+    let mut tpool = TPool::new(23);
+    tpool.epochs = epochs;
+    let mut qf = QueryFormer::new(24);
+    qf.epochs = epochs;
+    let mut zs = ZeroShot::new(25);
+    zs.epochs = epochs;
+    pg.fit(&train); // PgLinear "training" is trivial; row above covers it.
+
+    for m in [
+        &mut mscn as &mut dyn CostEstimator,
+        &mut qpp,
+        &mut tpool,
+        &mut qf,
+        &mut zs,
+    ] {
+        let row = report(m);
+        let _ = writeln!(out, "{row}");
+    }
+
+    // DACE: full training throughput.
+    {
+        let mut dace = Dace::with_config(
+            dace_core::TrainConfig {
+                epochs,
+                ..Default::default()
+            },
+            "DACE",
+        );
+        let row = report(&mut dace);
+        let _ = writeln!(out, "{row}");
+
+        // DACE-LoRA: adapter-only tuning throughput + adapter size.
+        let mut est = dace.inner.unwrap();
+        let (_, tune_secs) = time(|| est.fine_tune_lora(&train, epochs, 2e-3));
+        let tune_qps = (train.len() * epochs) as f64 / tune_secs;
+        let (_, inf_secs) = time(|| {
+            for p in &test.plans {
+                let _ = est.predict_ms(&p.tree);
+            }
+        });
+        let lora_mb = (est.model.lora_param_count() * 4) as f64 / 1_048_576.0;
+        let _ = writeln!(
+            out,
+            "| {:<18} | {:>10.3} | {:>9.0} (tune) | {:>17.0} |",
+            "DACE-LoRA",
+            lora_mb,
+            tune_qps,
+            test.len() as f64 / inf_secs
+        );
+    }
+
+    // Knowledge-integrated variants (their cost ≈ base model + encoder).
+    {
+        let adm_train = Dataset::from_plans(
+            ctx.suite_m1()
+                .exclude_db(IMDB_LIKE_DB)
+                .plans
+                .into_iter()
+                .take(512)
+                .collect(),
+        );
+        let dace = train_dace(&adm_train, 4, 0.5, FeatureConfig::default());
+        let mut dace_mscn = Mscn::with_encoder(26, dace.clone());
+        dace_mscn.epochs = epochs;
+        let row = report(&mut dace_mscn);
+        let _ = writeln!(out, "{row}");
+        let mut dace_qf = QueryFormer::with_encoder(27, dace);
+        dace_qf.epochs = epochs;
+        let row = report(&mut dace_qf);
+        let _ = writeln!(out, "{row}");
+    }
+
+    out.push_str(
+        "\nExpected shape: DACE is 1–2 orders of magnitude smaller and faster to train than\n\
+         every learned baseline; DACE inference beats the DBMS costing path; LoRA tuning\n\
+         is faster than full DACE training; the knowledge-integrated variants cost only\n\
+         slightly more than their hosts.\n",
+    );
+    out
+}

@@ -1,0 +1,149 @@
+//! Adam optimizer with global-norm gradient clipping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::param::Param;
+
+/// Adam (Kingma & Ba) with bias-corrected moments.
+///
+/// Parameters marked `trainable = false` are skipped entirely — this is how
+/// the LoRA pre-train/fine-tune split reaches the optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Global gradient-norm clip (0 disables clipping).
+    pub clip_norm: f32,
+    /// Step counter.
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the usual defaults and the given learning rate.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 5.0,
+            t: 0,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one optimization step to `params` and clear their gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        // Global-norm clip over trainable gradients.
+        let scale = if self.clip_norm > 0.0 {
+            let total: f32 = params
+                .iter()
+                .filter(|p| p.trainable)
+                .map(|p| p.grad.norm_sq())
+                .sum();
+            let norm = total.sqrt();
+            if norm > self.clip_norm {
+                self.clip_norm / norm
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            if !p.trainable {
+                p.zero_grad();
+                continue;
+            }
+            let n = p.value.len();
+            let grad = p.grad.as_slice().to_vec();
+            let m = p.m.as_mut_slice();
+            let v = p.v.as_mut_slice();
+            let value = p.value.as_mut_slice();
+            for i in 0..n {
+                let g = grad[i] * scale;
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor2;
+
+    /// Adam should minimize a simple quadratic: f(w) = ||w - target||².
+    #[test]
+    fn converges_on_quadratic() {
+        let target = [3.0f32, -2.0, 0.5];
+        let mut p = Param::new(Tensor2::zeros(1, 3));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..800 {
+            for (i, &t) in target.iter().enumerate() {
+                let w = p.value.get(0, i);
+                p.grad.set(0, i, 2.0 * (w - t));
+            }
+            opt.step(&mut [&mut p]);
+        }
+        for (i, &t) in target.iter().enumerate() {
+            assert!(
+                (p.value.get(0, i) - t).abs() < 1e-2,
+                "w[{i}] = {}",
+                p.value.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut p = Param::new(Tensor2::zeros(1, 2));
+        p.trainable = false;
+        p.grad.set(0, 0, 100.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.get(0, 0), 0.0);
+        // Gradient is still cleared so stale grads never leak.
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_the_update() {
+        let mut p = Param::new(Tensor2::zeros(1, 1));
+        p.grad.set(0, 0, 1e6);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p]);
+        // First Adam step magnitude is ≈ lr regardless, but the clipped
+        // gradient keeps the moments sane; just check finiteness and scale.
+        assert!(p.value.get(0, 0).abs() <= 0.11);
+        assert!(p.value.get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut opt = Adam::new(0.1);
+        let mut p = Param::new(Tensor2::zeros(1, 1));
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut [&mut p]);
+        opt.step(&mut [&mut p]);
+        assert_eq!(opt.steps(), 2);
+    }
+}

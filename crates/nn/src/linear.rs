@@ -1,0 +1,356 @@
+//! Fully-connected layers, with and without LoRA adapters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::param::Param;
+use crate::tensor::Tensor2;
+
+/// `y = x @ W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight, `in × out`.
+    pub w: Param,
+    /// Bias, `1 × out`.
+    pub b: Param,
+    #[serde(skip)]
+    cache_x: Option<Tensor2>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(input: usize, output: usize, seed: u64) -> Linear {
+        Linear {
+            w: Param::xavier(input, output, seed),
+            b: Param::zeros(1, output),
+            cache_x: None,
+        }
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Backward pass: accumulates dW, db; returns dx.
+    pub fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward called before forward");
+        // dW = xᵀ @ dy
+        self.w.grad.add_assign(&x.matmul_tn(dy));
+        // db = column sums of dy
+        let sums = dy.col_sums();
+        for (i, s) in sums.iter().enumerate() {
+            let cur = self.b.grad.get(0, i);
+            self.b.grad.set(0, i, cur + s);
+        }
+        // dx = dy @ Wᵀ
+        dy.matmul_nt(&self.w.value)
+    }
+
+    /// Stateless backward: like [`Linear::backward`] but with the caller
+    /// supplying the cached input. Needed by recursive tree networks
+    /// (QPPNet, Zero-Shot) that call the same layer many times per tree and
+    /// therefore cannot rely on the single internal cache slot.
+    pub fn backward_from(&mut self, dy: &Tensor2, x: &Tensor2) -> Tensor2 {
+        self.w.grad.add_assign(&x.matmul_tn(dy));
+        let sums = dy.col_sums();
+        for (i, s) in sums.iter().enumerate() {
+            let cur = self.b.grad.get(0, i);
+            self.b.grad.set(0, i, cur + s);
+        }
+        dy.matmul_nt(&self.w.value)
+    }
+
+    /// Mutable references to the layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Total scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.count() + self.b.count()
+    }
+}
+
+/// Which parameter set trains in a [`LoraLinear`] (the paper's Eq. 8
+/// protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoraMode {
+    /// Pre-training: update `W`/bias, freeze the adapters.
+    Pretrain,
+    /// Fine-tuning: freeze `W`/bias, update only `ΔW = B·A`.
+    Finetune,
+}
+
+/// `y = x @ W + (x @ B) @ A + b` — a linear layer with a rank-`r` LoRA
+/// adapter (`B: in×r`, `A: r×out`, `r ≪ min(in, out)`).
+///
+/// `A` starts at zero so `ΔW = 0` at initialization: fine-tuning begins
+/// exactly at the pre-trained function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoraLinear {
+    /// Base weight, `in × out`.
+    pub w: Param,
+    /// Bias, `1 × out`.
+    pub b: Param,
+    /// LoRA down-projection, `in × r`.
+    pub lora_b: Param,
+    /// LoRA up-projection, `r × out`.
+    pub lora_a: Param,
+    /// Current training mode.
+    pub mode: LoraMode,
+    #[serde(skip)]
+    cache_x: Option<Tensor2>,
+    #[serde(skip)]
+    cache_xb: Option<Tensor2>,
+}
+
+impl LoraLinear {
+    /// Xavier base weight, Xavier `B`, zero `A`, pre-train mode.
+    ///
+    /// The rank only needs to be smaller than the larger dimension to save
+    /// parameters (the paper itself uses r₃ = 8 on its 64 → 1 output layer).
+    pub fn new(input: usize, output: usize, rank: usize, seed: u64) -> LoraLinear {
+        assert!(
+            rank >= 1 && rank < input.max(output),
+            "LoRA rank must be in 1..max(in,out)"
+        );
+        let mut l = LoraLinear {
+            w: Param::xavier(input, output, seed),
+            b: Param::zeros(1, output),
+            lora_b: Param::xavier(input, rank, seed ^ 0x10_0A),
+            lora_a: Param::zeros(rank, output),
+            mode: LoraMode::Pretrain,
+            cache_x: None,
+            cache_xb: None,
+        };
+        l.set_mode(LoraMode::Pretrain);
+        l
+    }
+
+    /// Switch pre-train / fine-tune mode, updating trainability flags.
+    pub fn set_mode(&mut self, mode: LoraMode) {
+        self.mode = mode;
+        let finetune = mode == LoraMode::Finetune;
+        self.w.trainable = !finetune;
+        self.b.trainable = !finetune;
+        self.lora_a.trainable = finetune;
+        self.lora_b.trainable = finetune;
+    }
+
+    /// Forward pass; caches activations for backward.
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.matmul(&self.w.value);
+        let xb = x.matmul(&self.lora_b.value);
+        y.add_assign(&xb.matmul(&self.lora_a.value));
+        y.add_row_broadcast(self.b.value.row(0));
+        self.cache_x = Some(x.clone());
+        self.cache_xb = Some(xb);
+        y
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.matmul(&self.w.value);
+        let xb = x.matmul(&self.lora_b.value);
+        y.add_assign(&xb.matmul(&self.lora_a.value));
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Backward pass: accumulates gradients only on the parameters the
+    /// current mode marks trainable (frozen weight gradients are skipped
+    /// entirely — this is what makes LoRA tuning cheaper than full
+    /// training, Sec. V-C) and returns dx.
+    pub fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward called before forward");
+        let xb = self.cache_xb.take().expect("missing LoRA cache");
+
+        if self.w.trainable {
+            self.w.grad.add_assign(&x.matmul_tn(dy));
+        }
+        if self.b.trainable {
+            let sums = dy.col_sums();
+            for (i, s) in sums.iter().enumerate() {
+                let cur = self.b.grad.get(0, i);
+                self.b.grad.set(0, i, cur + s);
+            }
+        }
+        // dA = (xB)ᵀ @ dy ; d(xB) = dy @ Aᵀ ; dB = xᵀ @ d(xB)
+        if self.lora_a.trainable {
+            self.lora_a.grad.add_assign(&xb.matmul_tn(dy));
+        }
+        let dxb = dy.matmul_nt(&self.lora_a.value);
+        if self.lora_b.trainable {
+            self.lora_b.grad.add_assign(&x.matmul_tn(&dxb));
+        }
+
+        // dx = dy @ Wᵀ + d(xB) @ Bᵀ
+        let mut dx = dy.matmul_nt(&self.w.value);
+        dx.add_assign(&dxb.matmul_nt(&self.lora_b.value));
+        dx
+    }
+
+    /// Mutable references to all parameters (frozen ones included; the
+    /// optimizer honours `trainable`).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.w,
+            &mut self.b,
+            &mut self.lora_b,
+            &mut self.lora_a,
+        ]
+    }
+
+    /// Base (non-LoRA) parameter count.
+    pub fn base_param_count(&self) -> usize {
+        self.w.count() + self.b.count()
+    }
+
+    /// Adapter-only parameter count (what fine-tuning trains).
+    pub fn lora_param_count(&self) -> usize {
+        self.lora_a.count() + self.lora_b.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference gradient check for Linear.
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut layer = Linear::new(3, 2, 7);
+        let x = Tensor2::uniform(4, 3, 1.0, 11);
+        // Loss = sum(y²)/2 so dy = y.
+        let y = layer.forward(&x);
+        let dx = layer.backward(&y);
+
+        let eps = 1e-3f32;
+        let loss = |layer: &Linear, x: &Tensor2| -> f32 {
+            let y = layer.forward_inference(x);
+            0.5 * y.norm_sq()
+        };
+        // Check dW numerically.
+        for idx in 0..layer.w.value.len() {
+            let orig = layer.w.value.as_slice()[idx];
+            layer.w.value.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.w.value.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.w.value.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = layer.w.grad.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dW[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check dx numerically.
+        let mut x2 = x.clone();
+        for idx in 0..x2.len() {
+            let orig = x2.as_slice()[idx];
+            x2.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&layer, &x2);
+            x2.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&layer, &x2);
+            x2.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dx[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn lora_starts_identical_to_base() {
+        let mut lora = LoraLinear::new(6, 4, 2, 3);
+        let x = Tensor2::uniform(5, 6, 1.0, 9);
+        let y = lora.forward(&x);
+        // A is zero ⇒ ΔW = 0 ⇒ output equals the base layer's.
+        let base = x.matmul(&lora.w.value);
+        for (a, b) in y.as_slice().iter().zip(base.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lora_gradients_match_finite_differences() {
+        let mut layer = LoraLinear::new(4, 3, 2, 5);
+        // Adapter gradients only accumulate in fine-tune mode.
+        layer.set_mode(LoraMode::Finetune);
+        // Give A nonzero values so its gradient path is exercised.
+        layer.lora_a.value = Tensor2::uniform(2, 3, 0.5, 21);
+        let x = Tensor2::uniform(3, 4, 1.0, 13);
+        let y = layer.forward(&x);
+        let _ = layer.backward(&y);
+
+        let eps = 1e-3f32;
+        let loss = |layer: &LoraLinear, x: &Tensor2| -> f32 {
+            0.5 * layer.forward_inference(x).norm_sq()
+        };
+        for (name, grad_idx) in [("lora_a", 0usize), ("lora_b", 1)] {
+            let n = if grad_idx == 0 {
+                layer.lora_a.value.len()
+            } else {
+                layer.lora_b.value.len()
+            };
+            for idx in 0..n {
+                let (orig, ana) = if grad_idx == 0 {
+                    (layer.lora_a.value.as_slice()[idx], layer.lora_a.grad.as_slice()[idx])
+                } else {
+                    (layer.lora_b.value.as_slice()[idx], layer.lora_b.grad.as_slice()[idx])
+                };
+                let set = |layer: &mut LoraLinear, v: f32| {
+                    if grad_idx == 0 {
+                        layer.lora_a.value.as_mut_slice()[idx] = v;
+                    } else {
+                        layer.lora_b.value.as_mut_slice()[idx] = v;
+                    }
+                };
+                set(&mut layer, orig + eps);
+                let lp = loss(&layer, &x);
+                set(&mut layer, orig - eps);
+                let lm = loss(&layer, &x);
+                set(&mut layer, orig);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                    "{name}[{idx}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_switch_flips_trainability() {
+        let mut layer = LoraLinear::new(8, 4, 2, 1);
+        assert!(layer.w.trainable && !layer.lora_a.trainable);
+        layer.set_mode(LoraMode::Finetune);
+        assert!(!layer.w.trainable && layer.lora_a.trainable && layer.lora_b.trainable);
+    }
+
+    #[test]
+    fn lora_param_count_is_much_smaller() {
+        let layer = LoraLinear::new(128, 128, 32, 2);
+        assert!(layer.lora_param_count() < layer.base_param_count());
+        assert_eq!(layer.lora_param_count(), 128 * 32 + 32 * 128);
+    }
+}

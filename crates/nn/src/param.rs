@@ -1,0 +1,82 @@
+//! Trainable parameters: value + gradient + Adam state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor2;
+
+/// One trainable parameter tensor with its accumulated gradient and Adam
+/// moment estimates.
+///
+/// `trainable` implements the paper's two-phase LoRA protocol (Eq. 8):
+/// pre-training updates the base weights and freezes the adapters;
+/// fine-tuning flips both flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter values.
+    pub value: Tensor2,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor2,
+    /// Adam first-moment estimate.
+    pub m: Tensor2,
+    /// Adam second-moment estimate.
+    pub v: Tensor2,
+    /// Whether the optimizer may update this parameter.
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Parameter from an initial value, trainable, zeroed state.
+    pub fn new(value: Tensor2) -> Param {
+        let (r, c) = (value.rows(), value.cols());
+        Param {
+            value,
+            grad: Tensor2::zeros(r, c),
+            m: Tensor2::zeros(r, c),
+            v: Tensor2::zeros(r, c),
+            trainable: true,
+        }
+    }
+
+    /// Zero-initialized parameter.
+    pub fn zeros(rows: usize, cols: usize) -> Param {
+        Param::new(Tensor2::zeros(rows, cols))
+    }
+
+    /// Seeded Xavier-uniform parameter for a `fan_in × fan_out` weight.
+    pub fn xavier(fan_in: usize, fan_out: usize, seed: u64) -> Param {
+        let bound = crate::xavier_bound(fan_in, fan_out);
+        Param::new(Tensor2::uniform(fan_in, fan_out, bound, seed))
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_shrinks_with_fanin() {
+        let small = Param::xavier(4, 4, 0);
+        let large = Param::xavier(400, 400, 0);
+        let max_small = small.value.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let max_large = large.value.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        assert!(max_small > max_large);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,99 @@
+//! ReLU activation with cached mask.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor2;
+
+/// Elementwise `max(0, x)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New activation.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+
+    /// Forward pass; caches the activation mask.
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.clone();
+        let mask: Vec<bool> = y
+            .as_mut_slice()
+            .iter_mut()
+            .map(|v| {
+                if *v > 0.0 {
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect();
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    /// Stateless backward from the *output* `y` (the mask is recoverable
+    /// because `y > 0 ⇔ x > 0`). Companion to [`crate::Linear::backward_from`]
+    /// for recursive tree networks.
+    pub fn backward_from(dy: &Tensor2, y: &Tensor2) -> Tensor2 {
+        let mut dx = dy.clone();
+        for (v, &out) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            if out <= 0.0 {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    /// Backward pass: zero gradient where the input was non-positive.
+    pub fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
+        let mask = self.mask.take().expect("backward before forward");
+        let mut dx = dy.clone();
+        for (v, &alive) in dx.as_mut_slice().iter_mut().zip(&mask) {
+            if !alive {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_gate_together() {
+        let mut relu = Relu::new();
+        let x = Tensor2::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Tensor2::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let dx = relu.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut relu = Relu::new();
+        let x = Tensor2::uniform(3, 3, 2.0, 5);
+        let a = relu.forward(&x);
+        let b = relu.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Robust scaling of scalar features (median / IQR), as Zero-Shot and the
+//! paper's encoder apply to DBMS-estimated cost and cardinality.
+
+use serde::{Deserialize, Serialize};
+
+/// `scaled = (x − median) / IQR`, robust to the heavy right tails of cost
+/// and cardinality distributions. Fit once on training data, then reused
+/// verbatim on any test database — the scaler is part of the pre-trained
+/// model, not of the target database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustScaler {
+    /// Fitted median.
+    pub median: f64,
+    /// Fitted interquartile range (≥ a small floor to avoid division blowup).
+    pub iqr: f64,
+}
+
+impl RobustScaler {
+    /// Fit on raw values.
+    pub fn fit(values: &[f64]) -> RobustScaler {
+        if values.is_empty() {
+            return RobustScaler {
+                median: 0.0,
+                iqr: 1.0,
+            };
+        }
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        v.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let idx = (p * (v.len() - 1) as f64).round() as usize;
+            v[idx.min(v.len() - 1)]
+        };
+        let median = q(0.5);
+        let iqr = (q(0.75) - q(0.25)).max(1e-6);
+        RobustScaler { median, iqr }
+    }
+
+    /// Scale one value.
+    #[inline]
+    pub fn transform(&self, x: f64) -> f64 {
+        (x - self.median) / self.iqr
+    }
+
+    /// Inverse of [`RobustScaler::transform`].
+    #[inline]
+    pub fn inverse(&self, y: f64) -> f64 {
+        y * self.iqr + self.median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_centers_the_median() {
+        let values: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = RobustScaler::fit(&values);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.transform(50.0), 0.0);
+        assert!((s.transform(75.0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![1.0, 5.0, 2.0, 100.0, 3.0];
+        let s = RobustScaler::fit(&values);
+        for x in [0.0, 7.5, -3.0, 1e6] {
+            assert!((s.inverse(s.transform(x)) - x).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn constant_input_does_not_divide_by_zero() {
+        let s = RobustScaler::fit(&[4.0; 10]);
+        assert!(s.transform(4.0).is_finite());
+        assert_eq!(s.transform(4.0), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_identityish() {
+        let s = RobustScaler::fit(&[]);
+        assert_eq!(s.transform(3.0), 3.0);
+    }
+
+    #[test]
+    fn outliers_barely_move_the_scale() {
+        let mut values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let plain = RobustScaler::fit(&values);
+        values.push(1e12);
+        let with_outlier = RobustScaler::fit(&values);
+        assert!((plain.iqr - with_outlier.iqr).abs() / plain.iqr < 0.1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Row-major 2-D `f32` tensors and the linear-algebra kernels the modules
+//! need. Deliberately minimal: sizes are small (dozens of rows × ≤128
+//! columns), so clarity beats blocking/SIMD tricks; the inner matmul loop is
+//! still written i-k-j so the compiler can vectorize it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Zero-filled `rows × cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor2 {
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Tensor from existing data (`data.len() == rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor2 {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Uniform random tensor in `[-bound, bound]`, seeded.
+    pub fn uniform(rows: usize, cols: usize, bound: f32, seed: u64) -> Tensor2 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self @ other` (`(m×k) @ (k×n) → m×n`).
+    pub fn matmul(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor2::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` (`(k×m)ᵀ @ (k×n) → m×n`) without materializing the
+    /// transpose.
+    pub fn matmul_tn(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor2::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (`(m×k) @ (n×k)ᵀ → m×n`) without materializing the
+    /// transpose.
+    pub fn matmul_nt(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor2::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor2) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Add a row vector (`1 × cols`) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column sums (`1 × cols`), e.g. the bias gradient.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Row-wise softmax in place. Numerically stable (max-subtracted).
+    pub fn softmax_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Set all elements to zero (e.g. to clear gradients).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor2 {
+        Tensor2::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = Tensor2::uniform(4, 3, 1.0, 1);
+        let b = Tensor2::uniform(4, 5, 1.0, 2);
+        let via_tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in via_tn.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let c = Tensor2::uniform(5, 3, 1.0, 3);
+        let via_nt = a.matmul_nt(&c);
+        let explicit2 = a.matmul(&c.transpose());
+        for (x, y) in via_nt.as_slice().iter().zip(explicit2.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut x = t(2, 3, &[1.0, 2.0, 3.0, -1e9, 0.0, -1e9]);
+        x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = x.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Masked positions get ~0 probability, the unmasked one ~1.
+        assert!(x.get(1, 1) > 0.999);
+        assert!(x.get(1, 0) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_extreme_values_are_stable() {
+        let mut x = t(1, 3, &[1e9, 1e9, -1e9]);
+        x.softmax_rows();
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        assert!((x.get(0, 0) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn broadcast_and_col_sums() {
+        let mut x = Tensor2::zeros(3, 2);
+        x.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(x.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn uniform_is_seeded_and_bounded() {
+        let a = Tensor2::uniform(10, 10, 0.5, 42);
+        let b = Tensor2::uniform(10, 10, 0.5, 42);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 0.5));
+        let c = Tensor2::uniform(10, 10, 0.5, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,162 @@
+//! Labeled plans and datasets — the unit of training data for every model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::PlanTree;
+
+/// The machine a plan's labels were collected on.
+///
+/// The paper's "across-more" scenario (Drift V, Sec. II) executes the same
+/// workloads on two differently-configured machines; the engine crate defines
+/// a latency profile for each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineId {
+    /// Paper machine M1 (Xeon E5-2650 class).
+    M1,
+    /// Paper machine M2 (Core i5-8500 class).
+    M2,
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineId::M1 => f.write_str("M1"),
+            MachineId::M2 => f.write_str("M2"),
+        }
+    }
+}
+
+/// A plan whose nodes carry actual execution labels, plus its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPlan {
+    /// The plan tree with `est_*` and `actual_*` fields populated.
+    pub tree: PlanTree,
+    /// Which synthetic database the query ran against.
+    pub db_id: u16,
+    /// Which machine profile produced the latency labels.
+    pub machine: MachineId,
+}
+
+impl LabeledPlan {
+    /// Root latency label in milliseconds.
+    #[inline]
+    pub fn latency_ms(&self) -> f64 {
+        self.tree.actual_ms()
+    }
+}
+
+/// A collection of labeled plans, the common currency of training and
+/// evaluation across all estimators.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The labeled plans.
+    pub plans: Vec<LabeledPlan>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Dataset { plans: Vec::new() }
+    }
+
+    /// Dataset from plans.
+    pub fn from_plans(plans: Vec<LabeledPlan>) -> Self {
+        Dataset { plans }
+    }
+
+    /// Number of plans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True iff no plans.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Append another dataset.
+    pub fn extend(&mut self, other: Dataset) {
+        self.plans.extend(other.plans);
+    }
+
+    /// Plans filtered to one database.
+    pub fn filter_db(&self, db_id: u16) -> Dataset {
+        Dataset {
+            plans: self
+                .plans
+                .iter()
+                .filter(|p| p.db_id == db_id)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Plans from every database *except* `db_id` (the leave-one-out split
+    /// of the paper's across-database protocol).
+    pub fn exclude_db(&self, db_id: u16) -> Dataset {
+        Dataset {
+            plans: self
+                .plans
+                .iter()
+                .filter(|p| p.db_id != db_id)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Deterministic split into (train, test) by taking every k-th plan into
+    /// the test set, with `test_fraction` in (0, 1).
+    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let stride = (1.0 / test_fraction).round().max(2.0) as usize;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, p) in self.plans.iter().enumerate() {
+            if i % stride == stride - 1 {
+                test.push(p.clone());
+            } else {
+                train.push(p.clone());
+            }
+        }
+        (Dataset::from_plans(train), Dataset::from_plans(test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_type::NodeType;
+    use crate::OpPayload;
+
+    fn plan(db: u16) -> LabeledPlan {
+        LabeledPlan {
+            tree: PlanTree::singleton(NodeType::SeqScan, OpPayload::Other),
+            db_id: db,
+            machine: MachineId::M1,
+        }
+    }
+
+    #[test]
+    fn leave_one_out_split() {
+        let ds = Dataset::from_plans(vec![plan(0), plan(1), plan(1), plan(2)]);
+        assert_eq!(ds.filter_db(1).len(), 2);
+        assert_eq!(ds.exclude_db(1).len(), 2);
+        assert_eq!(ds.exclude_db(7).len(), 4);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let ds = Dataset::from_plans((0..100).map(|i| plan(i as u16)).collect());
+        let (train, test) = ds.split(0.2);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+        let (train2, test2) = ds.split(0.2);
+        assert_eq!(train.len(), train2.len());
+        assert_eq!(test.plans[0].db_id, test2.plans[0].db_id);
+    }
+}

@@ -1,0 +1,175 @@
+//! The 16 physical operator types the paper's encoder one-hot encodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct [`NodeType`] variants; the one-hot width of the node
+/// encoding (the paper, Sec. V-A: "we consider 16 node types").
+pub const NODE_TYPE_COUNT: usize = 16;
+
+/// Physical operator type of a plan node.
+///
+/// The set mirrors the operators PostgreSQL emits for the SPJA workloads the
+/// paper evaluates (scans, joins, sorts, aggregates and the auxiliary nodes
+/// that accompany them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum NodeType {
+    /// Full sequential scan of a base table.
+    SeqScan = 0,
+    /// B-tree index scan returning heap tuples in index order.
+    IndexScan = 1,
+    /// Index-only scan (no heap fetches).
+    IndexOnlyScan = 2,
+    /// Bitmap index scan producing a TID bitmap.
+    BitmapIndexScan = 3,
+    /// Heap scan driven by a TID bitmap.
+    BitmapHeapScan = 4,
+    /// Nested-loop join.
+    NestedLoop = 5,
+    /// Hash join (probe side is the outer child).
+    HashJoin = 6,
+    /// Merge join over sorted inputs.
+    MergeJoin = 7,
+    /// Hash-table build feeding a [`NodeType::HashJoin`].
+    Hash = 8,
+    /// Full sort of the input.
+    Sort = 9,
+    /// Materialization of an intermediate result.
+    Materialize = 10,
+    /// Hash-based grouped aggregation.
+    HashAggregate = 11,
+    /// Sort-based (grouped or plain) aggregation.
+    GroupAggregate = 12,
+    /// Parallel gather of worker streams.
+    Gather = 13,
+    /// LIMIT node.
+    Limit = 14,
+    /// Trivial result / projection node.
+    Result = 15,
+}
+
+/// Coarse operator class, used by the substrate's cost and latency models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Leaf operators reading a base table.
+    Scan,
+    /// Binary operators combining two inputs.
+    Join,
+    /// Unary operators transforming a single input.
+    Unary,
+}
+
+impl NodeType {
+    /// All variants in one-hot index order.
+    pub const ALL: [NodeType; NODE_TYPE_COUNT] = [
+        NodeType::SeqScan,
+        NodeType::IndexScan,
+        NodeType::IndexOnlyScan,
+        NodeType::BitmapIndexScan,
+        NodeType::BitmapHeapScan,
+        NodeType::NestedLoop,
+        NodeType::HashJoin,
+        NodeType::MergeJoin,
+        NodeType::Hash,
+        NodeType::Sort,
+        NodeType::Materialize,
+        NodeType::HashAggregate,
+        NodeType::GroupAggregate,
+        NodeType::Gather,
+        NodeType::Limit,
+        NodeType::Result,
+    ];
+
+    /// Index of this type in the one-hot encoding (stable across runs).
+    #[inline]
+    pub fn one_hot_index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`NodeType::one_hot_index`]; `None` if out of range.
+    pub fn from_index(idx: usize) -> Option<NodeType> {
+        NodeType::ALL.get(idx).copied()
+    }
+
+    /// Coarse operator class.
+    pub fn kind(self) -> NodeKind {
+        use NodeType::*;
+        match self {
+            SeqScan | IndexScan | IndexOnlyScan | BitmapIndexScan | BitmapHeapScan => {
+                NodeKind::Scan
+            }
+            NestedLoop | HashJoin | MergeJoin => NodeKind::Join,
+            Hash | Sort | Materialize | HashAggregate | GroupAggregate | Gather | Limit
+            | Result => NodeKind::Unary,
+        }
+    }
+
+    /// `EXPLAIN`-style display name.
+    pub fn display_name(self) -> &'static str {
+        use NodeType::*;
+        match self {
+            SeqScan => "Seq Scan",
+            IndexScan => "Index Scan",
+            IndexOnlyScan => "Index Only Scan",
+            BitmapIndexScan => "Bitmap Index Scan",
+            BitmapHeapScan => "Bitmap Heap Scan",
+            NestedLoop => "Nested Loop",
+            HashJoin => "Hash Join",
+            MergeJoin => "Merge Join",
+            Hash => "Hash",
+            Sort => "Sort",
+            Materialize => "Materialize",
+            HashAggregate => "HashAggregate",
+            GroupAggregate => "GroupAggregate",
+            Gather => "Gather",
+            Limit => "Limit",
+            Result => "Result",
+        }
+    }
+}
+
+impl std::fmt::Display for NodeType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_indices_are_dense_and_stable() {
+        for (i, ty) in NodeType::ALL.iter().enumerate() {
+            assert_eq!(ty.one_hot_index(), i);
+            assert_eq!(NodeType::from_index(i), Some(*ty));
+        }
+        assert_eq!(NodeType::ALL.len(), NODE_TYPE_COUNT);
+        assert_eq!(NodeType::from_index(NODE_TYPE_COUNT), None);
+    }
+
+    #[test]
+    fn kinds_partition_sensibly() {
+        assert_eq!(NodeType::SeqScan.kind(), NodeKind::Scan);
+        assert_eq!(NodeType::HashJoin.kind(), NodeKind::Join);
+        assert_eq!(NodeType::Sort.kind(), NodeKind::Unary);
+        let scans = NodeType::ALL
+            .iter()
+            .filter(|t| t.kind() == NodeKind::Scan)
+            .count();
+        let joins = NodeType::ALL
+            .iter()
+            .filter(|t| t.kind() == NodeKind::Join)
+            .count();
+        assert_eq!(scans, 5);
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<_> = NodeType::ALL.iter().map(|t| t.display_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NODE_TYPE_COUNT);
+    }
+}

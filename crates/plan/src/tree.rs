@@ -1,0 +1,393 @@
+//! Arena-backed plan trees and the structural artifacts of Sec. IV-B:
+//! DFS order, ancestor (partial-order) matrix and node heights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{OpPayload, PlanNode};
+use crate::node_type::NodeType;
+
+/// Index of a node within its [`PlanTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A physical query plan tree.
+///
+/// Nodes live in an arena; `root` is the tree's root node. Trees produced by
+/// [`TreeBuilder`] (and by the planner in `dace-engine`) store nodes in DFS
+/// preorder, but no method here relies on that: all structural accessors
+/// traverse explicitly from `root`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanTree {
+    nodes: Vec<PlanNode>,
+    root: NodeId,
+}
+
+/// Builder for [`PlanTree`] values; children must be built before their
+/// parent (bottom-up), mirroring how a planner assembles plans.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<PlanNode>,
+}
+
+impl TreeBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new() }
+    }
+
+    /// Add a leaf node; returns its id.
+    pub fn leaf(&mut self, node: PlanNode) -> NodeId {
+        assert!(node.children.is_empty(), "leaf must have no children");
+        self.push(node)
+    }
+
+    /// Add an internal node over existing children; returns its id.
+    pub fn internal(&mut self, mut node: PlanNode, children: Vec<NodeId>) -> NodeId {
+        for &c in &children {
+            assert!(c.index() < self.nodes.len(), "child {c:?} not built yet");
+        }
+        node.children = children;
+        self.push(node)
+    }
+
+    fn push(&mut self, node: PlanNode) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("plan too large"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Mutable access to an already-built node (e.g. to fill in estimates).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PlanNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Read access to an already-built node.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Finish the tree with `root` as the root node.
+    ///
+    /// # Panics
+    /// Panics if any built node other than the root's descendants would be
+    /// orphaned — every node must be reachable from `root`, and no node may
+    /// have two parents.
+    pub fn finish(self, root: NodeId) -> PlanTree {
+        let tree = PlanTree {
+            nodes: self.nodes,
+            root,
+        };
+        tree.validate();
+        tree
+    }
+}
+
+impl PlanTree {
+    /// Construct a single-node tree (useful in tests).
+    pub fn singleton(node_type: NodeType, payload: OpPayload) -> PlanTree {
+        let mut b = TreeBuilder::new();
+        let id = b.leaf(PlanNode::new(node_type, payload));
+        b.finish(id)
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree has no nodes (never true for valid trees).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (used when attaching execution labels).
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PlanNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All node ids in arena order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// DFS preorder sequence of node ids (parent before children, children
+    /// in plan order). This is the node sequence fed to the transformer.
+    pub fn dfs(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            // Push children in reverse so they pop in plan order.
+            for &c in self.node(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Heights of all nodes *in DFS order*: the length of the (unique) path
+    /// from the node to the root, so `heights()[0] == 0` for the root.
+    ///
+    /// The paper defines a node's height as "the length of the shortest path
+    /// from the node to its root node" (Sec. IV-B(3)); in a tree that path is
+    /// unique, so this is the node's depth.
+    pub fn heights(&self) -> Vec<u32> {
+        let mut heights = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, 0u32)];
+        while let Some((id, h)) = stack.pop() {
+            heights.push(h);
+            for &c in self.node(id).children.iter().rev() {
+                stack.push((c, h + 1));
+            }
+        }
+        heights
+    }
+
+    /// The ancestor (reflexive–transitive partial-order) matrix `A(p)` of
+    /// Eq. 3, flattened row-major over the DFS order: entry `i * n + j` is
+    /// `true` iff DFS-node `i` is an ancestor of — or equal to — DFS-node `j`.
+    ///
+    /// Used directly as the transformer attention mask: query node `i`
+    /// attends to key node `j` iff `A[i][j]`, i.e. every node sees exactly
+    /// itself and its descendants, "the same logic as the actual execution of
+    /// the query plan" (Sec. IV-C).
+    pub fn ancestor_matrix(&self) -> Vec<bool> {
+        let order = self.dfs();
+        let n = order.len();
+        // In DFS preorder, the descendants of the node at position i occupy
+        // the contiguous range [i, i + subtree_size(i)). Compute subtree
+        // sizes over the DFS order with a post-order pass.
+        let sizes = self.dfs_subtree_sizes(&order);
+        let mut m = vec![false; n * n];
+        for i in 0..n {
+            for j in i..i + sizes[i] {
+                m[i * n + j] = true;
+            }
+        }
+        m
+    }
+
+    /// Subtree size of each DFS position (`order` must be `self.dfs()`).
+    fn dfs_subtree_sizes(&self, order: &[NodeId]) -> Vec<usize> {
+        let n = order.len();
+        let mut pos = vec![0usize; self.nodes.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        let mut sizes = vec![1usize; n];
+        // Children appear after parents in preorder; iterate in reverse so
+        // every child's size is final before its parent accumulates it.
+        for i in (0..n).rev() {
+            let id = order[i];
+            for &c in &self.node(id).children {
+                sizes[i] += sizes[pos[c.index()]];
+            }
+        }
+        sizes
+    }
+
+    /// Parent of each node (`None` for the root), indexed by arena id.
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut parents = vec![None; self.nodes.len()];
+        for id in self.ids() {
+            for &c in &self.node(id).children {
+                parents[c.index()] = Some(id);
+            }
+        }
+        parents
+    }
+
+    /// Extract the sub-plan rooted at `id` as an independent tree.
+    pub fn sub_plan(&self, id: NodeId) -> PlanTree {
+        let mut builder = TreeBuilder::new();
+        let root = self.copy_into(&mut builder, id);
+        builder.finish(root)
+    }
+
+    fn copy_into(&self, builder: &mut TreeBuilder, id: NodeId) -> NodeId {
+        let src = self.node(id);
+        let children: Vec<NodeId> = src
+            .children
+            .iter()
+            .map(|&c| self.copy_into(builder, c))
+            .collect();
+        let mut node = src.clone();
+        node.children.clear();
+        builder.internal(node, children)
+    }
+
+    /// Root-level estimated cost (what `EXPLAIN` prints as total cost).
+    #[inline]
+    pub fn est_cost(&self) -> f64 {
+        self.node(self.root).est_cost
+    }
+
+    /// Root-level actual latency in milliseconds.
+    #[inline]
+    pub fn actual_ms(&self) -> f64 {
+        self.node(self.root).actual_ms
+    }
+
+    /// Ids of all scan (leaf table-access) nodes.
+    pub fn scan_nodes(&self) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&id| self.node(id).payload.as_scan().is_some())
+            .collect()
+    }
+
+    /// Verify tree shape: every node reachable from the root exactly once.
+    fn validate(&self) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            assert!(
+                !seen[id.index()],
+                "node {id:?} reachable twice — not a tree"
+            );
+            seen[id.index()] = true;
+            count += 1;
+            stack.extend(self.node(id).children.iter().copied());
+        }
+        assert_eq!(
+            count,
+            self.nodes.len(),
+            "unreachable nodes in plan arena ({} reached of {})",
+            count,
+            self.nodes.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::OpPayload;
+
+    /// Build the 5-node plan of the paper's Fig. 3:
+    /// Aggregate -> Sort -> HashJoin -> {SeqScan a, SeqScan b}.
+    pub(crate) fn fig3_tree() -> PlanTree {
+        let mut b = TreeBuilder::new();
+        let a = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
+        let b2 = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
+        let j = b.internal(PlanNode::new(NodeType::HashJoin, OpPayload::Other), vec![a, b2]);
+        let s = b.internal(PlanNode::new(NodeType::Sort, OpPayload::Other), vec![j]);
+        let g = b.internal(
+            PlanNode::new(NodeType::GroupAggregate, OpPayload::Other),
+            vec![s],
+        );
+        b.finish(g)
+    }
+
+    #[test]
+    fn dfs_is_preorder() {
+        let t = fig3_tree();
+        let order = t.dfs();
+        let types: Vec<NodeType> = order.iter().map(|&id| t.node(id).node_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                NodeType::GroupAggregate,
+                NodeType::Sort,
+                NodeType::HashJoin,
+                NodeType::SeqScan,
+                NodeType::SeqScan,
+            ]
+        );
+    }
+
+    #[test]
+    fn heights_match_fig3() {
+        let t = fig3_tree();
+        assert_eq!(t.heights(), vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn ancestor_matrix_matches_fig3() {
+        let t = fig3_tree();
+        let n = t.len();
+        let m = t.ancestor_matrix();
+        let at = |i: usize, j: usize| m[i * n + j];
+        // Root (agg) is an ancestor of everything.
+        for j in 0..n {
+            assert!(at(0, j));
+        }
+        // Scans see only themselves.
+        assert!(at(3, 3) && !at(3, 4) && !at(3, 2) && !at(3, 0));
+        assert!(at(4, 4) && !at(4, 3));
+        // Join sees itself and both scans, not sort/agg.
+        assert!(at(2, 2) && at(2, 3) && at(2, 4) && !at(2, 1) && !at(2, 0));
+    }
+
+    #[test]
+    fn ancestor_matrix_is_reflexive_antisymmetric_transitive() {
+        let t = fig3_tree();
+        let n = t.len();
+        let m = t.ancestor_matrix();
+        let at = |i: usize, j: usize| m[i * n + j];
+        for i in 0..n {
+            assert!(at(i, i), "reflexivity");
+            for j in 0..n {
+                if i != j {
+                    assert!(!(at(i, j) && at(j, i)), "antisymmetry");
+                }
+                for k in 0..n {
+                    if at(i, j) && at(j, k) {
+                        assert!(at(i, k), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_plan_extraction_preserves_shape() {
+        let t = fig3_tree();
+        let order = t.dfs();
+        let join_id = order[2];
+        let sub = t.sub_plan(join_id);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.node(sub.root()).node_type, NodeType::HashJoin);
+        assert_eq!(sub.heights(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable nodes")]
+    fn builder_rejects_orphans() {
+        let mut b = TreeBuilder::new();
+        let _orphan = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
+        let root = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
+        let _ = b.finish(root);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = PlanTree::singleton(NodeType::SeqScan, OpPayload::Other);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.heights(), vec![0]);
+        assert_eq!(t.ancestor_matrix(), vec![true]);
+    }
+}

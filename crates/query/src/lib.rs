@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Logical SPJA queries and the paper's workload generators.
+//!
+//! Queries are select–project–join–aggregate shapes over one synthetic
+//! database: a connected set of tables joined along foreign-key edges,
+//! filter predicates with literals drawn from the actual data, optional
+//! grouped aggregation and LIMIT. [`render_sql`] prints them as SQL for
+//! examples and debugging.
+//!
+//! Two generator families mirror the paper's workloads (Sec. V-A):
+//!
+//! * [`ComplexWorkloadGen`] — the Zero-Shot-style "complex" workload used
+//!   for workloads 1 and 2: arbitrary FK-subgraph joins (up to 6 tables),
+//!   0–4 predicates, optional aggregation.
+//! * [`MscnWorkloadGen`] — the MSCN benchmark on the IMDB-like database
+//!   used for workload 3: a 100k-query training distribution plus the
+//!   `synthetic`, `scale` and `job-light` test sets with their characteristic
+//!   template drifts.
+
+mod parser;
+mod query;
+mod sqlgen;
+mod workload;
+
+pub use parser::{parse_sql, ParseError};
+pub use query::{Aggregate, JoinEdge, Predicate, Query};
+pub use sqlgen::render_sql;
+pub use workload::{ComplexWorkloadGen, MscnSet, MscnWorkloadGen};

@@ -1,0 +1,523 @@
+//! A small SQL parser for the SPJA subset this workspace generates.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT (* | select_item ("," select_item)*)
+//! FROM table ("," table)*
+//! [WHERE condition ("AND" condition)*]
+//! [GROUP BY column]
+//! [LIMIT n] ";"?
+//!
+//! select_item := COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col) | col
+//! condition   := col "=" col                 -- join (both sides columns)
+//!              | col op literal              -- filter (op ∈ =, <, >, <=, >=)
+//!              | col BETWEEN lit AND lit
+//!              | col IN "(" lit ("," lit)* ")"
+//! col         := table "." column
+//! ```
+//!
+//! [`parse_sql`] resolves names against a [`Schema`] and returns the same
+//! [`Query`] value the generators produce, so
+//! `parse_sql(render_sql(q)) == q` — a property the test suite exercises.
+
+use dace_catalog::{ColumnId, Schema, TableId};
+use dace_plan::CmpOp;
+
+use crate::query::{Aggregate, JoinEdge, Predicate, Query};
+
+/// A parse or name-resolution error with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a SQL string of the supported subset against `schema`.
+pub fn parse_sql(sql: &str, schema: &Schema, db_id: u16) -> Result<Query, ParseError> {
+    Parser::new(sql, schema, db_id).parse()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semi,
+    Op(String),
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    schema: &'a Schema,
+    db_id: u16,
+}
+
+impl<'a> Parser<'a> {
+    fn new(sql: &str, schema: &'a Schema, db_id: u16) -> Parser<'a> {
+        Parser {
+            toks: tokenize(sql),
+            pos: 0,
+            schema,
+            db_id,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let offset = self
+            .toks
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX);
+        Err(ParseError {
+            message: message.into(),
+            offset,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next_tok(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn parse(mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        // Select list: defer name resolution of aggregates until tables are
+        // known, so remember raw items.
+        let mut raw_aggs: Vec<(String, Option<(String, String)>)> = Vec::new();
+        let mut select_star = false;
+        let mut raw_group_cols: Vec<(String, String)> = Vec::new();
+        if self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            select_star = true;
+        } else {
+            loop {
+                if let Some(Tok::Ident(name)) = self.peek().cloned() {
+                    let upper = name.to_ascii_uppercase();
+                    if ["COUNT", "SUM", "AVG", "MIN", "MAX"].contains(&upper.as_str()) {
+                        self.pos += 1;
+                        self.expect(&Tok::LParen)?;
+                        if upper == "COUNT" {
+                            self.expect(&Tok::Star)?;
+                            self.expect(&Tok::RParen)?;
+                            raw_aggs.push((upper, None));
+                        } else {
+                            let col = self.parse_qualified_name()?;
+                            self.expect(&Tok::RParen)?;
+                            raw_aggs.push((upper, Some(col)));
+                        }
+                    } else {
+                        // A bare column in the select list (the GROUP BY key).
+                        let col = self.parse_qualified_name()?;
+                        raw_group_cols.push(col);
+                    }
+                } else {
+                    return self.err("expected select item");
+                }
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        let mut tables = Vec::new();
+        loop {
+            match self.next_tok() {
+                Some(Tok::Ident(name)) => tables.push(self.resolve_table(&name)?),
+                _ => return self.err("expected table name"),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+
+        let mut joins = Vec::new();
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                self.parse_condition(&mut joins, &mut predicates)?;
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+
+        let mut group_by = None;
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let col = self.parse_qualified_name()?;
+            group_by = Some(self.resolve_column(&col.0, &col.1)?);
+        }
+
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            match self.next_tok() {
+                Some(Tok::Number(n)) if n >= 0 => limit = Some(n as u64),
+                _ => return self.err("expected LIMIT count"),
+            }
+        }
+        let _ = self.peek() == Some(&Tok::Semi) && {
+            self.pos += 1;
+            true
+        };
+        if self.pos != self.toks.len() {
+            return self.err("trailing tokens after query");
+        }
+
+        // Resolve aggregates.
+        let mut aggregates = Vec::new();
+        for (kind, col) in raw_aggs {
+            let agg = match (kind.as_str(), col) {
+                ("COUNT", None) => Aggregate::CountStar,
+                ("SUM", Some((t, c))) => Aggregate::Sum(self.resolve_column(&t, &c)?),
+                ("AVG", Some((t, c))) => Aggregate::Avg(self.resolve_column(&t, &c)?),
+                ("MIN", Some((t, c))) => Aggregate::Min(self.resolve_column(&t, &c)?),
+                ("MAX", Some((t, c))) => Aggregate::Max(self.resolve_column(&t, &c)?),
+                _ => return self.err("malformed aggregate"),
+            };
+            aggregates.push(agg);
+        }
+        let _ = select_star;
+
+        Ok(Query {
+            db_id: self.db_id,
+            tables,
+            joins,
+            predicates,
+            group_by,
+            aggregates,
+            limit,
+        })
+    }
+
+    /// `table "." column`.
+    fn parse_qualified_name(&mut self) -> Result<(String, String), ParseError> {
+        let table = match self.next_tok() {
+            Some(Tok::Ident(t)) => t,
+            _ => return self.err("expected table name"),
+        };
+        self.expect(&Tok::Dot)?;
+        let column = match self.next_tok() {
+            Some(Tok::Ident(c)) => c,
+            _ => return self.err("expected column name"),
+        };
+        Ok((table, column))
+    }
+
+    fn parse_condition(
+        &mut self,
+        joins: &mut Vec<JoinEdge>,
+        predicates: &mut Vec<Predicate>,
+    ) -> Result<(), ParseError> {
+        let (lt, lc) = self.parse_qualified_name()?;
+        let left = self.resolve_column(&lt, &lc)?;
+
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_literal()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_literal()?;
+            predicates.push(Predicate {
+                column: left,
+                op: CmpOp::Between,
+                values: vec![lo, hi],
+            });
+            return Ok(());
+        }
+        if self.eat_keyword("IN") {
+            self.expect(&Tok::LParen)?;
+            let mut values = vec![self.parse_literal()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                values.push(self.parse_literal()?);
+            }
+            self.expect(&Tok::RParen)?;
+            predicates.push(Predicate {
+                column: left,
+                op: CmpOp::In,
+                values,
+            });
+            return Ok(());
+        }
+
+        let op = match self.next_tok() {
+            Some(Tok::Op(op)) => op,
+            _ => return self.err("expected comparison operator"),
+        };
+        // Join condition: right side is a qualified column.
+        if op == "="
+            && matches!(self.peek(), Some(Tok::Ident(_)))
+            && matches!(self.toks.get(self.pos + 1), Some((Tok::Dot, _)))
+        {
+            let (rt, rc) = self.parse_qualified_name()?;
+            let right = self.resolve_column(&rt, &rc)?;
+            // Normalize to child-FK → parent-PK orientation.
+            let (child_col, parent_col) = if right.column() == 0 {
+                (left, right)
+            } else if left.column() == 0 {
+                (right, left)
+            } else {
+                return self.err("join condition must involve a primary key");
+            };
+            joins.push(JoinEdge {
+                child: child_col.table(),
+                child_column: child_col.column(),
+                parent: parent_col.table(),
+            });
+            return Ok(());
+        }
+        let v = self.parse_literal()?;
+        let op = match op.as_str() {
+            "=" => CmpOp::Eq,
+            "<" => CmpOp::Lt,
+            ">" => CmpOp::Gt,
+            "<=" => CmpOp::Le,
+            ">=" => CmpOp::Ge,
+            other => return self.err(format!("unsupported operator {other}")),
+        };
+        predicates.push(Predicate {
+            column: left,
+            op,
+            values: vec![v],
+        });
+        Ok(())
+    }
+
+    fn parse_literal(&mut self) -> Result<i64, ParseError> {
+        match self.next_tok() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected literal, found {other:?}"))
+            }
+        }
+    }
+
+    fn resolve_table(&self, name: &str) -> Result<TableId, ParseError> {
+        self.schema
+            .tables
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+            .ok_or_else(|| ParseError {
+                message: format!("unknown table {name}"),
+                offset: 0,
+            })
+    }
+
+    fn resolve_column(&self, table: &str, column: &str) -> Result<ColumnId, ParseError> {
+        let t = self.resolve_table(table)?;
+        let tdef = self.schema.table(t);
+        tdef.columns
+            .iter()
+            .position(|c| c.name == column)
+            .map(|i| ColumnId::new(t, i as u32))
+            .ok_or_else(|| ParseError {
+                message: format!("unknown column {table}.{column}"),
+                offset: 0,
+            })
+    }
+}
+
+fn tokenize(sql: &str) -> Vec<(Tok, usize)> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Op("=".into()), i));
+                i += 1;
+            }
+            '<' | '>' => {
+                let start = i;
+                i += 1;
+                let mut op = c.to_string();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    op.push('=');
+                    i += 1;
+                }
+                toks.push((Tok::Op(op), start));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = sql[start..i].parse().unwrap_or(0);
+                toks.push((Tok::Number(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(sql[start..i].to_string()), start));
+            }
+            _ => i += 1, // skip unknown bytes (robustness over strictness)
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqlgen::render_sql;
+    use crate::workload::ComplexWorkloadGen;
+    use dace_catalog::{generate_database, suite_specs};
+
+    #[test]
+    fn round_trips_generated_workloads() {
+        let db = generate_database(&suite_specs()[0], 0.01);
+        let queries = ComplexWorkloadGen::default().generate(&db, 120);
+        let mut round_tripped = 0;
+        for q in &queries {
+            // LIKE-prefix predicates render as BETWEEN (the dictionary-range
+            // convention), so they round-trip as Between — normalize first.
+            let mut expect = q.clone();
+            for p in &mut expect.predicates {
+                if p.op == CmpOp::LikePrefix {
+                    p.op = CmpOp::Between;
+                }
+            }
+            let sql = render_sql(q, &db.schema);
+            let parsed = parse_sql(&sql, &db.schema, q.db_id)
+                .unwrap_or_else(|e| panic!("parse failed for `{sql}`: {e}"));
+            assert_eq!(parsed.tables, expect.tables, "sql: {sql}");
+            assert_eq!(parsed.joins, expect.joins, "sql: {sql}");
+            assert_eq!(parsed.predicates, expect.predicates, "sql: {sql}");
+            assert_eq!(parsed.group_by, expect.group_by, "sql: {sql}");
+            assert_eq!(parsed.aggregates, expect.aggregates, "sql: {sql}");
+            assert_eq!(parsed.limit, expect.limit, "sql: {sql}");
+            round_tripped += 1;
+        }
+        assert_eq!(round_tripped, queries.len());
+    }
+
+    #[test]
+    fn parses_handwritten_sql() {
+        let db = generate_database(&suite_specs()[1], 0.01);
+        let schema = &db.schema;
+        let t0 = schema.tables[0].name.clone();
+        let fk = schema.fks[0];
+        let child = schema.table(fk.child).name.clone();
+        let child_col = schema.table(fk.child).columns[fk.child_column as usize]
+            .name
+            .clone();
+        let parent = schema.table(fk.parent).name.clone();
+        let sql = format!(
+            "SELECT COUNT(*) FROM {child}, {parent} WHERE {child}.{child_col} = {parent}.id AND {t0}.id <= 100 LIMIT 5;"
+        );
+        let q = parse_sql(&sql, schema, 1).unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].child, fk.child);
+        assert_eq!(q.joins[0].parent, fk.parent);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].op, CmpOp::Le);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.aggregates, vec![Aggregate::CountStar]);
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_garbage() {
+        let db = generate_database(&suite_specs()[1], 0.01);
+        assert!(parse_sql("SELECT * FROM nonexistent;", &db.schema, 1).is_err());
+        assert!(parse_sql("SELECT FROM", &db.schema, 1).is_err());
+        assert!(parse_sql("", &db.schema, 1).is_err());
+        let t0 = db.schema.tables[0].name.clone();
+        assert!(parse_sql(&format!("SELECT * FROM {t0} WHERE"), &db.schema, 1).is_err());
+        assert!(
+            parse_sql(&format!("SELECT * FROM {t0} extra garbage"), &db.schema, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let db = generate_database(&suite_specs()[1], 0.01);
+        let err = parse_sql("SELECT FROM x", &db.schema, 1).unwrap_err();
+        assert!(err.to_string().contains("at byte"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The logical query model.
+
+use dace_catalog::{ColumnId, TableId};
+use dace_plan::CmpOp;
+use serde::{Deserialize, Serialize};
+
+/// An equi-join along a foreign-key edge: `child.child_column = parent.id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// Referencing table.
+    pub child: TableId,
+    /// FK column index within the child table.
+    pub child_column: u32,
+    /// Referenced table (joined on its primary key, column 0).
+    pub parent: TableId,
+}
+
+impl JoinEdge {
+    /// Global column id of the child side.
+    pub fn child_column_id(self) -> ColumnId {
+        ColumnId::new(self.child, self.child_column)
+    }
+
+    /// Global column id of the parent side (the primary key).
+    pub fn parent_column_id(self) -> ColumnId {
+        ColumnId::new(self.parent, 0)
+    }
+}
+
+/// A filter predicate over one column.
+///
+/// Literal conventions by operator:
+/// * `Eq`/`Lt`/`Gt`/`Le`/`Ge`: `values[0]` is the literal;
+/// * `Between`: `values == [lo, hi]`;
+/// * `In`: `values` is the member list;
+/// * `LikePrefix`: `values == [lo, hi]`, a dictionary-code range covering the
+///   prefix (the generator's text dictionaries are ordered, so a prefix is a
+///   contiguous code range).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Filtered column.
+    pub column: ColumnId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal value(s); see operator conventions above.
+    pub values: Vec<i64>,
+}
+
+/// An aggregate expression in the select list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// `COUNT(*)`
+    CountStar,
+    /// `SUM(col)`
+    Sum(ColumnId),
+    /// `AVG(col)`
+    Avg(ColumnId),
+    /// `MIN(col)`
+    Min(ColumnId),
+    /// `MAX(col)`
+    Max(ColumnId),
+}
+
+/// A logical SPJA query against one database of the suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Database this query targets.
+    pub db_id: u16,
+    /// Referenced tables (connected through `joins`; no self-joins).
+    pub tables: Vec<TableId>,
+    /// Join edges; `tables.len() == joins.len() + 1` for connected queries.
+    pub joins: Vec<JoinEdge>,
+    /// Filter predicates.
+    pub predicates: Vec<Predicate>,
+    /// Optional GROUP BY column.
+    pub group_by: Option<ColumnId>,
+    /// Aggregates (empty means `SELECT *`).
+    pub aggregates: Vec<Aggregate>,
+    /// Optional LIMIT.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Single-table scan query.
+    pub fn scan(db_id: u16, table: TableId) -> Query {
+        Query {
+            db_id,
+            tables: vec![table],
+            joins: Vec::new(),
+            predicates: Vec::new(),
+            group_by: None,
+            aggregates: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Number of joins.
+    #[inline]
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Predicates that apply to `table`.
+    pub fn predicates_on(&self, table: TableId) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.column.table() == table)
+            .collect()
+    }
+
+    /// True iff the join graph connects all referenced tables.
+    pub fn is_connected(&self) -> bool {
+        if self.tables.len() <= 1 {
+            return true;
+        }
+        let mut reached = vec![self.tables[0]];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for j in &self.joins {
+                let has_child = reached.contains(&j.child);
+                let has_parent = reached.contains(&j.parent);
+                if has_child != has_parent {
+                    reached.push(if has_child { j.parent } else { j.child });
+                    changed = true;
+                }
+            }
+        }
+        self.tables.iter().all(|t| reached.contains(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> Query {
+        Query {
+            db_id: 0,
+            tables: vec![TableId(0), TableId(1)],
+            joins: vec![JoinEdge {
+                child: TableId(0),
+                child_column: 1,
+                parent: TableId(1),
+            }],
+            predicates: vec![Predicate {
+                column: ColumnId::new(TableId(1), 2),
+                op: CmpOp::Gt,
+                values: vec![10],
+            }],
+            group_by: None,
+            aggregates: vec![Aggregate::CountStar],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn connectivity() {
+        let q = q2();
+        assert!(q.is_connected());
+        let mut disconnected = q.clone();
+        disconnected.tables.push(TableId(5));
+        assert!(!disconnected.is_connected());
+        assert!(Query::scan(0, TableId(3)).is_connected());
+    }
+
+    #[test]
+    fn predicates_on_table() {
+        let q = q2();
+        assert_eq!(q.predicates_on(TableId(1)).len(), 1);
+        assert!(q.predicates_on(TableId(0)).is_empty());
+    }
+
+    #[test]
+    fn join_edge_column_ids() {
+        let j = JoinEdge {
+            child: TableId(2),
+            child_column: 3,
+            parent: TableId(4),
+        };
+        assert_eq!(j.child_column_id(), ColumnId::new(TableId(2), 3));
+        assert_eq!(j.parent_column_id(), ColumnId::new(TableId(4), 0));
+    }
+}

@@ -1,0 +1,149 @@
+//! SQL rendering of logical queries.
+
+use std::fmt::Write as _;
+
+use dace_catalog::{ColumnId, Schema};
+use dace_plan::CmpOp;
+
+use crate::query::{Aggregate, Query};
+
+/// Render `query` as SQL against `schema`.
+///
+/// Literals are printed as their integer codes; text/date columns would
+/// render through their dictionaries in a full system, which changes nothing
+/// about plan shapes or costs.
+pub fn render_sql(query: &Query, schema: &Schema) -> String {
+    let col_name = |c: ColumnId| -> String {
+        let t = schema.table(c.table());
+        format!("{}.{}", t.name, t.columns[c.column() as usize].name)
+    };
+
+    let mut sql = String::from("SELECT ");
+    if query.aggregates.is_empty() {
+        sql.push('*');
+    } else {
+        let mut parts = Vec::new();
+        if let Some(g) = query.group_by {
+            parts.push(col_name(g));
+        }
+        for agg in &query.aggregates {
+            parts.push(match agg {
+                Aggregate::CountStar => "COUNT(*)".to_string(),
+                Aggregate::Sum(c) => format!("SUM({})", col_name(*c)),
+                Aggregate::Avg(c) => format!("AVG({})", col_name(*c)),
+                Aggregate::Min(c) => format!("MIN({})", col_name(*c)),
+                Aggregate::Max(c) => format!("MAX({})", col_name(*c)),
+            });
+        }
+        sql.push_str(&parts.join(", "));
+    }
+
+    let tables: Vec<&str> = query
+        .tables
+        .iter()
+        .map(|&t| schema.table(t).name.as_str())
+        .collect();
+    let _ = write!(sql, " FROM {}", tables.join(", "));
+
+    let mut conds = Vec::new();
+    for j in &query.joins {
+        conds.push(format!(
+            "{} = {}",
+            col_name(j.child_column_id()),
+            col_name(j.parent_column_id())
+        ));
+    }
+    for p in &query.predicates {
+        let col = col_name(p.column);
+        conds.push(match p.op {
+            CmpOp::Between | CmpOp::LikePrefix => {
+                format!("{col} BETWEEN {} AND {}", p.values[0], p.values[1])
+            }
+            CmpOp::In => {
+                let vals: Vec<String> = p.values.iter().map(|v| v.to_string()).collect();
+                format!("{col} IN ({})", vals.join(", "))
+            }
+            op => format!("{col} {} {}", op.sql(), p.values[0]),
+        });
+    }
+    if !conds.is_empty() {
+        let _ = write!(sql, " WHERE {}", conds.join(" AND "));
+    }
+    if let Some(g) = query.group_by {
+        let _ = write!(sql, " GROUP BY {}", col_name(g));
+    }
+    if let Some(l) = query.limit {
+        let _ = write!(sql, " LIMIT {l}");
+    }
+    sql.push(';');
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{JoinEdge, Predicate};
+    use dace_catalog::{suite_specs, TableId};
+
+    #[test]
+    fn renders_joins_predicates_group_limit() {
+        let schema = suite_specs()[0].build_schema();
+        // Find a real FK edge to join along.
+        let fk = schema.fks[0];
+        let q = Query {
+            db_id: 0,
+            tables: vec![fk.child, fk.parent],
+            joins: vec![JoinEdge {
+                child: fk.child,
+                child_column: fk.child_column,
+                parent: fk.parent,
+            }],
+            predicates: vec![Predicate {
+                column: ColumnId::new(fk.parent, 0),
+                op: CmpOp::Le,
+                values: vec![500],
+            }],
+            group_by: Some(ColumnId::new(fk.child, 1)),
+            aggregates: vec![Aggregate::CountStar],
+            limit: Some(10),
+        };
+        let sql = render_sql(&q, &schema);
+        assert!(sql.starts_with("SELECT "));
+        assert!(sql.contains("COUNT(*)"));
+        assert!(sql.contains(" WHERE "));
+        assert!(sql.contains(" = "));
+        assert!(sql.contains("<= 500"));
+        assert!(sql.contains("GROUP BY"));
+        assert!(sql.ends_with("LIMIT 10;"));
+    }
+
+    #[test]
+    fn renders_select_star_scan() {
+        let schema = suite_specs()[0].build_schema();
+        let q = Query::scan(0, TableId(0));
+        let sql = render_sql(&q, &schema);
+        assert!(sql.starts_with("SELECT * FROM "));
+        assert!(!sql.contains("WHERE"));
+    }
+
+    #[test]
+    fn renders_between_and_in() {
+        let schema = suite_specs()[0].build_schema();
+        let mut q = Query::scan(0, TableId(0));
+        q.predicates = vec![
+            Predicate {
+                column: ColumnId::new(TableId(0), 0),
+                op: CmpOp::Between,
+                values: vec![5, 15],
+            },
+            Predicate {
+                column: ColumnId::new(TableId(0), 0),
+                op: CmpOp::In,
+                values: vec![1, 2, 3],
+            },
+        ];
+        let sql = render_sql(&q, &schema);
+        assert!(sql.contains("BETWEEN 5 AND 15"));
+        assert!(sql.contains("IN (1, 2, 3)"));
+    }
+}

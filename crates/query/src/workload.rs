@@ -1,0 +1,442 @@
+//! Seeded workload generators mirroring the paper's three workloads.
+
+use dace_catalog::{ColumnId, ColumnType, Database, Distribution, TableId};
+use dace_plan::CmpOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::{Aggregate, JoinEdge, Predicate, Query};
+
+/// Zero-Shot-style "complex" workload generator (workloads 1 and 2):
+/// random connected FK subgraphs with up to `max_joins` joins, up to
+/// `max_predicates` filters with literals drawn from the data, and optional
+/// grouped aggregation.
+#[derive(Debug, Clone)]
+pub struct ComplexWorkloadGen {
+    /// Maximum number of joins per query.
+    pub max_joins: usize,
+    /// Maximum number of filter predicates per query.
+    pub max_predicates: usize,
+    /// Probability a query aggregates (with optional GROUP BY).
+    pub agg_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ComplexWorkloadGen {
+    fn default() -> Self {
+        ComplexWorkloadGen {
+            max_joins: 5,
+            max_predicates: 4,
+            agg_prob: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ComplexWorkloadGen {
+    /// Generate `count` queries against `db`.
+    pub fn generate(&self, db: &Database, count: usize) -> Vec<Query> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (db.db_id() as u64).wrapping_mul(0x517C_C1B7));
+        (0..count).map(|_| self.one_query(db, &mut rng)).collect()
+    }
+
+    fn one_query(&self, db: &Database, rng: &mut SmallRng) -> Query {
+        let n_tables = db.schema.tables.len() as u32;
+        let start = TableId(rng.gen_range(0..n_tables));
+        let target_joins = rng.gen_range(0..=self.max_joins);
+        let (tables, joins) = grow_join_subgraph(db, start, target_joins, rng);
+
+        let n_preds = rng.gen_range(0..=self.max_predicates);
+        let predicates = random_predicates(db, &tables, n_preds, rng, 0.0, 1.0);
+
+        let (group_by, aggregates) = if rng.gen_bool(self.agg_prob) {
+            random_aggregation(db, &tables, rng)
+        } else {
+            (None, Vec::new())
+        };
+        let limit = if aggregates.is_empty() && rng.gen_bool(0.25) {
+            Some(rng.gen_range(1..=1000))
+        } else {
+            None
+        };
+        Query {
+            db_id: db.db_id(),
+            tables,
+            joins,
+            predicates,
+            group_by,
+            aggregates,
+            limit,
+        }
+    }
+}
+
+/// Which MSCN test set to generate (workload 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MscnSet {
+    /// 5,000 queries from the training templates with restricted filter
+    /// ranges (Drift I: similar templates).
+    Synthetic,
+    /// 500 queries with more joins than training (template scale-up).
+    Scale,
+    /// 70 star-join queries in the JOB-light style.
+    JobLight,
+}
+
+impl MscnSet {
+    /// The paper's query count for this set.
+    pub fn default_count(self) -> usize {
+        match self {
+            MscnSet::Synthetic => 5_000,
+            MscnSet::Scale => 500,
+            MscnSet::JobLight => 70,
+        }
+    }
+}
+
+/// MSCN benchmark generator over the IMDB-like database (workload 3).
+///
+/// Training queries have 0–2 joins starting from the fact table; the test
+/// sets shift templates as in the published benchmark.
+#[derive(Debug, Clone)]
+pub struct MscnWorkloadGen {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MscnWorkloadGen {
+    fn default() -> Self {
+        MscnWorkloadGen { seed: 0x115C4 }
+    }
+}
+
+impl MscnWorkloadGen {
+    /// The 100k-query (nominal) training distribution; `count` scales it.
+    pub fn gen_train(&self, db: &Database, count: usize) -> Vec<Query> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..count)
+            .map(|_| self.template_query(db, 0..=2, 0.0, 1.0, &mut rng))
+            .collect()
+    }
+
+    /// One of the three test sets; `count` overrides the paper's size.
+    pub fn gen_test(&self, db: &Database, set: MscnSet, count: usize) -> Vec<Query> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xDEAD_BEEF ^ set.default_count() as u64);
+        match set {
+            // Same templates, restricted literal range (the benchmark's
+            // synthetic set re-samples the training templates).
+            MscnSet::Synthetic => (0..count)
+                .map(|_| self.template_query(db, 0..=2, 0.15, 0.85, &mut rng))
+                .collect(),
+            // More joins than seen in training.
+            MscnSet::Scale => (0..count)
+                .map(|_| self.template_query(db, 1..=4, 0.0, 1.0, &mut rng))
+                .collect(),
+            // Star joins around the fact table, à la JOB-light.
+            MscnSet::JobLight => (0..count).map(|_| self.job_light_query(db, &mut rng)).collect(),
+        }
+    }
+
+    fn template_query(
+        &self,
+        db: &Database,
+        joins: std::ops::RangeInclusive<usize>,
+        rank_lo: f64,
+        rank_hi: f64,
+        rng: &mut SmallRng,
+    ) -> Query {
+        let target_joins = rng.gen_range(joins);
+        let (tables, join_edges) = grow_join_subgraph(db, TableId(0), target_joins, rng);
+        let n_preds = rng.gen_range(1..=3);
+        let predicates = random_predicates(db, &tables, n_preds, rng, rank_lo, rank_hi);
+        Query {
+            db_id: db.db_id(),
+            tables,
+            joins: join_edges,
+            predicates,
+            group_by: None,
+            aggregates: vec![Aggregate::CountStar],
+            limit: None,
+        }
+    }
+
+    fn job_light_query(&self, db: &Database, rng: &mut SmallRng) -> Query {
+        // Star join: fact table plus 1–4 of its direct FK parents.
+        let fact = TableId(0);
+        let mut fk_edges: Vec<JoinEdge> = db
+            .schema
+            .fks
+            .iter()
+            .filter(|e| e.child == fact)
+            .map(|e| JoinEdge {
+                child: e.child,
+                child_column: e.child_column,
+                parent: e.parent,
+            })
+            .collect();
+        // Deterministic order, then sample a prefix of a shuffle.
+        fk_edges.sort_by_key(|e| e.parent.0);
+        let k = rng.gen_range(1..=fk_edges.len().min(4));
+        let mut joins = Vec::with_capacity(k);
+        for _ in 0..k {
+            let idx = rng.gen_range(0..fk_edges.len());
+            joins.push(fk_edges.swap_remove(idx));
+        }
+        let mut tables = vec![fact];
+        tables.extend(joins.iter().map(|j| j.parent));
+        let n_preds = rng.gen_range(1..=2);
+        let predicates = random_predicates(db, &tables, n_preds, rng, 0.0, 1.0);
+        Query {
+            db_id: db.db_id(),
+            tables,
+            joins,
+            predicates,
+            group_by: None,
+            aggregates: vec![Aggregate::CountStar],
+            limit: None,
+        }
+    }
+}
+
+/// Grow a connected subgraph of the FK graph from `start`, adding up to
+/// `target_joins` edges. Returns (tables, joins); fewer joins if the graph
+/// runs out of incident edges.
+fn grow_join_subgraph(
+    db: &Database,
+    start: TableId,
+    target_joins: usize,
+    rng: &mut SmallRng,
+) -> (Vec<TableId>, Vec<JoinEdge>) {
+    let mut tables = vec![start];
+    let mut joins = Vec::new();
+    for _ in 0..target_joins {
+        // Candidate FK edges touching the current table set that would add a
+        // new table (self-joins and cycles excluded).
+        let candidates: Vec<JoinEdge> = db
+            .schema
+            .fks
+            .iter()
+            .filter_map(|e| {
+                let has_child = tables.contains(&e.child);
+                let has_parent = tables.contains(&e.parent);
+                if has_child != has_parent {
+                    Some(JoinEdge {
+                        child: e.child,
+                        child_column: e.child_column,
+                        parent: e.parent,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let edge = candidates[rng.gen_range(0..candidates.len())];
+        let new_table = if tables.contains(&edge.child) {
+            edge.parent
+        } else {
+            edge.child
+        };
+        tables.push(new_table);
+        joins.push(edge);
+    }
+    (tables, joins)
+}
+
+/// Draw up to `n_preds` random predicates on non-PK columns of `tables`,
+/// with literal quantiles restricted to `[rank_lo, rank_hi]`.
+fn random_predicates(
+    db: &Database,
+    tables: &[TableId],
+    n_preds: usize,
+    rng: &mut SmallRng,
+    rank_lo: f64,
+    rank_hi: f64,
+) -> Vec<Predicate> {
+    // Candidate columns: attributes only (not PK, not FK) so predicates
+    // don't fight the join conditions.
+    let mut candidates: Vec<ColumnId> = Vec::new();
+    for &t in tables {
+        let tdef = db.schema.table(t);
+        for (ci, cdef) in tdef.columns.iter().enumerate().skip(1) {
+            if !matches!(cdef.distribution, Distribution::ForeignKey { .. }) {
+                candidates.push(ColumnId::new(t, ci as u32));
+            }
+        }
+    }
+    let mut predicates = Vec::new();
+    for _ in 0..n_preds {
+        if candidates.is_empty() {
+            break;
+        }
+        let column = candidates.swap_remove(rng.gen_range(0..candidates.len()));
+        let stats = db.column_stats(column);
+        if stats.n_distinct < 1.0 {
+            continue;
+        }
+        let col_type = db.schema.column(column).col_type;
+        let q = rng.gen_range(rank_lo..=rank_hi);
+        let op = random_op(col_type, rng);
+        let values = match op {
+            CmpOp::Between | CmpOp::LikePrefix => {
+                let q2 = (q + rng.gen_range(0.02..0.3)).min(1.0);
+                vec![stats.value_at_rank(q), stats.value_at_rank(q2)]
+            }
+            CmpOp::In => {
+                let k = rng.gen_range(2..=5);
+                let mut vals: Vec<i64> = (0..k)
+                    .map(|_| stats.value_at_rank(rng.gen_range(rank_lo..=rank_hi)))
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals
+            }
+            _ => vec![stats.value_at_rank(q)],
+        };
+        predicates.push(Predicate { column, op, values });
+    }
+    predicates
+}
+
+/// Pick a grouped or plain aggregation over the query's tables.
+fn random_aggregation(
+    db: &Database,
+    tables: &[TableId],
+    rng: &mut SmallRng,
+) -> (Option<ColumnId>, Vec<Aggregate>) {
+    // Numeric attribute columns are aggregation candidates.
+    let mut numeric: Vec<ColumnId> = Vec::new();
+    let mut categorical: Vec<ColumnId> = Vec::new();
+    for &t in tables {
+        let tdef = db.schema.table(t);
+        for (ci, cdef) in tdef.columns.iter().enumerate().skip(1) {
+            if matches!(cdef.distribution, Distribution::ForeignKey { .. }) {
+                continue;
+            }
+            let id = ColumnId::new(t, ci as u32);
+            match cdef.col_type {
+                ColumnType::Int | ColumnType::Float => numeric.push(id),
+                ColumnType::Text | ColumnType::Bool | ColumnType::Date => categorical.push(id),
+            }
+        }
+    }
+    let agg = match (numeric.is_empty(), rng.gen_range(0..5u32)) {
+        (false, 0) => Aggregate::Sum(*pick(&numeric, rng)),
+        (false, 1) => Aggregate::Avg(*pick(&numeric, rng)),
+        (false, 2) => Aggregate::Min(*pick(&numeric, rng)),
+        (false, 3) => Aggregate::Max(*pick(&numeric, rng)),
+        _ => Aggregate::CountStar,
+    };
+    let group_by = if !categorical.is_empty() && rng.gen_bool(0.5) {
+        Some(*pick(&categorical, rng))
+    } else {
+        None
+    };
+    (group_by, vec![agg])
+}
+
+fn random_op(col_type: ColumnType, rng: &mut SmallRng) -> CmpOp {
+    match col_type {
+        ColumnType::Text => *pick(&[CmpOp::Eq, CmpOp::In, CmpOp::LikePrefix], rng),
+        ColumnType::Bool => CmpOp::Eq,
+        _ => *pick(
+            &[
+                CmpOp::Eq,
+                CmpOp::Lt,
+                CmpOp::Gt,
+                CmpOp::Le,
+                CmpOp::Ge,
+                CmpOp::Between,
+                CmpOp::In,
+            ],
+            rng,
+        ),
+    }
+}
+
+fn pick<'a, T>(xs: &'a [T], rng: &mut SmallRng) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dace_catalog::{generate_database, suite_specs};
+
+    fn small_db(idx: usize) -> Database {
+        generate_database(&suite_specs()[idx], 0.01)
+    }
+
+    #[test]
+    fn complex_workload_queries_are_connected_and_valid() {
+        let db = small_db(0);
+        let queries = ComplexWorkloadGen::default().generate(&db, 200);
+        assert_eq!(queries.len(), 200);
+        let mut saw_join = false;
+        let mut saw_pred = false;
+        for q in &queries {
+            assert!(q.is_connected(), "disconnected query");
+            assert_eq!(q.tables.len(), q.joins.len() + 1);
+            saw_join |= !q.joins.is_empty();
+            saw_pred |= !q.predicates.is_empty();
+            // No duplicate tables (no self-joins).
+            let mut t = q.tables.clone();
+            t.sort();
+            t.dedup();
+            assert_eq!(t.len(), q.tables.len());
+            for p in &q.predicates {
+                assert!(q.tables.contains(&p.column.table()));
+                assert!(!p.values.is_empty());
+            }
+        }
+        assert!(saw_join && saw_pred);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = small_db(1);
+        let a = ComplexWorkloadGen::default().generate(&db, 50);
+        let b = ComplexWorkloadGen::default().generate(&db, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mscn_sets_have_expected_shapes() {
+        let db = small_db(0);
+        let gen = MscnWorkloadGen::default();
+        let train = gen.gen_train(&db, 300);
+        assert!(train.iter().all(|q| q.join_count() <= 2));
+        let scale = gen.gen_test(&db, MscnSet::Scale, 100);
+        assert!(scale.iter().any(|q| q.join_count() > 2));
+        let job = gen.gen_test(&db, MscnSet::JobLight, 70);
+        assert_eq!(job.len(), 70);
+        for q in &job {
+            // Star joins: every join's child is the fact table.
+            assert!(q.joins.iter().all(|j| j.child == TableId(0)));
+            assert!(q.is_connected());
+        }
+    }
+
+    #[test]
+    fn synthetic_set_restricts_literal_ranks() {
+        let db = small_db(0);
+        let gen = MscnWorkloadGen::default();
+        let synthetic = gen.gen_test(&db, MscnSet::Synthetic, 200);
+        // All synthetic-set literals come from the restricted quantile band;
+        // verify they avoid the extreme tails for ranked columns.
+        for q in &synthetic {
+            assert!(q.join_count() <= 2);
+            assert!(!q.predicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn default_counts_match_paper() {
+        assert_eq!(MscnSet::Synthetic.default_count(), 5_000);
+        assert_eq!(MscnSet::Scale.default_count(), 500);
+        assert_eq!(MscnSet::JobLight.default_count(), 70);
+    }
+}

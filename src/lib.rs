@@ -1,0 +1,14 @@
+//! Umbrella crate: re-exports the whole DACE reproduction workspace.
+//!
+//! Prefer depending on the individual crates (`dace-core`, `dace-engine`, …)
+//! in real projects; this facade exists so the examples and integration
+//! tests read naturally.
+
+pub use dace_baselines as baselines;
+pub use dace_catalog as catalog;
+pub use dace_core as core;
+pub use dace_engine as engine;
+pub use dace_eval as eval;
+pub use dace_nn as nn;
+pub use dace_plan as plan;
+pub use dace_query as query;

@@ -1,0 +1,94 @@
+//! Contract tests every estimator must satisfy: fit on a small corpus,
+//! produce finite positive predictions on in- and out-of-distribution
+//! plans, and report sane parameter counts.
+
+use dace_baselines::{CostEstimator, Mscn, PgLinear, QppNet, QueryFormer, TPool, ZeroShot};
+use dace_catalog::{generate_database, suite_specs};
+use dace_engine::collect_dataset;
+use dace_plan::{Dataset, MachineId};
+use dace_query::ComplexWorkloadGen;
+
+fn corpora() -> (Dataset, Dataset, Dataset) {
+    let db = generate_database(&suite_specs()[3], 0.04);
+    let queries = ComplexWorkloadGen::default().generate(&db, 120);
+    let ds = collect_dataset(&db, &queries, MachineId::M1);
+    let (train, test) = ds.split(0.25);
+    // Out-of-distribution: a different database entirely.
+    let other = generate_database(&suite_specs()[14], 0.04);
+    let other_q = ComplexWorkloadGen::default().generate(&other, 30);
+    let ood = collect_dataset(&other, &other_q, MachineId::M1);
+    (train, test, ood)
+}
+
+fn check(model: &mut dyn CostEstimator, train: &Dataset, test: &Dataset, ood: &Dataset) {
+    model.fit(train);
+    for ds in [test, ood] {
+        for p in &ds.plans {
+            let pred = model.predict_ms(&p.tree);
+            assert!(
+                pred.is_finite() && pred > 0.0,
+                "{} produced bad prediction {pred}",
+                model.name()
+            );
+        }
+    }
+    assert!(model.param_count() >= 2, "{}", model.name());
+    assert!(model.size_mb() >= 0.0);
+    // In-distribution predictions must beat a constant-output strawman:
+    // correlation between log-pred and log-actual should be positive.
+    let xs: Vec<f64> = test
+        .plans
+        .iter()
+        .map(|p| model.predict_ms(&p.tree).max(1e-9).ln())
+        .collect();
+    let ys: Vec<f64> = test.plans.iter().map(|p| p.latency_ms().ln()).collect();
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let corr = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+    assert!(
+        corr > 0.2,
+        "{}: predictions uncorrelated with latency (corr {corr})",
+        model.name()
+    );
+}
+
+#[test]
+fn all_baselines_satisfy_the_contract() {
+    let (train, test, ood) = corpora();
+    let epochs = 12;
+    let mut pg = PgLinear::new();
+    check(&mut pg, &train, &test, &ood);
+    let mut mscn = Mscn::new(1);
+    mscn.epochs = epochs;
+    check(&mut mscn, &train, &test, &ood);
+    let mut qpp = QppNet::new(2);
+    qpp.epochs = epochs;
+    check(&mut qpp, &train, &test, &ood);
+    let mut tpool = TPool::new(3);
+    tpool.epochs = epochs;
+    check(&mut tpool, &train, &test, &ood);
+    let mut qf = QueryFormer::new(4);
+    qf.epochs = epochs;
+    check(&mut qf, &train, &test, &ood);
+    let mut zs = ZeroShot::new(5);
+    zs.epochs = epochs;
+    check(&mut zs, &train, &test, &ood);
+}
+
+#[test]
+fn dace_satisfies_the_contract_via_the_adapter() {
+    let (train, test, ood) = corpora();
+    use dace_core::TrainConfig;
+    let mut dace = dace_eval::models::Dace::with_config(
+        TrainConfig {
+            epochs: 15,
+            ..Default::default()
+        },
+        "DACE",
+    );
+    check(&mut dace, &train, &test, &ood);
+}

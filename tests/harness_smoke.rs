@@ -1,0 +1,54 @@
+//! Smoke tests for the experiment harness: run a representative subset of
+//! the table/figure runners end-to-end at micro scale and check the reports
+//! are well-formed. (The full-scale runs live in `results/` and
+//! EXPERIMENTS.md; this guards the harness code itself.)
+
+use dace_eval::experiments::{run_experiment, Ctx, EXPERIMENTS};
+use dace_eval::EvalConfig;
+
+fn micro_ctx() -> Ctx {
+    Ctx::new(EvalConfig {
+        queries_per_db: 16,
+        wl3_train: 120,
+        wl3_synthetic: 40,
+        wl3_scale: 20,
+        wl3_job_light: 12,
+        dace_epochs: 4,
+        baseline_epochs: 4,
+        ..EvalConfig::scaled(0.05)
+    })
+}
+
+#[test]
+fn representative_experiments_produce_wellformed_reports() {
+    let ctx = micro_ctx();
+    // The cheapest runner from each family: motivation (fig4), ablation
+    // (fig10), plan-size analysis (fig11) and cold start (fig9).
+    for id in ["fig4", "fig10", "fig11", "fig9"] {
+        let report = run_experiment(id, &ctx)
+            .unwrap_or_else(|| panic!("runner {id} missing from registry"));
+        assert!(report.contains('|'), "{id}: no table in report");
+        assert!(
+            report.to_lowercase().contains("expected shape"),
+            "{id}: report must state the expected shape"
+        );
+        // Tables carry finite qerror numbers ≥ 1; spot check that at least
+        // one plausible qerror cell appears.
+        let has_number = report
+            .split(['|', ' ', '\n'])
+            .filter_map(|tok| tok.parse::<f64>().ok())
+            .any(|v| (1.0..1e4).contains(&v));
+        assert!(has_number, "{id}: no qerror values in report");
+    }
+}
+
+#[test]
+fn registry_descriptions_are_informative() {
+    for (id, desc, _) in EXPERIMENTS {
+        assert!(!desc.is_empty(), "{id} lacks a description");
+        assert!(
+            id.starts_with("fig") || id.starts_with("table"),
+            "unexpected experiment id {id}"
+        );
+    }
+}
