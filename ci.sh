@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network access
+# (all dependencies are vendored under vendor/ — see README "Offline builds").
+#
+#   ./ci.sh         # full gate: build, tests, clippy, fmt, bench smoke
+#   ./ci.sh quick   # tier-1 only: release build + root test suite
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> test (root package)"
+cargo test -q
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "ci.sh quick: OK"
+    exit 0
+fi
+
+echo "==> test (workspace)"
+cargo test --workspace -q
+
+echo "==> clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fmt"
+cargo fmt --all --check
+
+# Bench smoke: compile and run each bench once in test mode (no sampling);
+# catches bit-rot in the criterion harness wiring without the full run.
+echo "==> bench smoke"
+cargo test --benches -p dace-bench -q
+
+echo "ci.sh: OK"

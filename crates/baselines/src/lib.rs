@@ -23,8 +23,8 @@
 
 mod estimator;
 mod mscn;
-mod plan_feat;
 mod pg_linear;
+mod plan_feat;
 mod qppnet;
 mod queryformer;
 mod tpool;

@@ -9,7 +9,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::estimator::{log_ms, CostEstimator};
-use crate::plan_feat::{plan_joins, plan_predicates, plan_tables, JOIN_FEAT, PRED_FEAT, TABLE_FEAT};
+use crate::plan_feat::{
+    plan_joins, plan_predicates, plan_tables, JOIN_FEAT, PRED_FEAT, TABLE_FEAT,
+};
 
 /// Hidden width of the per-set MLPs and the output MLP.
 const HIDDEN: usize = 256;
@@ -41,7 +43,9 @@ impl SetEncoder {
         if set.rows() == 0 {
             return Tensor2::zeros(1, HIDDEN);
         }
-        let h = self.relu2.forward(&self.l2.forward(&self.relu1.forward(&self.l1.forward(set))));
+        let h = self
+            .relu2
+            .forward(&self.l2.forward(&self.relu1.forward(&self.l1.forward(set))));
         mean_pool(&h)
     }
 
@@ -49,9 +53,13 @@ impl SetEncoder {
         if set.rows() == 0 {
             return Tensor2::zeros(1, HIDDEN);
         }
-        let h = self.relu2.forward_inference(&self.l2.forward_inference(
-            &self.relu1.forward_inference(&self.l1.forward_inference(set)),
-        ));
+        let h = self.relu2.forward_inference(
+            &self.l2.forward_inference(
+                &self
+                    .relu1
+                    .forward_inference(&self.l1.forward_inference(set)),
+            ),
+        );
         mean_pool(&h)
     }
 
@@ -185,9 +193,7 @@ impl Mscn {
         let d = self.out1.backward(&d);
         // Split the concat gradient back to the three encoders (the DACE
         // embedding segment is an input, not a parameter — dropped).
-        let slice = |lo: usize| {
-            Tensor2::from_vec(1, HIDDEN, d.row(0)[lo..lo + HIDDEN].to_vec())
-        };
+        let slice = |lo: usize| Tensor2::from_vec(1, HIDDEN, d.row(0)[lo..lo + HIDDEN].to_vec());
         self.tables.backward(&slice(0));
         self.joins.backward(&slice(HIDDEN));
         self.preds.backward(&slice(2 * HIDDEN));
@@ -245,7 +251,9 @@ impl CostEstimator for Mscn {
         concat.extend_from_slice(pp.row(0));
         concat.extend_from_slice(&emb);
         let x = Tensor2::from_vec(1, concat.len(), concat);
-        let h = self.out_relu.forward_inference(&self.out1.forward_inference(&x));
+        let h = self
+            .out_relu
+            .forward_inference(&self.out1.forward_inference(&x));
         (self.out2.forward_inference(&h).get(0, 0) as f64).exp()
     }
 

@@ -141,9 +141,7 @@ pub fn single_node_features(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dace_plan::{
-        JoinInfo, LabeledPlan, MachineId, NodeType, PlanNode, ScanInfo, TreeBuilder,
-    };
+    use dace_plan::{JoinInfo, LabeledPlan, MachineId, NodeType, PlanNode, ScanInfo, TreeBuilder};
 
     fn labeled_join_plan() -> LabeledPlan {
         let mut b = TreeBuilder::new();

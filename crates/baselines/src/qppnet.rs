@@ -106,12 +106,7 @@ impl QppNet {
 
     /// Pre-order backward: per-node output gradients flow from both the
     /// node's own loss term and its parent's input.
-    fn backward_plan(
-        &mut self,
-        tree: &PlanTree,
-        caches: &[Option<NodeCache>],
-        d_pred: &[f32],
-    ) {
+    fn backward_plan(&mut self, tree: &PlanTree, caches: &[Option<NodeCache>], d_pred: &[f32]) {
         let order = tree.dfs();
         let mut d_out: Vec<Tensor2> = (0..tree.len())
             .map(|_| Tensor2::zeros(1, 1 + DATA_VEC))

@@ -68,7 +68,9 @@ impl Layer {
     }
 
     fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
-        let d_ff = self.ff1.backward(&self.relu.backward(&self.ff2.backward(dy)));
+        let d_ff = self
+            .ff1
+            .backward(&self.relu.backward(&self.ff2.backward(dy)));
         let mut da = d_ff;
         da.add_assign(dy);
         let d_attn = self.attn.backward(&da);
@@ -221,7 +223,9 @@ impl QueryFormer {
         concat.extend_from_slice(super_repr);
         concat.extend_from_slice(emb);
         let x = Tensor2::from_vec(1, concat.len(), concat);
-        let h = self.head_relu.forward_inference(&self.head1.forward_inference(&x));
+        let h = self
+            .head_relu
+            .forward_inference(&self.head1.forward_inference(&x));
         let pred = self.head2.forward_inference(&h).get(0, 0);
         (x, h, pred)
     }

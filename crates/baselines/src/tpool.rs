@@ -157,8 +157,7 @@ impl TPool {
 
         // Top-down through max pooling.
         let order = tree.dfs();
-        let mut d_repr: Vec<Tensor2> =
-            (0..tree.len()).map(|_| Tensor2::zeros(1, HIDDEN)).collect();
+        let mut d_repr: Vec<Tensor2> = (0..tree.len()).map(|_| Tensor2::zeros(1, HIDDEN)).collect();
         d_repr[root] = d_root;
         for &id in &order {
             let cache = caches[id.index()].as_ref().unwrap();
@@ -207,8 +206,7 @@ impl CostEstimator for TPool {
     fn fit(&mut self, train: &Dataset) {
         assert!(!train.is_empty());
         let scalers = NodeScalers::fit(train);
-        let cost_targets: Vec<f32> =
-            train.plans.iter().map(|p| log_ms(p.latency_ms())).collect();
+        let cost_targets: Vec<f32> = train.plans.iter().map(|p| log_ms(p.latency_ms())).collect();
         let card_targets: Vec<f32> = train
             .plans
             .iter()
@@ -228,8 +226,8 @@ impl CostEstimator for TPool {
                     let root_repr = &caches[tree.root().index()].as_ref().unwrap().repr;
                     let (h, cost, card) = self.heads(root_repr);
                     let d_cost = 2.0 * (cost - cost_targets[i]) / batch.len() as f32;
-                    let d_card = self.card_task_weight * 2.0 * (card - card_targets[i])
-                        / batch.len() as f32;
+                    let d_card =
+                        self.card_task_weight * 2.0 * (card - card_targets[i]) / batch.len() as f32;
                     self.backward_plan(tree, &caches, &h, d_cost, d_card);
                 }
                 opt.step(&mut self.params_mut());
@@ -304,13 +302,19 @@ mod tests {
         model.batch = 1;
         model.fit(&train);
         let fresh = TPool::new(25);
+        // Compare the whole matrices, not a fixed prefix: the first rows of
+        // `w` correspond to one input dimension each, and whether a given
+        // unit's ReLU is alive at init (hence whether those specific weights
+        // receive gradient) depends on the seed stream. The invariant being
+        // tested is that gradients flow through the max pool into both
+        // layers at all, which the full-matrix comparison captures.
         assert_ne!(
-            model.combine.w.value.as_slice()[..8],
-            fresh.combine.w.value.as_slice()[..8]
+            model.combine.w.value.as_slice(),
+            fresh.combine.w.value.as_slice()
         );
         assert_ne!(
-            model.encoder.w.value.as_slice()[..8],
-            fresh.encoder.w.value.as_slice()[..8]
+            model.encoder.w.value.as_slice(),
+            fresh.encoder.w.value.as_slice()
         );
     }
 }

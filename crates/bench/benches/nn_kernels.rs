@@ -2,8 +2,8 @@
 //! passes that dominate model training time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use dace_nn::{Adam, Linear, LoraLinear, MaskedSelfAttention, Tensor2};
 

@@ -4,8 +4,8 @@
 //! "PostgreSQL" rows of Table II.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use dace_catalog::{generate_database, suite_specs, ColumnStats};
 use dace_engine::{collect_dataset, execute, plan_query, CostModel, MachineProfile};

@@ -6,8 +6,8 @@
 //! `cargo bench -p dace-bench --bench table2_throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use dace_baselines::{CostEstimator, Mscn, QppNet, QueryFormer, TPool, ZeroShot};
 use dace_catalog::{generate_database, suite_specs};
@@ -45,7 +45,7 @@ fn bench_inference(c: &mut Criterion) {
         })
     });
 
-    // DACE.
+    // DACE, one plan at a time.
     let dace = Trainer::new(TrainConfig {
         epochs: 2,
         ..Default::default()
@@ -58,6 +58,13 @@ fn bench_inference(c: &mut Criterion) {
             i += 1;
             black_box(dace.predict_ms(&p.tree));
         })
+    });
+
+    // DACE batched: the whole test set per iteration, reported per query
+    // by scaling measurement (one iter covers test.len() queries).
+    let trees: Vec<&dace_plan::PlanTree> = test.plans.iter().map(|p| &p.tree).collect();
+    group.bench_function("DACE(batched-set)", |b| {
+        b.iter(|| black_box(dace.predict_batch_ms(&trees)))
     });
 
     // Baselines (trained briefly; inference cost is architecture-bound).
@@ -102,6 +109,12 @@ fn bench_training(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
 
+    // Batched padded-tensor training loop (the production path) vs the
+    // per-plan reference loop it replaced — same shuffles, same gradients
+    // up to summation order. The reference row additionally pins the seed
+    // matmul kernels (`set_reference_kernels`) so it times the *original*
+    // configuration: the DACE/DACE(per-plan-seed) ratio is the full
+    // batching + kernel speedup this rewrite delivered.
     group.bench_function("DACE", |b| {
         b.iter(|| {
             black_box(
@@ -112,6 +125,19 @@ fn bench_training(c: &mut Criterion) {
                 .fit(&slice),
             );
         })
+    });
+    group.bench_function("DACE(per-plan-seed)", |b| {
+        dace_nn::set_reference_kernels(true);
+        b.iter(|| {
+            black_box(
+                Trainer::new(TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                })
+                .fit_per_plan_reference(&slice),
+            );
+        });
+        dace_nn::set_reference_kernels(false);
     });
     group.bench_function("DACE-LoRA(tune)", |b| {
         let mut est = Trainer::new(TrainConfig {

@@ -49,7 +49,11 @@ pub fn generate_database(spec: &DatabaseSpec, scale: f64) -> Database {
         .enumerate()
         .map(|(ti, t)| TableStats {
             row_count: rows[ti],
-            columns: t.columns.iter().map(|c| ColumnStats::from_column(c)).collect(),
+            columns: t
+                .columns
+                .iter()
+                .map(|c| ColumnStats::from_column(c))
+                .collect(),
         })
         .collect();
 
@@ -88,7 +92,9 @@ fn generate_column(
         Distribution::ForeignKey { parent_table, s } => {
             let parent_rows = table_rows[parent_table as usize].max(1);
             if s <= 0.0 {
-                (0..n).map(|_| rng.gen_range(0..parent_rows) as i64).collect()
+                (0..n)
+                    .map(|_| rng.gen_range(0..parent_rows) as i64)
+                    .collect()
             } else {
                 let sampler = ZipfSampler::new(parent_rows, s);
                 (0..n).map(|_| sampler.sample(rng)).collect()

@@ -138,7 +138,14 @@ impl Schema {
             for (ci, c) in t.columns.iter().enumerate() {
                 let pk = if ci == 0 { " PRIMARY KEY" } else { "" };
                 let comma = if ci + 1 == t.columns.len() { "" } else { "," };
-                let _ = writeln!(out, "    {} {}{}{}", c.name, c.col_type.sql_name(), pk, comma);
+                let _ = writeln!(
+                    out,
+                    "    {} {}{}{}",
+                    c.name,
+                    c.col_type.sql_name(),
+                    pk,
+                    comma
+                );
             }
             let _ = writeln!(out, ");");
             for e in self.fks.iter().filter(|e| e.child.index() == ti) {

@@ -67,32 +67,168 @@ pub const TPCH_LIKE_DB: u16 = 1;
 pub fn suite_specs() -> Vec<DatabaseSpec> {
     // (name, shape, n_tables, fact_rows, dim_rows, skew, correlation)
     let presets: [(&str, SchemaShape, u32, u64, u64, f64, f64); SUITE_SIZE] = [
-        ("imdb_like", SchemaShape::Snowflake, 12, 40_000, 6_000, 1.05, 0.30),
+        (
+            "imdb_like",
+            SchemaShape::Snowflake,
+            12,
+            40_000,
+            6_000,
+            1.05,
+            0.30,
+        ),
         ("tpch_like", SchemaShape::Star, 8, 30_000, 4_000, 0.60, 0.20),
-        ("accidents_like", SchemaShape::Star, 4, 20_000, 2_500, 0.90, 0.35),
-        ("airline_like", SchemaShape::Star, 9, 25_000, 3_000, 0.70, 0.25),
-        ("baseball_like", SchemaShape::Mixed, 15, 15_000, 2_000, 0.85, 0.30),
-        ("basketball_like", SchemaShape::Mixed, 9, 12_000, 1_500, 0.80, 0.25),
-        ("carcinogenesis_like", SchemaShape::Chain, 6, 8_000, 2_000, 0.50, 0.15),
-        ("consumer_like", SchemaShape::Star, 3, 18_000, 1_000, 1.10, 0.40),
-        ("credit_like", SchemaShape::Snowflake, 8, 22_000, 2_500, 0.75, 0.20),
-        ("employee_like", SchemaShape::Chain, 6, 16_000, 1_200, 0.40, 0.10),
-        ("financial_like", SchemaShape::Snowflake, 8, 26_000, 3_500, 0.95, 0.30),
+        (
+            "accidents_like",
+            SchemaShape::Star,
+            4,
+            20_000,
+            2_500,
+            0.90,
+            0.35,
+        ),
+        (
+            "airline_like",
+            SchemaShape::Star,
+            9,
+            25_000,
+            3_000,
+            0.70,
+            0.25,
+        ),
+        (
+            "baseball_like",
+            SchemaShape::Mixed,
+            15,
+            15_000,
+            2_000,
+            0.85,
+            0.30,
+        ),
+        (
+            "basketball_like",
+            SchemaShape::Mixed,
+            9,
+            12_000,
+            1_500,
+            0.80,
+            0.25,
+        ),
+        (
+            "carcinogenesis_like",
+            SchemaShape::Chain,
+            6,
+            8_000,
+            2_000,
+            0.50,
+            0.15,
+        ),
+        (
+            "consumer_like",
+            SchemaShape::Star,
+            3,
+            18_000,
+            1_000,
+            1.10,
+            0.40,
+        ),
+        (
+            "credit_like",
+            SchemaShape::Snowflake,
+            8,
+            22_000,
+            2_500,
+            0.75,
+            0.20,
+        ),
+        (
+            "employee_like",
+            SchemaShape::Chain,
+            6,
+            16_000,
+            1_200,
+            0.40,
+            0.10,
+        ),
+        (
+            "financial_like",
+            SchemaShape::Snowflake,
+            8,
+            26_000,
+            3_500,
+            0.95,
+            0.30,
+        ),
         ("fhnk_like", SchemaShape::Star, 3, 24_000, 1_800, 0.65, 0.20),
-        ("geneea_like", SchemaShape::Mixed, 17, 14_000, 1_600, 0.88, 0.35),
-        ("genome_like", SchemaShape::Chain, 6, 30_000, 5_000, 0.55, 0.15),
-        ("hepatitis_like", SchemaShape::Star, 7, 9_000, 900, 0.70, 0.25),
-        ("movielens_like", SchemaShape::Snowflake, 7, 35_000, 4_500, 1.15, 0.40),
-        ("seznam_like", SchemaShape::Star, 4, 28_000, 2_200, 1.00, 0.30),
+        (
+            "geneea_like",
+            SchemaShape::Mixed,
+            17,
+            14_000,
+            1_600,
+            0.88,
+            0.35,
+        ),
+        (
+            "genome_like",
+            SchemaShape::Chain,
+            6,
+            30_000,
+            5_000,
+            0.55,
+            0.15,
+        ),
+        (
+            "hepatitis_like",
+            SchemaShape::Star,
+            7,
+            9_000,
+            900,
+            0.70,
+            0.25,
+        ),
+        (
+            "movielens_like",
+            SchemaShape::Snowflake,
+            7,
+            35_000,
+            4_500,
+            1.15,
+            0.40,
+        ),
+        (
+            "seznam_like",
+            SchemaShape::Star,
+            4,
+            28_000,
+            2_200,
+            1.00,
+            0.30,
+        ),
         ("ssb_like", SchemaShape::Star, 5, 32_000, 3_800, 0.45, 0.15),
-        ("tournament_like", SchemaShape::Mixed, 10, 11_000, 1_400, 0.78, 0.22),
-        ("walmart_like", SchemaShape::Snowflake, 6, 27_000, 3_200, 1.08, 0.38),
+        (
+            "tournament_like",
+            SchemaShape::Mixed,
+            10,
+            11_000,
+            1_400,
+            0.78,
+            0.22,
+        ),
+        (
+            "walmart_like",
+            SchemaShape::Snowflake,
+            6,
+            27_000,
+            3_200,
+            1.08,
+            0.38,
+        ),
     ];
     presets
         .iter()
         .enumerate()
-        .map(|(i, &(name, shape, n_tables, fact_rows, dim_rows, skew, correlation))| {
-            DatabaseSpec {
+        .map(
+            |(i, &(name, shape, n_tables, fact_rows, dim_rows, skew, correlation))| DatabaseSpec {
                 name: name.to_string(),
                 db_id: i as u16,
                 seed: 0xDACE_0000 + i as u64,
@@ -104,8 +240,8 @@ pub fn suite_specs() -> Vec<DatabaseSpec> {
                 correlation,
                 attr_cols_min: 2,
                 attr_cols_max: 6,
-            }
-        })
+            },
+        )
         .collect()
 }
 
@@ -150,7 +286,11 @@ impl DatabaseSpec {
                     col_type: ColumnType::Int,
                     distribution: Distribution::ForeignKey {
                         parent_table: parent,
-                        s: if rng.gen_bool(0.5) { (self.skew * 0.6).min(0.85) } else { 0.0 },
+                        s: if rng.gen_bool(0.5) {
+                            (self.skew * 0.6).min(0.85)
+                        } else {
+                            0.0
+                        },
                     },
                     null_frac: 0.0,
                     indexed: true,
@@ -368,11 +508,7 @@ mod tests {
             .find(|s| s.shape == SchemaShape::Star)
             .unwrap();
         let schema = spec.build_schema();
-        let fact_fks = schema
-            .fks
-            .iter()
-            .filter(|e| e.child == TableId(0))
-            .count();
+        let fact_fks = schema.fks.iter().filter(|e| e.child == TableId(0)).count();
         assert_eq!(fact_fks, spec.n_tables as usize - 1);
     }
 }

@@ -5,7 +5,7 @@
 //! deliberately ignores predicates, tables and literals (Insight I): the
 //! model must work on databases it has never seen.
 
-use dace_nn::{RobustScaler, Tensor2};
+use dace_nn::{RobustScaler, Tensor2, MASK_NEG};
 use dace_plan::{Dataset, PlanTree, NODE_TYPE_COUNT};
 use serde::{Deserialize, Serialize};
 
@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 pub const FEATURE_DIM: usize = NODE_TYPE_COUNT + 2;
 
 /// Featurization variants used by the ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct FeatureConfig {
     /// Use the *actual* cardinality instead of the optimizer estimate —
     /// the DACE-A upper-bound variant of Fig. 12.
@@ -23,7 +22,6 @@ pub struct FeatureConfig {
     /// every node attends to every node.
     pub disable_tree_attention: bool,
 }
-
 
 /// Featurized plan, ready for the model.
 #[derive(Debug, Clone)]
@@ -42,6 +40,81 @@ pub struct PlanFeatures {
 /// Latency floor before the log transform (sub-microsecond labels are
 /// measurement noise).
 const MS_FLOOR: f64 = 1e-4;
+
+/// Latency ceiling in log-space for [`Featurizer::to_ms`]: `e^20` ms is
+/// ≈ 135 hours, far beyond any real query, so clamping here only affects
+/// degenerate (overflowed) model outputs.
+const MAX_LOG_MS: f64 = 20.0;
+
+/// A mini-batch of featurized plans packed into one padded tensor, ready
+/// for a single block-diagonal forward/backward pass.
+///
+/// Layout: plan `b` occupies rows `[b·n_max, (b+1)·n_max)` of `x`; its
+/// `lens[b]` real nodes come first (DFS order) and the remaining rows are
+/// zero padding. `bias` holds one `n_max × n_max` additive score matrix per
+/// plan, concatenated: `0.0` where the tree mask allows attention,
+/// [`MASK_NEG`] where it forbids it, and `-∞` wherever a padding row or
+/// column is involved — so padding rows softmax to all-zero and contribute
+/// exactly zero gradient. `targets` and `heights` align with `x`'s rows
+/// (zeros at padding).
+#[derive(Debug, Clone)]
+pub struct PackedBatch {
+    /// Packed node features, `(count · n_max) × FEATURE_DIM`.
+    pub x: Tensor2,
+    /// Padded rows per plan slot.
+    pub n_max: usize,
+    /// Number of plans packed.
+    pub count: usize,
+    /// Real node count of each plan.
+    pub lens: Vec<usize>,
+    /// Concatenated per-plan additive attention biases (`count · n_max²`).
+    pub bias: Vec<f32>,
+    /// Per-row training targets (`ln` ms; `0.0` at padding rows).
+    pub targets: Vec<f32>,
+    /// Per-row node heights (`0` at padding rows).
+    pub heights: Vec<u32>,
+}
+
+impl PackedBatch {
+    /// Pack a mini-batch, padding every plan to the batch's largest plan.
+    pub fn pack(plans: &[&PlanFeatures]) -> PackedBatch {
+        assert!(!plans.is_empty(), "cannot pack an empty batch");
+        let n_max = plans.iter().map(|p| p.x.rows()).max().unwrap();
+        let count = plans.len();
+        let mut x = Tensor2::zeros(count * n_max, FEATURE_DIM);
+        let mut bias = vec![f32::NEG_INFINITY; count * n_max * n_max];
+        let mut targets = vec![0.0f32; count * n_max];
+        let mut heights = vec![0u32; count * n_max];
+        let mut lens = Vec::with_capacity(count);
+        for (b, p) in plans.iter().enumerate() {
+            let n = p.x.rows();
+            lens.push(n);
+            x.set_row_block(b * n_max, &p.x);
+            let bias_b = &mut bias[b * n_max * n_max..(b + 1) * n_max * n_max];
+            for i in 0..n {
+                for j in 0..n {
+                    bias_b[i * n_max + j] = if p.mask[i * n + j] { 0.0 } else { MASK_NEG };
+                }
+            }
+            targets[b * n_max..b * n_max + n].copy_from_slice(&p.targets);
+            heights[b * n_max..b * n_max + n].copy_from_slice(&p.heights);
+        }
+        PackedBatch {
+            x,
+            n_max,
+            count,
+            lens,
+            bias,
+            targets,
+            heights,
+        }
+    }
+
+    /// Total packed rows (`count · n_max`).
+    pub fn rows(&self) -> usize {
+        self.count * self.n_max
+    }
+}
 
 /// Fitted featurizer: the robust scalers are part of the pre-trained model
 /// and travel with it to unseen databases.
@@ -113,9 +186,17 @@ impl Featurizer {
     }
 
     /// Convert a model output (log-ms) back to milliseconds.
+    ///
+    /// Degenerate logits are sanitized rather than propagated: NaN maps to
+    /// the measurement floor, and the log-value is clamped to
+    /// `[ln(MS_FLOOR), MAX_LOG_MS]` so the result is always finite and
+    /// positive even for ±∞ inputs.
     #[inline]
     pub fn to_ms(log_ms: f32) -> f64 {
-        (log_ms as f64).exp()
+        if log_ms.is_nan() {
+            return MS_FLOOR;
+        }
+        (log_ms as f64).clamp(MS_FLOOR.ln(), MAX_LOG_MS).exp()
     }
 }
 
@@ -149,7 +230,11 @@ mod tests {
     }
 
     fn toy_dataset() -> Dataset {
-        Dataset::from_plans((1..50).map(|i| toy_plan(i as f64 * 10.0, i as f64, i as f64)).collect())
+        Dataset::from_plans(
+            (1..50)
+                .map(|i| toy_plan(i as f64 * 10.0, i as f64, i as f64))
+                .collect(),
+        )
     }
 
     #[test]
@@ -160,7 +245,10 @@ mod tests {
         assert_eq!(feats.x.rows(), 2);
         assert_eq!(feats.x.cols(), FEATURE_DIM);
         // Row 0 is the root (GroupAggregate) in DFS order.
-        assert_eq!(feats.x.get(0, NodeType::GroupAggregate.one_hot_index()), 1.0);
+        assert_eq!(
+            feats.x.get(0, NodeType::GroupAggregate.one_hot_index()),
+            1.0
+        );
         assert_eq!(feats.x.get(1, NodeType::SeqScan.one_hot_index()), 1.0);
         // Exactly one one-hot bit per row.
         for r in 0..2 {
@@ -216,6 +304,78 @@ mod tests {
         );
         let feats = f.encode(&ds.plans[0].tree);
         assert!(feats.mask.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn to_ms_sanitizes_degenerate_logits() {
+        // Overflowed or NaN model outputs must never leak inf/NaN latencies
+        // into downstream metrics.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e30, -1e30] {
+            let ms = Featurizer::to_ms(bad);
+            assert!(ms.is_finite() && ms > 0.0, "to_ms({bad}) = {ms}");
+        }
+        // ln→exp round-trip of the floor is only approximate in f64.
+        assert!((Featurizer::to_ms(f32::NEG_INFINITY) - MS_FLOOR).abs() < 1e-12);
+        // In-range values are untouched.
+        assert!((Featurizer::to_ms(2.0) - (2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_batch_layout_and_bias() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        let a = f.encode(&ds.plans[3].tree); // 2 nodes
+                                             // Single-node plan: just the root of a one-leaf tree won't happen
+                                             // with toy plans, so pack two 2-node plans plus a padded slot check
+                                             // via differing n_max from a hand-built 1-node comparison below.
+        let b = f.encode(&ds.plans[7].tree); // 2 nodes
+        let batch = PackedBatch::pack(&[&a, &b]);
+        assert_eq!(batch.count, 2);
+        assert_eq!(batch.n_max, 2);
+        assert_eq!(batch.lens, vec![2, 2]);
+        assert_eq!(batch.rows(), 4);
+        // Rows mirror the per-plan features.
+        for i in 0..2 {
+            for c in 0..FEATURE_DIM {
+                assert_eq!(batch.x.get(i, c), a.x.get(i, c));
+                assert_eq!(batch.x.get(2 + i, c), b.x.get(i, c));
+            }
+        }
+        assert_eq!(&batch.targets[..2], &a.targets[..]);
+        assert_eq!(&batch.targets[2..], &b.targets[..]);
+        // Bias encodes the tree mask: root row attends to both nodes, leaf
+        // row only to itself (mask = [t, t, f, t] per toy plan).
+        assert_eq!(batch.bias[0], 0.0);
+        assert_eq!(batch.bias[1], 0.0);
+        assert_eq!(batch.bias[2], MASK_NEG);
+        assert_eq!(batch.bias[3], 0.0);
+    }
+
+    #[test]
+    fn packed_batch_pads_shorter_plans() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        let two = f.encode(&ds.plans[0].tree);
+        // Truncate to a single-node plan by re-encoding a subtree: build a
+        // 1-row PlanFeatures by hand from the leaf row.
+        let one = PlanFeatures {
+            x: two.x.row_block(1, 1),
+            mask: vec![true],
+            heights: vec![0],
+            targets: vec![two.targets[1]],
+        };
+        let batch = PackedBatch::pack(&[&one, &two]);
+        assert_eq!(batch.n_max, 2);
+        assert_eq!(batch.lens, vec![1, 2]);
+        // Plan 0's padding row is zero features, zero target.
+        for c in 0..FEATURE_DIM {
+            assert_eq!(batch.x.get(1, c), 0.0);
+        }
+        assert_eq!(batch.targets[1], 0.0);
+        // Plan 0's bias: real self-attention cell is 0.0; every cell that
+        // touches the padding row/column is -inf.
+        let inf = f32::NEG_INFINITY;
+        assert_eq!(&batch.bias[..4], &[0.0, inf, inf, inf]);
     }
 
     #[test]

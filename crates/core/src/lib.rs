@@ -24,7 +24,7 @@ mod loss;
 mod model;
 mod trainer;
 
-pub use featurize::{FeatureConfig, Featurizer, PlanFeatures, FEATURE_DIM};
+pub use featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures, FEATURE_DIM};
 pub use loss::LossAdjuster;
 pub use model::{DaceModel, ENCODING_DIM};
 pub use trainer::{DaceEstimator, TrainConfig, Trainer};

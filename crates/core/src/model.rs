@@ -4,7 +4,7 @@
 use dace_nn::{LoraLinear, LoraMode, MaskedSelfAttention, Param, Relu, Tensor2};
 use serde::{Deserialize, Serialize};
 
-use crate::featurize::{PlanFeatures, FEATURE_DIM};
+use crate::featurize::{PackedBatch, PlanFeatures, FEATURE_DIM};
 
 /// Width of the penultimate hidden layer `h₂` — the encoding dimension the
 /// pre-trained-encoder interface exposes (Eq. 9: `w_E = h₂`).
@@ -31,10 +31,41 @@ pub struct DaceModel {
     pub l3: LoraLinear,
     #[serde(skip, default = "default_relus")]
     relus: (Relu, Relu),
+    /// Padded row layout `(lens, n_max)` of the last [`forward_batch`]
+    /// call. `backward` uses it to gather the real rows out of the padded
+    /// `d_pred` before backpropagating through the compacted activations.
+    #[serde(skip)]
+    batch_layout: Option<(Vec<usize>, usize)>,
 }
 
 fn default_relus() -> (Relu, Relu) {
     (Relu::new(), Relu::new())
+}
+
+/// Copy each plan's `lens[b]` real rows out of the padded layout (plan `b`
+/// at rows `[b·n_max, (b+1)·n_max)`) into a contiguous `Σ lens[b]`-row
+/// tensor, dropping the padding rows.
+fn gather_real_rows(x: &Tensor2, lens: &[usize], n_max: usize) -> Tensor2 {
+    let total: usize = lens.iter().sum();
+    let mut out = Tensor2::zeros(total, x.cols());
+    let mut row = 0;
+    for (b, &l) in lens.iter().enumerate() {
+        out.set_row_block(row, &x.row_block(b * n_max, l));
+        row += l;
+    }
+    out
+}
+
+/// Inverse of [`gather_real_rows`]: place compact rows back at their padded
+/// positions, leaving padding rows exactly zero.
+fn scatter_real_rows(x: &Tensor2, lens: &[usize], n_max: usize) -> Tensor2 {
+    let mut out = Tensor2::zeros(lens.len() * n_max, x.cols());
+    let mut row = 0;
+    for (b, &l) in lens.iter().enumerate() {
+        out.set_row_block(b * n_max, &x.row_block(row, l));
+        row += l;
+    }
+    out
 }
 
 impl DaceModel {
@@ -46,32 +77,104 @@ impl DaceModel {
             l2: LoraLinear::new(H1, ENCODING_DIM, RANKS[1], seed ^ 0x02),
             l3: LoraLinear::new(ENCODING_DIM, 1, RANKS[2], seed ^ 0x03),
             relus: default_relus(),
+            batch_layout: None,
         }
     }
 
     /// Training forward pass: per-node log-latency predictions (`n × 1`).
     pub fn forward(&mut self, feats: &PlanFeatures) -> Tensor2 {
+        self.batch_layout = None;
         let a = self.attention.forward(&feats.x, &feats.mask);
         let h1 = self.relus.0.forward(&self.l1.forward(&a));
         let h2 = self.relus.1.forward(&self.l2.forward(&h1));
         self.l3.forward(&h2)
     }
 
-    /// Backward pass from per-node prediction gradients (`n × 1`).
+    /// Backward pass from per-node prediction gradients — `n × 1` after
+    /// [`forward`], `count · n_max × 1` (padded layout) after
+    /// [`forward_batch`]. Padding-row gradients must be zero; they are
+    /// dropped by the gather, which is exactly what backpropagating them
+    /// through zero-probability attention rows would produce.
     pub fn backward(&mut self, d_pred: &Tensor2) {
-        let d = self.l3.backward(d_pred);
-        let d = self.relus.1.backward(&d);
-        let d = self.l2.backward(&d);
-        let d = self.relus.0.backward(&d);
-        let d = self.l1.backward(&d);
-        let _ = self.attention.backward(&d);
+        match self.batch_layout.take() {
+            Some((lens, n_max)) => {
+                let d = gather_real_rows(d_pred, &lens, n_max);
+                let d = self.l3.backward(&d);
+                let d = self.relus.1.backward(&d);
+                let d = self.l2.backward(&d);
+                let d = self.relus.0.backward(&d);
+                let d = self.l1.backward(&d);
+                // Attention is the first layer: dx is never consumed.
+                self.attention.backward_params_only(&d);
+            }
+            None => {
+                let d = self.l3.backward(d_pred);
+                let d = self.relus.1.backward(&d);
+                let d = self.l2.backward(&d);
+                let d = self.relus.0.backward(&d);
+                let d = self.l1.backward(&d);
+                // Kept on the full `backward` (dx computed and dropped) so
+                // the per-plan reference path matches the seed exactly.
+                let _ = self.attention.backward(&d);
+            }
+        }
+    }
+
+    /// Batched training forward pass over a packed mini-batch. The real
+    /// rows are gathered out of the padded layout once, attention and the
+    /// MLP run over `Σ lens[b]` compact rows (one variable-length
+    /// block-diagonal attention call plus one MLP pass), and the
+    /// predictions are scattered back. Returns per-row log-latency
+    /// predictions in the padded `count · n_max × 1` layout; padding rows
+    /// are exact zeros.
+    pub fn forward_batch(&mut self, batch: &PackedBatch) -> Tensor2 {
+        let xc = gather_real_rows(&batch.x, &batch.lens, batch.n_max);
+        let a = self
+            .attention
+            .forward_packed(&xc, &batch.lens, batch.n_max, &batch.bias);
+        let h1 = self.relus.0.forward(&self.l1.forward(&a));
+        let h2 = self.relus.1.forward(&self.l2.forward(&h1));
+        let preds = self.l3.forward(&h2);
+        self.batch_layout = Some((batch.lens.clone(), batch.n_max));
+        scatter_real_rows(&preds, &batch.lens, batch.n_max)
+    }
+
+    /// Batched inference over a packed mini-batch: per-plan *root*
+    /// log-latency predictions (the first real row of each block).
+    pub fn predict_batch(&self, batch: &PackedBatch) -> Vec<f32> {
+        let xc = gather_real_rows(&batch.x, &batch.lens, batch.n_max);
+        let a = self
+            .attention
+            .forward_packed_inference(&xc, &batch.lens, batch.n_max, &batch.bias);
+        let h1 = self
+            .relus
+            .0
+            .forward_inference(&self.l1.forward_inference(&a));
+        let h2 = self
+            .relus
+            .1
+            .forward_inference(&self.l2.forward_inference(&h1));
+        let preds = self.l3.forward_inference(&h2);
+        let mut out = Vec::with_capacity(batch.count);
+        let mut row = 0;
+        for &l in &batch.lens {
+            out.push(preds.get(row, 0));
+            row += l;
+        }
+        out
     }
 
     /// Inference: per-node log-latency predictions without caching.
     pub fn predict(&self, feats: &PlanFeatures) -> Tensor2 {
         let a = self.attention.forward_inference(&feats.x, &feats.mask);
-        let h1 = self.relus.0.forward_inference(&self.l1.forward_inference(&a));
-        let h2 = self.relus.1.forward_inference(&self.l2.forward_inference(&h1));
+        let h1 = self
+            .relus
+            .0
+            .forward_inference(&self.l1.forward_inference(&a));
+        let h2 = self
+            .relus
+            .1
+            .forward_inference(&self.l2.forward_inference(&h1));
         self.l3.forward_inference(&h2)
     }
 
@@ -84,8 +187,14 @@ impl DaceModel {
     /// (`ENCODING_DIM` values), the paper's `w_E` (Eq. 9).
     pub fn encode(&self, feats: &PlanFeatures) -> Vec<f32> {
         let a = self.attention.forward_inference(&feats.x, &feats.mask);
-        let h1 = self.relus.0.forward_inference(&self.l1.forward_inference(&a));
-        let h2 = self.relus.1.forward_inference(&self.l2.forward_inference(&h1));
+        let h1 = self
+            .relus
+            .0
+            .forward_inference(&self.l1.forward_inference(&a));
+        let h2 = self
+            .relus
+            .1
+            .forward_inference(&self.l2.forward_inference(&h1));
         h2.row(0).to_vec()
     }
 
@@ -203,7 +312,11 @@ mod tests {
     fn parameter_budget_is_lightweight() {
         let model = DaceModel::new(4);
         // The paper reports 0.064 MB for DACE and a LoRA add-on ~25% of it.
-        assert!(model.size_mb() < 0.2, "model too large: {} MB", model.size_mb());
+        assert!(
+            model.size_mb() < 0.2,
+            "model too large: {} MB",
+            model.size_mb()
+        );
         let lora_ratio = model.lora_param_count() as f64 / model.base_param_count() as f64;
         assert!(lora_ratio < 0.6, "LoRA ratio {lora_ratio}");
     }
@@ -226,11 +339,7 @@ mod tests {
         let feats = toy_features();
         let preds = model.forward(&feats);
         model.backward(&preds);
-        let grad_norm: f32 = model
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.norm_sq())
-            .sum();
+        let grad_norm: f32 = model.params_mut().iter().map(|p| p.grad.norm_sq()).sum();
         assert!(grad_norm > 0.0, "no gradient flowed");
     }
 

@@ -60,7 +60,10 @@ impl<'a> CardEstimator<'a> {
         } else {
             (right_rows, left_rows)
         };
-        let ndv_child = child_stats.n_distinct.max(1.0).min(child_side_rows.max(1.0));
+        let ndv_child = child_stats
+            .n_distinct
+            .max(1.0)
+            .min(child_side_rows.max(1.0));
         let ndv_parent = parent_stats
             .n_distinct
             .max(1.0)
@@ -90,20 +93,24 @@ fn predicate_selectivity(stats: &ColumnStats, pred: &Predicate) -> f64 {
     let non_null = 1.0 - stats.null_frac;
     match pred.op {
         CmpOp::Eq => eq_selectivity(stats, pred.values[0]) * non_null.min(1.0),
-        CmpOp::In => pred
-            .values
-            .iter()
-            .map(|&v| eq_selectivity(stats, v))
-            .sum::<f64>()
-            .min(1.0)
-            * non_null,
+        CmpOp::In => {
+            pred.values
+                .iter()
+                .map(|&v| eq_selectivity(stats, v))
+                .sum::<f64>()
+                .min(1.0)
+                * non_null
+        }
         CmpOp::Lt => range_below(stats, pred.values[0]) * non_null,
-        CmpOp::Le => (range_below(stats, pred.values[0]) + eq_selectivity(stats, pred.values[0]))
-            .min(1.0)
-            * non_null,
-        CmpOp::Gt => (1.0 - range_below(stats, pred.values[0]) - eq_selectivity(stats, pred.values[0]))
-            .max(0.0)
-            * non_null,
+        CmpOp::Le => {
+            (range_below(stats, pred.values[0]) + eq_selectivity(stats, pred.values[0])).min(1.0)
+                * non_null
+        }
+        CmpOp::Gt => {
+            (1.0 - range_below(stats, pred.values[0]) - eq_selectivity(stats, pred.values[0]))
+                .max(0.0)
+                * non_null
+        }
         CmpOp::Ge => (1.0 - range_below(stats, pred.values[0])).max(0.0) * non_null,
         CmpOp::Between | CmpOp::LikePrefix => {
             let lo = pred.values[0];

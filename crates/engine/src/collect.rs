@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn explain_analyze_renders() {
         let db = generate_database(&suite_specs()[2], 0.02);
-        let q = ComplexWorkloadGen::default().generate(&db, 1).pop().unwrap();
+        let q = ComplexWorkloadGen::default()
+            .generate(&db, 1)
+            .pop()
+            .unwrap();
         let (tree, text) = explain_analyze(&db, &q, MachineId::M1);
         assert!(text.contains("cost="));
         assert!(text.contains("actual time="));

@@ -58,14 +58,14 @@ impl CostModel {
     pub fn index_scan(&self, rows: f64, out_rows: f64) -> f64 {
         let descent = (rows.max(2.0)).log2() * self.cpu_operator_cost * 2.0;
         descent
-            + out_rows
-                * (self.random_page_cost + self.cpu_index_tuple_cost + self.cpu_tuple_cost)
+            + out_rows * (self.random_page_cost + self.cpu_index_tuple_cost + self.cpu_tuple_cost)
     }
 
     /// Index-only scan: like [`CostModel::index_scan`] without heap fetches.
     pub fn index_only_scan(&self, rows: f64, out_rows: f64) -> f64 {
         let descent = (rows.max(2.0)).log2() * self.cpu_operator_cost * 2.0;
-        descent + out_rows * (self.cpu_index_tuple_cost + self.cpu_tuple_cost)
+        descent
+            + out_rows * (self.cpu_index_tuple_cost + self.cpu_tuple_cost)
             + self.pages(out_rows, 8.0) * self.seq_page_cost
     }
 
@@ -86,8 +86,7 @@ impl CostModel {
 
     /// Hash-table build over `rows` input tuples.
     pub fn hash_build(&self, rows: f64, width: f64) -> f64 {
-        rows * (self.cpu_operator_cost * 1.5 + self.cpu_tuple_cost)
-            + self.pages(rows, width) * 0.05
+        rows * (self.cpu_operator_cost * 1.5 + self.cpu_tuple_cost) + self.pages(rows, width) * 0.05
     }
 
     /// Hash-join probe phase: `probe_rows` probes emitting `out_rows`.

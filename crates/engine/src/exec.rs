@@ -66,10 +66,7 @@ fn run(db: &Database, plan: &mut PhysPlan) -> Intermediate {
             }
             out
         }
-        ExecOp::PassThrough => {
-            
-            run(db, &mut plan.children[0])
-        }
+        ExecOp::PassThrough => run(db, &mut plan.children[0]),
         ExecOp::Aggregate { group_by } => {
             let child = run(db, &mut plan.children[0]);
             aggregate(db, child, group_by)
@@ -254,9 +251,9 @@ mod tests {
         let parent_rows = db.table_data(e.parent).rows();
         let parent_ok: Vec<bool> = (0..parent_rows)
             .map(|r| {
-                parent_preds.iter().all(|p| {
-                    eval_predicate(p, db.column_data(p.column)[r])
-                })
+                parent_preds
+                    .iter()
+                    .all(|p| eval_predicate(p, db.column_data(p.column)[r]))
             })
             .collect();
         let child_rows = db.table_data(e.child).rows();

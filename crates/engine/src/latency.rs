@@ -228,7 +228,9 @@ impl MachineProfile {
                 touched * (self.seq_page_ns + self.rand_page_ns) * 0.5
                     + out * (self.tuple_ns + n_preds * self.op_ns)
             }
-            NodeType::Hash => in_rows * self.hash_ns * self.spill(in_rows) * self.mem_factor(in_rows),
+            NodeType::Hash => {
+                in_rows * self.hash_ns * self.spill(in_rows) * self.mem_factor(in_rows)
+            }
             NodeType::HashJoin => {
                 // Probe side is child 0; the Hash child covered the build.
                 // Probes stall on the build table once it exceeds cache.

@@ -465,7 +465,11 @@ fn best_join(
     let exec = ExecOp::Join { edge };
 
     // Hash join: build on the smaller side, probe from the larger.
-    let (probe, build) = if l.est_rows >= r.est_rows { (l, r) } else { (r, l) };
+    let (probe, build) = if l.est_rows >= r.est_rows {
+        (l, r)
+    } else {
+        (r, l)
+    };
     let hash_cost = build.est_cost
         + probe.est_cost
         + cm.hash_build(build.est_rows, build.width as f64)
@@ -497,8 +501,7 @@ fn best_join(
             let parent_rows = db.table_stats(edge.parent).row_count as f64;
             let per_probe = out_rows / outer.est_rows.max(1.0);
             let rescan = cm.index_scan(parent_rows, per_probe.max(1.0));
-            let nl_cost =
-                outer.est_cost + cm.nested_loop(outer.est_rows, rescan, out_rows);
+            let nl_cost = outer.est_cost + cm.nested_loop(outer.est_rows, rescan, out_rows);
             if nl_cost < best.est_cost {
                 let mut inner_idx = inner.clone();
                 inner_idx.node_type = NodeType::IndexScan;
@@ -519,7 +522,11 @@ fn best_join(
 
     // Nested loop over a materialized inner (wins only for tiny inputs).
     {
-        let (outer, inner) = if l.est_rows <= r.est_rows { (l, r) } else { (r, l) };
+        let (outer, inner) = if l.est_rows <= r.est_rows {
+            (l, r)
+        } else {
+            (r, l)
+        };
         let mat_cost = inner.est_cost + cm.materialize(inner.est_rows, inner.width as f64);
         let rescan = cm.materialize_rescan(inner.est_rows);
         let nl_cost = outer.est_cost
@@ -773,7 +780,10 @@ mod tests {
     #[test]
     fn plan_tree_conversion_preserves_structure() {
         let db = db();
-        let q = ComplexWorkloadGen::default().generate(&db, 20).pop().unwrap();
+        let q = ComplexWorkloadGen::default()
+            .generate(&db, 20)
+            .pop()
+            .unwrap();
         let p = plan(&db, &q, &CostModel::default());
         let tree = p.to_plan_tree();
         assert_eq!(tree.len(), p.len());

@@ -58,7 +58,10 @@ fn main() {
         std::process::exit(2);
     }
     if targets.iter().any(|t| t == "all") {
-        targets = EXPERIMENTS.iter().map(|(id, _, _)| id.to_string()).collect();
+        targets = EXPERIMENTS
+            .iter()
+            .map(|(id, _, _)| id.to_string())
+            .collect();
     }
 
     let mut cfg = EvalConfig::scaled(scale);

@@ -65,16 +65,16 @@ fn main() {
         let actual = plan.latency_ms();
         let qe = qerror(pred, actual);
         total_q += qe;
-        println!(
-            "   predicted {pred:.3} ms | actual {actual:.3} ms | qerror {qe:.2}"
-        );
+        println!("   predicted {pred:.3} ms | actual {actual:.3} ms | qerror {qe:.2}");
         // Sub-plan predictions, DFS order (what plan comparison would use).
         let subs = est.predict_subplans_ms(&plan.tree);
         let phys = plan_query(&db, q);
         println!(
             "   sub-plans: {} nodes, predicted root-to-leaf profile: {:?}",
             phys.len(),
-            subs.iter().map(|&s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+            subs.iter()
+                .map(|&s| (s * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
     println!(

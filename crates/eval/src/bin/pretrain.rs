@@ -65,8 +65,12 @@ fn main() {
         suite.len(),
         keep.len()
     );
+    // Long pre-training runs hold out 10% of the plans and stop early once
+    // validation loss plateaus, restoring the best weights.
     let est = Trainer::new(TrainConfig {
         epochs,
+        validation_fraction: 0.1,
+        patience: 5,
         ..Default::default()
     })
     .fit(&suite);

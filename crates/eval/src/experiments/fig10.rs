@@ -29,9 +29,8 @@ pub(super) fn run(ctx: &Ctx) -> String {
         ("DACE w/o LA (α=1)", 1.0, FeatureConfig::default()),
     ];
 
-    let mut out = String::from(
-        "Fig. 10 — ablation on workload 3 (trained on 19 DBs, median qerror).\n\n",
-    );
+    let mut out =
+        String::from("Fig. 10 — ablation on workload 3 (trained on 19 DBs, median qerror).\n\n");
     let _ = writeln!(
         out,
         "| Variant            | Synthetic | Scale | JOB-light |"

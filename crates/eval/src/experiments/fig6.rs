@@ -18,7 +18,12 @@ pub(super) fn run(ctx: &Ctx) -> String {
     let epochs = ctx.cfg.baseline_epochs;
 
     // The pre-trained encoder (never saw the IMDB-like database).
-    let dace = train_dace(&adm_train, ctx.cfg.dace_epochs, 0.5, FeatureConfig::default());
+    let dace = train_dace(
+        &adm_train,
+        ctx.cfg.dace_epochs,
+        0.5,
+        FeatureConfig::default(),
+    );
 
     let mut mscn = Mscn::new(11);
     mscn.epochs = epochs;
@@ -40,11 +45,7 @@ pub(super) fn run(ctx: &Ctx) -> String {
     let _ = writeln!(out, "{}", QErrorStats::table_header());
     let models: [&dyn CostEstimator; 4] = [&mscn, &dace_mscn, &qf, &dace_qf];
     for m in models {
-        let _ = writeln!(
-            out,
-            "{}",
-            eval_model(m, &wl3.job_light).table_row(m.name())
-        );
+        let _ = writeln!(out, "{}", eval_model(m, &wl3.job_light).table_row(m.name()));
     }
     out.push_str(
         "\nExpected shape: the DACE-augmented variants dominate, with the max qerror\n\

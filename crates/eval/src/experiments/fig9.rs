@@ -15,7 +15,12 @@ use super::Ctx;
 pub(super) fn run(ctx: &Ctx) -> String {
     let wl3 = ctx.wl3();
     let adm_train = ctx.suite_m1().exclude_db(IMDB_LIKE_DB);
-    let dace = train_dace(&adm_train, ctx.cfg.dace_epochs, 0.5, FeatureConfig::default());
+    let dace = train_dace(
+        &adm_train,
+        ctx.cfg.dace_epochs,
+        0.5,
+        FeatureConfig::default(),
+    );
 
     // PostgreSQL reference line (fit on the full training set — the DBMS is
     // assumed calibrated).
@@ -36,9 +41,8 @@ pub(super) fn run(ctx: &Ctx) -> String {
         sweep
     };
 
-    let mut out = String::from(
-        "Fig. 9 — JOB-light qerror by number of training queries (median, p95).\n\n",
-    );
+    let mut out =
+        String::from("Fig. 9 — JOB-light qerror by number of training queries (median, p95).\n\n");
     let _ = writeln!(
         out,
         "PostgreSQL reference: median {:.2}, p95 {:.2}\n",

@@ -158,8 +158,8 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
         for expected in [
-            "fig4", "fig5", "table1", "fig6", "table2", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "fig12",
+            "fig4", "fig5", "table1", "fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

@@ -38,7 +38,12 @@ pub(super) fn run(ctx: &Ctx) -> String {
     let mut zs = ZeroShot::new(5);
     zs.epochs = epochs;
     zs.fit(&adm_train);
-    let dace = train_dace(&adm_train, ctx.cfg.dace_epochs, 0.5, FeatureConfig::default());
+    let dace = train_dace(
+        &adm_train,
+        ctx.cfg.dace_epochs,
+        0.5,
+        FeatureConfig::default(),
+    );
 
     // DACE-LoRA: adapt the pre-trained DACE to workload 3 by training only
     // the adapters (the paper's instance-optimization path).
@@ -56,7 +61,11 @@ pub(super) fn run(ctx: &Ctx) -> String {
             let _ = writeln!(out, "{}", eval_model(m, test).table_row(m.name()));
         }
         let _ = writeln!(out, "{}", eval_dace(&dace, test).table_row("DACE"));
-        let _ = writeln!(out, "{}", eval_dace(&dace_lora, test).table_row("DACE-LoRA"));
+        let _ = writeln!(
+            out,
+            "{}",
+            eval_dace(&dace_lora, test).table_row("DACE-LoRA")
+        );
     }
     out.push_str(
         "\nExpected shape: DACE beats every baseline on tail qerror (90th+) despite never\n\

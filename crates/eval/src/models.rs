@@ -53,7 +53,6 @@ impl Dace {
     }
 }
 
-
 impl CostEstimator for Dace {
     fn name(&self) -> &'static str {
         self.name
@@ -101,12 +100,16 @@ pub fn eval_model(model: &dyn CostEstimator, test: &Dataset) -> QErrorStats {
     QErrorStats::from_pairs(&pairs)
 }
 
-/// Evaluate a bare DACE estimator on a test set.
+/// Evaluate a bare DACE estimator on a test set using batched inference:
+/// the whole test set runs through [`DaceEstimator::predict_batch_ms`] in
+/// `batch_plans`-sized packed chunks instead of one forward pass per plan.
 pub fn eval_dace(est: &DaceEstimator, test: &Dataset) -> QErrorStats {
-    let pairs: Vec<(f64, f64)> = test
-        .plans
-        .iter()
-        .map(|p| (est.predict_ms(&p.tree), p.latency_ms()))
+    let trees: Vec<&PlanTree> = test.plans.iter().map(|p| &p.tree).collect();
+    let preds = est.predict_batch_ms(&trees);
+    let pairs: Vec<(f64, f64)> = preds
+        .into_iter()
+        .zip(&test.plans)
+        .map(|(pred, p)| (pred, p.latency_ms()))
         .collect();
     QErrorStats::from_pairs(&pairs)
 }

@@ -4,6 +4,14 @@
 //! tree-structured mask: disallowed positions are driven to `-∞` before the
 //! softmax, so every node attends to exactly itself and its descendants.
 //! DACE uses one head and one layer (Sec. V-A), so no multi-head machinery.
+//!
+//! Every pass runs through one **block-diagonal** code path: the input is
+//! stacked blocks of rows, attention scores are computed only *within*
+//! each block, and rows never attend across block boundaries. A single
+//! plan is the degenerate case of one block; a packed mini-batch supplies
+//! one variable-length block per plan ([`MaskedSelfAttention::forward_packed`]),
+//! giving one set of large Q/K/V projections per batch instead of one per
+//! plan and per-block score work proportional to each plan's *real* size.
 
 use serde::{Deserialize, Serialize};
 
@@ -11,7 +19,11 @@ use crate::param::Param;
 use crate::tensor::Tensor2;
 
 /// Additive value standing in for `-∞` in masked score positions.
-const MASK_NEG: f32 = -1.0e9;
+///
+/// Kept finite so that a *real* node with every tree position masked would
+/// still produce finite probabilities; genuine `-∞` is reserved for padding
+/// rows (see [`Tensor2::softmax_rows`]'s fully-masked-row handling).
+pub const MASK_NEG: f32 = -1.0e9;
 
 /// Convert a boolean attention mask into an additive score bias.
 fn mask_to_bias(mask: &[bool]) -> Vec<f32> {
@@ -42,7 +54,11 @@ struct Cache {
     q: Tensor2,
     k: Tensor2,
     v: Tensor2,
-    probs: Tensor2,
+    /// Concatenated per-block probability matrices: block `b` contributes
+    /// `lens[b]²` row-major softmax values.
+    probs: Vec<f32>,
+    /// Rows of each attention block (`[x.rows()]` for a single plan).
+    lens: Vec<usize>,
 }
 
 impl MaskedSelfAttention {
@@ -76,69 +92,214 @@ impl MaskedSelfAttention {
     /// masking (bias = −∞) and supports QueryFormer-style tree-bias
     /// attention (bias = −λ·distance). Caches for backward.
     pub fn forward_bias(&mut self, x: &Tensor2, bias: &[f32]) -> Tensor2 {
-        let (q, k, v, probs) = self.project(x, bias);
-        let out = probs.matmul(&v);
+        self.forward_block_diag(x, x.rows(), bias)
+    }
+
+    /// Biased forward pass without caching (inference).
+    pub fn forward_bias_inference(&self, x: &Tensor2, bias: &[f32]) -> Tensor2 {
+        self.forward_block_diag_inference(x, x.rows(), bias)
+    }
+
+    /// Block-diagonal forward pass over a packed batch. `x` is
+    /// `(nb · block) × d`: `nb` plans each padded to `block` rows. `bias`
+    /// holds one `block × block` additive score matrix per plan,
+    /// concatenated (`bias[b·block² + i·block + j]`); padding rows/columns
+    /// carry `-∞` so their probabilities vanish. Caches for backward.
+    pub fn forward_block_diag(&mut self, x: &Tensor2, block: usize, bias: &[f32]) -> Tensor2 {
+        let lens = Self::uniform_lens(x.rows(), block);
+        self.forward_packed(x, &lens, block, bias)
+    }
+
+    /// Block-diagonal forward pass without caching (inference).
+    pub fn forward_block_diag_inference(&self, x: &Tensor2, block: usize, bias: &[f32]) -> Tensor2 {
+        let lens = Self::uniform_lens(x.rows(), block);
+        self.forward_packed_inference(x, &lens, block, bias)
+    }
+
+    fn uniform_lens(n: usize, block: usize) -> Vec<usize> {
+        assert!(
+            block > 0 && n.is_multiple_of(block),
+            "rows must tile into blocks"
+        );
+        vec![block; n / block]
+    }
+
+    /// Variable-length block-diagonal forward pass. `x` holds the blocks'
+    /// rows back to back **without padding**: block `b` occupies the next
+    /// `lens[b]` rows. `bias` is still laid out padded — one
+    /// `stride × stride` matrix per block of which only the leading
+    /// `lens[b] × lens[b]` corner is read — so a [`PackedBatch`]-style bias
+    /// buffer works for both the padded and the compacted row layouts.
+    /// Caches for backward.
+    ///
+    /// This is the fast path for mini-batch training: score/softmax/PV work
+    /// is `Σ lens[b]²`, not `nb · stride²`, and the Q/K/V projections only
+    /// touch real rows. Results are bit-identical to the padded layout
+    /// because padded score columns carry `-∞` bias (probability exactly
+    /// zero) and padded rows are all-masked (softmax row exactly zero).
+    pub fn forward_packed(
+        &mut self,
+        x: &Tensor2,
+        lens: &[usize],
+        stride: usize,
+        bias: &[f32],
+    ) -> Tensor2 {
+        let (q, k, v, probs) = self.project_packed(x, lens, stride, bias);
+        let out = Self::apply_probs(&probs, &v, lens);
         self.cache = Some(Cache {
             x: x.clone(),
             q,
             k,
             v,
             probs,
+            lens: lens.to_vec(),
         });
         out
     }
 
-    /// Biased forward pass without caching (inference).
-    pub fn forward_bias_inference(&self, x: &Tensor2, bias: &[f32]) -> Tensor2 {
-        let (_, _, v, probs) = self.project(x, bias);
-        probs.matmul(&v)
+    /// Variable-length block-diagonal forward pass without caching.
+    pub fn forward_packed_inference(
+        &self,
+        x: &Tensor2,
+        lens: &[usize],
+        stride: usize,
+        bias: &[f32],
+    ) -> Tensor2 {
+        let (_, _, v, probs) = self.project_packed(x, lens, stride, bias);
+        Self::apply_probs(&probs, &v, lens)
     }
 
-    fn project(&self, x: &Tensor2, bias: &[f32]) -> (Tensor2, Tensor2, Tensor2, Tensor2) {
+    /// Shared Q/K/V projection + per-block masked softmax. The projections
+    /// are three large matmuls over the whole packed input; scores are
+    /// computed block-by-block on each block's `lens[b] × lens[b]` corner,
+    /// so the cost is `Σ lens[b]²·d_k`, not `(Σ lens[b])²·d_k`.
+    fn project_packed(
+        &self,
+        x: &Tensor2,
+        lens: &[usize],
+        stride: usize,
+        bias: &[f32],
+    ) -> (Tensor2, Tensor2, Tensor2, Vec<f32>) {
         let n = x.rows();
-        assert_eq!(bias.len(), n * n, "bias must be n × n");
+        assert_eq!(n, lens.iter().sum::<usize>(), "lens must cover all rows");
+        assert!(
+            lens.iter().all(|&l| l <= stride),
+            "block longer than bias stride"
+        );
+        assert_eq!(
+            bias.len(),
+            lens.len() * stride * stride,
+            "bias must be stride² per block"
+        );
         let q = x.matmul(&self.wq.value);
         let k = x.matmul(&self.wk.value);
         let v = x.matmul(&self.wv.value);
         let scale = 1.0 / (self.d_k as f32).sqrt();
-        let mut scores = q.matmul_nt(&k);
-        scores.scale(scale);
-        for i in 0..n {
-            let row = scores.row_mut(i);
-            for (j, s) in row.iter_mut().enumerate() {
-                *s += bias[i * n + j];
+        let mut probs = Vec::with_capacity(lens.iter().map(|l| l * l).sum());
+        let mut start = 0;
+        for (b, &l) in lens.iter().enumerate() {
+            let qb = q.row_block(start, l);
+            let kb = k.row_block(start, l);
+            let mut scores = qb.matmul_nt(&kb);
+            scores.scale(scale);
+            let bias_b = &bias[b * stride * stride..(b + 1) * stride * stride];
+            for i in 0..l {
+                let row = scores.row_mut(i);
+                for (s, &bv) in row.iter_mut().zip(&bias_b[i * stride..i * stride + l]) {
+                    *s += bv;
+                }
             }
+            scores.softmax_rows();
+            probs.extend_from_slice(scores.as_slice());
+            start += l;
         }
-        scores.softmax_rows();
-        (q, k, v, scores)
+        (q, k, v, probs)
     }
 
-    /// Backward pass: accumulates dW_Q/dW_K/dW_V and returns dx.
+    /// `out_b = P_b @ V_b` for each block.
+    fn apply_probs(probs: &[f32], v: &Tensor2, lens: &[usize]) -> Tensor2 {
+        let mut out = Tensor2::zeros(v.rows(), v.cols());
+        let (mut start, mut p) = (0, 0);
+        for &l in lens {
+            let pb = Tensor2::from_vec(l, l, probs[p..p + l * l].to_vec());
+            let vb = v.row_block(start, l);
+            out.set_row_block(start, &pb.matmul(&vb));
+            start += l;
+            p += l * l;
+        }
+        out
+    }
+
+    /// Backward pass: accumulates dW_Q/dW_K/dW_V and returns dx. Works for
+    /// any block structure the forward pass cached. With the padded
+    /// (`forward_block_diag`) layout, padding rows (zero input, fully
+    /// masked, zero upstream gradient) contribute exactly zero to every
+    /// weight gradient because both their probability rows and their
+    /// `d_out` rows are zero.
     pub fn backward(&mut self, d_out: &Tensor2) -> Tensor2 {
-        let Cache { x, q, k, v, probs } =
-            self.cache.take().expect("backward called before forward");
+        let (dq, dk, dv) = self.backward_accumulate(d_out);
+        let mut dx = dq.matmul_nt(&self.wq.value);
+        dx.add_assign(&dk.matmul_nt(&self.wk.value));
+        dx.add_assign(&dv.matmul_nt(&self.wv.value));
+        dx
+    }
+
+    /// Backward pass that only accumulates the weight gradients, skipping
+    /// the three `dx` back-projections. Correct whenever the caller
+    /// discards `dx` — i.e. whenever attention is the first layer.
+    pub fn backward_params_only(&mut self, d_out: &Tensor2) {
+        let _ = self.backward_accumulate(d_out);
+    }
+
+    /// Shared backward core: per-block gradients through PV, softmax and
+    /// the score product, plus dW_Q/dW_K/dW_V accumulation. Returns
+    /// (dQ, dK, dV) for the `dx` projections.
+    fn backward_accumulate(&mut self, d_out: &Tensor2) -> (Tensor2, Tensor2, Tensor2) {
+        let Cache {
+            x,
+            q,
+            k,
+            v,
+            probs,
+            lens,
+        } = self.cache.take().expect("backward called before forward");
         let n = x.rows();
+        assert_eq!(d_out.rows(), n, "d_out must match cached rows");
         let scale = 1.0 / (self.d_k as f32).sqrt();
 
-        // dV = Pᵀ @ dOut ; dP = dOut @ Vᵀ
-        let dv = probs.matmul_tn(d_out);
-        let dp = d_out.matmul_nt(&v);
+        let mut dq = Tensor2::zeros(n, q.cols());
+        let mut dk = Tensor2::zeros(n, k.cols());
+        let mut dv = Tensor2::zeros(n, v.cols());
+        let (mut start, mut p) = (0, 0);
+        for &l in &lens {
+            let pb = Tensor2::from_vec(l, l, probs[p..p + l * l].to_vec());
+            let d_out_b = d_out.row_block(start, l);
+            let vb = v.row_block(start, l);
 
-        // Softmax backward per row: ds = p ⊙ (dp − ⟨dp, p⟩).
-        let mut dscores = Tensor2::zeros(n, n);
-        for i in 0..n {
-            let p_row = probs.row(i);
-            let dp_row = dp.row(i);
-            let dot: f32 = p_row.iter().zip(dp_row).map(|(a, b)| a * b).sum();
-            let out_row = dscores.row_mut(i);
-            for j in 0..n {
-                out_row[j] = p_row[j] * (dp_row[j] - dot) * scale;
+            // dV_b = P_bᵀ @ dOut_b ; dP_b = dOut_b @ V_bᵀ
+            dv.set_row_block(start, &pb.matmul_tn(&d_out_b));
+            let dp = d_out_b.matmul_nt(&vb);
+
+            // Softmax backward per row: ds = p ⊙ (dp − ⟨dp, p⟩).
+            let mut dscores = Tensor2::zeros(l, l);
+            for i in 0..l {
+                let p_row = pb.row(i);
+                let dp_row = dp.row(i);
+                let dot: f32 = p_row.iter().zip(dp_row).map(|(a, b)| a * b).sum();
+                let out_row = dscores.row_mut(i);
+                for j in 0..l {
+                    out_row[j] = p_row[j] * (dp_row[j] - dot) * scale;
+                }
             }
-        }
 
-        // dQ = dS @ K ; dK = dSᵀ @ Q
-        let dq = dscores.matmul(&k);
-        let dk = dscores.matmul_tn(&q);
+            // dQ_b = dS_b @ K_b ; dK_b = dS_bᵀ @ Q_b
+            let kb = k.row_block(start, l);
+            let qb = q.row_block(start, l);
+            dq.set_row_block(start, &dscores.matmul(&kb));
+            dk.set_row_block(start, &dscores.matmul_tn(&qb));
+            start += l;
+            p += l * l;
+        }
 
         if self.wq.trainable {
             self.wq.grad.add_assign(&x.matmul_tn(&dq));
@@ -149,11 +310,7 @@ impl MaskedSelfAttention {
         if self.wv.trainable {
             self.wv.grad.add_assign(&x.matmul_tn(&dv));
         }
-
-        let mut dx = dq.matmul_nt(&self.wq.value);
-        dx.add_assign(&dk.matmul_nt(&self.wk.value));
-        dx.add_assign(&dv.matmul_nt(&self.wv.value));
-        dx
+        (dq, dk, dv)
     }
 
     /// Mutable references to the projection parameters.
@@ -225,6 +382,59 @@ mod tests {
     }
 
     #[test]
+    fn block_diag_matches_per_plan_forwards() {
+        let attn = MaskedSelfAttention::new(4, 8, 8, 3);
+        // Two "plans": 2 and 3 nodes, padded to block = 3.
+        let xa = Tensor2::uniform(2, 4, 1.0, 7);
+        let xb = Tensor2::uniform(3, 4, 1.0, 8);
+        let ma = chain_mask(2);
+        let mb = chain_mask(3);
+        let out_a = attn.forward_inference(&xa, &ma);
+        let out_b = attn.forward_inference(&xb, &mb);
+
+        let block = 3;
+        let mut x = Tensor2::zeros(2 * block, 4);
+        for r in 0..2 {
+            for c in 0..4 {
+                x.set(r, c, xa.get(r, c));
+            }
+        }
+        for r in 0..3 {
+            for c in 0..4 {
+                x.set(block + r, c, xb.get(r, c));
+            }
+        }
+        // Bias: MASK_NEG for real tree-masked positions, -inf wherever a
+        // padding row or column is involved.
+        let mut bias = vec![f32::NEG_INFINITY; 2 * block * block];
+        for i in 0..2 {
+            for j in 0..2 {
+                bias[i * block + j] = if ma[i * 2 + j] { 0.0 } else { MASK_NEG };
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                bias[block * block + i * block + j] = if mb[i * 3 + j] { 0.0 } else { MASK_NEG };
+            }
+        }
+        let out = attn.forward_block_diag_inference(&x, block, &bias);
+        for r in 0..2 {
+            for c in 0..8 {
+                assert!((out.get(r, c) - out_a.get(r, c)).abs() < 1e-5);
+            }
+        }
+        for r in 0..3 {
+            for c in 0..8 {
+                assert!((out.get(block + r, c) - out_b.get(r, c)).abs() < 1e-5);
+            }
+        }
+        // The padding row (fully masked) must come out exactly zero.
+        for c in 0..8 {
+            assert_eq!(out.get(2, c), 0.0);
+        }
+    }
+
+    #[test]
     fn gradients_match_finite_differences() {
         let mut attn = MaskedSelfAttention::new(3, 4, 4, 11);
         let x = Tensor2::uniform(4, 3, 1.0, 17);
@@ -233,8 +443,9 @@ mod tests {
         let dx = attn.backward(&y); // loss = ||y||²/2
 
         let eps = 1e-2f32;
-        let loss =
-            |attn: &MaskedSelfAttention, x: &Tensor2| 0.5 * attn.forward_inference(x, &mask).norm_sq();
+        let loss = |attn: &MaskedSelfAttention, x: &Tensor2| {
+            0.5 * attn.forward_inference(x, &mask).norm_sq()
+        };
 
         // Check each projection matrix.
         for which in 0..3 {

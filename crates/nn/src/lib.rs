@@ -23,12 +23,12 @@ mod scaler;
 mod tensor;
 
 pub use adam::Adam;
-pub use attention::MaskedSelfAttention;
+pub use attention::{MaskedSelfAttention, MASK_NEG};
 pub use linear::{Linear, LoraLinear, LoraMode};
 pub use param::Param;
 pub use relu::Relu;
 pub use scaler::RobustScaler;
-pub use tensor::Tensor2;
+pub use tensor::{set_reference_kernels, Tensor2};
 
 /// Seeded Xavier/Glorot-uniform initialization bound for a `fan_in × fan_out`
 /// weight matrix.

@@ -43,10 +43,7 @@ impl Linear {
 
     /// Backward pass: accumulates dW, db; returns dx.
     pub fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
-        let x = self
-            .cache_x
-            .take()
-            .expect("backward called before forward");
+        let x = self.cache_x.take().expect("backward called before forward");
         // dW = xᵀ @ dy
         self.w.grad.add_assign(&x.matmul_tn(dy));
         // db = column sums of dy
@@ -175,10 +172,7 @@ impl LoraLinear {
     /// entirely — this is what makes LoRA tuning cheaper than full
     /// training, Sec. V-C) and returns dx.
     pub fn backward(&mut self, dy: &Tensor2) -> Tensor2 {
-        let x = self
-            .cache_x
-            .take()
-            .expect("backward called before forward");
+        let x = self.cache_x.take().expect("backward called before forward");
         let xb = self.cache_xb.take().expect("missing LoRA cache");
 
         if self.w.trainable {
@@ -209,12 +203,7 @@ impl LoraLinear {
     /// Mutable references to all parameters (frozen ones included; the
     /// optimizer honours `trainable`).
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![
-            &mut self.w,
-            &mut self.b,
-            &mut self.lora_b,
-            &mut self.lora_a,
-        ]
+        vec![&mut self.w, &mut self.b, &mut self.lora_b, &mut self.lora_a]
     }
 
     /// Base (non-LoRA) parameter count.
@@ -303,9 +292,8 @@ mod tests {
         let _ = layer.backward(&y);
 
         let eps = 1e-3f32;
-        let loss = |layer: &LoraLinear, x: &Tensor2| -> f32 {
-            0.5 * layer.forward_inference(x).norm_sq()
-        };
+        let loss =
+            |layer: &LoraLinear, x: &Tensor2| -> f32 { 0.5 * layer.forward_inference(x).norm_sq() };
         for (name, grad_idx) in [("lora_a", 0usize), ("lora_b", 1)] {
             let n = if grad_idx == 0 {
                 layer.lora_a.value.len()
@@ -314,9 +302,15 @@ mod tests {
             };
             for idx in 0..n {
                 let (orig, ana) = if grad_idx == 0 {
-                    (layer.lora_a.value.as_slice()[idx], layer.lora_a.grad.as_slice()[idx])
+                    (
+                        layer.lora_a.value.as_slice()[idx],
+                        layer.lora_a.grad.as_slice()[idx],
+                    )
                 } else {
-                    (layer.lora_b.value.as_slice()[idx], layer.lora_b.grad.as_slice()[idx])
+                    (
+                        layer.lora_b.value.as_slice()[idx],
+                        layer.lora_b.grad.as_slice()[idx],
+                    )
                 };
                 let set = |layer: &mut LoraLinear, v: f32| {
                     if grad_idx == 0 {

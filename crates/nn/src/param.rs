@@ -67,8 +67,16 @@ mod tests {
     fn xavier_bound_shrinks_with_fanin() {
         let small = Param::xavier(4, 4, 0);
         let large = Param::xavier(400, 400, 0);
-        let max_small = small.value.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
-        let max_large = large.value.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let max_small = small
+            .value
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |a, v| a.max(v.abs()));
+        let max_large = large
+            .value
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |a, v| a.max(v.abs()));
         assert!(max_small > max_large);
     }
 

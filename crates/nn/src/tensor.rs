@@ -1,11 +1,213 @@
 //! Row-major 2-D `f32` tensors and the linear-algebra kernels the modules
-//! need. Deliberately minimal: sizes are small (dozens of rows × ≤128
-//! columns), so clarity beats blocking/SIMD tricks; the inner matmul loop is
-//! still written i-k-j so the compiler can vectorize it.
+//! need. The matmul family has three tiers, picked at runtime:
+//!
+//! 1. **AVX2+FMA register-tiled kernels** (x86-64 with `avx2`+`fma`
+//!    detected): 4×16 output tiles accumulate over the whole shared
+//!    dimension in ymm registers, so each B element is loaded once per
+//!    four output rows and every multiply-add is fused. Batched training
+//!    packs whole mini-batches into single tensors (hundreds of rows),
+//!    which is exactly the regime these tiles are built for.
+//! 2. **Blocked scalar kernels** (portable fallback): four output rows per
+//!    pass with chained-zip inner loops that auto-vectorize without bounds
+//!    checks, shared dimension in L1-sized blocks.
+//! 3. **Seed reference kernels**: the original unblocked i-k-j loops,
+//!    selectable process-wide via [`set_reference_kernels`] so benchmarks
+//!    can measure the pre-optimization configuration faithfully.
+//!
+//! Per output element the FMA and blocked kernels keep the same `p`-
+//! ascending summation order as the reference (FMA only fuses the rounding
+//! of each step); `matmul_nt` additionally splits the dot product across
+//! SIMD lanes, which reassociates the sum — all consumers tolerate 1e-5.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// When set, the matmul family routes through the seed's original
+/// unblocked scalar kernels. Process-global and **for benchmarking only**
+/// (the `table2_throughput` per-plan baseline row): flipping it while other
+/// threads compute would change their kernels mid-flight.
+static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+
+/// Select (`true`) or deselect (`false`) the seed reference kernels for
+/// every subsequent matmul in the process. See [`REFERENCE_KERNELS`].
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_KERNELS.store(on, Ordering::Relaxed);
+}
+
+fn reference_kernels() -> bool {
+    REFERENCE_KERNELS.load(Ordering::Relaxed)
+}
+
+/// AVX2+FMA register-tiled kernels, used when the CPU supports them.
+// Raw-pointer kernels take (ptr, strides, dims) tuples by design; bundling
+// them into structs would only obscure the hot loops.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+mod fma {
+    use std::arch::x86_64::*;
+
+    /// Cached runtime check for `avx2` + `fma`.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// One `R × 16` output tile of `C = op(A) @ B`, accumulated over the
+    /// whole shared dimension in `2R` ymm registers.
+    /// `op(A)(i, p) = a[i·sa + p·sp]` expresses both the normal layout
+    /// (`sa = k, sp = 1`) and the transposed one (`sa = 1, sp = m`) without
+    /// materializing a transpose.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile16<const R: usize>(
+        a: *const f32,
+        sa: usize,
+        sp: usize,
+        b: *const f32,
+        c: *mut f32,
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; R];
+        for p in 0..k {
+            let bp = b.add(p * n + j);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (t, row) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*a.add((i + t) * sa + p * sp));
+                row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+            }
+        }
+        for (t, row) in acc.iter().enumerate() {
+            let cp = c.add((i + t) * n + j);
+            _mm256_storeu_ps(cp, row[0]);
+            _mm256_storeu_ps(cp.add(8), row[1]);
+        }
+    }
+
+    /// `C (m×n, pre-zeroed) = op(A) @ B (k×n)` with
+    /// `op(A)(i, p) = a[i·sa + p·sp]`. Full 16-wide column tiles run in
+    /// registers; the `n % 16` tail falls back to scalar loops with the
+    /// same per-element summation order.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn matmul_strided(
+        a: *const f32,
+        sa: usize,
+        sp: usize,
+        b: *const f32,
+        c: *mut f32,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let nt = n - n % 16;
+        let mut i = 0;
+        while i < m {
+            let r = (m - i).min(4);
+            let mut j = 0;
+            while j < nt {
+                match r {
+                    4 => tile16::<4>(a, sa, sp, b, c, i, j, k, n),
+                    3 => tile16::<3>(a, sa, sp, b, c, i, j, k, n),
+                    2 => tile16::<2>(a, sa, sp, b, c, i, j, k, n),
+                    _ => tile16::<1>(a, sa, sp, b, c, i, j, k, n),
+                }
+                j += 16;
+            }
+            for t in 0..r {
+                for jj in nt..n {
+                    let mut s = 0.0f32;
+                    for p in 0..k {
+                        s += *a.add((i + t) * sa + p * sp) * *b.add(p * n + jj);
+                    }
+                    *c.add((i + t) * n + jj) = s;
+                }
+            }
+            i += r;
+        }
+    }
+
+    /// Horizontal sum of a ymm register's eight lanes.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(_mm256_castps256_ps128(v), hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Four dot products `c[j..j+4] = a_row · b_rows[j..j+4]` over `k`,
+    /// eight lanes at a time.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot4(a_row: *const f32, b: *const f32, c: *mut f32, j: usize, k: usize) {
+        let kt = k - k % 8;
+        let mut acc = [_mm256_setzero_ps(); 4];
+        let mut p = 0;
+        while p < kt {
+            let av = _mm256_loadu_ps(a_row.add(p));
+            for (u, accu) in acc.iter_mut().enumerate() {
+                let bv = _mm256_loadu_ps(b.add((j + u) * k + p));
+                *accu = _mm256_fmadd_ps(av, bv, *accu);
+            }
+            p += 8;
+        }
+        for (u, accu) in acc.iter().enumerate() {
+            let mut s = hsum(*accu);
+            for pp in kt..k {
+                s += *a_row.add(pp) * *b.add((j + u) * k + pp);
+            }
+            *c.add(j + u) = s;
+        }
+    }
+
+    /// `C (m×n) = A (m×k) @ B (n×k)ᵀ`: every element is a dot product
+    /// over `k`. Four B rows share each streamed A row.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn matmul_nt(
+        a: *const f32,
+        b: *const f32,
+        c: *mut f32,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let ntile = n - n % 4;
+        for i in 0..m {
+            let a_row = a.add(i * k);
+            let c_row = c.add(i * n);
+            let mut j = 0;
+            while j < ntile {
+                dot4(a_row, b, c_row, j, k);
+                j += 4;
+            }
+            for jj in ntile..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += *a_row.add(p) * *b.add(jj * k + p);
+                }
+                *c_row.add(jj) = s;
+            }
+        }
+    }
+}
+
+/// Output-row panel height of the blocked matmul kernels: each streamed
+/// B row feeds this many independent accumulator rows.
+const MR: usize = 4;
+
+/// Shared-dimension block size: a `KC × n` B panel (n ≤ 128 everywhere in
+/// this model) stays within L1/L2 while a panel of output rows is built.
+const KC: usize = 64;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,6 +307,227 @@ impl Tensor2 {
     /// `self @ other` (`(m×k) @ (k×n) → m×n`).
     pub fn matmul(&self, other: &Tensor2) -> Tensor2 {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        if reference_kernels() {
+            return self.matmul_seed(other);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if fma::available() {
+            let (m, k, n) = (self.rows, self.cols, other.cols);
+            let mut out = Tensor2::zeros(m, n);
+            unsafe {
+                fma::matmul_strided(
+                    self.data.as_ptr(),
+                    k,
+                    1,
+                    other.data.as_ptr(),
+                    out.data.as_mut_ptr(),
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return out;
+        }
+        self.matmul_blocked(other)
+    }
+
+    /// Blocked scalar `matmul` fallback: panels of [`MR`] output rows
+    /// accumulate together so each B row is loaded once per panel, and k is
+    /// processed in [`KC`]-sized blocks so the touched B panel stays
+    /// cache-resident.
+    fn matmul_blocked(&self, other: &Tensor2) -> Tensor2 {
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor2::zeros(m, n);
+        let a = &self.data;
+        let mut i = 0;
+        while i + MR <= m {
+            let out_panel = &mut out.data[i * n..(i + MR) * n];
+            let (o0, rest) = out_panel.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for p0 in (0..k).step_by(KC) {
+                let p1 = (p0 + KC).min(k);
+                for p in p0..p1 {
+                    let a0 = a[i * k + p];
+                    let a1 = a[(i + 1) * k + p];
+                    let a2 = a[(i + 2) * k + p];
+                    let a3 = a[(i + 3) * k + p];
+                    if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                        // One-hot feature rows make A sparse; skip dead lanes.
+                        continue;
+                    }
+                    let b_row = other.row(p);
+                    for ((((&b, v0), v1), v2), v3) in b_row
+                        .iter()
+                        .zip(&mut *o0)
+                        .zip(&mut *o1)
+                        .zip(&mut *o2)
+                        .zip(&mut *o3)
+                    {
+                        *v0 += a0 * b;
+                        *v1 += a1 * b;
+                        *v2 += a2 * b;
+                        *v3 += a3 * b;
+                    }
+                }
+            }
+            i += MR;
+        }
+        // Remainder rows (m % MR) take the scalar path.
+        for i in i..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &b) in out_row.iter_mut().zip(other.row(p)) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` (`(k×m)ᵀ @ (k×n) → m×n`) without materializing the
+    /// transpose.
+    pub fn matmul_tn(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        if reference_kernels() {
+            return self.matmul_tn_seed(other);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if fma::available() {
+            let (k, m, n) = (self.rows, self.cols, other.cols);
+            let mut out = Tensor2::zeros(m, n);
+            unsafe {
+                fma::matmul_strided(
+                    self.data.as_ptr(),
+                    1,
+                    m,
+                    other.data.as_ptr(),
+                    out.data.as_mut_ptr(),
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return out;
+        }
+        self.matmul_tn_blocked(other)
+    }
+
+    /// Blocked scalar `matmul_tn` fallback: for each shared row `p`, panels
+    /// of [`MR`] output rows consume the same streamed B row.
+    fn matmul_tn_blocked(&self, other: &Tensor2) -> Tensor2 {
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor2::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            let mut i = 0;
+            while i + MR <= m {
+                let (a0, a1, a2, a3) = (a_row[i], a_row[i + 1], a_row[i + 2], a_row[i + 3]);
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    i += MR;
+                    continue;
+                }
+                let out_panel = &mut out.data[i * n..(i + MR) * n];
+                let (o0, rest) = out_panel.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                for ((((&b, v0), v1), v2), v3) in b_row.iter().zip(o0).zip(o1).zip(o2).zip(o3) {
+                    *v0 += a0 * b;
+                    *v1 += a1 * b;
+                    *v2 += a2 * b;
+                    *v3 += a3 * b;
+                }
+                i += MR;
+            }
+            for (i, &av) in a_row.iter().enumerate().take(m).skip(i) {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (`(m×k) @ (n×k)ᵀ → m×n`) without materializing the
+    /// transpose.
+    pub fn matmul_nt(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        if reference_kernels() {
+            return self.matmul_nt_seed(other);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if fma::available() {
+            let (m, k, n) = (self.rows, self.cols, other.rows);
+            let mut out = Tensor2::zeros(m, n);
+            unsafe {
+                fma::matmul_nt(
+                    self.data.as_ptr(),
+                    other.data.as_ptr(),
+                    out.data.as_mut_ptr(),
+                    m,
+                    k,
+                    n,
+                );
+            }
+            return out;
+        }
+        self.matmul_nt_blocked(other)
+    }
+
+    /// Blocked scalar `matmul_nt` fallback: [`MR`] dot products run
+    /// together so the streamed A row is loaded once per panel of B rows.
+    fn matmul_nt_blocked(&self, other: &Tensor2) -> Tensor2 {
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor2::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + MR <= n {
+                let (b0, b1, b2, b3) = (
+                    other.row(j),
+                    other.row(j + 1),
+                    other.row(j + 2),
+                    other.row(j + 3),
+                );
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&a, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    s0 += a * v0;
+                    s1 += a * v1;
+                    s2 += a * v2;
+                    s3 += a * v3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += MR;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().take(n).skip(j) {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// The seed's original unblocked `matmul` (i-k-j with zero-skip), kept
+    /// verbatim so [`set_reference_kernels`] can reproduce the seed
+    /// configuration in benchmarks.
+    fn matmul_seed(&self, other: &Tensor2) -> Tensor2 {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor2::zeros(m, n);
         for i in 0..m {
@@ -123,10 +546,8 @@ impl Tensor2 {
         out
     }
 
-    /// `selfᵀ @ other` (`(k×m)ᵀ @ (k×n) → m×n`) without materializing the
-    /// transpose.
-    pub fn matmul_tn(&self, other: &Tensor2) -> Tensor2 {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+    /// The seed's original unblocked `matmul_tn`. See [`Self::matmul_seed`].
+    fn matmul_tn_seed(&self, other: &Tensor2) -> Tensor2 {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor2::zeros(m, n);
         for p in 0..k {
@@ -145,10 +566,8 @@ impl Tensor2 {
         out
     }
 
-    /// `self @ otherᵀ` (`(m×k) @ (n×k)ᵀ → m×n`) without materializing the
-    /// transpose.
-    pub fn matmul_nt(&self, other: &Tensor2) -> Tensor2 {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+    /// The seed's original unblocked `matmul_nt`. See [`Self::matmul_seed`].
+    fn matmul_nt_seed(&self, other: &Tensor2) -> Tensor2 {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Tensor2::zeros(m, n);
         for i in 0..m {
@@ -218,10 +637,18 @@ impl Tensor2 {
     }
 
     /// Row-wise softmax in place. Numerically stable (max-subtracted).
+    ///
+    /// A row whose entries are all `-inf` (a fully masked row, e.g. batch
+    /// padding) becomes all zeros rather than NaN: naive max-subtraction
+    /// would compute `(-inf) - (-inf) = NaN` there.
     pub fn softmax_rows(&mut self) {
         for r in 0..self.rows {
             let row = self.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if max == f32::NEG_INFINITY {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                continue;
+            }
             let mut sum = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();
@@ -233,6 +660,21 @@ impl Tensor2 {
                 }
             }
         }
+    }
+
+    /// Copy of `rows` consecutive rows starting at `start`.
+    pub fn row_block(&self, start: usize, rows: usize) -> Tensor2 {
+        assert!(start + rows <= self.rows, "row block out of bounds");
+        let s = start * self.cols;
+        Tensor2::from_vec(rows, self.cols, self.data[s..s + rows * self.cols].to_vec())
+    }
+
+    /// Overwrite consecutive rows starting at `start` with `src`'s rows.
+    pub fn set_row_block(&mut self, start: usize, src: &Tensor2) {
+        assert_eq!(src.cols, self.cols, "row block width mismatch");
+        assert!(start + src.rows <= self.rows, "row block out of bounds");
+        let s = start * self.cols;
+        self.data[s..s + src.data.len()].copy_from_slice(&src.data);
     }
 
     /// Set all elements to zero (e.g. to clear gradients).
@@ -298,6 +740,103 @@ mod tests {
         x.softmax_rows();
         assert!(x.as_slice().iter().all(|v| v.is_finite()));
         assert!((x.get(0, 0) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero_not_nan() {
+        // Padding rows in a packed batch have every score at -inf; the
+        // softmax must turn them into all-zero rows, and neighbours must be
+        // unaffected.
+        let inf = f32::NEG_INFINITY;
+        let mut x = t(3, 3, &[inf, inf, inf, 0.0, inf, 0.0, inf, inf, 1.0]);
+        x.softmax_rows();
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(x.row(0), &[0.0, 0.0, 0.0]);
+        assert!((x.get(1, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(x.get(1, 1), 0.0);
+        assert!((x.get(2, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_kernels_match_seed_kernels() {
+        // The dispatched kernels (FMA tiles where available, blocked scalar
+        // otherwise) must agree with the seed reference implementations on
+        // every remainder path: rows % 4, cols % 16 (FMA tile width),
+        // cols % 4, and shared dims crossing the 8-lane boundary.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 6, 9), (10, 3, 13)] {
+            let a = Tensor2::uniform(m, k, 1.0, (m * 100 + n) as u64);
+            let b = Tensor2::uniform(k, n, 1.0, (n * 100 + k) as u64);
+            for (x, y) in a
+                .matmul(&b)
+                .as_slice()
+                .iter()
+                .zip(a.matmul_seed(&b).as_slice())
+            {
+                assert!((x - y).abs() < 1e-5, "matmul vs seed at {m}x{k}x{n}");
+            }
+            let at = a.transpose();
+            for (x, y) in at
+                .matmul_tn(&b)
+                .as_slice()
+                .iter()
+                .zip(at.matmul_tn_seed(&b).as_slice())
+            {
+                assert!((x - y).abs() < 1e-5, "matmul_tn vs seed at {m}x{k}x{n}");
+            }
+            let bt = b.transpose();
+            for (x, y) in a
+                .matmul_nt(&bt)
+                .as_slice()
+                .iter()
+                .zip(a.matmul_nt_seed(&bt).as_slice())
+            {
+                assert!((x - y).abs() < 1e-5, "matmul_nt vs seed at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmuls_match_naive_on_odd_shapes() {
+        // Shapes chosen to exercise the 4-row panels, the 16-wide FMA
+        // tiles, and every remainder path (rows % 4 != 0, cols % 16 != 0,
+        // shared dim % 8 != 0).
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 4, 4),
+            (7, 6, 9),
+            (10, 3, 13),
+            (9, 17, 16),
+            (12, 18, 33),
+            (21, 128, 64),
+        ] {
+            let a = Tensor2::uniform(m, k, 1.0, (m * 100 + n) as u64);
+            let b = Tensor2::uniform(k, n, 1.0, (n * 100 + k) as u64);
+            let fast = a.matmul(&b);
+            let mut naive = Tensor2::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += a.get(i, p) * b.get(p, j);
+                    }
+                    naive.set(i, j, acc);
+                }
+            }
+            for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "matmul mismatch at {m}x{k}x{n}");
+            }
+            let at = a.transpose();
+            let tn = at.matmul_tn(&b);
+            for (x, y) in tn.as_slice().iter().zip(naive.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "matmul_tn mismatch at {m}x{k}x{n}");
+            }
+            let bt = b.transpose();
+            let nt = a.matmul_nt(&bt);
+            for (x, y) in nt.as_slice().iter().zip(naive.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "matmul_nt mismatch at {m}x{k}x{n}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! values, every module's analytic backward pass must match central finite
 //! differences. This is the trust anchor of the from-scratch NN library.
 
-use dace_nn::{Linear, LoraLinear, MaskedSelfAttention, RobustScaler, Relu, Tensor2};
+use dace_nn::{Linear, LoraLinear, MaskedSelfAttention, Relu, RobustScaler, Tensor2};
 use proptest::prelude::*;
 
 const EPS: f32 = 1e-2;

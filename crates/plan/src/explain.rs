@@ -40,14 +40,7 @@ fn write_node(tree: &PlanTree, id: NodeId, depth: usize, out: &mut String) {
             let preds: Vec<String> = scan
                 .predicates
                 .iter()
-                .map(|p| {
-                    format!(
-                        "col{} {} @{:.3}",
-                        p.column_id,
-                        p.op.sql(),
-                        p.literal_rank
-                    )
-                })
+                .map(|p| format!("col{} {} @{:.3}", p.column_id, p.op.sql(), p.literal_rank))
                 .collect();
             let _ = writeln!(out, "{pad}     Filter: {}", preds.join(" AND "));
         }

@@ -293,7 +293,10 @@ mod tests {
         let mut b = TreeBuilder::new();
         let a = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
         let b2 = b.leaf(PlanNode::new(NodeType::SeqScan, OpPayload::Other));
-        let j = b.internal(PlanNode::new(NodeType::HashJoin, OpPayload::Other), vec![a, b2]);
+        let j = b.internal(
+            PlanNode::new(NodeType::HashJoin, OpPayload::Other),
+            vec![a, b2],
+        );
         let s = b.internal(PlanNode::new(NodeType::Sort, OpPayload::Other), vec![j]);
         let g = b.internal(
             PlanNode::new(NodeType::GroupAggregate, OpPayload::Other),

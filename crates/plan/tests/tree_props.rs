@@ -24,8 +24,11 @@ fn random_tree(seed: u64, max_nodes: usize) -> PlanTree {
             // Binary join node.
             let r = roots.swap_remove(rng.gen_range(0..roots.len()));
             let l = roots.swap_remove(rng.gen_range(0..roots.len()));
-            let ty = [NodeType::HashJoin, NodeType::NestedLoop, NodeType::MergeJoin]
-                [rng.gen_range(0..3)];
+            let ty = [
+                NodeType::HashJoin,
+                NodeType::NestedLoop,
+                NodeType::MergeJoin,
+            ][rng.gen_range(0..3)];
             roots.push(b.internal(PlanNode::new(ty, OpPayload::Other), vec![l, r]));
         } else {
             // Unary node on a random root.

@@ -509,9 +509,7 @@ mod tests {
         assert!(parse_sql("", &db.schema, 1).is_err());
         let t0 = db.schema.tables[0].name.clone();
         assert!(parse_sql(&format!("SELECT * FROM {t0} WHERE"), &db.schema, 1).is_err());
-        assert!(
-            parse_sql(&format!("SELECT * FROM {t0} extra garbage"), &db.schema, 1).is_err()
-        );
+        assert!(parse_sql(&format!("SELECT * FROM {t0} extra garbage"), &db.schema, 1).is_err());
     }
 
     #[test]

@@ -37,7 +37,8 @@ impl Default for ComplexWorkloadGen {
 impl ComplexWorkloadGen {
     /// Generate `count` queries against `db`.
     pub fn generate(&self, db: &Database, count: usize) -> Vec<Query> {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ (db.db_id() as u64).wrapping_mul(0x517C_C1B7));
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (db.db_id() as u64).wrapping_mul(0x517C_C1B7));
         (0..count).map(|_| self.one_query(db, &mut rng)).collect()
     }
 
@@ -134,7 +135,9 @@ impl MscnWorkloadGen {
                 .map(|_| self.template_query(db, 1..=4, 0.0, 1.0, &mut rng))
                 .collect(),
             // Star joins around the fact table, à la JOB-light.
-            MscnSet::JobLight => (0..count).map(|_| self.job_light_query(db, &mut rng)).collect(),
+            MscnSet::JobLight => (0..count)
+                .map(|_| self.job_light_query(db, &mut rng))
+                .collect(),
         }
     }
 

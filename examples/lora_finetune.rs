@@ -53,7 +53,10 @@ fn main() {
     .fit(&train1);
     let pretrain_secs = t0.elapsed().as_secs_f64();
 
-    println!("  M1 test median qerror: {:.2}", median_qerror(&est, &test1));
+    println!(
+        "  M1 test median qerror: {:.2}",
+        median_qerror(&est, &test1)
+    );
     let before_m2 = median_qerror(&est, &test2);
     println!("  M2 test median qerror BEFORE adaptation: {before_m2:.2}");
 

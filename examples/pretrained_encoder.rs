@@ -45,8 +45,7 @@ fn main() {
     // Target: the IMDB-like database with the MSCN benchmark.
     let imdb = generate_database(&specs[0], 0.04);
     let mscn_gen = MscnWorkloadGen::default();
-    let train_full =
-        collect_dataset(&imdb, &mscn_gen.gen_train(&imdb, 1_000), MachineId::M1);
+    let train_full = collect_dataset(&imdb, &mscn_gen.gen_train(&imdb, 1_000), MachineId::M1);
     let job_light = collect_dataset(
         &imdb,
         &mscn_gen.gen_test(&imdb, MscnSet::JobLight, 70),

@@ -1,0 +1,138 @@
+//! Property tests for the batched padded-tensor training path: packing a
+//! mini-batch of plans into one block-diagonal attention call must be
+//! equivalent to running each plan through the model independently — for
+//! the forward pass and for the accumulated gradient — up to floating-point
+//! summation order (asserted at 1e-4).
+
+use dace_core::{DaceModel, LossAdjuster, PackedBatch, PlanFeatures, FEATURE_DIM};
+use dace_nn::Tensor2;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a random plan: a genuine tree over `n` nodes (random parent
+/// pointers), its ancestor-or-self mask, node depths as heights, and random
+/// features/targets.
+fn random_plan(n: usize, seed: u64) -> PlanFeatures {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x = Tensor2::uniform(n, FEATURE_DIM, 1.0, seed ^ 0xFEA7);
+    let mut parent = vec![usize::MAX; n];
+    for (i, p) in parent.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i);
+    }
+    let mut mask = vec![false; n * n];
+    let mut heights = vec![0u32; n];
+    for j in 0..n {
+        // Walk ancestors of j: every one (and j itself) may attend to j.
+        let mut a = j;
+        loop {
+            mask[a * n + j] = true;
+            if a == 0 {
+                break;
+            }
+            a = parent[a];
+            heights[j] += 1;
+        }
+    }
+    let targets: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0f32..6.0)).collect();
+    PlanFeatures {
+        x,
+        mask,
+        heights,
+        targets,
+    }
+}
+
+fn plan_strategy() -> impl Strategy<Value = PlanFeatures> {
+    (1usize..=6, 0u64..1_000_000).prop_map(|(n, seed)| random_plan(n, seed))
+}
+
+/// Sum of every parameter gradient, flattened in parameter order.
+fn flat_grads(model: &mut DaceModel) -> Vec<f32> {
+    model
+        .params_mut()
+        .iter()
+        .flat_map(|p| p.grad.as_slice().to_vec())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn batched_forward_matches_per_plan_forwards(
+        plans in vec(plan_strategy(), 1..=4),
+        seed in 0u64..1_000,
+    ) {
+        let model = DaceModel::new(seed);
+        let refs: Vec<&PlanFeatures> = plans.iter().collect();
+        let packed = PackedBatch::pack(&refs);
+        let mut batched = model.clone();
+        let preds = batched.forward_batch(&packed);
+        for (b, f) in plans.iter().enumerate() {
+            let single = model.predict(f);
+            for r in 0..f.x.rows() {
+                let got = preds.get(b * packed.n_max + r, 0);
+                let want = single.get(r, 0);
+                prop_assert!(
+                    (got - want).abs() < 1e-4,
+                    "plan {b} row {r}: batched {got} vs single {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradient_matches_accumulated_per_plan(
+        plans in vec(plan_strategy(), 1..=4),
+        seed in 0u64..1_000,
+    ) {
+        let adjuster = LossAdjuster::new(0.5);
+        let count = plans.len() as f32;
+
+        // Reference: one backward per plan, gradients accumulate in the
+        // parameters (exactly the pre-batching training loop's batch body).
+        let mut per_plan = DaceModel::new(seed);
+        for f in &plans {
+            let preds = per_plan.forward(f);
+            let slice: Vec<f32> = (0..preds.rows()).map(|r| preds.get(r, 0)).collect();
+            let (_, grad) = adjuster.loss_and_grad(&slice, &f.targets, &f.heights);
+            let mut d = Tensor2::zeros(preds.rows(), 1);
+            for (r, g) in grad.iter().enumerate() {
+                d.set(r, 0, g / count);
+            }
+            per_plan.backward(&d);
+        }
+        let want = flat_grads(&mut per_plan);
+
+        // Batched: one block-diagonal forward/backward over the packed
+        // batch, per-plan loss normalization applied per block.
+        let mut batched = DaceModel::new(seed);
+        let refs: Vec<&PlanFeatures> = plans.iter().collect();
+        let packed = PackedBatch::pack(&refs);
+        let preds = batched.forward_batch(&packed);
+        let mut d = Tensor2::zeros(packed.rows(), 1);
+        for b in 0..packed.count {
+            let base = b * packed.n_max;
+            let n = packed.lens[b];
+            let wsum: f32 = (0..n)
+                .map(|i| adjuster.weight(packed.heights[base + i]))
+                .sum::<f32>()
+                .max(1e-12);
+            for i in 0..n {
+                let w = adjuster.weight(packed.heights[base + i]);
+                let err = preds.get(base + i, 0) - packed.targets[base + i];
+                d.set(base + i, 0, 2.0 * w * err / wsum / count);
+            }
+        }
+        batched.backward(&d);
+        let got = flat_grads(&mut batched);
+
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (g - w).abs() < 1e-4 * (1.0 + w.abs()),
+                "grad[{i}]: batched {g} vs per-plan {w}"
+            );
+        }
+    }
+}

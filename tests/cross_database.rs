@@ -114,7 +114,10 @@ fn dace_encoder_warm_starts_mscn() {
         q_integrated < q_plain * 1.2,
         "knowledge integration should not hurt: {q_plain} vs {q_integrated}"
     );
-    assert!(q_integrated < 3.0, "integrated model too inaccurate: {q_integrated}");
+    assert!(
+        q_integrated < 3.0,
+        "integrated model too inaccurate: {q_integrated}"
+    );
 }
 
 #[test]

@@ -25,8 +25,8 @@ fn representative_experiments_produce_wellformed_reports() {
     // The cheapest runner from each family: motivation (fig4), ablation
     // (fig10), plan-size analysis (fig11) and cold start (fig9).
     for id in ["fig4", "fig10", "fig11", "fig9"] {
-        let report = run_experiment(id, &ctx)
-            .unwrap_or_else(|| panic!("runner {id} missing from registry"));
+        let report =
+            run_experiment(id, &ctx).unwrap_or_else(|| panic!("runner {id} missing from registry"));
         assert!(report.contains('|'), "{id}: no table in report");
         assert!(
             report.to_lowercase().contains("expected shape"),

@@ -126,5 +126,8 @@ fn estimation_error_exists_but_is_bounded_on_average() {
     }
     let mean: f64 = log_errors.iter().sum::<f64>() / log_errors.len() as f64;
     assert!(mean > 0.01, "optimizer estimates suspiciously perfect");
-    assert!(mean < 5.0, "optimizer estimates absurdly bad (mean ln err {mean})");
+    assert!(
+        mean < 5.0,
+        "optimizer estimates absurdly bad (mean ln err {mean})"
+    );
 }

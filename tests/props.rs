@@ -18,9 +18,23 @@ fn test_db() -> &'static Database {
 /// Strategy: a random single-table query with 0–2 predicates.
 fn scan_query(db: &Database) -> impl Strategy<Value = Query> {
     let n_tables = db.schema.tables.len() as u32;
-    (0..n_tables, proptest::collection::vec((0u32..6, 0.0f64..1.0, prop_oneof![
-        Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Gt), Just(CmpOp::Le), Just(CmpOp::Ge)
-    ]), 0..3))
+    (
+        0..n_tables,
+        proptest::collection::vec(
+            (
+                0u32..6,
+                0.0f64..1.0,
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Ge)
+                ],
+            ),
+            0..3,
+        ),
+    )
         .prop_map(move |(t, raw_preds)| {
             let db = test_db();
             let table = TableId(t);

@@ -1,0 +1,84 @@
+//! Offline drop-in subset of the `crossbeam` scoped-thread API.
+//!
+//! The build environment has no crates registry; since Rust 1.63
+//! `std::thread::scope` provides the same guarantees crossbeam's scoped
+//! threads pioneered, so this crate is a thin signature adapter: crossbeam's
+//! `scope(|s| ...)` returns a `Result` and hands spawned closures a `&Scope`
+//! argument (hence the `|_|` at call sites), which we emulate over the std
+//! primitive.
+
+use std::any::Any;
+
+/// Scope handle passed to the `scope` closure; spawns scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a placeholder argument
+    /// (crossbeam passes a nested `&Scope`; call sites here ignore it).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope that may borrow from the caller's stack; all
+/// spawned threads are joined before this returns. Panics in *joined*
+/// threads surface through their handles; the outer `Result` is `Ok`
+/// unless the scope itself fails (it cannot with the std backend).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(move |s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut results: Vec<u64> = Vec::new();
+        scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(results, vec![3, 7]);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let caught = scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope failed");
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline `Serialize`/`Deserialize` derive macros for the vendored serde
+//! subset (`vendor/serde`).
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly
+//! from the raw `TokenStream` and the impls are emitted as strings. The
+//! supported grammar is exactly what this workspace uses: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct
+//! variants), plus the `#[serde(skip)]` and `#[serde(default [= "path"])]`
+//! field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed `#[serde(...)]` field attributes.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(path)` for `default = "path"`, `Some("")` for bare `default`.
+    default: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (offline subset): {name}");
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, count_top_level_elems(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct(name),
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, got {other}"),
+    }
+}
+
+/// Skip attributes starting at `*i`, returning any `#[serde(...)]` contents.
+fn collect_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde_derive: malformed attribute");
+        };
+        parse_serde_attr(g.stream(), &mut attrs);
+        *i += 1;
+    }
+    attrs
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    let _ = collect_attrs(toks, i);
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // pub(crate) / pub(super) / pub(in ...)
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse the inside of one `#[...]` group, folding any `serde(...)` list
+/// into `attrs`.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(g)] = &toks[..] else {
+        return; // #[doc = "..."] and friends
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(w) => match w.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => {
+                    // bare `default` or `default = "path"`
+                    if matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        let TokenTree::Literal(lit) = &inner[j + 2] else {
+                            panic!("serde_derive: default expects a string literal");
+                        };
+                        attrs.default = Some(unquote(&lit.to_string()));
+                        j += 2;
+                    } else {
+                        attrs.default = Some(String::new());
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: malformed serde attribute: {other:?}"),
+        }
+        j += 1;
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parse `name: Type` fields (with attributes) from a brace-group stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = collect_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field {name}, got {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Advance past one type, stopping after the comma that terminates it (or
+/// at end of stream). Tracks `<`/`>` depth because generic-argument commas
+/// are not field separators.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of top-level comma-separated elements in a paren group.
+fn count_top_level_elems(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // The `k + 1` guard ignores a trailing comma.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && k + 1 < toks.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_top_level_elems(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional `= discriminant` and the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn default_expr(attrs: &FieldAttrs) -> String {
+    match attrs.default.as_deref() {
+        Some("") | None => "::std::default::Default::default()".to_string(),
+        Some(path) => format!("{path}()"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__m.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(__m)\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Serialize::serialize(&self.0) }}\n}}\n"
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Seq(vec![{}]) }}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize(__x0))]),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize(__x{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn named_field_deser(owner: &str, fields: &[Field], map_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            inits.push_str(&format!("{}: {},\n", f.name, default_expr(&f.attrs)));
+            continue;
+        }
+        let missing = if f.attrs.default.is_some() {
+            default_expr(&f.attrs)
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::msg(\"{owner}: missing field {n}\"))",
+                n = f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::map_get({map_var}, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            n = f.name
+        ));
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(name, fields) => {
+            let inits = named_field_deser(name, fields, "__m");
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::msg(\"{name}: expected map\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Item::TupleStruct(name, 1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::msg(\"{name}: expected sequence\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}: wrong tuple length\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct(name) => format!("::std::result::Result::Ok({name})"),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(_inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = _inner.as_seq().ok_or_else(|| ::serde::Error::msg(\"{name}::{vn}: expected sequence\"))?;\n\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"{name}::{vn}: wrong arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits = named_field_deser(&format!("{name}::{vn}"), fields, "__m");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = _inner.as_map().ok_or_else(|| ::serde::Error::msg(\"{name}::{vn}: expected map\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}: unknown variant\")),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, _inner) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}: unknown variant\")),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}: expected variant\")),\n}}"
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct(n, _)
+        | Item::TupleStruct(n, _)
+        | Item::UnitStruct(n)
+        | Item::Enum(n, _) => n,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
