@@ -27,6 +27,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fmt"
 cargo fmt --all --check
 
+# Serve smoke: drive the online serving path end to end (8 clients × 20
+# requests, micro-batched). serve_bench exits non-zero if any request is
+# shed or the metrics snapshot comes back incomplete.
+echo "==> serve smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- --smoke
+
 # Bench smoke: compile and run each bench once in test mode (no sampling);
 # catches bit-rot in the criterion harness wiring without the full run.
 echo "==> bench smoke"

@@ -1,0 +1,72 @@
+//! Portable LoRA adapters — the hand-off unit between fine-tuning and
+//! serving.
+//!
+//! [`DaceEstimator::fine_tune_lora`] trains only the MLP adapters
+//! `ΔW = B·A` (Eq. 8); everything a deployment needs to specialize the
+//! shared base model to one database is those six small matrices. A
+//! [`LoraAdapter`] captures them (~25% of the base parameter count, a few
+//! hundred KB serialized) so a registry can hot-swap a freshly tuned
+//! adapter under live traffic without re-shipping the base model.
+//!
+//! [`DaceEstimator::fine_tune_lora`]: crate::DaceEstimator::fine_tune_lora
+
+use dace_nn::Tensor2;
+use serde::{Deserialize, Serialize};
+
+/// The adapter weights of one [`LoraLinear`] layer: the down-projection `B`
+/// (`in × r`) and up-projection `A` (`r × out`).
+///
+/// [`LoraLinear`]: dace_nn::LoraLinear
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraLayerWeights {
+    /// Down-projection `B`, `in × r`.
+    pub b: Tensor2,
+    /// Up-projection `A`, `r × out`.
+    pub a: Tensor2,
+}
+
+/// The complete fine-tuned state of a DACE model: one `(B, A)` pair per MLP
+/// layer, in layer order `l1, l2, l3`. Extract with
+/// [`DaceEstimator::extract_adapter`], install with
+/// [`DaceEstimator::with_adapter`].
+///
+/// [`DaceEstimator::extract_adapter`]: crate::DaceEstimator::extract_adapter
+/// [`DaceEstimator::with_adapter`]: crate::DaceEstimator::with_adapter
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraAdapter {
+    /// Per-layer adapter weights (`l1`, `l2`, `l3`).
+    pub layers: Vec<LoraLayerWeights>,
+}
+
+impl LoraAdapter {
+    /// Total scalar parameters across all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.b.len() + l.a.len()).sum()
+    }
+
+    /// Serialize to JSON (the registry hand-off format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("adapter serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<LoraAdapter, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Installing an adapter failed: the weights do not fit the target model's
+/// layer shapes (wrong rank or layer widths). The model is left untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdapterError {
+    /// What mismatched, with the offending and expected shapes.
+    pub reason: String,
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incompatible LoRA adapter: {}", self.reason)
+    }
+}
+
+impl std::error::Error for AdapterError {}

@@ -46,6 +46,12 @@ const MS_FLOOR: f64 = 1e-4;
 /// degenerate (overflowed) model outputs.
 const MAX_LOG_MS: f64 = 20.0;
 
+/// Quantization resolution of [`Featurizer::fingerprint`]: log cost and log
+/// cardinality are rounded to this many steps per nat before hashing, so
+/// plans whose estimates differ by less than ~1/64 nat (~1.6%) share a
+/// fingerprint — far finer than the model can distinguish.
+const FINGERPRINT_STEPS_PER_NAT: f64 = 64.0;
+
 /// A mini-batch of featurized plans packed into one padded tensor, ready
 /// for a single block-diagonal forward/backward pass.
 ///
@@ -183,6 +189,51 @@ impl Featurizer {
             heights: tree.heights(),
             targets,
         }
+    }
+
+    /// Structural fingerprint of a plan *under this featurizer* — the
+    /// serve-path featurization-cache key.
+    ///
+    /// Hashes (FNV-1a, 64-bit) the featurizer identity (scaler parameters +
+    /// config flags) and, per node in DFS order, the operator type, child
+    /// count (preorder + child counts uniquely determine the tree shape,
+    /// hence the attention mask) and the log cost/cardinality quantized to
+    /// [`FINGERPRINT_STEPS_PER_NAT`] steps per nat (~1.6% resolution).
+    /// Plans within a quantization cell share a cache line by design; the
+    /// scaled features differ by far less than model noise at that
+    /// granularity. Including the scaler parameters means a base-model swap
+    /// with refitted scalers can never serve stale cached features.
+    pub fn fingerprint(&self, tree: &PlanTree) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, v: u64) {
+            *h ^= v;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+        let quant = |x: f64| -> u64 { ((x * FINGERPRINT_STEPS_PER_NAT).round() as i64) as u64 };
+        let mut h = FNV_OFFSET;
+        mix(&mut h, self.cost_scaler.median.to_bits());
+        mix(&mut h, self.cost_scaler.iqr.to_bits());
+        mix(&mut h, self.card_scaler.median.to_bits());
+        mix(&mut h, self.card_scaler.iqr.to_bits());
+        mix(
+            &mut h,
+            (self.config.use_actual_cardinality as u64) << 1
+                | self.config.disable_tree_attention as u64,
+        );
+        for &id in &tree.dfs() {
+            let node = tree.node(id);
+            mix(&mut h, node.node_type.one_hot_index() as u64);
+            mix(&mut h, node.children.len() as u64);
+            mix(&mut h, quant((1.0 + node.est_cost).ln()));
+            let card = if self.config.use_actual_cardinality {
+                node.actual_rows
+            } else {
+                node.est_rows
+            };
+            mix(&mut h, quant((1.0 + card).ln()));
+        }
+        h
     }
 
     /// Convert a model output (log-ms) back to milliseconds.

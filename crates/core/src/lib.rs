@@ -19,12 +19,14 @@
 //! * [`DaceEstimator::encode`] — the pre-trained-encoder interface that
 //!   feeds knowledge integration into within-database models (Eq. 9).
 
+mod adapter;
 mod featurize;
 mod loss;
 mod model;
 mod trainer;
 
+pub use adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
 pub use featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures, FEATURE_DIM};
 pub use loss::LossAdjuster;
 pub use model::{DaceModel, ENCODING_DIM};
-pub use trainer::{DaceEstimator, TrainConfig, Trainer};
+pub use trainer::{featurize_trees_sharded, DaceEstimator, TrainConfig, Trainer};

@@ -4,6 +4,7 @@
 use dace_nn::{LoraLinear, LoraMode, MaskedSelfAttention, Param, Relu, Tensor2};
 use serde::{Deserialize, Serialize};
 
+use crate::adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
 use crate::featurize::{PackedBatch, PlanFeatures, FEATURE_DIM};
 
 /// Width of the penultimate hidden layer `h₂` — the encoding dimension the
@@ -52,6 +53,18 @@ fn gather_real_rows(x: &Tensor2, lens: &[usize], n_max: usize) -> Tensor2 {
     for (b, &l) in lens.iter().enumerate() {
         out.set_row_block(row, &x.row_block(b * n_max, l));
         row += l;
+    }
+    out
+}
+
+/// Copy each block's first row (the plan root in DFS order) into a
+/// `lens.len()`-row tensor.
+fn gather_block_heads(a: &Tensor2, lens: &[usize]) -> Tensor2 {
+    let mut out = Tensor2::zeros(lens.len(), a.cols());
+    let mut start = 0;
+    for (b, &l) in lens.iter().enumerate() {
+        out.row_mut(b).copy_from_slice(a.row(start));
+        start += l;
     }
     out
 }
@@ -141,27 +154,59 @@ impl DaceModel {
 
     /// Batched inference over a packed mini-batch: per-plan *root*
     /// log-latency predictions (the first real row of each block).
+    ///
+    /// Only the root rows run through the MLP: the attention output of
+    /// every node is needed (the root attends to all descendants), but the
+    /// per-node MLP predictions other than the root's are discarded by
+    /// every caller of this entry point, so they are never computed. The
+    /// MLP kernels are row-independent, making the root predictions
+    /// bit-identical to the full per-node pass.
     pub fn predict_batch(&self, batch: &PackedBatch) -> Vec<f32> {
         let xc = gather_real_rows(&batch.x, &batch.lens, batch.n_max);
         let a = self
             .attention
             .forward_packed_inference(&xc, &batch.lens, batch.n_max, &batch.bias);
+        let preds = self.mlp_inference(&gather_block_heads(&a, &batch.lens));
+        (0..batch.count).map(|b| preds.get(b, 0)).collect()
+    }
+
+    /// Batched root-latency inference over already-featurized plans on the
+    /// **compact** layout: plans are concatenated without padding rows, the
+    /// per-plan boolean tree masks drive attention directly (no
+    /// `n_max²`-per-plan bias buffer is built), and only each plan's root
+    /// row runs through the MLP. This is the serving scheduler's forward
+    /// path; results are identical to packing and running
+    /// [`DaceModel::predict_batch`].
+    pub fn predict_roots(&self, feats: &[&PlanFeatures]) -> Vec<f32> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = feats.iter().map(|f| f.x.rows()).sum();
+        let mut x = Tensor2::zeros(total, FEATURE_DIM);
+        let mut lens = Vec::with_capacity(feats.len());
+        let mut row = 0;
+        for f in feats {
+            x.set_row_block(row, &f.x);
+            lens.push(f.x.rows());
+            row += f.x.rows();
+        }
+        let masks: Vec<&[bool]> = feats.iter().map(|f| f.mask.as_slice()).collect();
+        let a = self.attention.forward_masks_inference(&x, &lens, &masks);
+        let preds = self.mlp_inference(&gather_block_heads(&a, &lens));
+        (0..feats.len()).map(|b| preds.get(b, 0)).collect()
+    }
+
+    /// The three-layer LoRA MLP, inference mode, over arbitrary rows.
+    fn mlp_inference(&self, a: &Tensor2) -> Tensor2 {
         let h1 = self
             .relus
             .0
-            .forward_inference(&self.l1.forward_inference(&a));
+            .forward_inference(&self.l1.forward_inference(a));
         let h2 = self
             .relus
             .1
             .forward_inference(&self.l2.forward_inference(&h1));
-        let preds = self.l3.forward_inference(&h2);
-        let mut out = Vec::with_capacity(batch.count);
-        let mut row = 0;
-        for &l in &batch.lens {
-            out.push(preds.get(row, 0));
-            row += l;
-        }
-        out
+        self.l3.forward_inference(&h2)
     }
 
     /// Inference: per-node log-latency predictions without caching.
@@ -218,6 +263,77 @@ impl DaceModel {
         self.l1.set_mode(mode);
         self.l2.set_mode(mode);
         self.l3.set_mode(mode);
+    }
+
+    /// Extract the current LoRA adapter weights (`l1`, `l2`, `l3`) — the
+    /// complete fine-tuned state, since fine-tuning freezes everything else.
+    pub fn extract_adapter(&self) -> LoraAdapter {
+        let layer = |l: &LoraLinear| {
+            let (b, a) = l.lora_weights();
+            LoraLayerWeights {
+                b: b.clone(),
+                a: a.clone(),
+            }
+        };
+        LoraAdapter {
+            layers: vec![layer(&self.l1), layer(&self.l2), layer(&self.l3)],
+        }
+    }
+
+    /// Install an extracted adapter. All-or-nothing: shapes are validated
+    /// against every layer before any weight moves, so a failed install can
+    /// never leave the model half-swapped.
+    pub fn apply_adapter(&mut self, adapter: &LoraAdapter) -> Result<(), AdapterError> {
+        if adapter.layers.len() != 3 {
+            return Err(AdapterError {
+                reason: format!("expected 3 layers, got {}", adapter.layers.len()),
+            });
+        }
+        let shape = |t: &Tensor2| (t.rows(), t.cols());
+        for (i, (layer, w)) in [&self.l1, &self.l2, &self.l3]
+            .into_iter()
+            .zip(&adapter.layers)
+            .enumerate()
+        {
+            let (b, a) = layer.lora_weights();
+            if shape(&w.b) != shape(b) || shape(&w.a) != shape(a) {
+                return Err(AdapterError {
+                    reason: format!(
+                        "layer {} wants B {:?} / A {:?}, adapter has B {:?} / A {:?}",
+                        i + 1,
+                        shape(b),
+                        shape(a),
+                        shape(&w.b),
+                        shape(&w.a)
+                    ),
+                });
+            }
+        }
+        for (layer, w) in [&mut self.l1, &mut self.l2, &mut self.l3]
+            .into_iter()
+            .zip(&adapter.layers)
+        {
+            layer
+                .set_lora_weights(w.b.clone(), w.a.clone())
+                .expect("shapes pre-validated");
+        }
+        Ok(())
+    }
+
+    /// Drop every parameter's optimizer state ([`Param::detach`]): the
+    /// inference-only form the serving registry shares across threads.
+    pub fn detach(&mut self) {
+        for p in self.params_mut() {
+            p.detach();
+        }
+    }
+
+    /// Reallocate optimizer state dropped by [`DaceModel::detach`], making
+    /// the model trainable again.
+    pub fn restore_training_state(&mut self) {
+        for p in self.params_mut() {
+            p.restore_state();
+        }
     }
 
     /// Base (non-LoRA) parameter count — the "DACE" row of Table II.

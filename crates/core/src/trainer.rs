@@ -18,6 +18,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::adapter::{AdapterError, LoraAdapter};
 use crate::featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures};
 use crate::loss::LossAdjuster;
 use crate::model::DaceModel;
@@ -70,11 +71,15 @@ impl Default for TrainConfig {
     }
 }
 
-/// Featurize every plan, sharding the work across threads. Output order
-/// matches `plans` regardless of thread count.
-fn featurize_sharded(
+/// Featurize every tree, sharding the work across crossbeam scoped threads.
+/// Output order matches `trees` regardless of thread count (featurization is
+/// pure per-plan work). This is the one featurization entry point shared by
+/// training, [`DaceEstimator::predict_batch_ms`] and the serving scheduler's
+/// cache-miss path; small inputs (< 64 trees) take the serial path so
+/// latency-sensitive callers never pay thread-spawn overhead.
+pub fn featurize_trees_sharded(
     featurizer: &Featurizer,
-    plans: &[LabeledPlan],
+    trees: &[&PlanTree],
     threads: usize,
 ) -> Vec<PlanFeatures> {
     let threads = if threads == 0 {
@@ -84,20 +89,16 @@ fn featurize_sharded(
     } else {
         threads
     };
-    let threads = threads.min(plans.len().max(1));
-    if threads <= 1 || plans.len() < 64 {
-        return plans.iter().map(|p| featurizer.encode(&p.tree)).collect();
+    let threads = threads.min(trees.len().max(1));
+    if threads <= 1 || trees.len() < 64 {
+        return trees.iter().map(|t| featurizer.encode(t)).collect();
     }
-    let chunk = plans.len().div_ceil(threads);
+    let chunk = trees.len().div_ceil(threads);
     crossbeam::scope(|scope| {
-        let handles: Vec<_> = plans
+        let handles: Vec<_> = trees
             .chunks(chunk)
-            .map(|ps| {
-                scope.spawn(move |_| {
-                    ps.iter()
-                        .map(|p| featurizer.encode(&p.tree))
-                        .collect::<Vec<_>>()
-                })
+            .map(|ts| {
+                scope.spawn(move |_| ts.iter().map(|t| featurizer.encode(t)).collect::<Vec<_>>())
             })
             .collect();
         handles
@@ -109,6 +110,16 @@ fn featurize_sharded(
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// [`featurize_trees_sharded`] over labeled plans.
+fn featurize_sharded(
+    featurizer: &Featurizer,
+    plans: &[LabeledPlan],
+    threads: usize,
+) -> Vec<PlanFeatures> {
+    let trees: Vec<&PlanTree> = plans.iter().map(|p| &p.tree).collect();
+    featurize_trees_sharded(featurizer, &trees, threads)
 }
 
 /// Per-row loss gradient for a packed batch, matching the per-plan path:
@@ -173,6 +184,9 @@ fn run_epochs(
     validation_fraction: f32,
     patience: usize,
 ) {
+    // A serving snapshot (DaceModel::detach) has no optimizer state;
+    // reallocate it so registry-loaded models can be fine-tuned directly.
+    model.restore_training_state();
     let mut opt = Adam::new(lr);
     let mut rng = SmallRng::seed_from_u64(shuffle_seed);
 
@@ -359,24 +373,72 @@ impl DaceEstimator {
         self.model.encode(&feats)
     }
 
-    /// Batched latency prediction (ms): featurize all plans, pack them in
-    /// chunks of `config.batch_plans`, and run one block-diagonal forward
-    /// per chunk. Output order matches `trees`.
+    /// Batched latency prediction (ms): featurize all plans (sharded across
+    /// threads, same code path as training), pack them in chunks of
+    /// `config.batch_plans`, and run one block-diagonal forward per chunk.
+    /// Output order matches `trees`.
     pub fn predict_batch_ms(&self, trees: &[&PlanTree]) -> Vec<f64> {
-        let feats: Vec<PlanFeatures> = trees.iter().map(|t| self.featurizer.encode(t)).collect();
+        let feats = featurize_trees_sharded(&self.featurizer, trees, self.config.featurize_threads);
+        let refs: Vec<&PlanFeatures> = feats.iter().collect();
+        self.predict_features_batch_ms(&refs)
+    }
+
+    /// Batch-entry prediction over already-featurized plans — the serving
+    /// scheduler's path, where features come from a cache rather than fresh
+    /// featurization. Chunks by `config.batch_plans`; output order matches
+    /// `feats`.
+    pub fn predict_features_batch_ms(&self, feats: &[&PlanFeatures]) -> Vec<f64> {
+        // Chunks run on the compact layout ([`DaceModel::predict_roots`]):
+        // no padding rows exist, so mixed plan sizes cost nothing and
+        // chunking needs no size sorting — plain input-order chunks keep
+        // the output aligned for free.
         let chunk = self.config.batch_plans.max(1);
-        let mut out = Vec::with_capacity(trees.len());
+        let mut out = Vec::with_capacity(feats.len());
         for group in feats.chunks(chunk) {
-            let refs: Vec<&PlanFeatures> = group.iter().collect();
-            let packed = PackedBatch::pack(&refs);
             out.extend(
                 self.model
-                    .predict_batch(&packed)
+                    .predict_roots(group)
                     .into_iter()
                     .map(Featurizer::to_ms),
             );
         }
         out
+    }
+
+    /// One block-diagonal inference pass over an already-packed batch:
+    /// per-plan root latency (ms). The lowest-level batch entry point.
+    pub fn predict_packed_ms(&self, packed: &PackedBatch) -> Vec<f64> {
+        self.model
+            .predict_batch(packed)
+            .into_iter()
+            .map(Featurizer::to_ms)
+            .collect()
+    }
+
+    /// Extract the current LoRA adapter (the complete fine-tuned state) for
+    /// hand-off to a serving registry.
+    pub fn extract_adapter(&self) -> LoraAdapter {
+        self.model.extract_adapter()
+    }
+
+    /// A copy of this estimator with `adapter` installed — base weights,
+    /// featurizer and config shared unchanged. All-or-nothing on shape
+    /// mismatch.
+    pub fn with_adapter(&self, adapter: &LoraAdapter) -> Result<DaceEstimator, AdapterError> {
+        let mut est = self.clone();
+        est.model.apply_adapter(adapter)?;
+        Ok(est)
+    }
+
+    /// An inference-only copy: identical predictions, but every parameter's
+    /// optimizer state is dropped ([`DaceModel::detach`]), cutting the
+    /// snapshot to a quarter of the training-time memory. This is what the
+    /// serving registry publishes. Fine-tuning such a copy transparently
+    /// reallocates the state.
+    pub fn serving_clone(&self) -> DaceEstimator {
+        let mut est = self.clone();
+        est.model.detach();
+        est
     }
 
     /// LoRA fine-tuning (the across-more adaptation, Sec. IV-D): freezes
@@ -688,6 +750,98 @@ mod tests {
             assert_eq!(a.targets, b.targets);
             assert_eq!(a.mask, b.mask);
         }
+    }
+
+    #[test]
+    fn adapter_extraction_roundtrips_fine_tuned_state() {
+        let train = synthetic_dataset(120, 20);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        });
+        let base = trainer.fit(&train);
+
+        let mut shifted = synthetic_dataset(120, 21);
+        for p in &mut shifted.plans {
+            for id in p.tree.ids().collect::<Vec<_>>() {
+                p.tree.node_mut(id).actual_ms *= 2.0;
+            }
+        }
+        let mut tuned = base.clone();
+        tuned.fine_tune_lora(&shifted, 5, 2e-3);
+
+        // base + extracted adapter ≡ the fine-tuned estimator, bit-exactly.
+        let adapter = tuned.extract_adapter();
+        let restored = base.with_adapter(&adapter).unwrap();
+        for p in shifted.plans.iter().take(10) {
+            assert_eq!(restored.predict_ms(&p.tree), tuned.predict_ms(&p.tree));
+        }
+        // And the JSON hand-off preserves it exactly too.
+        let via_json = LoraAdapter::from_json(&adapter.to_json()).unwrap();
+        assert_eq!(via_json, adapter);
+        // A wrong-shape adapter is rejected atomically: predictions after a
+        // failed install match the untouched base.
+        let bad = LoraAdapter {
+            layers: adapter.layers[..2].to_vec(),
+        };
+        assert!(base.with_adapter(&bad).is_err());
+    }
+
+    #[test]
+    fn serving_clone_predicts_identically_and_stays_tunable() {
+        let train = synthetic_dataset(60, 22);
+        let est = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        })
+        .fit(&train);
+        let mut served = est.serving_clone();
+        for p in train.plans.iter().take(8) {
+            assert_eq!(served.predict_ms(&p.tree), est.predict_ms(&p.tree));
+        }
+        let trees: Vec<&PlanTree> = train.plans.iter().map(|p| &p.tree).collect();
+        assert_eq!(
+            served.predict_batch_ms(&trees),
+            est.predict_batch_ms(&trees)
+        );
+        // Detached state must transparently reallocate when training resumes.
+        served.fine_tune_lora(&train, 1, 1e-3);
+        assert!(served.predict_ms(&train.plans[0].tree).is_finite());
+    }
+
+    #[test]
+    fn predict_features_batch_matches_tree_batch() {
+        let train = synthetic_dataset(70, 23);
+        let est = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        })
+        .fit(&train);
+        let trees: Vec<&PlanTree> = train.plans.iter().map(|p| &p.tree).collect();
+        let feats = featurize_trees_sharded(&est.featurizer, &trees, 4);
+        let refs: Vec<&PlanFeatures> = feats.iter().collect();
+        assert_eq!(
+            est.predict_features_batch_ms(&refs),
+            est.predict_batch_ms(&trees)
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_structure_and_survive_identical_plans() {
+        let train = synthetic_dataset(40, 24);
+        let f = Featurizer::fit(&train, FeatureConfig::default());
+        let a = f.fingerprint(&train.plans[0].tree);
+        assert_eq!(
+            a,
+            f.fingerprint(&train.plans[0].tree.clone()),
+            "fingerprint must be deterministic"
+        );
+        // Different cost profiles ⇒ different fingerprints.
+        assert_ne!(a, f.fingerprint(&train.plans[1].tree));
+        // A different featurizer (refitted scalers) keys differently, so a
+        // base swap can never serve stale cached features.
+        let f2 = Featurizer::fit(&synthetic_dataset(40, 25), FeatureConfig::default());
+        assert_ne!(a, f2.fingerprint(&train.plans[0].tree));
     }
 
     #[test]

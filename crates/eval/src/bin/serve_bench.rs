@@ -1,0 +1,375 @@
+//! Drive the `dace-serve` scheduler with synthetic workloads and report
+//! throughput, tail latency and cache behavior.
+//!
+//! ```text
+//! serve_bench [--clients N] [--requests R] [--queries Q] [--epochs E]
+//!             [--seconds S] [--json] [--smoke]
+//! ```
+//!
+//! Three phases:
+//!
+//! 1. **Closed loop, unbatched** — N clients, `max_batch = 1`: the
+//!    one-forward-per-request baseline.
+//! 2. **Closed loop, micro-batched** — same clients, `max_batch = 32` /
+//!    200 µs window; prints the speedup over phase 1 (the headline number).
+//! 3. **Open loop, overload** — submissions at ~4× the measured batched
+//!    throughput against a short queue and a 20 ms deadline, demonstrating
+//!    graceful degradation (shedding + expiry instead of collapse).
+//!
+//! `--smoke` shrinks everything and runs only the micro-batched closed loop,
+//! asserting zero shed and a non-empty snapshot (CI's serve gate); any
+//! violation exits non-zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dace_core::{TrainConfig, Trainer};
+use dace_eval::data::suite_db;
+use dace_eval::EvalConfig;
+use dace_plan::{MachineId, PlanTree};
+use dace_query::ComplexWorkloadGen;
+use dace_serve::{DaceServer, MetricsSnapshot, ModelRegistry, ServeConfig, ServeError};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PhaseReport {
+    requests_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    cache_hit_rate: f64,
+    mean_batch_size: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    clients: usize,
+    requests_per_client: usize,
+    unbatched: PhaseReport,
+    batched: PhaseReport,
+    speedup: f64,
+    open_loop_ok: u64,
+    open_loop_shed: u64,
+    open_loop_expired: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients = 32usize;
+    let mut requests = 64usize;
+    let mut queries = 120usize;
+    let mut joins = 8usize;
+    let mut epochs = 6usize;
+    let mut workers = ServeConfig::default().workers;
+    let mut open_secs = 2.0f64;
+    let mut smoke = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--clients" => clients = parse(args.get(i), "--clients"),
+            "--requests" => requests = parse(args.get(i), "--requests"),
+            "--queries" => queries = parse(args.get(i), "--queries"),
+            "--joins" => joins = parse(args.get(i), "--joins"),
+            "--epochs" => epochs = parse(args.get(i), "--epochs"),
+            "--workers" => workers = parse(args.get(i), "--workers"),
+            "--seconds" => open_secs = parse(args.get(i), "--seconds"),
+            "--smoke" => {
+                smoke = true;
+                continue;
+            }
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
+                     [--epochs E] [--seconds S] [--json] [--smoke]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if smoke {
+        clients = clients.min(8);
+        requests = requests.min(20);
+        queries = queries.min(32);
+        epochs = epochs.min(3);
+    }
+
+    eprintln!("collecting {queries} plans (database 0, ≤{joins} joins, M1)…");
+    let cfg = EvalConfig::scaled(0.05);
+    let db = suite_db(&cfg, 0);
+    let gen = ComplexWorkloadGen {
+        max_joins: joins,
+        ..ComplexWorkloadGen::default()
+    };
+    let data = dace_engine::collect_dataset(&db, &gen.generate(&db, queries), MachineId::M1);
+    let pool: Vec<PlanTree> = data.plans.iter().map(|p| p.tree.clone()).collect();
+    let sizes: Vec<usize> = pool.iter().map(PlanTree::len).collect();
+    eprintln!(
+        "pool: {} plans, {}–{} nodes (mean {:.1})",
+        pool.len(),
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap(),
+        sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+    );
+
+    eprintln!("training base estimator ({epochs} epochs)…");
+    let est = Trainer::new(TrainConfig {
+        epochs,
+        ..Default::default()
+    })
+    .fit(&data);
+
+    // A per-database LoRA adapter for mixed traffic: fine-tuned against a
+    // uniformly slower copy of the same plans (an across-machine shift).
+    eprintln!("fine-tuning a tenant adapter…");
+    let mut shifted = data.clone();
+    for p in &mut shifted.plans {
+        for id in p.tree.ids().collect::<Vec<_>>() {
+            p.tree.node_mut(id).actual_ms *= 8.0;
+        }
+    }
+    let mut tuned = est.clone();
+    tuned.fine_tune_lora(&shifted, epochs.min(4), 2e-3);
+    let adapter = tuned.extract_adapter();
+
+    // Offline calibration: the raw model cost per plan, single-plan path vs
+    // packed batches of 32, with the serve layer out of the picture. The
+    // gap between these two is the ceiling any scheduler can deliver.
+    {
+        let feats: Vec<_> = pool.iter().map(|t| est.featurizer.encode(t)).collect();
+        let refs: Vec<&dace_core::PlanFeatures> = feats.iter().collect();
+        let t = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            for f in &refs {
+                std::hint::black_box(est.predict_features_batch_ms(std::slice::from_ref(f)));
+            }
+        }
+        let single_us = t.elapsed().as_micros() as f64 / (reps * refs.len()) as f64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            for chunk in refs.chunks(32) {
+                std::hint::black_box(est.predict_features_batch_ms(chunk));
+            }
+        }
+        let packed_us = t.elapsed().as_micros() as f64 / (reps * refs.len()) as f64;
+        eprintln!(
+            "offline forward: {single_us:.1} µs/plan single, {packed_us:.1} µs/plan packed×32 \
+             ({:.2}× ceiling)",
+            single_us / packed_us
+        );
+    }
+
+    let registry = Arc::new(ModelRegistry::new(est));
+    registry
+        .install_adapter("tenant", &adapter)
+        .expect("adapter install failed");
+
+    let batched_cfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    let unbatched_cfg = ServeConfig {
+        max_batch: 1,
+        workers,
+        ..ServeConfig::default()
+    };
+
+    if smoke {
+        let server = DaceServer::new(Arc::clone(&registry), batched_cfg);
+        let (secs, ok) = closed_loop(&server, &pool, clients, requests);
+        let snap = server.metrics_snapshot();
+        println!(
+            "smoke: {ok} requests in {secs:.2}s ({:.0} req/s)",
+            ok as f64 / secs
+        );
+        println!("{snap}");
+        let expected = (clients * requests) as u64;
+        let mut failed = false;
+        if snap.shed != 0 {
+            eprintln!("FAIL: {} requests shed in smoke run", snap.shed);
+            failed = true;
+        }
+        if snap.is_empty() || snap.completed != expected {
+            eprintln!(
+                "FAIL: snapshot incomplete ({} completed, expected {expected})",
+                snap.completed
+            );
+            failed = true;
+        }
+        if ok != expected {
+            eprintln!("FAIL: {ok} successful responses, expected {expected}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+        return;
+    }
+
+    eprintln!("closed loop, unbatched: {clients} clients × {requests} requests…");
+    let server = DaceServer::new(Arc::clone(&registry), unbatched_cfg);
+    let (secs1, ok1) = closed_loop(&server, &pool, clients, requests);
+    let snap1 = server.metrics_snapshot();
+    let unbatched = phase_report(ok1, secs1, &snap1);
+    drop(server);
+
+    eprintln!(
+        "closed loop, micro-batched (max_batch {})…",
+        batched_cfg.max_batch
+    );
+    let server = DaceServer::new(Arc::clone(&registry), batched_cfg);
+    let (secs2, ok2) = closed_loop(&server, &pool, clients, requests);
+    let snap2 = server.metrics_snapshot();
+    let batched = phase_report(ok2, secs2, &snap2);
+    drop(server);
+
+    let rate = (batched.requests_per_sec * 4.0).max(500.0);
+    eprintln!("open loop, overload: {rate:.0} req/s for {open_secs:.1}s, 20 ms deadline…");
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            queue_depth: 64,
+            ..batched_cfg
+        },
+    );
+    let (ol_ok, ol_expired) = open_loop(&server, &pool, rate, Duration::from_secs_f64(open_secs));
+    let ol_snap = server.metrics_snapshot();
+    drop(server);
+
+    let report = BenchReport {
+        clients,
+        requests_per_client: requests,
+        speedup: batched.requests_per_sec / unbatched.requests_per_sec,
+        unbatched,
+        batched,
+        open_loop_ok: ol_ok,
+        open_loop_shed: ol_snap.shed,
+        open_loop_expired: ol_expired,
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+        return;
+    }
+    println!("== closed loop, unbatched (max_batch 1) ==");
+    println!(
+        "  {:.0} req/s, e2e p50 {} µs, p99 {} µs",
+        report.unbatched.requests_per_sec, report.unbatched.p50_us, report.unbatched.p99_us
+    );
+    println!("{snap1}");
+    println!("== closed loop, micro-batched ==");
+    println!(
+        "  {:.0} req/s, e2e p50 {} µs, p99 {} µs, mean batch {:.1}, cache hit {:.1}%",
+        report.batched.requests_per_sec,
+        report.batched.p50_us,
+        report.batched.p99_us,
+        report.batched.mean_batch_size,
+        100.0 * report.batched.cache_hit_rate
+    );
+    println!("{snap2}");
+    println!("== speedup: {:.2}× ==", report.speedup);
+    println!("== open loop @ {rate:.0} req/s (queue 64, 20 ms deadline) ==");
+    println!(
+        "  {} answered, {} shed at admission, {} expired in queue",
+        report.open_loop_ok, report.open_loop_shed, report.open_loop_expired
+    );
+    println!("{ol_snap}");
+    if report.speedup < 2.0 {
+        eprintln!(
+            "WARNING: micro-batching speedup {:.2}× below the 2× target",
+            report.speedup
+        );
+    }
+}
+
+/// N clients each issue `requests` blocking predictions over the pool;
+/// every fourth request goes through the tenant adapter. Returns
+/// (elapsed seconds, successful responses).
+fn closed_loop(
+    server: &DaceServer,
+    pool: &[PlanTree],
+    clients: usize,
+    requests: usize,
+) -> (f64, u64) {
+    let ok = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let ok = &ok;
+            s.spawn(move || {
+                for r in 0..requests {
+                    let tree = &pool[(c * 7 + r) % pool.len()];
+                    let adapter = ((c + r) % 4 == 0).then_some("tenant");
+                    if server.predict_with(tree, adapter, None).is_ok() {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    (t0.elapsed().as_secs_f64(), ok.load(Ordering::Relaxed))
+}
+
+/// Submit at a fixed arrival rate without waiting, then drain every handle.
+/// Returns (answered, deadline-expired).
+fn open_loop(server: &DaceServer, pool: &[PlanTree], rate: f64, duration: Duration) -> (u64, u64) {
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let deadline = Some(Duration::from_millis(20));
+    let mut handles = Vec::new();
+    let t0 = Instant::now();
+    let mut next = t0;
+    let mut i = 0usize;
+    while t0.elapsed() < duration {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += interval;
+        if let Ok(h) = server.submit(&pool[i % pool.len()], None, deadline) {
+            handles.push(h);
+        }
+        i += 1;
+    }
+    let (mut ok, mut expired) = (0u64, 0u64);
+    for h in handles {
+        match h.wait() {
+            Ok(_) => ok += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(_) => {}
+        }
+    }
+    (ok, expired)
+}
+
+fn phase_report(ok: u64, secs: f64, snap: &MetricsSnapshot) -> PhaseReport {
+    PhaseReport {
+        requests_per_sec: ok as f64 / secs,
+        p50_us: snap.e2e_us.p50,
+        p99_us: snap.e2e_us.p99,
+        cache_hit_rate: snap.cache_hit_rate(),
+        mean_batch_size: snap.batch_size.mean,
+    }
+}
+
+fn parse<T: std::str::FromStr>(val: Option<&String>, flag: &str) -> T {
+    val.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

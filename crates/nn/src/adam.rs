@@ -68,6 +68,10 @@ impl Adam {
                 p.zero_grad();
                 continue;
             }
+            // A detached serving snapshot (Param::detach) has 0×0 state;
+            // reallocate instead of indexing out of bounds so fine-tuning a
+            // registry-loaded model just works.
+            p.restore_state();
             let n = p.value.len();
             let grad = p.grad.as_slice().to_vec();
             let m = p.m.as_mut_slice();

@@ -169,6 +169,83 @@ impl MaskedSelfAttention {
         Self::apply_probs(&probs, &v, lens)
     }
 
+    /// Mask-driven block-diagonal inference: like
+    /// [`forward_packed_inference`] but each block's boolean tree mask
+    /// drives the computation directly instead of going through a padded
+    /// `stride²`-per-block additive bias buffer. `masks[b]` is block `b`'s
+    /// row-major `lens[b] × lens[b]` mask.
+    ///
+    /// This is the serving fast path. Tree masks over DFS-ordered nodes are
+    /// **row intervals** — node `i` attends to exactly `[i, i + subtree)` —
+    /// so each row's scores, softmax and value sum run only over its
+    /// allowed interval ([`Tensor2::row_dots_nt`] / [`Tensor2::row_combine`]):
+    /// no bias buffer, no block copies, and no work at masked positions.
+    /// Probabilities are identical to the bias path, which computes the
+    /// masked positions and then multiplies them by exactly zero.
+    /// Non-interval masks (possible only with hand-built features) fall
+    /// back to a dense scored row with the same semantics.
+    ///
+    /// [`forward_packed_inference`]: MaskedSelfAttention::forward_packed_inference
+    pub fn forward_masks_inference(
+        &self,
+        x: &Tensor2,
+        lens: &[usize],
+        masks: &[&[bool]],
+    ) -> Tensor2 {
+        let n = x.rows();
+        assert_eq!(n, lens.iter().sum::<usize>(), "lens must cover all rows");
+        assert_eq!(lens.len(), masks.len(), "one mask per block");
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let scale = 1.0 / (self.d_k as f32).sqrt();
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        let mut scores = vec![0.0f32; max_len];
+        let mut out = Tensor2::zeros(n, v.cols());
+        let mut start = 0;
+        for (&l, &mask) in lens.iter().zip(masks) {
+            assert_eq!(mask.len(), l * l, "mask must be len² per block");
+            for i in 0..l {
+                let mrow = &mask[i * l..(i + 1) * l];
+                let Some(j0) = mrow.iter().position(|&b| b) else {
+                    continue; // fully masked row: zero output, as in the bias path
+                };
+                let mut run = mrow[j0..].iter().take_while(|&&b| b).count();
+                let interval = !mrow[j0 + run..].iter().any(|&b| b);
+                if !interval {
+                    run = l - j0; // dense fallback: score the rest, mask additively
+                }
+                let s = &mut scores[..run];
+                q.row_dots_nt(start + i, &k, start + j0, run, s);
+                for v in s.iter_mut() {
+                    *v *= scale;
+                }
+                if !interval {
+                    for (v, &allowed) in s.iter_mut().zip(&mrow[j0..]) {
+                        if !allowed {
+                            *v += MASK_NEG;
+                        }
+                    }
+                }
+                // Softmax over the interval.
+                let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in s.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                if sum > 0.0 {
+                    for v in s.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+                Tensor2::row_combine(s, &v, start + j0, out.row_mut(start + i));
+            }
+            start += l;
+        }
+        out
+    }
+
     /// Shared Q/K/V projection + per-block masked softmax. The projections
     /// are three large matmuls over the whole packed input; scores are
     /// computed block-by-block on each block's `lens[b] × lens[b]` corner,

@@ -206,6 +206,39 @@ impl LoraLinear {
         vec![&mut self.w, &mut self.b, &mut self.lora_b, &mut self.lora_a]
     }
 
+    /// The adapter weights `(B, A)` — everything fine-tuning trains. This is
+    /// the hand-off unit for per-database adapters: extract after
+    /// fine-tuning, ship, and [`set_lora_weights`] into a base model.
+    ///
+    /// [`set_lora_weights`]: LoraLinear::set_lora_weights
+    pub fn lora_weights(&self) -> (&Tensor2, &Tensor2) {
+        (&self.lora_b.value, &self.lora_a.value)
+    }
+
+    /// Install adapter weights `(B, A)` extracted from a compatible layer.
+    /// Fails (returning the expected shapes) instead of silently producing
+    /// a model with torn dimensions.
+    pub fn set_lora_weights(&mut self, b: Tensor2, a: Tensor2) -> Result<(), String> {
+        let want_b = (self.lora_b.value.rows(), self.lora_b.value.cols());
+        let want_a = (self.lora_a.value.rows(), self.lora_a.value.cols());
+        if (b.rows(), b.cols()) != want_b || (a.rows(), a.cols()) != want_a {
+            return Err(format!(
+                "LoRA shape mismatch: got B {}×{} / A {}×{}, layer expects B {}×{} / A {}×{}",
+                b.rows(),
+                b.cols(),
+                a.rows(),
+                a.cols(),
+                want_b.0,
+                want_b.1,
+                want_a.0,
+                want_a.1
+            ));
+        }
+        self.lora_b.value = b;
+        self.lora_a.value = a;
+        Ok(())
+    }
+
     /// Base (non-LoRA) parameter count.
     pub fn base_param_count(&self) -> usize {
         self.w.count() + self.b.count()
@@ -339,6 +372,24 @@ mod tests {
         assert!(layer.w.trainable && !layer.lora_a.trainable);
         layer.set_mode(LoraMode::Finetune);
         assert!(!layer.w.trainable && layer.lora_a.trainable && layer.lora_b.trainable);
+    }
+
+    #[test]
+    fn lora_weight_roundtrip_and_shape_guard() {
+        let mut src = LoraLinear::new(6, 4, 2, 3);
+        src.lora_a.value = Tensor2::uniform(2, 4, 0.5, 17);
+        let mut dst = LoraLinear::new(6, 4, 2, 99);
+        let (b, a) = src.lora_weights();
+        dst.set_lora_weights(b.clone(), a.clone()).unwrap();
+        let x = Tensor2::uniform(3, 6, 1.0, 5);
+        // Same base? No — different seeds. But the LoRA delta must match:
+        // Δ = (x @ B) @ A is identical once the adapters are installed.
+        let delta = |l: &LoraLinear| x.matmul(&l.lora_b.value).matmul(&l.lora_a.value);
+        assert_eq!(delta(&src).as_slice(), delta(&dst).as_slice());
+        // Wrong-rank adapters are rejected, not torn in.
+        let bad = LoraLinear::new(6, 4, 3, 1);
+        let (bb, ba) = (bad.lora_b.value.clone(), bad.lora_a.value.clone());
+        assert!(dst.set_lora_weights(bb, ba).is_err());
     }
 
     #[test]

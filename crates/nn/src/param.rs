@@ -57,6 +57,34 @@ impl Param {
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();
     }
+
+    /// Drop the gradient and Adam moments (shrunk to `0 × 0`), keeping only
+    /// the values. A detached parameter is what serving snapshots share
+    /// across threads: it costs a quarter of the training-time memory and
+    /// clones four times faster. Inference never touches the dropped
+    /// tensors; training paths restore them via [`Param::restore_state`].
+    pub fn detach(&mut self) {
+        self.grad = Tensor2::zeros(0, 0);
+        self.m = Tensor2::zeros(0, 0);
+        self.v = Tensor2::zeros(0, 0);
+    }
+
+    /// Whether the optimizer state has been dropped by [`Param::detach`].
+    pub fn is_detached(&self) -> bool {
+        self.grad.len() != self.value.len()
+    }
+
+    /// Reallocate zeroed gradient/moment tensors if they were detached (or
+    /// loaded with mismatched shapes). Training entry points call this so a
+    /// detached serving snapshot can be fine-tuned again.
+    pub fn restore_state(&mut self) {
+        if self.is_detached() {
+            let (r, c) = (self.value.rows(), self.value.cols());
+            self.grad = Tensor2::zeros(r, c);
+            self.m = Tensor2::zeros(r, c);
+            self.v = Tensor2::zeros(r, c);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +114,23 @@ mod tests {
         p.grad.set(0, 0, 5.0);
         p.zero_grad();
         assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn detach_drops_state_and_restore_reallocates() {
+        let mut p = Param::xavier(3, 4, 1);
+        p.grad.set(1, 1, 2.0);
+        p.m.set(0, 0, 1.0);
+        let values = p.value.clone();
+        p.detach();
+        assert!(p.is_detached());
+        assert_eq!(p.grad.len(), 0);
+        assert_eq!(p.m.len(), 0);
+        assert_eq!(p.v.len(), 0);
+        assert_eq!(p.value, values, "detach must not touch the values");
+        p.restore_state();
+        assert!(!p.is_detached());
+        assert_eq!(p.grad.as_slice(), &[0.0; 12]);
+        assert_eq!(p.value, values);
     }
 }

@@ -662,6 +662,72 @@ impl Tensor2 {
         }
     }
 
+    /// Dot products of row `i` of `self` against rows `j0..j0+n` of
+    /// `other` (same width), written to `dst[..n]`: one row of a
+    /// `self @ otherᵀ` product restricted to a column interval. The
+    /// serving attention path uses this to score only the positions a
+    /// tree mask allows.
+    pub fn row_dots_nt(&self, i: usize, other: &Tensor2, j0: usize, n: usize, dst: &mut [f32]) {
+        assert_eq!(self.cols, other.cols, "row_dots_nt width mismatch");
+        assert!(j0 + n <= other.rows, "row_dots_nt range out of bounds");
+        let k = self.cols;
+        let a_row = &self.data[i * k..(i + 1) * k];
+        if !reference_kernels() {
+            #[cfg(target_arch = "x86_64")]
+            if fma::available() {
+                unsafe {
+                    fma::matmul_nt(
+                        a_row.as_ptr(),
+                        other.data.as_ptr().add(j0 * k),
+                        dst.as_mut_ptr(),
+                        1,
+                        k,
+                        n,
+                    );
+                }
+                return;
+            }
+        }
+        for (j, d) in dst[..n].iter_mut().enumerate() {
+            let b_row = other.row(j0 + j);
+            *d = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// `dst = weights @ other[j0..j0+weights.len())`: a convex combination
+    /// of a row interval of `other`, written to `dst[..other.cols]`. The
+    /// serving attention path uses this for the probability-weighted value
+    /// sum over only the unmasked positions.
+    pub fn row_combine(weights: &[f32], other: &Tensor2, j0: usize, dst: &mut [f32]) {
+        let m = weights.len();
+        assert!(j0 + m <= other.rows, "row_combine range out of bounds");
+        let n = other.cols;
+        if !reference_kernels() {
+            #[cfg(target_arch = "x86_64")]
+            if fma::available() {
+                unsafe {
+                    fma::matmul_strided(
+                        weights.as_ptr(),
+                        m,
+                        1,
+                        other.data.as_ptr().add(j0 * n),
+                        dst.as_mut_ptr(),
+                        1,
+                        m,
+                        n,
+                    );
+                }
+                return;
+            }
+        }
+        dst[..n].fill(0.0);
+        for (p, &w) in weights.iter().enumerate() {
+            for (d, &b) in dst[..n].iter_mut().zip(other.row(j0 + p)) {
+                *d += w * b;
+            }
+        }
+    }
+
     /// Copy of `rows` consecutive rows starting at `start`.
     pub fn row_block(&self, start: usize, rows: usize) -> Tensor2 {
         assert!(start + rows <= self.rows, "row block out of bounds");

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! `dace-serve` — online inference serving for the DACE estimator.
+//!
+//! The paper's pitch is an estimator cheap enough for the optimizer's hot
+//! path: sub-millisecond inference, ~1 MB models, per-deployment LoRA
+//! fine-tuning. This crate is the layer that turns the batched kernels of
+//! `dace-core` into a service that can hold that promise under concurrent
+//! traffic:
+//!
+//! * [`DaceServer`] — a **micro-batching scheduler**: a bounded MPSC queue
+//!   drained by worker threads into packed block-diagonal batches under a
+//!   `max_batch`/`max_wait` policy, with admission control (load shedding,
+//!   per-request deadlines) so overload degrades tail latency gracefully.
+//! * [`ModelRegistry`] — the pretrained base model plus named per-database
+//!   LoRA adapters behind hand-rolled `arc-swap`-style cells: adapters
+//!   fine-tuned offline hot-swap under live traffic with **zero locks on
+//!   the read path**, and every response records the version that served it.
+//! * [`FeatureCache`] — a sharded LRU over structural plan fingerprints,
+//!   because featurization is the serve path's dominant non-matmul cost.
+//! * [`ServeMetrics`] / [`MetricsSnapshot`] — atomic counters and
+//!   fixed-bucket latency histograms (queue wait, batch size, featurize,
+//!   forward, end-to-end p50/p95/p99), printed by the `serve_bench` binary
+//!   in `dace-eval`.
+//!
+//! ```no_run
+//! use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
+//! use std::sync::Arc;
+//! # fn estimator() -> dace_core::DaceEstimator { unimplemented!() }
+//! # fn some_plan() -> dace_plan::PlanTree { unimplemented!() }
+//!
+//! let registry = Arc::new(ModelRegistry::new(estimator()));
+//! let server = DaceServer::new(Arc::clone(&registry), ServeConfig::default());
+//! let pred = server.predict(&some_plan()).unwrap();
+//! println!("{} ms, served by version {}", pred.ms, pred.version);
+//! ```
+
+mod cache;
+mod metrics;
+mod registry;
+mod scheduler;
+
+pub use cache::{FeatureCache, ShardedLruCache};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
+pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError};
+pub use scheduler::{DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError};

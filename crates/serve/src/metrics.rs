@@ -1,0 +1,378 @@
+//! Serve-path metrics: lock-free atomic counters and fixed-bucket latency
+//! histograms, snapshotted on demand.
+//!
+//! Histograms use an HDR-style layout — 8 linear sub-buckets per power-of-2
+//! octave — so quantile estimates carry at most ~12.5% relative error while
+//! `record` stays a single relaxed `fetch_add`. Everything here is written
+//! from the serve hot path, so there are no locks anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Sub-bucket resolution: `2^SUB_BITS` linear buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets; covers values up to `2^60` with clamping above.
+const BUCKETS: usize = 512;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) & (SUB - 1);
+    ((((msb - SUB_BITS as u64) + 1) * SUB) + sub).min(BUCKETS as u64 - 1) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (what quantiles report).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = i / SUB - 1;
+    let sub = i % SUB;
+    ((SUB + sub + 1) << shift) - 1
+}
+
+/// A fixed-bucket concurrent histogram of `u64` samples (the serve layer
+/// records microseconds and batch sizes). All operations are wait-free
+/// relaxed atomics; snapshots are not linearizable with respect to
+/// concurrent writers, which is fine for monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the p-quantile sample, 1-based.
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(BUCKETS - 1)
+        };
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean of the raw samples (exact, from the running sum).
+    pub mean: f64,
+    /// Median (bucket upper bound, ≤ ~12.5% high).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+/// All serve-path instrumentation, shared between the scheduler, its worker
+/// threads and whoever snapshots.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered with a prediction.
+    pub completed: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests dropped because their deadline passed before a worker
+    /// reached them.
+    pub expired: AtomicU64,
+    /// Requests naming an adapter the registry does not hold.
+    pub unknown_adapter: AtomicU64,
+    /// Batches drained by workers.
+    pub batches: AtomicU64,
+    /// Time each request spent queued before a worker drained it (µs).
+    pub queue_wait_us: Histogram,
+    /// Drained batch sizes (requests per batch).
+    pub batch_size: Histogram,
+    /// Per-batch collection time: first request drained to batch dispatched
+    /// (µs) — how much of the `max_wait` window batches actually pay.
+    pub drain_us: Histogram,
+    /// Per-batch featurization time, cache misses included (µs).
+    pub featurize_us: Histogram,
+    /// Per-batch packed forward-pass time (µs).
+    pub forward_us: Histogram,
+    /// Per-batch response-delivery time: client handoff including wakeups
+    /// (µs).
+    pub respond_us: Histogram,
+    /// End-to-end request latency, admission to response (µs).
+    pub e2e_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Snapshot every counter and histogram. Cache counters live in the
+    /// cache itself; [`DaceServer::metrics_snapshot`] merges them in.
+    ///
+    /// [`DaceServer::metrics_snapshot`]: crate::DaceServer::metrics_snapshot
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            completed: load(&self.completed),
+            shed: load(&self.shed),
+            expired: load(&self.expired),
+            unknown_adapter: load(&self.unknown_adapter),
+            batches: load(&self.batches),
+            cache_hits: 0,
+            cache_misses: 0,
+            queue_wait_us: self.queue_wait_us.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            drain_us: self.drain_us.snapshot(),
+            featurize_us: self.featurize_us.snapshot(),
+            forward_us: self.forward_us.snapshot(),
+            respond_us: self.respond_us.snapshot(),
+            e2e_us: self.e2e_us.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time view of the whole serve path, printable and serializable
+/// (what `serve_bench` reports and CI asserts on).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests load-shed at admission.
+    pub shed: u64,
+    /// Requests expired in queue.
+    pub expired: u64,
+    /// Requests for unknown adapters.
+    pub unknown_adapter: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Featurization-cache hits.
+    pub cache_hits: u64,
+    /// Featurization-cache misses.
+    pub cache_misses: u64,
+    /// Queue-wait distribution (µs).
+    pub queue_wait_us: HistogramSnapshot,
+    /// Batch-size distribution.
+    pub batch_size: HistogramSnapshot,
+    /// Per-batch collection time (µs).
+    pub drain_us: HistogramSnapshot,
+    /// Per-batch featurization time (µs).
+    pub featurize_us: HistogramSnapshot,
+    /// Per-batch forward time (µs).
+    pub forward_us: HistogramSnapshot,
+    /// Per-batch response-delivery time (µs).
+    pub respond_us: HistogramSnapshot,
+    /// End-to-end latency distribution (µs).
+    pub e2e_us: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// True when the snapshot reflects no traffic at all.
+    pub fn is_empty(&self) -> bool {
+        self.submitted == 0 && self.shed == 0
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when the cache saw no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} shed, {} expired, {} unknown-adapter",
+            self.submitted, self.completed, self.shed, self.expired, self.unknown_adapter
+        )?;
+        writeln!(
+            f,
+            "batches:  {} drained, size p50/p95/max = {}/{}/{} (mean {:.1})",
+            self.batches,
+            self.batch_size.p50,
+            self.batch_size.p95,
+            self.batch_size.max,
+            self.batch_size.mean
+        )?;
+        writeln!(
+            f,
+            "cache:    {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "queue µs: p50 {} p95 {} p99 {} max {}",
+            self.queue_wait_us.p50,
+            self.queue_wait_us.p95,
+            self.queue_wait_us.p99,
+            self.queue_wait_us.max
+        )?;
+        writeln!(
+            f,
+            "stage µs: drain p50 {} / featurize p50 {} / forward p50 {} / respond p50 {} (per batch)",
+            self.drain_us.p50, self.featurize_us.p50, self.forward_us.p50, self.respond_us.p50
+        )?;
+        write!(
+            f,
+            "e2e µs:   p50 {} p95 {} p99 {} max {}",
+            self.e2e_us.p50, self.e2e_us.p95, self.e2e_us.p99, self.e2e_us.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds_error() {
+        // Every value must land in a bucket whose upper bound is within
+        // 12.5% above it (one sub-bucket of slack).
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, 1 << 40]) {
+            let i = bucket_index(v);
+            let hi = bucket_upper(i);
+            assert!(hi >= v, "upper({i}) = {hi} < {v}");
+            assert!(
+                hi as f64 <= v as f64 * 1.125 + 1.0,
+                "upper({i}) = {hi} too far above {v}"
+            );
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "v={v} not below previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        // Bucket upper bounds overestimate by ≤ 12.5%.
+        assert!((500..=563).contains(&s.p50), "p50 = {}", s.p50);
+        assert!((950..=1069).contains(&s.p95), "p95 = {}", s.p95);
+        assert!((990..=1114).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        let m = ServeMetrics::new();
+        let s = m.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.e2e_us.p99, 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = ServeMetrics::new();
+        m.e2e_us.record(120);
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"completed\":1"));
+        assert!(!format!("{s}").is_empty());
+    }
+}

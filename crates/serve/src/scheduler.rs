@@ -1,0 +1,461 @@
+//! The micro-batching scheduler and the [`DaceServer`] facade.
+//!
+//! Requests enter a **bounded** MPSC queue (`std::sync::mpsc::sync_channel`)
+//! and are drained by worker threads into [`PackedBatch`]es under a
+//! `max_batch` / `max_wait` / `min_fill` policy: a worker blocks for the
+//! first request, splices in everything already queued, and dispatches as
+//! soon as the batch is full, full *enough* (`min_fill`), or the wait
+//! window closes. Under load the window never opens because the backlog
+//! fills the batch instantly, so batching adds latency only when the
+//! system is idle enough not to care — and `min_fill` keeps closed-loop
+//! clients (all blocked on responses, so no arrivals are even possible)
+//! from paying the window at all. Admission control keeps tail latency degrading gracefully
+//! instead of collapsing: a full queue sheds the request immediately with
+//! [`ServeError::Overloaded`] (the client can retry against a replica), and
+//! requests whose deadline passed while queued are dropped with
+//! [`ServeError::DeadlineExceeded`] before any work is spent on them.
+//!
+//! Per batch, each request resolves its model through the lock-free
+//! [`ModelRegistry`], features come from the fingerprint-keyed
+//! [`FeatureCache`] (misses featurized through the same
+//! [`featurize_trees_sharded`] path training uses), and one block-diagonal
+//! forward serves the whole adapter group.
+//!
+//! [`PackedBatch`]: dace_core::PackedBatch
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dace_core::{featurize_trees_sharded, PlanFeatures};
+use dace_plan::PlanTree;
+
+use crate::cache::FeatureCache;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelRegistry;
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest batch a worker drains before forwarding. `1` disables
+    /// micro-batching (the baseline `serve_bench` compares against).
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for more requests.
+    /// Only ever paid on an idle system; a backlog fills batches instantly.
+    pub max_wait: Duration,
+    /// Dispatch immediately once a drain holds this many requests instead
+    /// of waiting out the rest of the window. Without this, closed-loop
+    /// traffic collapses: every client is blocked on a response, so the
+    /// window is pure idle time (and it is spent holding the queue lock).
+    /// Lower toward 1 to always dispatch what is instantaneously queued;
+    /// raise toward `max_batch` for maximum forward efficiency under
+    /// open-loop load.
+    pub min_fill: usize,
+    /// Bounded queue depth; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Worker threads draining the queue. `0` is accepted for tests that
+    /// exercise admission control without any draining.
+    pub workers: usize,
+    /// Deadline applied to requests that do not carry their own; `None`
+    /// means queued requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// Featurization-cache capacity in entries (`0` disables the cache).
+    pub cache_capacity: usize,
+    /// Threads for cache-miss featurization within a batch (`0` = auto).
+    /// Batches under 64 misses featurize serially either way, so the
+    /// default never pays thread-spawn latency on the serve path.
+    pub featurize_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            min_fill: 8,
+            queue_depth: 1024,
+            workers: 2,
+            default_deadline: None,
+            cache_capacity: 4096,
+            featurize_threads: 1,
+        }
+    }
+}
+
+/// Why the serve layer refused or failed a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full at admission — load shed; retry later or
+    /// elsewhere.
+    Overloaded,
+    /// The request's deadline passed before a worker drained it.
+    DeadlineExceeded,
+    /// The request named an adapter the registry does not hold.
+    UnknownAdapter(String),
+    /// The server is shutting down (or already shut down).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "queue full: request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline passed in queue"),
+            ServeError::UnknownAdapter(n) => write!(f, "unknown adapter {n:?}"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served prediction, stamped with exactly which model answered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted latency in milliseconds.
+    pub ms: f64,
+    /// Adapter that served the request (`None` = base model).
+    pub adapter: Option<String>,
+    /// Registry version id of the snapshot that served it — the hot-swap
+    /// audit trail.
+    pub version: u64,
+    /// Size of the forward batch this request rode in.
+    pub batch_size: usize,
+    /// Whether featurization came from the cache.
+    pub cache_hit: bool,
+}
+
+struct Job {
+    tree: PlanTree,
+    adapter: Option<String>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    resp: SyncSender<Result<Prediction, ServeError>>,
+}
+
+/// In-flight request handle; [`PredictionHandle::wait`] blocks for the
+/// response.
+#[derive(Debug)]
+pub struct PredictionHandle {
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PredictionHandle {
+    /// Block until the scheduler answers. If the server is torn down with
+    /// the request still queued, this resolves to
+    /// [`ServeError::ShuttingDown`] rather than hanging.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// The online estimator service: micro-batching scheduler over a
+/// [`ModelRegistry`], with featurization cache and metrics.
+///
+/// Shared state is behind `Arc`s, so `&DaceServer` can be used from any
+/// number of client threads; dropping the server joins its workers after
+/// they drain the queue.
+pub struct DaceServer {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServeMetrics>,
+    cache: Arc<FeatureCache>,
+    config: ServeConfig,
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Keeps the queue connected even with `workers = 0` (admission-control
+    /// tests); workers exit on sender disconnect, not receiver drop.
+    _receiver: Arc<Mutex<Receiver<Job>>>,
+}
+
+impl DaceServer {
+    /// Start a server over `registry` with `config`, spawning the worker
+    /// threads immediately.
+    pub fn new(registry: Arc<ModelRegistry>, config: ServeConfig) -> DaceServer {
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let metrics = Arc::new(ServeMetrics::new());
+        let cache = Arc::new(FeatureCache::new(config.cache_capacity));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("dace-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &registry, &metrics, &cache, config))
+                    .expect("spawning serve worker failed")
+            })
+            .collect();
+        DaceServer {
+            registry,
+            metrics,
+            cache,
+            config,
+            sender: Some(tx),
+            workers,
+            _receiver: rx,
+        }
+    }
+
+    /// The registry this server resolves models through (swap adapters
+    /// here; traffic picks them up immediately).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submit a request without blocking for its response. Admission
+    /// control happens *here*: a full queue returns
+    /// [`ServeError::Overloaded`] immediately.
+    pub fn submit(
+        &self,
+        tree: &PlanTree,
+        adapter: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictionHandle, ServeError> {
+        let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let now = Instant::now();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            tree: tree.clone(),
+            adapter: adapter.map(str::to_string),
+            enqueued: now,
+            deadline: deadline.or(self.config.default_deadline).map(|d| now + d),
+            resp: tx,
+        };
+        match sender.try_send(job) {
+            Ok(()) => {
+                self.metrics
+                    .submitted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(PredictionHandle { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics
+                    .shed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Blocking predict against the base model.
+    pub fn predict(&self, tree: &PlanTree) -> Result<Prediction, ServeError> {
+        self.predict_with(tree, None, None)
+    }
+
+    /// Blocking predict with an explicit adapter and/or deadline.
+    pub fn predict_with(
+        &self,
+        tree: &PlanTree,
+        adapter: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
+        self.submit(tree, adapter, deadline)?.wait()
+    }
+
+    /// Snapshot all serve metrics, cache counters included.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.cache_hits = self.cache.hits();
+        snap.cache_misses = self.cache.misses();
+        snap
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers.
+    /// Equivalent to dropping the server, but explicit at call sites.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the only sender disconnects the channel; workers finish
+        // the backlog and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for DaceServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Drain one batch from the shared receiver. Holding the lock across the
+/// wait window is deliberate: only one worker collects at a time (the
+/// others are either forwarding a previous batch or parked on the mutex,
+/// which is exactly the recv they would otherwise be parked on), and under
+/// load `recv_timeout` returns instantly so the lock hold is one splice.
+fn drain_batch(
+    rx: &Mutex<Receiver<Job>>,
+    metrics: &ServeMetrics,
+    config: ServeConfig,
+) -> Option<Vec<Job>> {
+    let rx = rx.lock().expect("serve queue lock poisoned");
+    let first = rx.recv().ok()?;
+    let collect_started = Instant::now();
+    let max_batch = config.max_batch.max(1);
+    let min_fill = config.min_fill.clamp(1, max_batch);
+    let mut batch = Vec::with_capacity(max_batch);
+    batch.push(first);
+    let window_closes = Instant::now() + config.max_wait;
+    while batch.len() < max_batch {
+        // Splice in everything already queued — free batching.
+        if let Ok(job) = rx.try_recv() {
+            batch.push(job);
+            continue;
+        }
+        // Queue empty: dispatch a full-enough batch immediately; wait out
+        // the window only while the batch is genuinely small.
+        if batch.len() >= min_fill {
+            break;
+        }
+        if Instant::now() >= window_closes {
+            break;
+        }
+        // Yield before parking: on a loaded (or single-core) machine the
+        // producers are runnable right now, and letting them run fills the
+        // queue in one scheduler pass instead of one futex wake per job.
+        std::thread::yield_now();
+        if let Ok(job) = rx.try_recv() {
+            batch.push(job);
+            continue;
+        }
+        // Nothing arrived even after yielding — no producer is ready, so
+        // park until one submits or the window closes.
+        let now = Instant::now();
+        if now >= window_closes {
+            break;
+        }
+        match rx.recv_timeout(window_closes - now) {
+            Ok(job) => batch.push(job),
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    metrics
+        .drain_us
+        .record(collect_started.elapsed().as_micros() as u64);
+    Some(batch)
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    cache: &FeatureCache,
+    config: ServeConfig,
+) {
+    while let Some(batch) = drain_batch(rx, metrics, config) {
+        process_batch(batch, registry, metrics, cache, config);
+    }
+}
+
+fn process_batch(
+    batch: Vec<Job>,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    cache: &FeatureCache,
+    config: ServeConfig,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let drained_at = Instant::now();
+    metrics.batches.fetch_add(1, Relaxed);
+    metrics.batch_size.record(batch.len() as u64);
+
+    // Admission-side triage, then group survivors by adapter so each group
+    // runs one packed forward on one resolved snapshot.
+    let mut groups: HashMap<Option<String>, Vec<Job>> = HashMap::new();
+    for job in batch {
+        metrics
+            .queue_wait_us
+            .record(drained_at.duration_since(job.enqueued).as_micros() as u64);
+        if job.deadline.is_some_and(|d| drained_at >= d) {
+            metrics.expired.fetch_add(1, Relaxed);
+            let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        groups.entry(job.adapter.clone()).or_default().push(job);
+    }
+
+    for (adapter, jobs) in groups {
+        let version = match registry.resolve(adapter.as_deref()) {
+            Ok(v) => v,
+            Err(_) => {
+                let name = adapter.unwrap_or_default();
+                for job in jobs {
+                    metrics.unknown_adapter.fetch_add(1, Relaxed);
+                    let _ = job.resp.send(Err(ServeError::UnknownAdapter(name.clone())));
+                }
+                continue;
+            }
+        };
+        let est = &version.estimator;
+
+        // Featurize through the cache; misses go through the same sharded
+        // path training uses (serial below 64 trees).
+        let t_feat = Instant::now();
+        let fingerprints: Vec<u64> = jobs
+            .iter()
+            .map(|j| est.featurizer.fingerprint(&j.tree))
+            .collect();
+        let mut feats: Vec<Option<Arc<PlanFeatures>>> =
+            fingerprints.iter().map(|&fp| cache.get(fp)).collect();
+        let hit_mask: Vec<bool> = feats.iter().map(Option::is_some).collect();
+        let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| feats[i].is_none()).collect();
+        if !miss_idx.is_empty() {
+            let miss_trees: Vec<&PlanTree> = miss_idx.iter().map(|&i| &jobs[i].tree).collect();
+            let fresh =
+                featurize_trees_sharded(&est.featurizer, &miss_trees, config.featurize_threads);
+            for (&i, f) in miss_idx.iter().zip(fresh) {
+                let f = Arc::new(f);
+                cache.insert(fingerprints[i], Arc::clone(&f));
+                feats[i] = Some(f);
+            }
+        }
+        let feats: Vec<Arc<PlanFeatures>> = feats.into_iter().map(Option::unwrap).collect();
+        metrics
+            .featurize_us
+            .record(t_feat.elapsed().as_micros() as u64);
+
+        // One packed block-diagonal forward for the whole group.
+        let t_fwd = Instant::now();
+        let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
+        let preds = est.predict_features_batch_ms(&refs);
+        metrics
+            .forward_us
+            .record(t_fwd.elapsed().as_micros() as u64);
+
+        let group_size = jobs.len();
+        let t_resp = Instant::now();
+        for ((job, ms), hit) in jobs.into_iter().zip(preds).zip(hit_mask) {
+            metrics.completed.fetch_add(1, Relaxed);
+            metrics
+                .e2e_us
+                .record(job.enqueued.elapsed().as_micros() as u64);
+            let _ = job.resp.send(Ok(Prediction {
+                ms,
+                adapter: version.adapter.clone(),
+                version: version.version,
+                batch_size: group_size,
+                cache_hit: hit,
+            }));
+        }
+        metrics
+            .respond_us
+            .record(t_resp.elapsed().as_micros() as u64);
+    }
+}

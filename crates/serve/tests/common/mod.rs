@@ -1,0 +1,67 @@
+//! Shared test support: a quickly trainable synthetic plan workload
+//! (the same learnable shape `dace-core`'s tests use).
+
+use dace_core::{DaceEstimator, TrainConfig, Trainer};
+use dace_plan::{Dataset, LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic learnable dataset: latency = f(node-type mix, est cost).
+pub fn synthetic_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plans = (0..n)
+        .map(|_| {
+            let mut b = TreeBuilder::new();
+            let scan_cost = rng.gen_range(10.0..10_000.0f64);
+            let scan_rows = scan_cost * rng.gen_range(5.0..15.0);
+            let use_hash = rng.gen_bool(0.5);
+            let scan = {
+                let mut node = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+                node.est_cost = scan_cost;
+                node.est_rows = scan_rows;
+                node.actual_ms = scan_cost * 0.004;
+                node.actual_rows = scan_rows;
+                b.leaf(node)
+            };
+            let scan2 = {
+                let mut node = PlanNode::new(NodeType::IndexScan, OpPayload::Other);
+                node.est_cost = scan_cost * 0.3;
+                node.est_rows = scan_rows * 0.1;
+                node.actual_ms = scan_cost * 0.01;
+                node.actual_rows = scan_rows * 0.1;
+                b.leaf(node)
+            };
+            let join_ty = if use_hash {
+                NodeType::HashJoin
+            } else {
+                NodeType::NestedLoop
+            };
+            let mult = if use_hash { 0.002 } else { 0.02 };
+            let root = {
+                let mut node = PlanNode::new(join_ty, OpPayload::Other);
+                node.est_cost = scan_cost * 2.0;
+                node.est_rows = scan_rows;
+                node.actual_ms = scan_cost * 2.0 * mult + scan_cost * 0.014;
+                node.actual_rows = scan_rows;
+                b.internal(node, vec![scan, scan2])
+            };
+            LabeledPlan {
+                tree: b.finish(root),
+                db_id: 0,
+                machine: MachineId::M1,
+            }
+        })
+        .collect();
+    Dataset::from_plans(plans)
+}
+
+/// A small pre-trained estimator (deterministic).
+pub fn quick_estimator(seed: u64) -> (DaceEstimator, Dataset) {
+    let train = synthetic_dataset(80, seed);
+    let est = Trainer::new(TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    })
+    .fit(&train);
+    (est, train)
+}

@@ -1,0 +1,247 @@
+//! The hot-swap safety contract: N client threads predicting while adapters
+//! are installed/swapped mid-flight must never observe a torn model, and
+//! every response must record exactly which version served it.
+//!
+//! Strategy: build adapter variants whose predictions are well separated in
+//! ln space (asserted, so the check cannot pass vacuously), precompute every
+//! (version, probe) → expected prediction before any traffic, then audit
+//! each response: its stamped version must map to its prediction within a
+//! tolerance far below the separation. A model with weights from two
+//! versions mixed would land between variants and fail the audit.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dace_core::DaceEstimator;
+use dace_plan::PlanTree;
+use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
+
+/// Packed-batch vs single-plan forwards differ only by summation order
+/// (documented at ~1e-4 in ln space); 1e-3 leaves an order of magnitude
+/// of headroom while staying far below `MIN_SEPARATION`.
+const TOLERANCE_LN: f64 = 1e-3;
+/// Variants must disagree by at least this much on every probe.
+const MIN_SEPARATION_LN: f64 = 5e-2;
+
+/// Fine-tune a copy of `base` against latencies scaled by `factor` — the
+/// across-machine shift of Sec. IV-D, which LoRA absorbs into ΔW.
+fn scaled_variant(base: &DaceEstimator, factor: f64, seed: u64) -> DaceEstimator {
+    let mut shifted = common::synthetic_dataset(150, seed);
+    for p in &mut shifted.plans {
+        for id in p.tree.ids().collect::<Vec<_>>() {
+            p.tree.node_mut(id).actual_ms *= factor;
+        }
+    }
+    let mut est = base.clone();
+    est.fine_tune_lora(&shifted, 25, 2e-3);
+    est
+}
+
+fn expected_ln(est: &DaceEstimator, probes: &[PlanTree]) -> Vec<f64> {
+    probes.iter().map(|t| est.predict_ms(t).ln()).collect()
+}
+
+fn assert_separated(tables: &[Vec<f64>], probes: usize) {
+    for a in 0..tables.len() {
+        for b in (a + 1)..tables.len() {
+            let pairs = tables[a][..probes].iter().zip(&tables[b][..probes]);
+            for (p, (va, vb)) in pairs.enumerate() {
+                let gap = (va - vb).abs();
+                assert!(
+                    gap >= MIN_SEPARATION_LN,
+                    "variants {a} and {b} too close on probe {p} (gap {gap:.4} ln): \
+                     the torn-model audit would be vacuous"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_adapter_swap_never_serves_torn_model() {
+    let (base, _) = common::quick_estimator(11);
+    let variant_a = scaled_variant(&base, 6.0, 12);
+    let variant_b = scaled_variant(&base, 36.0, 13);
+    let adapter_a = variant_a.extract_adapter();
+    let adapter_b = variant_b.extract_adapter();
+
+    let probes: Vec<PlanTree> = common::synthetic_dataset(4, 99)
+        .plans
+        .into_iter()
+        .map(|p| p.tree)
+        .collect();
+
+    // Expected predictions per variant, exactly as the registry materializes
+    // them (current base + ΔW at install time).
+    let exp_base = expected_ln(&base, &probes);
+    let exp_a = expected_ln(&base.with_adapter(&adapter_a).unwrap(), &probes);
+    let exp_b = expected_ln(&base.with_adapter(&adapter_b).unwrap(), &probes);
+    assert_separated(
+        &[exp_base.clone(), exp_a.clone(), exp_b.clone()],
+        probes.len(),
+    );
+
+    let registry = Arc::new(ModelRegistry::new(base));
+    // Version ids are a global monotone counter: base = 0, installs get
+    // 1, 2, 3, … in install order. The swapper alternates the two adapters
+    // under one name, so odd versions are A and even versions are B.
+    let first = registry.install_adapter("tenant", &adapter_a).unwrap();
+    assert_eq!(first, 1);
+    let expected_for_version = move |v: u64| -> &'static str {
+        match v {
+            0 => "base",
+            v if v % 2 == 1 => "a",
+            _ => "b",
+        }
+    };
+
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+
+    const CLIENTS: usize = 8;
+    const REQS: usize = 60;
+    const SWAPS: u64 = 6;
+
+    std::thread::scope(|s| {
+        // The swapper: alternate installs under live traffic.
+        s.spawn(|| {
+            for i in 0..SWAPS {
+                std::thread::sleep(Duration::from_millis(2));
+                let adapter = if i % 2 == 0 { &adapter_b } else { &adapter_a };
+                registry.install_adapter("tenant", adapter).unwrap();
+            }
+        });
+
+        for c in 0..CLIENTS {
+            let server = &server;
+            let probes = &probes;
+            let (exp_base, exp_a, exp_b) = (&exp_base, &exp_a, &exp_b);
+            s.spawn(move || {
+                let mut last_tenant_version = 0u64;
+                for r in 0..REQS {
+                    let p = (c + r) % probes.len();
+                    let use_adapter = (c + r) % 3 != 0;
+                    let name = use_adapter.then_some("tenant");
+                    let pred = server
+                        .predict_with(&probes[p], name, None)
+                        .expect("request failed");
+                    let got = pred.ms.ln();
+                    let (want, label) = if use_adapter {
+                        assert_eq!(pred.adapter.as_deref(), Some("tenant"));
+                        assert!(pred.version >= 1, "adapter served by base version");
+                        // A client's requests are sequential and `latest` is
+                        // monotone, so observed versions never go backwards.
+                        assert!(
+                            pred.version >= last_tenant_version,
+                            "version went backwards: {} after {}",
+                            pred.version,
+                            last_tenant_version
+                        );
+                        last_tenant_version = pred.version;
+                        match expected_for_version(pred.version) {
+                            "a" => (exp_a[p], "a"),
+                            _ => (exp_b[p], "b"),
+                        }
+                    } else {
+                        assert_eq!(pred.adapter, None);
+                        assert_eq!(pred.version, 0, "base request served by adapter");
+                        (exp_base[p], "base")
+                    };
+                    assert!(
+                        (got - want).abs() < TOLERANCE_LN,
+                        "client {c} req {r}: version {} claims variant {label} but \
+                         prediction {got:.6} != expected {want:.6} (torn model?)",
+                        pred.version
+                    );
+                }
+            });
+        }
+    });
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.completed, (CLIENTS * REQS) as u64);
+    assert_eq!(snap.shed, 0);
+    assert_eq!(snap.expired, 0);
+    assert_eq!(registry.versions_published(), 1 + SWAPS + 1);
+    server.shutdown();
+}
+
+#[test]
+fn base_swap_under_load_is_atomic() {
+    let (base, _) = common::quick_estimator(21);
+    let replacement = scaled_variant(&base, 10.0, 22);
+
+    let probes: Vec<PlanTree> = common::synthetic_dataset(3, 98)
+        .plans
+        .into_iter()
+        .map(|p| p.tree)
+        .collect();
+    let exp_old = expected_ln(&base, &probes);
+    let exp_new = expected_ln(&replacement, &probes);
+    assert_separated(&[exp_old.clone(), exp_new.clone()], probes.len());
+
+    let registry = Arc::new(ModelRegistry::new(base));
+    // A longer batching window keeps the 6-client closed loop slow enough
+    // that the 3 ms-delayed swap reliably lands mid-traffic.
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            max_wait: Duration::from_micros(500),
+            ..ServeConfig::default()
+        },
+    );
+
+    const CLIENTS: usize = 6;
+    const REQS: usize = 50;
+    std::thread::scope(|s| {
+        let swapper = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(3));
+            registry.swap_base(replacement.clone()).unwrap()
+        });
+        let mut clients = Vec::new();
+        for c in 0..CLIENTS {
+            let server = &server;
+            let probes = &probes;
+            let (exp_old, exp_new) = (&exp_old, &exp_new);
+            clients.push(s.spawn(move || {
+                let mut saw = [false; 2];
+                for r in 0..REQS {
+                    let p = (c + r) % probes.len();
+                    let pred = server.predict(&probes[p]).expect("request failed");
+                    let got = pred.ms.ln();
+                    let want = if pred.version == 0 {
+                        saw[0] = true;
+                        exp_old[p]
+                    } else {
+                        saw[1] = true;
+                        exp_new[p]
+                    };
+                    assert!(
+                        (got - want).abs() < TOLERANCE_LN,
+                        "client {c} req {r}: version {} prediction {got:.6} != \
+                         expected {want:.6} (torn base swap?)",
+                        pred.version
+                    );
+                }
+                saw
+            }));
+        }
+        let new_version = swapper.join().unwrap();
+        assert_eq!(new_version, 1);
+        // The swap landed 3 ms into ~50 sequential predictions per client,
+        // so at least one client must have straddled it and seen both sides.
+        let seen = clients
+            .into_iter()
+            .map(|c| c.join().unwrap())
+            .fold([false; 2], |acc, s| [acc[0] | s[0], acc[1] | s[1]]);
+        assert!(seen[1], "no client ever observed the swapped base");
+    });
+    server.shutdown();
+}

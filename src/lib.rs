@@ -12,3 +12,4 @@ pub use dace_eval as eval;
 pub use dace_nn as nn;
 pub use dace_plan as plan;
 pub use dace_query as query;
+pub use dace_serve as serve;

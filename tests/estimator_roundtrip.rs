@@ -1,0 +1,78 @@
+//! Property test: estimator serialization is load-bearing for the serving
+//! registry's adapter hand-off, so `DaceEstimator::to_json` → `from_json`
+//! must preserve predictions *bit-identically* — any drift would make a
+//! hot-swapped model silently disagree with the one that was trained.
+
+use dace_catalog::{generate_database, suite_specs, Database};
+use dace_core::{DaceEstimator, TrainConfig, Trainer};
+use dace_engine::label_query;
+use dace_plan::{MachineId, PlanTree};
+use dace_query::ComplexWorkloadGen;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn test_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| generate_database(&suite_specs()[2], 0.05))
+}
+
+/// One trained estimator plus its JSON round-trip twin, shared across cases.
+fn est_pair() -> &'static (DaceEstimator, DaceEstimator) {
+    static PAIR: OnceLock<(DaceEstimator, DaceEstimator)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let db = test_db();
+        let gen = ComplexWorkloadGen {
+            max_joins: 4,
+            ..ComplexWorkloadGen::default()
+        };
+        let data = dace_engine::collect_dataset(db, &gen.generate(db, 32), MachineId::M1);
+        let est = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        })
+        .fit(&data);
+        let restored = DaceEstimator::from_json(&est.to_json()).expect("round-trip parse");
+        (est, restored)
+    })
+}
+
+/// Strategy: a random plan tree drawn from the complex workload generator
+/// (joins, aggregates, sorts — the same shapes the serve path sees).
+fn plan_strategy() -> impl Strategy<Value = PlanTree> {
+    (0u64..1_000_000, 1usize..=6).prop_map(|(seed, joins)| {
+        let db = test_db();
+        let gen = ComplexWorkloadGen {
+            seed,
+            max_joins: joins,
+            ..ComplexWorkloadGen::default()
+        };
+        let q = gen.generate(db, 1).pop().expect("one query");
+        label_query(db, &q, MachineId::M1, seed).tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// to_json → from_json must be invisible to batched prediction: same
+    /// trees, bit-identical outputs (f32 weights survive the vendored
+    /// serde_json exactly; the forward path is deterministic).
+    #[test]
+    fn json_roundtrip_preserves_predict_batch_ms(
+        plans in proptest::collection::vec(plan_strategy(), 1..=5),
+    ) {
+        let (est, restored) = est_pair();
+        let trees: Vec<&PlanTree> = plans.iter().collect();
+        let a = est.predict_batch_ms(&trees);
+        let b = restored.predict_batch_ms(&trees);
+        prop_assert_eq!(a.clone(), b, "round-tripped estimator diverged on {:?}", a);
+    }
+
+    /// The single-plan path must agree too (the serve scheduler mixes both
+    /// depending on batch fill).
+    #[test]
+    fn json_roundtrip_preserves_predict_ms(plan in plan_strategy()) {
+        let (est, restored) = est_pair();
+        prop_assert_eq!(est.predict_ms(&plan), restored.predict_ms(&plan));
+    }
+}
