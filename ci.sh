@@ -33,6 +33,27 @@ cargo fmt --all --check
 echo "==> serve smoke"
 cargo run --release -q -p dace-eval --bin serve_bench -- --smoke
 
+# Observability smoke: a 2-epoch training run must emit a parseable JSONL
+# run manifest (one record per epoch with the expected keys), and the serve
+# registry's Prometheus export must carry the serve_* metric families.
+echo "==> obs smoke"
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+cargo run --release -q -p dace-eval --bin serve_bench -- --smoke --epochs 2 \
+    --manifest "$OBS_TMP/manifest.jsonl" --prom "$OBS_TMP/metrics.prom"
+jq -es 'length >= 2
+        and all(.[]; has("phase") and has("epoch") and has("train_loss")
+                     and has("grad_norm") and has("lr") and has("epoch_ms")
+                     and has("early_stop"))
+        and (map(select(.phase == "pretrain")) | length >= 2)
+        and (map(select(.phase == "lora")) | length >= 1)' \
+    "$OBS_TMP/manifest.jsonl" >/dev/null \
+    || { echo "FAIL: run manifest malformed"; exit 1; }
+grep -q 'serve_e2e_us{quantile="0.5"}' "$OBS_TMP/metrics.prom" \
+    || { echo "FAIL: Prometheus export missing serve_e2e_us quantiles"; exit 1; }
+grep -q '^serve_completed_total ' "$OBS_TMP/metrics.prom" \
+    || { echo "FAIL: Prometheus export missing serve counters"; exit 1; }
+
 # Bench smoke: compile and run each bench once in test mode (no sampling);
 # catches bit-rot in the criterion harness wiring without the full run.
 echo "==> bench smoke"

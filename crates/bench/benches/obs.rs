@@ -1,0 +1,72 @@
+//! Observability substrate micro-benchmarks: the per-call costs the tracing
+//! and metrics layers add to instrumented hot paths. The acceptance bar is
+//! that a *disabled* span is a single relaxed atomic load (sub-nanosecond)
+//! and an *enabled* span stays well under the microsecond scale of the
+//! stages it wraps.
+//!
+//! Run with `cargo bench -p dace-bench --bench obs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use dace_obs::{set_tracing, span, Counter, FlightRecorder, Histogram, MetricsRegistry};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Disabled span: the default state every instrumented call site pays.
+    set_tracing(false);
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _span = span!("bench_disabled");
+            black_box(());
+        })
+    });
+
+    // Enabled span: intern lookup + two Instant::now + a ring-buffer CAS.
+    set_tracing(true);
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _span = span!("bench_enabled");
+            black_box(());
+        })
+    });
+    set_tracing(false);
+    // Leave the global recorder empty for any later consumer.
+    let _ = FlightRecorder::global().snapshot();
+
+    // Counter increment: one relaxed fetch_add.
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(counter.get());
+        })
+    });
+
+    // Histogram record: bucket index (leading-zeros math) + relaxed add.
+    let hist = Histogram::new();
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            hist.record(black_box(v));
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 32;
+        })
+    });
+
+    // Registry resolution: the cold-path cost handles avoid on the hot path.
+    let registry = MetricsRegistry::new();
+    group.bench_function("registry_counter_lookup", |b| {
+        b.iter(|| {
+            black_box(registry.counter("obs_bench_counter")).inc();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

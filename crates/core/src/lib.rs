@@ -28,5 +28,5 @@ mod trainer;
 pub use adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
 pub use featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures, FEATURE_DIM};
 pub use loss::LossAdjuster;
-pub use model::{DaceModel, ENCODING_DIM};
+pub use model::{DaceModel, ForwardTimings, ENCODING_DIM};
 pub use trainer::{featurize_trees_sharded, DaceEstimator, TrainConfig, Trainer};

@@ -43,6 +43,24 @@ fn default_relus() -> (Relu, Relu) {
     (Relu::new(), Relu::new())
 }
 
+/// Wall-time split of one batched inference forward pass, for the serve
+/// layer's per-stage telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardTimings {
+    /// Time in the block-diagonal attention layer (µs).
+    pub attention_us: u64,
+    /// Time in the root-row MLP (µs).
+    pub mlp_us: u64,
+}
+
+impl ForwardTimings {
+    /// Sum two timing splits (chunked forwards accumulate into one total).
+    pub fn accumulate(&mut self, other: ForwardTimings) {
+        self.attention_us += other.attention_us;
+        self.mlp_us += other.mlp_us;
+    }
+}
+
 /// Copy each plan's `lens[b]` real rows out of the padded layout (plan `b`
 /// at rows `[b·n_max, (b+1)·n_max)`) into a contiguous `Σ lens[b]`-row
 /// tensor, dropping the padding rows.
@@ -178,8 +196,16 @@ impl DaceModel {
     /// path; results are identical to packing and running
     /// [`DaceModel::predict_batch`].
     pub fn predict_roots(&self, feats: &[&PlanFeatures]) -> Vec<f32> {
+        self.predict_roots_timed(feats).0
+    }
+
+    /// [`predict_roots`](DaceModel::predict_roots) with per-stage wall-time
+    /// attribution: how long the batch spent in block-diagonal attention vs
+    /// the root-row MLP. The timing costs two `Instant::now()` calls per
+    /// batch, so the untimed entry point simply discards the split.
+    pub fn predict_roots_timed(&self, feats: &[&PlanFeatures]) -> (Vec<f32>, ForwardTimings) {
         if feats.is_empty() {
-            return Vec::new();
+            return (Vec::new(), ForwardTimings::default());
         }
         let total: usize = feats.iter().map(|f| f.x.rows()).sum();
         let mut x = Tensor2::zeros(total, FEATURE_DIM);
@@ -191,9 +217,20 @@ impl DaceModel {
             row += f.x.rows();
         }
         let masks: Vec<&[bool]> = feats.iter().map(|f| f.mask.as_slice()).collect();
+        let t_attn = std::time::Instant::now();
         let a = self.attention.forward_masks_inference(&x, &lens, &masks);
+        let attention_us = t_attn.elapsed().as_micros() as u64;
+        let t_mlp = std::time::Instant::now();
         let preds = self.mlp_inference(&gather_block_heads(&a, &lens));
-        (0..feats.len()).map(|b| preds.get(b, 0)).collect()
+        let mlp_us = t_mlp.elapsed().as_micros() as u64;
+        let roots = (0..feats.len()).map(|b| preds.get(b, 0)).collect();
+        (
+            roots,
+            ForwardTimings {
+                attention_us,
+                mlp_us,
+            },
+        )
     }
 
     /// The three-layer LoRA MLP, inference mode, over arbitrary rows.

@@ -11,7 +11,11 @@
 //! as [`Trainer::fit_per_plan_reference`] for equivalence testing and as
 //! the benchmark baseline.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use dace_nn::{Adam, LoraMode, Tensor2};
+use dace_obs::{span, EpochRecord, RunSink, Verbosity};
 use dace_plan::{Dataset, LabeledPlan, PlanTree};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -21,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use crate::adapter::{AdapterError, LoraAdapter};
 use crate::featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures};
 use crate::loss::LossAdjuster;
-use crate::model::DaceModel;
+use crate::model::{DaceModel, ForwardTimings};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +57,10 @@ pub struct TrainConfig {
     /// any thread count.
     #[serde(default)]
     pub featurize_threads: usize,
+    /// Stderr progress during training ([`Verbosity::Quiet`] by default —
+    /// telemetry sinks receive every epoch regardless).
+    #[serde(default)]
+    pub verbosity: Verbosity,
 }
 
 impl Default for TrainConfig {
@@ -67,6 +75,7 @@ impl Default for TrainConfig {
             validation_fraction: 0.0,
             patience: 0,
             featurize_threads: 0,
+            verbosity: Verbosity::Quiet,
         }
     }
 }
@@ -82,6 +91,7 @@ pub fn featurize_trees_sharded(
     trees: &[&PlanTree],
     threads: usize,
 ) -> Vec<PlanFeatures> {
+    let _span = span!("featurize");
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -125,10 +135,12 @@ fn featurize_sharded(
 /// Per-row loss gradient for a packed batch, matching the per-plan path:
 /// each plan's weighted squared-log-error is normalized by its own weight
 /// sum over *real* rows, then scaled by `1 / batch_size`. Padding rows get
-/// gradient zero.
-fn packed_grad(adjuster: &LossAdjuster, preds: &Tensor2, batch: &PackedBatch) -> Tensor2 {
+/// gradient zero. Also returns the batch's mean per-plan weighted loss (the
+/// quantity the gradient descends), which telemetry reports per epoch.
+fn packed_grad(adjuster: &LossAdjuster, preds: &Tensor2, batch: &PackedBatch) -> (f32, Tensor2) {
     let mut d_pred = Tensor2::zeros(batch.rows(), 1);
     let inv_batch = 1.0 / batch.count as f32;
+    let mut loss = 0.0f32;
     for b in 0..batch.count {
         let base = b * batch.n_max;
         let n = batch.lens[b];
@@ -140,28 +152,72 @@ fn packed_grad(adjuster: &LossAdjuster, preds: &Tensor2, batch: &PackedBatch) ->
         for i in 0..n {
             let w = adjuster.weight(batch.heights[base + i]);
             let err = preds.get(base + i, 0) - batch.targets[base + i];
+            loss += w * err * err / wsum * inv_batch;
             d_pred.set(base + i, 0, 2.0 * w * err / wsum * inv_batch);
         }
     }
-    d_pred
+    (loss, d_pred)
 }
 
-/// Mean per-plan validation loss on a held-out index set.
-fn validation_loss(
+/// Mean per-plan validation loss on a held-out index set, plus each held-out
+/// plan's root Q-error (`max(pred/actual, actual/pred)` in ms space) for
+/// telemetry quantiles.
+fn validation_stats(
     model: &DaceModel,
     adjuster: &LossAdjuster,
     feats: &[PlanFeatures],
     val_idx: &[usize],
-) -> f32 {
+) -> (f32, Vec<f64>) {
+    let _span = span!("validate");
     let mut total = 0.0f32;
+    let mut qerrs = Vec::with_capacity(val_idx.len());
     for &i in val_idx {
         let f = &feats[i];
         let preds = model.predict(f);
         let pred_slice: Vec<f32> = (0..preds.rows()).map(|r| preds.get(r, 0)).collect();
         let (loss, _) = adjuster.loss_and_grad(&pred_slice, &f.targets, &f.heights);
         total += loss;
+        // Root is row 0 in DFS order; Q-error compares in ms space.
+        let pred_ms = Featurizer::to_ms(pred_slice[0]).max(1e-6);
+        let actual_ms = Featurizer::to_ms(f.targets[0]).max(1e-6);
+        qerrs.push((pred_ms / actual_ms).max(actual_ms / pred_ms));
     }
-    total / val_idx.len().max(1) as f32
+    (total / val_idx.len().max(1) as f32, qerrs)
+}
+
+/// Quantile of an unsorted sample set by exact rank (`ceil(p·n)`-th order
+/// statistic), `None` on an empty set.
+fn quantile(samples: &mut [f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    Some(samples[rank - 1])
+}
+
+/// Per-run telemetry wiring threaded through [`run_epochs`]: which phase the
+/// records belong to, where they go, and how chatty stderr is.
+struct RunTelemetry<'a> {
+    phase: &'static str,
+    sink: Option<&'a dyn RunSink>,
+    verbosity: Verbosity,
+}
+
+impl RunTelemetry<'_> {
+    /// Whether per-epoch stats are worth computing at all.
+    fn active(&self) -> bool {
+        self.sink.is_some() || self.verbosity > Verbosity::Quiet
+    }
+
+    fn emit(&self, record: &EpochRecord) {
+        if self.verbosity >= Verbosity::Epochs {
+            eprintln!("{}", record.summary_line());
+        }
+        if let Some(sink) = self.sink {
+            sink.epoch(record);
+        }
+    }
 }
 
 /// The shared mini-batch loop behind [`Trainer::fit`] and
@@ -183,6 +239,7 @@ fn run_epochs(
     shuffle_seed: u64,
     validation_fraction: f32,
     patience: usize,
+    telemetry: RunTelemetry<'_>,
 ) {
     // A serving snapshot (DaceModel::detach) has no optimizer state;
     // reallocate it so registry-loaded models can be fine-tuned directly.
@@ -205,35 +262,87 @@ fn run_epochs(
         ((0..feats.len()).collect(), Vec::new())
     };
 
+    let telemetry_on = telemetry.active();
     let mut best_val = f32::INFINITY;
     let mut best_model: Option<DaceModel> = None;
     let mut bad_epochs = 0usize;
-    for _epoch in 0..epochs {
+    for epoch in 0..epochs {
+        let _span = span!("train_epoch");
+        let epoch_started = Instant::now();
         order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        let mut grad_norm = 0.0f64;
         for batch in order.chunks(batch_plans.max(1)) {
             let refs: Vec<&PlanFeatures> = batch.iter().map(|&i| &feats[i]).collect();
             let packed = PackedBatch::pack(&refs);
             let preds = model.forward_batch(&packed);
-            let d_pred = packed_grad(adjuster, &preds, &packed);
+            let (loss, d_pred) = packed_grad(adjuster, &preds, &packed);
+            loss_sum += loss as f64;
+            batches += 1;
             model.backward(&d_pred);
+            if telemetry_on {
+                // Gradient norm over the parameters the optimizer will
+                // actually move (mirrors Adam's clip-norm accounting).
+                let g: f32 = model
+                    .params_mut()
+                    .iter()
+                    .filter(|p| p.trainable)
+                    .map(|p| p.grad.norm_sq())
+                    .sum();
+                grad_norm = f64::from(g).sqrt();
+            }
             opt.step(&mut model.params_mut());
         }
-        if early_stop {
-            let val = validation_loss(model, adjuster, feats, &val_idx);
+
+        let mut val_loss = None;
+        let mut qerrs: Vec<f64> = Vec::new();
+        let decision = if early_stop {
+            let (val, q) = validation_stats(model, adjuster, feats, &val_idx);
+            val_loss = Some(f64::from(val));
+            qerrs = q;
             if val < best_val {
                 best_val = val;
                 best_model = Some(model.clone());
                 bad_epochs = 0;
+                "improved".to_string()
             } else {
                 bad_epochs += 1;
                 if bad_epochs >= patience {
-                    break;
+                    "stop".to_string()
+                } else {
+                    format!("patience {bad_epochs}/{patience}")
                 }
             }
+        } else {
+            "continue".to_string()
+        };
+
+        if telemetry_on {
+            telemetry.emit(&EpochRecord {
+                phase: telemetry.phase.to_string(),
+                epoch,
+                epochs_planned: epochs,
+                train_loss: loss_sum / batches.max(1) as f64,
+                grad_norm,
+                lr: f64::from(lr),
+                epoch_ms: epoch_started.elapsed().as_secs_f64() * 1e3,
+                val_loss,
+                val_qerr_p50: quantile(&mut qerrs, 0.50),
+                val_qerr_p90: quantile(&mut qerrs, 0.90),
+                val_qerr_p99: quantile(&mut qerrs, 0.99),
+                early_stop: decision,
+            });
+        }
+        if early_stop && bad_epochs >= patience {
+            break;
         }
     }
     if let Some(best) = best_model {
         *model = best;
+    }
+    if let Some(sink) = telemetry.sink {
+        sink.finish();
     }
 }
 
@@ -242,12 +351,24 @@ fn run_epochs(
 pub struct Trainer {
     /// Hyper-parameters.
     pub config: TrainConfig,
+    /// Per-epoch telemetry destination (run manifests); `None` trains
+    /// without telemetry overhead.
+    pub sink: Option<Arc<dyn RunSink>>,
 }
 
 impl Trainer {
     /// Trainer with a config.
     pub fn new(config: TrainConfig) -> Trainer {
-        Trainer { config }
+        Trainer { config, sink: None }
+    }
+
+    /// Trainer that reports every epoch to `sink` (e.g. a
+    /// [`dace_obs::JsonlSink`] writing a `--manifest` file).
+    pub fn with_sink(config: TrainConfig, sink: Arc<dyn RunSink>) -> Trainer {
+        Trainer {
+            config,
+            sink: Some(sink),
+        }
     }
 
     /// Pre-train DACE on `train` (plans from many databases).
@@ -274,6 +395,11 @@ impl Trainer {
             cfg.seed ^ 0x5417,
             cfg.validation_fraction,
             cfg.patience,
+            RunTelemetry {
+                phase: "pretrain",
+                sink: self.sink.as_deref(),
+                verbosity: cfg.verbosity,
+            },
         );
         DaceEstimator {
             model,
@@ -388,21 +514,31 @@ impl DaceEstimator {
     /// featurization. Chunks by `config.batch_plans`; output order matches
     /// `feats`.
     pub fn predict_features_batch_ms(&self, feats: &[&PlanFeatures]) -> Vec<f64> {
+        self.predict_features_batch_ms_timed(feats).0
+    }
+
+    /// [`predict_features_batch_ms`] with the attention/MLP wall-time split
+    /// accumulated across chunks — the serve scheduler's stage-telemetry
+    /// entry point.
+    ///
+    /// [`predict_features_batch_ms`]: DaceEstimator::predict_features_batch_ms
+    pub fn predict_features_batch_ms_timed(
+        &self,
+        feats: &[&PlanFeatures],
+    ) -> (Vec<f64>, ForwardTimings) {
         // Chunks run on the compact layout ([`DaceModel::predict_roots`]):
         // no padding rows exist, so mixed plan sizes cost nothing and
         // chunking needs no size sorting — plain input-order chunks keep
         // the output aligned for free.
         let chunk = self.config.batch_plans.max(1);
         let mut out = Vec::with_capacity(feats.len());
+        let mut timings = ForwardTimings::default();
         for group in feats.chunks(chunk) {
-            out.extend(
-                self.model
-                    .predict_roots(group)
-                    .into_iter()
-                    .map(Featurizer::to_ms),
-            );
+            let (roots, t) = self.model.predict_roots_timed(group);
+            timings.accumulate(t);
+            out.extend(roots.into_iter().map(Featurizer::to_ms));
         }
-        out
+        (out, timings)
     }
 
     /// One block-diagonal inference pass over an already-packed batch:
@@ -447,6 +583,21 @@ impl DaceEstimator {
     /// (distinct shuffle stream), honoring the config's early-stopping
     /// settings.
     pub fn fine_tune_lora(&mut self, data: &Dataset, epochs: usize, lr: f32) {
+        self.fine_tune_lora_with_sink(data, epochs, lr, None);
+    }
+
+    /// [`fine_tune_lora`] with per-epoch telemetry: records go to `sink`
+    /// under phase `"lora"`, and the config's verbosity gates stderr
+    /// progress, exactly as in pre-training.
+    ///
+    /// [`fine_tune_lora`]: DaceEstimator::fine_tune_lora
+    pub fn fine_tune_lora_with_sink(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        lr: f32,
+        sink: Option<&dyn RunSink>,
+    ) {
         assert!(!data.is_empty(), "cannot fine-tune on an empty dataset");
         self.model.set_mode(LoraMode::Finetune);
         let feats = featurize_sharded(&self.featurizer, &data.plans, self.config.featurize_threads);
@@ -460,6 +611,11 @@ impl DaceEstimator {
             self.config.seed ^ 0xF17E,
             self.config.validation_fraction,
             self.config.patience,
+            RunTelemetry {
+                phase: "lora",
+                sink,
+                verbosity: self.config.verbosity,
+            },
         );
     }
 
@@ -842,6 +998,60 @@ mod tests {
         // base swap can never serve stale cached features.
         let f2 = Featurizer::fit(&synthetic_dataset(40, 25), FeatureConfig::default());
         assert_ne!(a, f2.fingerprint(&train.plans[0].tree));
+    }
+
+    #[test]
+    fn telemetry_sink_sees_every_epoch_without_perturbing_training() {
+        use dace_obs::MemorySink;
+
+        let train = synthetic_dataset(80, 30);
+        let cfg = TrainConfig {
+            epochs: 4,
+            validation_fraction: 0.25,
+            patience: 10,
+            ..Default::default()
+        };
+        let silent = Trainer::new(cfg).fit(&train);
+        let sink = Arc::new(MemorySink::new());
+        let observed = Trainer::with_sink(cfg, Arc::clone(&sink) as Arc<dyn RunSink>).fit(&train);
+        // Telemetry must be a pure observer: bit-identical training.
+        assert_eq!(
+            silent.predict_ms(&train.plans[0].tree),
+            observed.predict_ms(&train.plans[0].tree),
+            "attaching a sink changed training"
+        );
+
+        let records = sink.records();
+        assert_eq!(records.len(), 4, "one record per epoch");
+        for (e, r) in records.iter().enumerate() {
+            assert_eq!(r.phase, "pretrain");
+            assert_eq!(r.epoch, e);
+            assert_eq!(r.epochs_planned, 4);
+            assert!(r.train_loss.is_finite() && r.train_loss > 0.0);
+            assert!(r.grad_norm.is_finite() && r.grad_norm > 0.0);
+            assert!(r.epoch_ms >= 0.0);
+            let p50 = r.val_qerr_p50.expect("validation split active");
+            let p99 = r.val_qerr_p99.expect("validation split active");
+            assert!(p50 >= 1.0 && p99 >= p50, "q-error quantiles out of order");
+            assert!(r.val_loss.is_some());
+            assert!(
+                matches!(r.early_stop.as_str(), "improved" | "stop" | "continue")
+                    || r.early_stop.starts_with("patience")
+            );
+        }
+        // Loss should broadly improve over the run.
+        assert!(
+            records.last().unwrap().train_loss < records[0].train_loss,
+            "training loss did not decrease"
+        );
+
+        // Fine-tuning reports under its own phase.
+        let mut est = observed;
+        let ft_sink = MemorySink::new();
+        est.fine_tune_lora_with_sink(&train, 2, 1e-3, Some(&ft_sink));
+        let ft = ft_sink.records();
+        assert_eq!(ft.len(), 2);
+        assert!(ft.iter().all(|r| r.phase == "lora"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use dace_catalog::{ColumnId, Database, TableId, NULL_CODE};
+use dace_obs::span;
 use dace_plan::CmpOp;
 use dace_query::{JoinEdge, Predicate};
 
@@ -47,6 +48,7 @@ fn run(db: &Database, plan: &mut PhysPlan) -> Intermediate {
             for c in &mut plan.children {
                 let _ = run(db, c);
             }
+            let _span = span!("exec_scan");
             scan(db, table, &predicates)
         }
         ExecOp::Join { edge } => {
@@ -56,6 +58,7 @@ fn run(db: &Database, plan: &mut PhysPlan) -> Intermediate {
             let right = it.next().unwrap();
             let l = run(db, left);
             let r = run(db, right);
+            let _span = span!("exec_join");
             let out = hash_join(db, l, r, edge);
             // Inner index scans of a nested loop report total fetched rows
             // across all probes.
@@ -69,6 +72,7 @@ fn run(db: &Database, plan: &mut PhysPlan) -> Intermediate {
         ExecOp::PassThrough => run(db, &mut plan.children[0]),
         ExecOp::Aggregate { group_by } => {
             let child = run(db, &mut plan.children[0]);
+            let _span = span!("exec_aggregate");
             aggregate(db, child, group_by)
         }
         ExecOp::Limit { n } => {

@@ -3,10 +3,18 @@
 //!
 //! ```text
 //! pretrain [--dbs N] [--queries Q] [--epochs E] [--exclude DB_ID] [--out FILE]
+//!          [--manifest PATH] [--verbose]
 //! ```
+//!
+//! `--manifest` writes one JSON line per epoch (loss, gradient norm,
+//! validation Q-error quantiles, early-stop decision); `--verbose` prints
+//! the same per-epoch summary to stderr.
+
+use std::sync::Arc;
 
 use dace_core::{TrainConfig, Trainer};
 use dace_eval::{collect_suite_m1, EvalConfig};
+use dace_obs::{JsonlSink, RunSink, Verbosity};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,6 +23,8 @@ fn main() {
     let mut epochs = 30usize;
     let mut exclude: Option<u16> = Some(0);
     let mut out = String::from("dace_pretrained.json");
+    let mut manifest: Option<String> = None;
+    let mut verbosity = Verbosity::Quiet;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -30,9 +40,14 @@ fn main() {
                 continue;
             }
             "--out" => out = val.unwrap_or_else(|| die("--out needs a path")),
+            "--manifest" => manifest = Some(val.unwrap_or_else(|| die("--manifest needs a path"))),
+            "--verbose" => {
+                verbosity = Verbosity::Epochs;
+                continue;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: pretrain [--dbs N] [--queries Q] [--epochs E] [--exclude DB_ID | --no-exclude] [--out FILE]"
+                    "usage: pretrain [--dbs N] [--queries Q] [--epochs E] [--exclude DB_ID | --no-exclude] [--out FILE] [--manifest PATH] [--verbose]"
                 );
                 return;
             }
@@ -67,13 +82,25 @@ fn main() {
     );
     // Long pre-training runs hold out 10% of the plans and stop early once
     // validation loss plateaus, restoring the best weights.
-    let est = Trainer::new(TrainConfig {
+    let train_cfg = TrainConfig {
         epochs,
         validation_fraction: 0.1,
         patience: 5,
+        verbosity,
         ..Default::default()
-    })
-    .fit(&suite);
+    };
+    let trainer = match &manifest {
+        Some(path) => {
+            let sink = JsonlSink::create(std::path::Path::new(path))
+                .unwrap_or_else(|e| die(&format!("cannot create manifest {path}: {e}")));
+            Trainer::with_sink(train_cfg, Arc::new(sink) as Arc<dyn RunSink>)
+        }
+        None => Trainer::new(train_cfg),
+    };
+    let est = trainer.fit(&suite);
+    if let Some(path) = &manifest {
+        eprintln!("wrote per-epoch run manifest to {path}");
+    }
     std::fs::write(&out, est.to_json()).expect("cannot write model artifact");
     eprintln!(
         "wrote {out}: {} base params ({:.3} MB) + {} LoRA params",

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! serve_bench [--clients N] [--requests R] [--queries Q] [--epochs E]
-//!             [--seconds S] [--json] [--smoke]
+//!             [--seconds S] [--json] [--smoke] [--manifest PATH]
+//!             [--trace PATH] [--prom PATH] [--no-stage-timing]
 //! ```
 //!
 //! Three phases:
@@ -19,6 +20,13 @@
 //! `--smoke` shrinks everything and runs only the micro-batched closed loop,
 //! asserting zero shed and a non-empty snapshot (CI's serve gate); any
 //! violation exits non-zero.
+//!
+//! Telemetry flags: `--manifest` writes a per-epoch JSONL run manifest for
+//! the base-model pretrain and the adapter fine-tune, `--prom` dumps the
+//! serve metrics registry as Prometheus text after the (last) closed loop,
+//! `--trace` enables span tracing and writes a Chrome trace-event JSON of
+//! the flight recorder, and `--no-stage-timing` disables the per-prediction
+//! stage breakdown (overhead measurement).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +35,7 @@ use std::time::{Duration, Instant};
 use dace_core::{TrainConfig, Trainer};
 use dace_eval::data::suite_db;
 use dace_eval::EvalConfig;
+use dace_obs::{JsonlSink, RunSink};
 use dace_plan::{MachineId, PlanTree};
 use dace_query::ComplexWorkloadGen;
 use dace_serve::{DaceServer, MetricsSnapshot, ModelRegistry, ServeConfig, ServeError};
@@ -64,6 +73,10 @@ fn main() {
     let mut open_secs = 2.0f64;
     let mut smoke = false;
     let mut json = false;
+    let mut manifest: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut prom: Option<String> = None;
+    let mut stage_timing = true;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -76,6 +89,13 @@ fn main() {
             "--epochs" => epochs = parse(args.get(i), "--epochs"),
             "--workers" => workers = parse(args.get(i), "--workers"),
             "--seconds" => open_secs = parse(args.get(i), "--seconds"),
+            "--manifest" => manifest = Some(parse(args.get(i), "--manifest")),
+            "--trace" => trace = Some(parse(args.get(i), "--trace")),
+            "--prom" => prom = Some(parse(args.get(i), "--prom")),
+            "--no-stage-timing" => {
+                stage_timing = false;
+                continue;
+            }
             "--smoke" => {
                 smoke = true;
                 continue;
@@ -87,7 +107,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
-                     [--epochs E] [--seconds S] [--json] [--smoke]"
+                     [--epochs E] [--seconds S] [--json] [--smoke] [--manifest PATH] \
+                     [--trace PATH] [--prom PATH] [--no-stage-timing]"
                 );
                 return;
             }
@@ -101,6 +122,15 @@ fn main() {
         queries = queries.min(32);
         epochs = epochs.min(3);
     }
+
+    if trace.is_some() {
+        dace_obs::set_tracing(true);
+    }
+    let sink: Option<Arc<dyn RunSink>> = manifest.as_ref().map(|p| {
+        let s = JsonlSink::create(std::path::Path::new(p))
+            .unwrap_or_else(|e| die(&format!("cannot create manifest {p}: {e}")));
+        Arc::new(s) as Arc<dyn RunSink>
+    });
 
     eprintln!("collecting {queries} plans (database 0, ≤{joins} joins, M1)…");
     let cfg = EvalConfig::scaled(0.05);
@@ -121,10 +151,14 @@ fn main() {
     );
 
     eprintln!("training base estimator ({epochs} epochs)…");
-    let est = Trainer::new(TrainConfig {
+    let train_cfg = TrainConfig {
         epochs,
         ..Default::default()
-    })
+    };
+    let est = match &sink {
+        Some(s) => Trainer::with_sink(train_cfg, Arc::clone(s)),
+        None => Trainer::new(train_cfg),
+    }
     .fit(&data);
 
     // A per-database LoRA adapter for mixed traffic: fine-tuned against a
@@ -137,7 +171,7 @@ fn main() {
         }
     }
     let mut tuned = est.clone();
-    tuned.fine_tune_lora(&shifted, epochs.min(4), 2e-3);
+    tuned.fine_tune_lora_with_sink(&shifted, epochs.min(4), 2e-3, sink.as_deref());
     let adapter = tuned.extract_adapter();
 
     // Offline calibration: the raw model cost per plan, single-plan path vs
@@ -175,11 +209,13 @@ fn main() {
 
     let batched_cfg = ServeConfig {
         workers,
+        stage_timing,
         ..ServeConfig::default()
     };
     let unbatched_cfg = ServeConfig {
         max_batch: 1,
         workers,
+        stage_timing,
         ..ServeConfig::default()
     };
 
@@ -187,6 +223,12 @@ fn main() {
         let server = DaceServer::new(Arc::clone(&registry), batched_cfg);
         let (secs, ok) = closed_loop(&server, &pool, clients, requests);
         let snap = server.metrics_snapshot();
+        if let Some(path) = &prom {
+            write_prom(path, &server);
+        }
+        if let Some(path) = &trace {
+            write_trace(path);
+        }
         println!(
             "smoke: {ok} requests in {secs:.2}s ({:.0} req/s)",
             ok as f64 / secs
@@ -231,6 +273,9 @@ fn main() {
     let (secs2, ok2) = closed_loop(&server, &pool, clients, requests);
     let snap2 = server.metrics_snapshot();
     let batched = phase_report(ok2, secs2, &snap2);
+    if let Some(path) = &prom {
+        write_prom(path, &server);
+    }
     drop(server);
 
     let rate = (batched.requests_per_sec * 4.0).max(500.0);
@@ -257,6 +302,9 @@ fn main() {
         open_loop_expired: ol_expired,
     };
 
+    if let Some(path) = &trace {
+        write_trace(path);
+    }
     if json {
         println!(
             "{}",
@@ -293,6 +341,21 @@ fn main() {
             report.speedup
         );
     }
+}
+
+/// Dump the server's metrics registry as Prometheus text.
+fn write_prom(path: &str, server: &DaceServer) {
+    std::fs::write(path, server.metrics_registry().prometheus_text())
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote Prometheus metrics to {path}");
+}
+
+/// Dump the global flight recorder as Chrome trace-event JSON.
+fn write_trace(path: &str) {
+    let events = dace_obs::FlightRecorder::global().snapshot_records();
+    std::fs::write(path, dace_obs::chrome_trace(&events))
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote {} trace events to {path}", events.len());
 }
 
 /// N clients each issue `requests` blocking predictions over the pool;

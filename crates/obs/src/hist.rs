@@ -1,0 +1,215 @@
+//! Lock-free fixed-bucket histograms of `u64` samples.
+//!
+//! Histograms use an HDR-style layout — 8 linear sub-buckets per power-of-2
+//! octave — so quantile estimates carry at most ~12.5% relative error while
+//! `record` stays a single relaxed `fetch_add`. Everything here is written
+//! from hot paths (the serve scheduler, stage timers), so there are no locks
+//! anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution: `2^SUB_BITS` linear buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets; covers values up to `2^60` with clamping above.
+pub const HIST_BUCKETS: usize = 512;
+
+/// Bucket index a value lands in. Exposed (with [`bucket_upper`]) so tests
+/// can check the layout invariant `bucket_upper(bucket_index(v)) >= v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) & (SUB - 1);
+    ((((msb - SUB_BITS as u64) + 1) * SUB) + sub).min(HIST_BUCKETS as u64 - 1) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (what quantiles report). Computed
+/// in `u128` because the topmost occupied bucket's bound is exactly
+/// `u64::MAX` and the shift would otherwise overflow.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = i / SUB - 1;
+    let sub = i % SUB;
+    let upper = (((SUB + sub + 1) as u128) << shift) - 1;
+    upper.min(u64::MAX as u128) as u64
+}
+
+/// A fixed-bucket concurrent histogram of `u64` samples (the serve layer
+/// records microseconds and batch sizes). All operations are wait-free
+/// relaxed atomics; snapshots are not linearizable with respect to
+/// concurrent writers, which is fine for monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HIST_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0u64; HIST_BUCKETS].map(AtomicU64::new)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the p-quantile sample, 1-based.
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(HIST_BUCKETS - 1)
+        };
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of the raw samples (exact; what Prometheus `_sum` reports).
+    #[serde(default)]
+    pub sum: u64,
+    /// Arithmetic mean of the raw samples (exact, from the running sum).
+    pub mean: f64,
+    /// Median (bucket upper bound, ≤ ~12.5% high).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds_error() {
+        // Every value must land in a bucket whose upper bound is within
+        // 12.5% above it (one sub-bucket of slack).
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, 1 << 40, u64::MAX]) {
+            let i = bucket_index(v);
+            let hi = bucket_upper(i);
+            assert!(hi >= v, "upper({i}) = {hi} < {v}");
+            assert!(
+                hi as f64 <= v as f64 * 1.125 + 1.0,
+                "upper({i}) = {hi} too far above {v}"
+            );
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "v={v} not below previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        // Bucket upper bounds overestimate by ≤ 12.5%.
+        assert!((500..=563).contains(&s.p50), "p50 = {}", s.p50);
+        assert!((950..=1069).contains(&s.p95), "p95 = {}", s.p95);
+        assert!((990..=1114).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let h = Histogram::new();
+        h.record(120);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"count\":1"));
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,277 @@
+//! The name-keyed metrics registry: counters and histograms shared across
+//! crates, exported as Prometheus text or JSON.
+//!
+//! Registration (name → handle) takes a mutex once; hot paths hold the
+//! returned `Arc` and never touch the registry again, so recording stays
+//! wait-free. The same name always resolves to the same underlying metric,
+//! which is what lets `serve`, `core` and `engine` report through one sink.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed collection of [`Counter`]s and [`Histogram`]s.
+///
+/// `counter`/`histogram` get-or-create: the first call for a name creates
+/// the metric, later calls return the same handle (so two subsystems naming
+/// the same metric share it). Asking for an existing name with the wrong
+/// kind panics — that is a wiring bug, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry (what `core`/`engine` instrumentation and
+    /// anything without an explicit registry reports to).
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let m = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Export in the Prometheus text exposition format: counters as
+    /// `counter` samples, histograms as `summary` quantiles plus `_sum`,
+    /// `_count` and a `_max` gauge.
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot().prometheus_text()
+    }
+
+    /// Export every metric as one JSON object
+    /// (`{"counters": {...}, "histograms": {...}}`).
+    pub fn json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("registry snapshot serializes")
+    }
+}
+
+/// Snapshot of a whole [`MetricsRegistry`] (the JSON exporter's shape).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Render this snapshot in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", h.p95);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "# TYPE {name}_max gauge");
+            let _ = writeln!(out, "{name}_max {}", h.max);
+        }
+        out
+    }
+}
+
+/// Parse Prometheus text exposition back into `sample name (with labels) →
+/// value`. Comment/`# TYPE` lines are skipped. This is the round-trip half
+/// of [`RegistrySnapshot::prometheus_text`], used by CI and tests to assert
+/// the exporter emits well-formed samples; it is not a general scraper.
+pub fn parse_prometheus_text(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name{labels} value` or `name value`; the value is the final
+        // whitespace-separated token, the key is everything before it.
+        if let Some((key, value)) = line.rsplit_once(char::is_whitespace) {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(key.trim().to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total");
+        let b = reg.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        let h1 = reg.histogram("latency_us");
+        let h2 = reg.histogram("latency_us");
+        h1.record(10);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram, not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total").add(5);
+        reg.counter("a_total").inc();
+        reg.histogram("lat_us").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters.keys().collect::<Vec<_>>(),
+            vec!["a_total", "b_total"]
+        );
+        assert_eq!(snap.counters["b_total"], 5);
+        assert_eq!(snap.histograms["lat_us"].count, 1);
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served_total").add(42);
+        let h = reg.histogram("e2e_us");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let text = reg.prometheus_text();
+        let parsed = parse_prometheus_text(&text);
+        let snap = reg.snapshot().histograms["e2e_us"];
+        assert_eq!(parsed["served_total"], 42.0);
+        assert_eq!(parsed["e2e_us{quantile=\"0.5\"}"], snap.p50 as f64);
+        assert_eq!(parsed["e2e_us{quantile=\"0.95\"}"], snap.p95 as f64);
+        assert_eq!(parsed["e2e_us{quantile=\"0.99\"}"], snap.p99 as f64);
+        assert_eq!(parsed["e2e_us_count"], 100.0);
+        assert_eq!(parsed["e2e_us_sum"], 5050.0);
+        assert_eq!(parsed["e2e_us_max"], 100.0);
+        // Every non-comment line must have parsed into a sample.
+        let samples = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count();
+        assert_eq!(samples, parsed.len());
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(7);
+        reg.histogram("h_us").record(1000);
+        let json = reg.json();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg.snapshot());
+        assert_eq!(back.counters["c_total"], 7);
+        assert_eq!(back.histograms["h_us"].max, 1000);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = MetricsRegistry::global().counter("obs_selftest_total");
+        c.inc();
+        assert!(
+            MetricsRegistry::global()
+                .counter("obs_selftest_total")
+                .get()
+                >= 1
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the histogram bucket layout: the documented
+//! "quantiles overestimate by at most 12.5%" invariant, checked across the
+//! full range of `u64` magnitudes rather than the handful of values the
+//! unit tests pin.
+
+use dace_obs::{bucket_index, bucket_upper, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Values spread over all magnitudes: `mantissa >> (63 - exponent)` puts
+/// roughly uniform mass in every octave instead of clustering near 2^64.
+fn any_magnitude() -> impl Strategy<Value = u64> {
+    (0u32..=63, 0u64..=u64::MAX).prop_map(|(e, m)| m >> (63 - e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bucket_upper_bounds_every_value(v in any_magnitude()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        let hi = bucket_upper(i);
+        prop_assert!(hi >= v, "bucket_upper({i}) = {hi} < {v}");
+        // One sub-bucket of slack: ≤ 12.5% relative (plus 1 for tiny values).
+        prop_assert!(
+            hi as f64 <= v as f64 * 1.125 + 1.0,
+            "bucket_upper({i}) = {hi} overshoots {v} by more than 12.5%"
+        );
+        // Buckets are contiguous: the previous bound excludes v.
+        if i > 0 {
+            prop_assert!(bucket_upper(i - 1) < v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any_magnitude(), b in any_magnitude()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn quantile_estimates_within_relative_error(
+        samples in proptest::collection::vec(any_magnitude(), 1..300)
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (p, est) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+            // The exact sample at the snapshot's quantile rank.
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert!(est >= exact, "q{p}: est {est} below exact {exact}");
+            prop_assert!(
+                est as f64 <= exact as f64 * 1.125 + 1.0,
+                "q{p}: est {est} more than 12.5% above exact {exact}"
+            );
+        }
+    }
+}

@@ -16,10 +16,10 @@
 //! [`Featurizer::fingerprint`]: dace_core::Featurizer::fingerprint
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dace_core::PlanFeatures;
+use dace_obs::Counter;
 
 const NIL: u32 = u32::MAX;
 
@@ -124,8 +124,8 @@ impl<V: Clone> LruShard<V> {
 #[derive(Debug)]
 pub struct ShardedLruCache<V> {
     shards: Vec<Mutex<LruShard<V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 /// Shard count (power of two; key low bits select the shard).
@@ -136,13 +136,24 @@ impl<V: Clone> ShardedLruCache<V> {
     /// `capacity = 0` disables the cache: every lookup misses and inserts
     /// are dropped.
     pub fn new(capacity: usize) -> ShardedLruCache<V> {
+        ShardedLruCache::with_counters(capacity, Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// Cache whose hit/miss counters are externally owned — the serve path
+    /// passes registry-backed counters here so cache statistics surface in
+    /// the shared metrics export without a second set of atomics.
+    pub fn with_counters(
+        capacity: usize,
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+    ) -> ShardedLruCache<V> {
         let per_shard = capacity.div_ceil(SHARDS);
         ShardedLruCache {
             shards: (0..SHARDS)
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -160,8 +171,8 @@ impl<V: Clone> ShardedLruCache<V> {
             .expect("cache shard poisoned")
             .get(key);
         match got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         got
     }
@@ -178,12 +189,12 @@ impl<V: Clone> ShardedLruCache<V> {
 
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Entries currently cached, across all shards.

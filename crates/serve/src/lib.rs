@@ -17,10 +17,11 @@
 //!   the read path**, and every response records the version that served it.
 //! * [`FeatureCache`] — a sharded LRU over structural plan fingerprints,
 //!   because featurization is the serve path's dominant non-matmul cost.
-//! * [`ServeMetrics`] / [`MetricsSnapshot`] — atomic counters and
-//!   fixed-bucket latency histograms (queue wait, batch size, featurize,
-//!   forward, end-to-end p50/p95/p99), printed by the `serve_bench` binary
-//!   in `dace-eval`.
+//! * [`ServeMetrics`] / [`MetricsSnapshot`] — serve-path instrumentation
+//!   registered in a shared [`dace_obs::MetricsRegistry`] (queue wait, batch
+//!   size, cache lookup, featurize, attention/MLP forward split, end-to-end
+//!   p50/p95/p99), exportable as Prometheus text or JSON and printed by the
+//!   `serve_bench` binary in `dace-eval`.
 //!
 //! ```no_run
 //! use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
@@ -40,6 +41,9 @@ mod registry;
 mod scheduler;
 
 pub use cache::{FeatureCache, ShardedLruCache};
+pub use dace_obs::MetricsRegistry;
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError};
-pub use scheduler::{DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError};
+pub use scheduler::{
+    DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, StageBreakdown,
+};

@@ -1,207 +1,135 @@
-//! Serve-path metrics: lock-free atomic counters and fixed-bucket latency
-//! histograms, snapshotted on demand.
+//! Serve-path metrics, served from the shared [`dace_obs`] registry.
 //!
-//! Histograms use an HDR-style layout — 8 linear sub-buckets per power-of-2
-//! octave — so quantile estimates carry at most ~12.5% relative error while
-//! `record` stays a single relaxed `fetch_add`. Everything here is written
-//! from the serve hot path, so there are no locks anywhere.
+//! The counter/histogram implementations live in `dace-obs` (this module
+//! used to own a private copy of the HDR-style histogram; it is the same
+//! code, now name-keyed and shared workspace-wide). [`ServeMetrics`] is the
+//! serve layer's *wiring*: it registers every serve metric under a stable
+//! `serve_*` name in one [`MetricsRegistry`] and holds the resolved `Arc`
+//! handles so the hot path never touches the registry lock. The registry
+//! itself stays reachable through
+//! [`DaceServer::metrics_registry`](crate::DaceServer::metrics_registry)
+//! for Prometheus-text / JSON export.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::Serialize;
 
-/// Sub-bucket resolution: `2^SUB_BITS` linear buckets per octave.
-const SUB_BITS: u32 = 3;
-const SUB: u64 = 1 << SUB_BITS;
-/// Total buckets; covers values up to `2^60` with clamping above.
-const BUCKETS: usize = 512;
-
-#[inline]
-fn bucket_index(v: u64) -> usize {
-    if v < SUB {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros() as u64;
-    let shift = msb - SUB_BITS as u64;
-    let sub = (v >> shift) & (SUB - 1);
-    ((((msb - SUB_BITS as u64) + 1) * SUB) + sub).min(BUCKETS as u64 - 1) as usize
-}
-
-/// Inclusive upper bound of bucket `i` (what quantiles report).
-#[inline]
-fn bucket_upper(i: usize) -> u64 {
-    let i = i as u64;
-    if i < SUB {
-        return i;
-    }
-    let shift = i / SUB - 1;
-    let sub = i % SUB;
-    ((SUB + sub + 1) << shift) - 1
-}
-
-/// A fixed-bucket concurrent histogram of `u64` samples (the serve layer
-/// records microseconds and batch sizes). All operations are wait-free
-/// relaxed atomics; snapshots are not linearizable with respect to
-/// concurrent writers, which is fine for monitoring.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: Box<[AtomicU64; BUCKETS]>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Histogram {
-        Histogram {
-            buckets: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    /// Record one sample.
-    #[inline]
-    pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Consistent-enough copy of the current state.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = counts.iter().sum();
-        let quantile = |p: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            // Rank of the p-quantile sample, 1-based.
-            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return bucket_upper(i);
-                }
-            }
-            bucket_upper(BUCKETS - 1)
-        };
-        let sum = self.sum.load(Ordering::Relaxed);
-        HistogramSnapshot {
-            count,
-            mean: if count == 0 {
-                0.0
-            } else {
-                sum as f64 / count as f64
-            },
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
-            max: self.max.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Point-in-time summary of one [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct HistogramSnapshot {
-    /// Samples recorded.
-    pub count: u64,
-    /// Arithmetic mean of the raw samples (exact, from the running sum).
-    pub mean: f64,
-    /// Median (bucket upper bound, ≤ ~12.5% high).
-    pub p50: u64,
-    /// 95th percentile.
-    pub p95: u64,
-    /// 99th percentile.
-    pub p99: u64,
-    /// Largest sample (exact).
-    pub max: u64,
-}
+use dace_obs::{Counter, MetricsRegistry};
+pub use dace_obs::{Histogram, HistogramSnapshot};
 
 /// All serve-path instrumentation, shared between the scheduler, its worker
-/// threads and whoever snapshots.
-#[derive(Debug, Default)]
+/// threads and whoever snapshots. Every field is an `Arc` handle into one
+/// [`MetricsRegistry`], registered under the `serve_*` names listed at
+/// [`ServeMetrics::register`].
+#[derive(Debug, Clone)]
 pub struct ServeMetrics {
     /// Requests admitted into the queue.
-    pub submitted: AtomicU64,
+    pub submitted: Arc<Counter>,
     /// Requests answered with a prediction.
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Requests rejected at admission because the queue was full.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests dropped because their deadline passed before a worker
     /// reached them.
-    pub expired: AtomicU64,
+    pub expired: Arc<Counter>,
     /// Requests naming an adapter the registry does not hold.
-    pub unknown_adapter: AtomicU64,
+    pub unknown_adapter: Arc<Counter>,
     /// Batches drained by workers.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
+    /// Featurization-cache hits (shared with the cache itself).
+    pub cache_hits: Arc<Counter>,
+    /// Featurization-cache misses (shared with the cache itself).
+    pub cache_misses: Arc<Counter>,
     /// Time each request spent queued before a worker drained it (µs).
-    pub queue_wait_us: Histogram,
+    pub queue_wait_us: Arc<Histogram>,
     /// Drained batch sizes (requests per batch).
-    pub batch_size: Histogram,
+    pub batch_size: Arc<Histogram>,
     /// Per-batch collection time: first request drained to batch dispatched
     /// (µs) — how much of the `max_wait` window batches actually pay.
-    pub drain_us: Histogram,
+    pub drain_us: Arc<Histogram>,
+    /// Per-group fingerprint + cache probe time (µs); only recorded when
+    /// stage timing is on.
+    pub cache_lookup_us: Arc<Histogram>,
     /// Per-batch featurization time, cache misses included (µs).
-    pub featurize_us: Histogram,
+    pub featurize_us: Arc<Histogram>,
     /// Per-batch packed forward-pass time (µs).
-    pub forward_us: Histogram,
+    pub forward_us: Arc<Histogram>,
+    /// Attention share of the forward pass (µs); only recorded when stage
+    /// timing is on.
+    pub attention_us: Arc<Histogram>,
+    /// MLP share of the forward pass (µs); only recorded when stage timing
+    /// is on.
+    pub mlp_us: Arc<Histogram>,
     /// Per-batch response-delivery time: client handoff including wakeups
     /// (µs).
-    pub respond_us: Histogram,
+    pub respond_us: Arc<Histogram>,
     /// End-to-end request latency, admission to response (µs).
-    pub e2e_us: Histogram,
+    pub e2e_us: Arc<Histogram>,
 }
 
 impl ServeMetrics {
-    /// Fresh all-zero metrics.
+    /// Fresh metrics in a private registry (tests, standalone use). Servers
+    /// use [`ServeMetrics::register`] with a registry they expose.
     pub fn new() -> ServeMetrics {
-        ServeMetrics::default()
+        ServeMetrics::register(&MetricsRegistry::new())
     }
 
-    /// Snapshot every counter and histogram. Cache counters live in the
-    /// cache itself; [`DaceServer::metrics_snapshot`] merges them in.
-    ///
-    /// [`DaceServer::metrics_snapshot`]: crate::DaceServer::metrics_snapshot
+    /// Register every serve metric in `registry` (names: `serve_*_total`
+    /// counters, `serve_*_us` / `serve_batch_size` histograms) and return
+    /// the resolved handles. Registering twice against the same registry
+    /// yields handles to the *same* underlying metrics.
+    pub fn register(registry: &MetricsRegistry) -> ServeMetrics {
+        ServeMetrics {
+            submitted: registry.counter("serve_submitted_total"),
+            completed: registry.counter("serve_completed_total"),
+            shed: registry.counter("serve_shed_total"),
+            expired: registry.counter("serve_expired_total"),
+            unknown_adapter: registry.counter("serve_unknown_adapter_total"),
+            batches: registry.counter("serve_batches_total"),
+            cache_hits: registry.counter("serve_cache_hits_total"),
+            cache_misses: registry.counter("serve_cache_misses_total"),
+            queue_wait_us: registry.histogram("serve_queue_wait_us"),
+            batch_size: registry.histogram("serve_batch_size"),
+            drain_us: registry.histogram("serve_drain_us"),
+            cache_lookup_us: registry.histogram("serve_cache_lookup_us"),
+            featurize_us: registry.histogram("serve_featurize_us"),
+            forward_us: registry.histogram("serve_forward_us"),
+            attention_us: registry.histogram("serve_attention_us"),
+            mlp_us: registry.histogram("serve_mlp_us"),
+            respond_us: registry.histogram("serve_respond_us"),
+            e2e_us: registry.histogram("serve_e2e_us"),
+        }
+    }
+
+    /// Snapshot every counter and histogram (cache counters included — they
+    /// are shared with the cache itself).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
-            submitted: load(&self.submitted),
-            completed: load(&self.completed),
-            shed: load(&self.shed),
-            expired: load(&self.expired),
-            unknown_adapter: load(&self.unknown_adapter),
-            batches: load(&self.batches),
-            cache_hits: 0,
-            cache_misses: 0,
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            shed: self.shed.get(),
+            expired: self.expired.get(),
+            unknown_adapter: self.unknown_adapter.get(),
+            batches: self.batches.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
             queue_wait_us: self.queue_wait_us.snapshot(),
             batch_size: self.batch_size.snapshot(),
             drain_us: self.drain_us.snapshot(),
+            cache_lookup_us: self.cache_lookup_us.snapshot(),
             featurize_us: self.featurize_us.snapshot(),
             forward_us: self.forward_us.snapshot(),
+            attention_us: self.attention_us.snapshot(),
+            mlp_us: self.mlp_us.snapshot(),
             respond_us: self.respond_us.snapshot(),
             e2e_us: self.e2e_us.snapshot(),
         }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
     }
 }
 
@@ -231,10 +159,16 @@ pub struct MetricsSnapshot {
     pub batch_size: HistogramSnapshot,
     /// Per-batch collection time (µs).
     pub drain_us: HistogramSnapshot,
+    /// Per-group cache-probe time (µs; zero when stage timing is off).
+    pub cache_lookup_us: HistogramSnapshot,
     /// Per-batch featurization time (µs).
     pub featurize_us: HistogramSnapshot,
     /// Per-batch forward time (µs).
     pub forward_us: HistogramSnapshot,
+    /// Attention share of forward (µs; zero when stage timing is off).
+    pub attention_us: HistogramSnapshot,
+    /// MLP share of forward (µs; zero when stage timing is off).
+    pub mlp_us: HistogramSnapshot,
     /// Per-batch response-delivery time (µs).
     pub respond_us: HistogramSnapshot,
     /// End-to-end latency distribution (µs).
@@ -291,8 +225,13 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "stage µs: drain p50 {} / featurize p50 {} / forward p50 {} / respond p50 {} (per batch)",
-            self.drain_us.p50, self.featurize_us.p50, self.forward_us.p50, self.respond_us.p50
+            "stage µs: drain p50 {} / featurize p50 {} / forward p50 {} (attn {} + mlp {}) / respond p50 {} (per batch)",
+            self.drain_us.p50,
+            self.featurize_us.p50,
+            self.forward_us.p50,
+            self.attention_us.p50,
+            self.mlp_us.p50,
+            self.respond_us.p50
         )?;
         write!(
             f,
@@ -307,40 +246,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_roundtrip_bounds_error() {
-        // Every value must land in a bucket whose upper bound is within
-        // 12.5% above it (one sub-bucket of slack).
-        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, 1 << 40]) {
-            let i = bucket_index(v);
-            let hi = bucket_upper(i);
-            assert!(hi >= v, "upper({i}) = {hi} < {v}");
-            assert!(
-                hi as f64 <= v as f64 * 1.125 + 1.0,
-                "upper({i}) = {hi} too far above {v}"
-            );
-            if i > 0 {
-                assert!(bucket_upper(i - 1) < v, "v={v} not below previous bound");
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_on_uniform_samples() {
-        let h = Histogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count, 1000);
-        assert_eq!(s.max, 1000);
-        assert!((s.mean - 500.5).abs() < 1e-9);
-        // Bucket upper bounds overestimate by ≤ 12.5%.
-        assert!((500..=563).contains(&s.p50), "p50 = {}", s.p50);
-        assert!((950..=1069).contains(&s.p95), "p95 = {}", s.p95);
-        assert!((990..=1114).contains(&s.p99), "p99 = {}", s.p99);
-    }
-
-    #[test]
     fn empty_snapshot_is_empty() {
         let m = ServeMetrics::new();
         let s = m.snapshot();
@@ -350,29 +255,38 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_records_all_land() {
-        let h = Histogram::new();
-        std::thread::scope(|s| {
-            for t in 0..4 {
-                let h = &h;
-                s.spawn(move || {
-                    for i in 0..10_000u64 {
-                        h.record(t * 10_000 + i);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.snapshot().count, 40_000);
-    }
-
-    #[test]
     fn snapshot_serializes_to_json() {
         let m = ServeMetrics::new();
         m.e2e_us.record(120);
-        m.completed.fetch_add(1, Ordering::Relaxed);
+        m.completed.inc();
         let s = m.snapshot();
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"completed\":1"));
         assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn registering_twice_shares_the_metrics() {
+        let registry = MetricsRegistry::new();
+        let a = ServeMetrics::register(&registry);
+        let b = ServeMetrics::register(&registry);
+        a.submitted.inc();
+        a.e2e_us.record(10);
+        assert_eq!(b.submitted.get(), 1);
+        assert_eq!(b.e2e_us.count(), 1);
+    }
+
+    #[test]
+    fn registry_export_carries_serve_names() {
+        let registry = MetricsRegistry::new();
+        let m = ServeMetrics::register(&registry);
+        m.completed.inc();
+        m.e2e_us.record(250);
+        let text = registry.prometheus_text();
+        assert!(text.contains("serve_completed_total 1"));
+        assert!(text.contains("serve_e2e_us_count 1"));
+        let parsed = dace_obs::parse_prometheus_text(&text);
+        assert_eq!(parsed["serve_completed_total"], 1.0);
+        assert!(parsed.contains_key("serve_e2e_us{quantile=\"0.99\"}"));
     }
 }

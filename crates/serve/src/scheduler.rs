@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dace_core::{featurize_trees_sharded, PlanFeatures};
+use dace_obs::{span, MetricsRegistry};
 use dace_plan::PlanTree;
 
 use crate::cache::FeatureCache;
@@ -68,6 +69,12 @@ pub struct ServeConfig {
     /// Batches under 64 misses featurize serially either way, so the
     /// default never pays thread-spawn latency on the serve path.
     pub featurize_threads: usize,
+    /// Record the per-stage breakdown (cache lookup, attention/MLP split)
+    /// into the metrics registry and stamp each [`Prediction`] with its
+    /// [`StageBreakdown`]. Costs a handful of clock reads per *batch*, so
+    /// it defaults on; turn off to shave the last fraction of a percent in
+    /// throughput benchmarks.
+    pub stage_timing: bool,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +88,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             cache_capacity: 4096,
             featurize_threads: 1,
+            stage_timing: true,
         }
     }
 }
@@ -126,6 +134,26 @@ pub struct Prediction {
     pub batch_size: usize,
     /// Whether featurization came from the cache.
     pub cache_hit: bool,
+    /// Per-stage wall-time attribution for this request's batch; `None`
+    /// when [`ServeConfig::stage_timing`] is off.
+    pub stages: Option<StageBreakdown>,
+}
+
+/// Where a served request's time went, stage by stage (all µs). Queue wait
+/// is per-request; the remaining stages are per forward group (every
+/// request in the same adapter group shares them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Time queued before a worker drained this request.
+    pub queue_wait_us: u64,
+    /// Fingerprinting plus featurization-cache probes for the group.
+    pub cache_lookup_us: u64,
+    /// Featurization of the group's cache misses (0 on a full hit).
+    pub featurize_us: u64,
+    /// Attention share of the group's packed forward pass.
+    pub attention_us: u64,
+    /// MLP share of the group's packed forward pass.
+    pub mlp_us: u64,
 }
 
 struct Job {
@@ -160,6 +188,7 @@ impl PredictionHandle {
 /// they drain the queue.
 pub struct DaceServer {
     registry: Arc<ModelRegistry>,
+    metrics_registry: Arc<MetricsRegistry>,
     metrics: Arc<ServeMetrics>,
     cache: Arc<FeatureCache>,
     config: ServeConfig,
@@ -176,8 +205,15 @@ impl DaceServer {
     pub fn new(registry: Arc<ModelRegistry>, config: ServeConfig) -> DaceServer {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let metrics = Arc::new(ServeMetrics::new());
-        let cache = Arc::new(FeatureCache::new(config.cache_capacity));
+        // Per-server registry (not the process-global one) so two servers —
+        // or two sequential bench phases — never blend their counts.
+        let metrics_registry = Arc::new(MetricsRegistry::new());
+        let metrics = Arc::new(ServeMetrics::register(&metrics_registry));
+        let cache = Arc::new(FeatureCache::with_counters(
+            config.cache_capacity,
+            Arc::clone(&metrics.cache_hits),
+            Arc::clone(&metrics.cache_misses),
+        ));
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -192,6 +228,7 @@ impl DaceServer {
             .collect();
         DaceServer {
             registry,
+            metrics_registry,
             metrics,
             cache,
             config,
@@ -233,15 +270,11 @@ impl DaceServer {
         };
         match sender.try_send(job) {
             Ok(()) => {
-                self.metrics
-                    .submitted
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.submitted.inc();
                 Ok(PredictionHandle { rx })
             }
             Err(TrySendError::Full(_)) => {
-                self.metrics
-                    .shed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.metrics.shed.inc();
                 Err(ServeError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
@@ -263,12 +296,22 @@ impl DaceServer {
         self.submit(tree, adapter, deadline)?.wait()
     }
 
-    /// Snapshot all serve metrics, cache counters included.
+    /// Snapshot all serve metrics, cache counters included (the cache
+    /// records through the same registry-backed counters).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.metrics.snapshot();
-        snap.cache_hits = self.cache.hits();
-        snap.cache_misses = self.cache.misses();
-        snap
+        self.metrics.snapshot()
+    }
+
+    /// Entries currently held by the featurization cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The metrics registry every serve counter and histogram lives in —
+    /// export it with [`MetricsRegistry::prometheus_text`] or
+    /// [`MetricsRegistry::json`].
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics_registry
     }
 
     /// Stop accepting requests, drain the queue, and join the workers.
@@ -305,6 +348,9 @@ fn drain_batch(
 ) -> Option<Vec<Job>> {
     let rx = rx.lock().expect("serve queue lock poisoned");
     let first = rx.recv().ok()?;
+    // The span opens after the blocking recv: it measures batch collection,
+    // not idle time waiting for the first request.
+    let _span = span!("serve_drain");
     let collect_started = Instant::now();
     let max_batch = config.max_batch.max(1);
     let min_fill = config.min_fill.clamp(1, max_batch);
@@ -370,10 +416,9 @@ fn process_batch(
     cache: &FeatureCache,
     config: ServeConfig,
 ) {
-    use std::sync::atomic::Ordering::Relaxed;
-
+    let _span = span!("serve_process_batch");
     let drained_at = Instant::now();
-    metrics.batches.fetch_add(1, Relaxed);
+    metrics.batches.inc();
     metrics.batch_size.record(batch.len() as u64);
 
     // Admission-side triage, then group survivors by adapter so each group
@@ -384,7 +429,7 @@ fn process_batch(
             .queue_wait_us
             .record(drained_at.duration_since(job.enqueued).as_micros() as u64);
         if job.deadline.is_some_and(|d| drained_at >= d) {
-            metrics.expired.fetch_add(1, Relaxed);
+            metrics.expired.inc();
             let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
@@ -397,7 +442,7 @@ fn process_batch(
             Err(_) => {
                 let name = adapter.unwrap_or_default();
                 for job in jobs {
-                    metrics.unknown_adapter.fetch_add(1, Relaxed);
+                    metrics.unknown_adapter.inc();
                     let _ = job.resp.send(Err(ServeError::UnknownAdapter(name.clone())));
                 }
                 continue;
@@ -406,7 +451,9 @@ fn process_batch(
         let est = &version.estimator;
 
         // Featurize through the cache; misses go through the same sharded
-        // path training uses (serial below 64 trees).
+        // path training uses (serial below 64 trees). `featurize_us` keeps
+        // its historical meaning (probe + miss featurization); stage timing
+        // additionally splits out the probe cost.
         let t_feat = Instant::now();
         let fingerprints: Vec<u64> = jobs
             .iter()
@@ -414,9 +461,11 @@ fn process_batch(
             .collect();
         let mut feats: Vec<Option<Arc<PlanFeatures>>> =
             fingerprints.iter().map(|&fp| cache.get(fp)).collect();
+        let cache_lookup_us = t_feat.elapsed().as_micros() as u64;
         let hit_mask: Vec<bool> = feats.iter().map(Option::is_some).collect();
         let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| feats[i].is_none()).collect();
         if !miss_idx.is_empty() {
+            let _span = span!("serve_featurize");
             let miss_trees: Vec<&PlanTree> = miss_idx.iter().map(|&i| &jobs[i].tree).collect();
             let fresh =
                 featurize_trees_sharded(&est.featurizer, &miss_trees, config.featurize_threads);
@@ -427,31 +476,54 @@ fn process_batch(
             }
         }
         let feats: Vec<Arc<PlanFeatures>> = feats.into_iter().map(Option::unwrap).collect();
-        metrics
-            .featurize_us
-            .record(t_feat.elapsed().as_micros() as u64);
+        let featurize_us = t_feat.elapsed().as_micros() as u64;
+        metrics.featurize_us.record(featurize_us);
 
         // One packed block-diagonal forward for the whole group.
         let t_fwd = Instant::now();
         let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
-        let preds = est.predict_features_batch_ms(&refs);
+        let (preds, stages) = {
+            let _span = span!("serve_forward");
+            if config.stage_timing {
+                metrics.cache_lookup_us.record(cache_lookup_us);
+                let (preds, timings) = est.predict_features_batch_ms_timed(&refs);
+                metrics.attention_us.record(timings.attention_us);
+                metrics.mlp_us.record(timings.mlp_us);
+                let stages = StageBreakdown {
+                    queue_wait_us: 0, // stamped per request below
+                    cache_lookup_us,
+                    featurize_us: featurize_us - cache_lookup_us,
+                    attention_us: timings.attention_us,
+                    mlp_us: timings.mlp_us,
+                };
+                (preds, Some(stages))
+            } else {
+                (est.predict_features_batch_ms(&refs), None)
+            }
+        };
         metrics
             .forward_us
             .record(t_fwd.elapsed().as_micros() as u64);
 
         let group_size = jobs.len();
         let t_resp = Instant::now();
+        let _span = span!("serve_respond");
         for ((job, ms), hit) in jobs.into_iter().zip(preds).zip(hit_mask) {
-            metrics.completed.fetch_add(1, Relaxed);
+            metrics.completed.inc();
             metrics
                 .e2e_us
                 .record(job.enqueued.elapsed().as_micros() as u64);
+            let stages = stages.map(|s| StageBreakdown {
+                queue_wait_us: drained_at.duration_since(job.enqueued).as_micros() as u64,
+                ..s
+            });
             let _ = job.resp.send(Ok(Prediction {
                 ms,
                 adapter: version.adapter.clone(),
                 version: version.version,
                 batch_size: group_size,
                 cache_hit: hit,
+                stages,
             }));
         }
         metrics

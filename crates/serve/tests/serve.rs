@@ -227,3 +227,81 @@ fn latency_histograms_cover_every_completed_request() {
     assert!(snap.e2e_us.max > 0, "end-to-end latency recorded as zero");
     assert!(snap.forward_us.count > 0 && snap.featurize_us.count > 0);
 }
+
+#[test]
+fn stage_breakdown_accompanies_predictions_when_enabled() {
+    let (est, _) = common::quick_estimator(101);
+    let trees = probe_trees(6, 102);
+    let server = DaceServer::new(Arc::new(ModelRegistry::new(est)), ServeConfig::default());
+    for (i, t) in trees.iter().enumerate() {
+        let pred = server.predict(t).unwrap();
+        let stages = pred.stages.expect("stage timing defaults to on");
+        // Cache lookup is part of the featurize window, split out; both are
+        // bounded by the end-to-end numbers the histograms see.
+        assert!(
+            stages.cache_lookup_us < 1_000_000,
+            "probe took {i}: {stages:?}"
+        );
+        let total = stages.queue_wait_us
+            + stages.cache_lookup_us
+            + stages.featurize_us
+            + stages.attention_us
+            + stages.mlp_us;
+        assert!(total < 10_000_000, "implausible stage total: {stages:?}");
+    }
+    let snap = server.metrics_snapshot();
+    assert!(
+        snap.cache_lookup_us.count > 0,
+        "cache-probe histogram empty"
+    );
+    assert!(snap.attention_us.count > 0 && snap.mlp_us.count > 0);
+    // The forward split is measured inside the forward window.
+    assert!(snap.attention_us.max + snap.mlp_us.max <= snap.forward_us.max.max(1) * 2);
+}
+
+#[test]
+fn stage_timing_off_suppresses_breakdown_and_histograms() {
+    let (est, _) = common::quick_estimator(103);
+    let trees = probe_trees(4, 104);
+    let server = DaceServer::new(
+        Arc::new(ModelRegistry::new(est)),
+        ServeConfig {
+            stage_timing: false,
+            ..ServeConfig::default()
+        },
+    );
+    for t in &trees {
+        let pred = server.predict(t).unwrap();
+        assert_eq!(pred.stages, None);
+    }
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.completed, 4);
+    assert_eq!(snap.cache_lookup_us.count, 0);
+    assert_eq!(snap.attention_us.count, 0);
+    assert_eq!(snap.mlp_us.count, 0);
+    assert!(
+        snap.forward_us.count > 0,
+        "aggregate forward timer still runs"
+    );
+}
+
+#[test]
+fn live_server_registry_exports_prometheus_and_json() {
+    let (est, _) = common::quick_estimator(105);
+    let trees = probe_trees(5, 106);
+    let server = DaceServer::new(Arc::new(ModelRegistry::new(est)), ServeConfig::default());
+    for t in &trees {
+        server.predict(t).unwrap();
+    }
+    let text = server.metrics_registry().prometheus_text();
+    let parsed = dace_obs::parse_prometheus_text(&text);
+    assert_eq!(parsed["serve_completed_total"], 5.0);
+    assert_eq!(parsed["serve_submitted_total"], 5.0);
+    assert!(parsed["serve_e2e_us_count"] >= 5.0);
+    assert!(parsed.contains_key("serve_e2e_us{quantile=\"0.99\"}"));
+    // JSON export carries the same snapshot.
+    let json = server.metrics_registry().json();
+    let snap: dace_obs::RegistrySnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap.counters["serve_completed_total"], 5);
+    assert_eq!(snap.histograms["serve_e2e_us"].count, 5);
+}

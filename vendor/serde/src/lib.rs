@@ -207,6 +207,38 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_map().ok_or_else(|| Error::msg("expected map"))?;
+        entries
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), V::deserialize(item)?)))
+            .collect()
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {
