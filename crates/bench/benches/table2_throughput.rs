@@ -126,6 +126,51 @@ fn bench_training(c: &mut Criterion) {
             );
         })
     });
+    // The pre-workspace batched loop: per-epoch re-shuffle + re-pack with
+    // allocating kernels, pinned to the PR-1 kernel configuration
+    // (`KernelTier::Avx2Baseline`: AVX2 tiles, dot-product matmul_nt,
+    // unconditional output memset). The DACE/DACE(repack-baseline) ratio is
+    // therefore the full win of this rewrite — workspace reuse +
+    // epoch-persistent packing + the AVX-512/nt-packing kernel upgrades —
+    // measured in-run rather than against a recorded number. Multi-epoch
+    // rows show the packing amortization compounding.
+    group.bench_function("DACE(repack-baseline)", |b| {
+        dace_nn::set_kernel_tier(dace_nn::KernelTier::Avx2Baseline);
+        b.iter(|| {
+            black_box(
+                Trainer::new(TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                })
+                .fit_baseline_repack(&slice),
+            );
+        });
+        dace_nn::set_kernel_tier(dace_nn::KernelTier::Auto);
+    });
+    group.bench_function("DACE(5-epoch)", |b| {
+        b.iter(|| {
+            black_box(
+                Trainer::new(TrainConfig {
+                    epochs: 5,
+                    ..Default::default()
+                })
+                .fit(&slice),
+            );
+        })
+    });
+    group.bench_function("DACE(repack-baseline-5-epoch)", |b| {
+        dace_nn::set_kernel_tier(dace_nn::KernelTier::Avx2Baseline);
+        b.iter(|| {
+            black_box(
+                Trainer::new(TrainConfig {
+                    epochs: 5,
+                    ..Default::default()
+                })
+                .fit_baseline_repack(&slice),
+            );
+        });
+        dace_nn::set_kernel_tier(dace_nn::KernelTier::Auto);
+    });
     group.bench_function("DACE(per-plan-seed)", |b| {
         dace_nn::set_reference_kernels(true);
         b.iter(|| {

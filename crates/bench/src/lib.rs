@@ -1,3 +1,121 @@
 //! Criterion benchmark crate. See `benches/` for the benchmark
 //! definitions: `table2_throughput` reproduces Table II, `substrate`
-//! covers the optimizer/executor, `nn_kernels` the tensor library.
+//! covers the optimizer/executor, `nn_kernels` the tensor library, and
+//! `train_alloc` proves the zero-allocation steady state.
+//!
+//! The library half hosts the benchmark support code: a byte-counting
+//! global allocator ([`counting_alloc`]) and the shared synthetic training
+//! corpus ([`synthetic_training_set`]).
+
+use dace_plan::{Dataset, LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A byte-counting wrapper around the system allocator, for proving the
+/// training loop's steady state stays off the heap.
+pub mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`GlobalAlloc`] that forwards to [`System`] while counting gross
+    /// bytes requested (frees are not subtracted; `realloc` counts only the
+    /// growth delta). Install per benchmark binary:
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: CountingAlloc = CountingAlloc;
+    /// dace_obs::set_alloc_probe(counting_alloc::bytes_allocated);
+    /// ```
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            if new_size > layout.size() {
+                BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+            }
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    /// Monotonic gross bytes allocated so far — the shape
+    /// `dace_obs::set_alloc_probe` expects.
+    pub fn bytes_allocated() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Allocator calls (alloc + alloc_zeroed + realloc) so far.
+    pub fn calls() -> u64 {
+        CALLS.load(Ordering::Relaxed)
+    }
+}
+
+/// Synthetic learnable dataset (the trainer's test corpus, shared with the
+/// allocation benchmark): three-node plans whose latency depends on an
+/// operator-specific cost multiplier the model must discover.
+pub fn synthetic_training_set(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plans = (0..n)
+        .map(|_| {
+            let mut b = TreeBuilder::new();
+            let scan_cost = rng.gen_range(10.0..10_000.0f64);
+            let scan_rows = scan_cost * rng.gen_range(5.0..15.0);
+            let use_hash = rng.gen_bool(0.5);
+            let scan = {
+                let mut node = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+                node.est_cost = scan_cost;
+                node.est_rows = scan_rows;
+                node.actual_ms = scan_cost * 0.004;
+                node.actual_rows = scan_rows;
+                b.leaf(node)
+            };
+            let scan2 = {
+                let mut node = PlanNode::new(NodeType::IndexScan, OpPayload::Other);
+                node.est_cost = scan_cost * 0.3;
+                node.est_rows = scan_rows * 0.1;
+                node.actual_ms = scan_cost * 0.01;
+                node.actual_rows = scan_rows * 0.1;
+                b.leaf(node)
+            };
+            let join_ty = if use_hash {
+                NodeType::HashJoin
+            } else {
+                NodeType::NestedLoop
+            };
+            let mult = if use_hash { 0.002 } else { 0.02 };
+            let root = {
+                let mut node = PlanNode::new(join_ty, OpPayload::Other);
+                node.est_cost = scan_cost * 2.0;
+                node.est_rows = scan_rows;
+                node.actual_ms = scan_cost * 2.0 * mult + scan_cost * 0.014;
+                node.actual_rows = scan_rows;
+                b.internal(node, vec![scan, scan2])
+            };
+            LabeledPlan {
+                tree: b.finish(root),
+                db_id: 0,
+                machine: MachineId::M1,
+            }
+        })
+        .collect();
+    Dataset::from_plans(plans)
+}

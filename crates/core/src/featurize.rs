@@ -67,6 +67,12 @@ const FINGERPRINT_STEPS_PER_NAT: f64 = 64.0;
 pub struct PackedBatch {
     /// Packed node features, `(count · n_max) × FEATURE_DIM`.
     pub x: Tensor2,
+    /// Compact node features: the same plans concatenated *without* padding
+    /// rows (`Σ lens[b] × FEATURE_DIM`), plan `b`'s rows contiguous in order.
+    /// This is the layout the workspace forward/backward passes consume —
+    /// packing it once here is what lets the epoch loop skip the per-batch
+    /// gather entirely.
+    pub xc: Tensor2,
     /// Padded rows per plan slot.
     pub n_max: usize,
     /// Number of plans packed.
@@ -87,7 +93,10 @@ impl PackedBatch {
         assert!(!plans.is_empty(), "cannot pack an empty batch");
         let n_max = plans.iter().map(|p| p.x.rows()).max().unwrap();
         let count = plans.len();
+        let total: usize = plans.iter().map(|p| p.x.rows()).sum();
         let mut x = Tensor2::zeros(count * n_max, FEATURE_DIM);
+        let mut xc = Tensor2::zeros(total, FEATURE_DIM);
+        let mut xc_row = 0;
         let mut bias = vec![f32::NEG_INFINITY; count * n_max * n_max];
         let mut targets = vec![0.0f32; count * n_max];
         let mut heights = vec![0u32; count * n_max];
@@ -96,6 +105,8 @@ impl PackedBatch {
             let n = p.x.rows();
             lens.push(n);
             x.set_row_block(b * n_max, &p.x);
+            xc.set_row_block(xc_row, &p.x);
+            xc_row += n;
             let bias_b = &mut bias[b * n_max * n_max..(b + 1) * n_max * n_max];
             for i in 0..n {
                 for j in 0..n {
@@ -107,6 +118,7 @@ impl PackedBatch {
         }
         PackedBatch {
             x,
+            xc,
             n_max,
             count,
             lens,
@@ -427,6 +439,13 @@ mod tests {
         // touches the padding row/column is -inf.
         let inf = f32::NEG_INFINITY;
         assert_eq!(&batch.bias[..4], &[0.0, inf, inf, inf]);
+        // The compact layout drops the padding row entirely: 1 + 2 rows.
+        assert_eq!(batch.xc.rows(), 3);
+        for c in 0..FEATURE_DIM {
+            assert_eq!(batch.xc.get(0, c), one.x.get(0, c));
+            assert_eq!(batch.xc.get(1, c), two.x.get(0, c));
+            assert_eq!(batch.xc.get(2, c), two.x.get(1, c));
+        }
     }
 
     #[test]

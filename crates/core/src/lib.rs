@@ -26,6 +26,7 @@ mod model;
 mod trainer;
 
 pub use adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
+pub use dace_nn::Workspace;
 pub use featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures, FEATURE_DIM};
 pub use loss::LossAdjuster;
 pub use model::{DaceModel, ForwardTimings, ENCODING_DIM};

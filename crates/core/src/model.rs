@@ -1,7 +1,7 @@
 //! The DACE network: one tree-masked attention layer feeding a three-layer
 //! LoRA MLP that predicts every sub-plan's log-latency in parallel.
 
-use dace_nn::{LoraLinear, LoraMode, MaskedSelfAttention, Param, Relu, Tensor2};
+use dace_nn::{LoraLinear, LoraMode, MaskedSelfAttention, Param, Relu, Tensor2, Workspace};
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
@@ -32,11 +32,21 @@ pub struct DaceModel {
     pub l3: LoraLinear,
     #[serde(skip, default = "default_relus")]
     relus: (Relu, Relu),
-    /// Padded row layout `(lens, n_max)` of the last [`forward_batch`]
-    /// call. `backward` uses it to gather the real rows out of the padded
-    /// `d_pred` before backpropagating through the compacted activations.
+    /// Padded row layout `(lens, n_max, via_workspace)` of the last
+    /// [`forward_batch`] / [`forward_batch_reference`] call. `backward` uses
+    /// it to gather the real rows out of the padded `d_pred` and to route
+    /// the gradient through the workspace chain or the legacy layer caches.
+    ///
+    /// [`forward_batch`]: DaceModel::forward_batch
+    /// [`forward_batch_reference`]: DaceModel::forward_batch_reference
     #[serde(skip)]
-    batch_layout: Option<(Vec<usize>, usize)>,
+    batch_layout: Option<(Vec<usize>, usize, bool)>,
+    /// Scratch arena for the compact batched forward/backward: activations
+    /// and gradients live here and reuse capacity across mini-batches, so
+    /// steady-state epochs stop allocating. Cloning a model (early-stopping
+    /// snapshots) resets the arena instead of copying it.
+    #[serde(skip)]
+    ws: Workspace,
 }
 
 fn default_relus() -> (Relu, Relu) {
@@ -109,6 +119,7 @@ impl DaceModel {
             l3: LoraLinear::new(ENCODING_DIM, 1, RANKS[2], seed ^ 0x03),
             relus: default_relus(),
             batch_layout: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -128,7 +139,11 @@ impl DaceModel {
     /// through zero-probability attention rows would produce.
     pub fn backward(&mut self, d_pred: &Tensor2) {
         match self.batch_layout.take() {
-            Some((lens, n_max)) => {
+            Some((lens, n_max, true)) => {
+                let d = gather_real_rows(d_pred, &lens, n_max);
+                self.backward_compact(&d);
+            }
+            Some((lens, n_max, false)) => {
                 let d = gather_real_rows(d_pred, &lens, n_max);
                 let d = self.l3.backward(&d);
                 let d = self.relus.1.backward(&d);
@@ -151,14 +166,26 @@ impl DaceModel {
         }
     }
 
-    /// Batched training forward pass over a packed mini-batch. The real
-    /// rows are gathered out of the padded layout once, attention and the
-    /// MLP run over `Σ lens[b]` compact rows (one variable-length
-    /// block-diagonal attention call plus one MLP pass), and the
-    /// predictions are scattered back. Returns per-row log-latency
-    /// predictions in the padded `count · n_max × 1` layout; padding rows
-    /// are exact zeros.
+    /// Batched training forward pass over a packed mini-batch — the
+    /// workspace path ([`forward_batch_compact`]) plus a scatter of the
+    /// compact predictions back into the padded `count · n_max × 1` layout
+    /// (padding rows are exact zeros). The epoch loop skips the scatter by
+    /// calling [`forward_batch_compact`] / [`batch_preds`] directly.
+    ///
+    /// [`forward_batch_compact`]: DaceModel::forward_batch_compact
+    /// [`batch_preds`]: DaceModel::batch_preds
     pub fn forward_batch(&mut self, batch: &PackedBatch) -> Tensor2 {
+        self.forward_batch_compact(batch);
+        self.batch_layout = Some((batch.lens.clone(), batch.n_max, true));
+        scatter_real_rows(&self.ws.preds, &batch.lens, batch.n_max)
+    }
+
+    /// The pre-workspace batched forward pass, kept verbatim as the
+    /// reference/baseline: gathers the real rows out of the padded layout
+    /// (allocating), runs the caching layers, and scatters back. Gradient-
+    /// and bit-identical to [`DaceModel::forward_batch`]; used by the
+    /// allocation benchmark's repack baseline and the equivalence tests.
+    pub fn forward_batch_reference(&mut self, batch: &PackedBatch) -> Tensor2 {
         let xc = gather_real_rows(&batch.x, &batch.lens, batch.n_max);
         let a = self
             .attention
@@ -166,8 +193,82 @@ impl DaceModel {
         let h1 = self.relus.0.forward(&self.l1.forward(&a));
         let h2 = self.relus.1.forward(&self.l2.forward(&h1));
         let preds = self.l3.forward(&h2);
-        self.batch_layout = Some((batch.lens.clone(), batch.n_max));
+        self.batch_layout = Some((batch.lens.clone(), batch.n_max, false));
         scatter_real_rows(&preds, &batch.lens, batch.n_max)
+    }
+
+    /// Allocation-free batched training forward over the batch's compact
+    /// layout: every activation (attention Q/K/V/probs, MLP hiddens, LoRA
+    /// intermediates, ReLU masks) lands in the model's workspace arena,
+    /// reusing capacity from the previous mini-batch. Predictions are left
+    /// in the workspace — read them with [`DaceModel::batch_preds`] — in
+    /// compact row order (`Σ lens[b] × 1`). Pair with
+    /// [`DaceModel::backward_compact`].
+    pub fn forward_batch_compact(&mut self, batch: &PackedBatch) {
+        self.batch_layout = None;
+        let ws = &mut self.ws;
+        ws.xc.copy_from(&batch.xc);
+        ws.lens.clear();
+        ws.lens.extend_from_slice(&batch.lens);
+        self.attention.forward_packed_ws(
+            &ws.xc,
+            &ws.lens,
+            batch.n_max,
+            &batch.bias,
+            &mut ws.attn,
+            &mut ws.attn_out,
+        );
+        self.l1
+            .forward_ws(&ws.attn_out, &mut ws.h1, &mut ws.xb1, &mut ws.tmp);
+        Relu::forward_in_place(&mut ws.h1, &mut ws.mask1);
+        self.l2
+            .forward_ws(&ws.h1, &mut ws.h2, &mut ws.xb2, &mut ws.tmp);
+        Relu::forward_in_place(&mut ws.h2, &mut ws.mask2);
+        self.l3
+            .forward_ws(&ws.h2, &mut ws.preds, &mut ws.xb3, &mut ws.tmp);
+    }
+
+    /// The compact predictions of the last
+    /// [`DaceModel::forward_batch_compact`] call (`Σ lens[b] × 1`).
+    pub fn batch_preds(&self) -> &Tensor2 {
+        &self.ws.preds
+    }
+
+    /// Allocation-free backward from compact per-row prediction gradients
+    /// (`Σ lens[b] × 1`, matching [`DaceModel::batch_preds`]): the entire
+    /// chain runs on workspace buffers, accumulating parameter gradients in
+    /// the same order as the caching path.
+    pub fn backward_compact(&mut self, d_pred: &Tensor2) {
+        let ws = &mut self.ws;
+        self.l3.backward_ws(
+            d_pred,
+            &ws.h2,
+            &ws.xb3,
+            &mut ws.d1,
+            &mut ws.dxb,
+            &mut ws.gtmp,
+        );
+        Relu::backward_in_place(&mut ws.d1, &ws.mask2);
+        self.l2.backward_ws(
+            &ws.d1,
+            &ws.h1,
+            &ws.xb2,
+            &mut ws.d2,
+            &mut ws.dxb,
+            &mut ws.gtmp,
+        );
+        Relu::backward_in_place(&mut ws.d2, &ws.mask1);
+        self.l1.backward_ws(
+            &ws.d2,
+            &ws.attn_out,
+            &ws.xb1,
+            &mut ws.d1,
+            &mut ws.dxb,
+            &mut ws.gtmp,
+        );
+        // Attention is the first layer: only parameter gradients remain.
+        self.attention
+            .backward_params_ws(&ws.d1, &ws.xc, &ws.lens, &mut ws.attn);
     }
 
     /// Batched inference over a packed mini-batch: per-plan *root*
@@ -180,10 +281,12 @@ impl DaceModel {
     /// MLP kernels are row-independent, making the root predictions
     /// bit-identical to the full per-node pass.
     pub fn predict_batch(&self, batch: &PackedBatch) -> Vec<f32> {
-        let xc = gather_real_rows(&batch.x, &batch.lens, batch.n_max);
-        let a = self
-            .attention
-            .forward_packed_inference(&xc, &batch.lens, batch.n_max, &batch.bias);
+        let a = self.attention.forward_packed_inference(
+            &batch.xc,
+            &batch.lens,
+            batch.n_max,
+            &batch.bias,
+        );
         let preds = self.mlp_inference(&gather_block_heads(&a, &batch.lens));
         (0..batch.count).map(|b| preds.get(b, 0)).collect()
     }
@@ -201,36 +304,70 @@ impl DaceModel {
 
     /// [`predict_roots`](DaceModel::predict_roots) with per-stage wall-time
     /// attribution: how long the batch spent in block-diagonal attention vs
-    /// the root-row MLP. The timing costs two `Instant::now()` calls per
-    /// batch, so the untimed entry point simply discards the split.
+    /// the root-row MLP. Allocates a throwaway workspace; long-lived callers
+    /// (the serve workers) hold one and use
+    /// [`DaceModel::predict_roots_timed_ws`].
     pub fn predict_roots_timed(&self, feats: &[&PlanFeatures]) -> (Vec<f32>, ForwardTimings) {
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        let timings = self.predict_roots_timed_ws(feats, &mut ws, &mut out);
+        (out, timings)
+    }
+
+    /// Allocation-free batched root inference: the packed input, attention
+    /// scratch and MLP activations all live in the caller's workspace, and
+    /// root log-latency predictions are appended to `out` (cleared first).
+    /// Once the workspace buffers reach the high-water batch size, repeated
+    /// calls stop touching the allocator — this is the serve worker's
+    /// steady-state forward path. Results are bit-identical to
+    /// [`DaceModel::predict_roots_timed`].
+    pub fn predict_roots_timed_ws(
+        &self,
+        feats: &[&PlanFeatures],
+        ws: &mut Workspace,
+        out: &mut Vec<f32>,
+    ) -> ForwardTimings {
+        out.clear();
         if feats.is_empty() {
-            return (Vec::new(), ForwardTimings::default());
+            return ForwardTimings::default();
         }
         let total: usize = feats.iter().map(|f| f.x.rows()).sum();
-        let mut x = Tensor2::zeros(total, FEATURE_DIM);
-        let mut lens = Vec::with_capacity(feats.len());
+        ws.xc.resize_zeroed(total, FEATURE_DIM);
         let mut row = 0;
         for f in feats {
-            x.set_row_block(row, &f.x);
-            lens.push(f.x.rows());
+            ws.xc.set_row_block(row, &f.x);
             row += f.x.rows();
         }
-        let masks: Vec<&[bool]> = feats.iter().map(|f| f.mask.as_slice()).collect();
         let t_attn = std::time::Instant::now();
-        let a = self.attention.forward_masks_inference(&x, &lens, &masks);
+        self.attention.forward_masks_into(
+            &ws.xc,
+            feats.iter().map(|f| (f.x.rows(), f.mask.as_slice())),
+            &mut ws.attn,
+            &mut ws.attn_out,
+        );
         let attention_us = t_attn.elapsed().as_micros() as u64;
         let t_mlp = std::time::Instant::now();
-        let preds = self.mlp_inference(&gather_block_heads(&a, &lens));
+        // Only the root rows (each block's first row) run through the MLP.
+        ws.heads.resize_zeroed(feats.len(), ws.attn_out.cols());
+        let mut start = 0;
+        for (b, f) in feats.iter().enumerate() {
+            ws.heads.row_mut(b).copy_from_slice(ws.attn_out.row(start));
+            start += f.x.rows();
+        }
+        self.l1
+            .forward_ws(&ws.heads, &mut ws.h1, &mut ws.xb1, &mut ws.tmp);
+        Relu::relu_in_place(&mut ws.h1);
+        self.l2
+            .forward_ws(&ws.h1, &mut ws.h2, &mut ws.xb2, &mut ws.tmp);
+        Relu::relu_in_place(&mut ws.h2);
+        self.l3
+            .forward_ws(&ws.h2, &mut ws.preds, &mut ws.xb3, &mut ws.tmp);
         let mlp_us = t_mlp.elapsed().as_micros() as u64;
-        let roots = (0..feats.len()).map(|b| preds.get(b, 0)).collect();
-        (
-            roots,
-            ForwardTimings {
-                attention_us,
-                mlp_us,
-            },
-        )
+        out.extend((0..feats.len()).map(|b| ws.preds.get(b, 0)));
+        ForwardTimings {
+            attention_us,
+            mlp_us,
+        }
     }
 
     /// The three-layer LoRA MLP, inference mode, over arbitrary rows.
@@ -357,20 +494,35 @@ impl DaceModel {
         Ok(())
     }
 
-    /// Drop every parameter's optimizer state ([`Param::detach`]): the
-    /// inference-only form the serving registry shares across threads.
+    /// Switch every layer between train mode (activations cached / masks
+    /// saved for backward) and eval mode (forward passes skip all caching —
+    /// no clones on inference paths).
+    pub fn set_train(&mut self, train: bool) {
+        self.attention.set_train(train);
+        self.l1.set_train(train);
+        self.l2.set_train(train);
+        self.l3.set_train(train);
+        self.relus.0.set_train(train);
+        self.relus.1.set_train(train);
+    }
+
+    /// Drop every parameter's optimizer state ([`Param::detach`]) and put
+    /// the layers in eval mode: the inference-only form the serving
+    /// registry shares across threads.
     pub fn detach(&mut self) {
         for p in self.params_mut() {
             p.detach();
         }
+        self.set_train(false);
     }
 
-    /// Reallocate optimizer state dropped by [`DaceModel::detach`], making
-    /// the model trainable again.
+    /// Reallocate optimizer state dropped by [`DaceModel::detach`] and
+    /// restore train mode, making the model trainable again.
     pub fn restore_training_state(&mut self) {
         for p in self.params_mut() {
             p.restore_state();
         }
+        self.set_train(true);
     }
 
     /// Base (non-LoRA) parameter count — the "DACE" row of Table II.

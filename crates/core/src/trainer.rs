@@ -14,8 +14,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dace_nn::{Adam, LoraMode, Tensor2};
-use dace_obs::{span, EpochRecord, RunSink, Verbosity};
+use dace_nn::{Adam, LoraMode, Tensor2, Workspace};
+use dace_obs::{alloc_probe_bytes, span, EpochRecord, MetricsRegistry, RunSink, Verbosity};
 use dace_plan::{Dataset, LabeledPlan, PlanTree};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -159,6 +159,47 @@ fn packed_grad(adjuster: &LossAdjuster, preds: &Tensor2, batch: &PackedBatch) ->
     (loss, d_pred)
 }
 
+/// [`packed_grad`] on the compact layout: `preds` has one row per *real*
+/// node (`Σ lens[b]`), targets and heights are read through the batch's
+/// padded index, and the gradient is written into the caller's reusable
+/// buffer — no allocation once `d_pred` reaches capacity. Loss accumulation
+/// order matches [`packed_grad`] exactly (padding rows contributed nothing
+/// there), so the two are bit-identical on the rows that exist in both.
+fn packed_grad_compact(
+    adjuster: &LossAdjuster,
+    preds: &Tensor2,
+    batch: &PackedBatch,
+    d_pred: &mut Tensor2,
+) -> f32 {
+    d_pred.resize_zeroed(preds.rows(), 1);
+    let inv_batch = 1.0 / batch.count as f32;
+    let mut loss = 0.0f32;
+    let mut row = 0usize;
+    for b in 0..batch.count {
+        let base = b * batch.n_max;
+        let n = batch.lens[b];
+        let mut wsum = 0.0f32;
+        for i in 0..n {
+            wsum += adjuster.weight(batch.heights[base + i]);
+        }
+        let wsum = wsum.max(1e-12);
+        for i in 0..n {
+            let w = adjuster.weight(batch.heights[base + i]);
+            let err = preds.get(row, 0) - batch.targets[base + i];
+            loss += w * err * err / wsum * inv_batch;
+            d_pred.set(row, 0, 2.0 * w * err / wsum * inv_batch);
+            row += 1;
+        }
+    }
+    loss
+}
+
+/// Gross heap bytes allocated since the `start` probe reading, when an
+/// allocation probe is installed ([`dace_obs::set_alloc_probe`]).
+fn alloc_delta(start: Option<u64>) -> Option<u64> {
+    Some(alloc_probe_bytes()?.saturating_sub(start?))
+}
+
 /// Mean per-plan validation loss on a held-out index set, plus each held-out
 /// plan's root Q-error (`max(pred/actual, actual/pred)` in ms space) for
 /// telemetry quantiles.
@@ -221,8 +262,16 @@ impl RunTelemetry<'_> {
 }
 
 /// The shared mini-batch loop behind [`Trainer::fit`] and
-/// [`DaceEstimator::fine_tune_lora`]: shuffle, pack each mini-batch, one
-/// block-diagonal forward/backward per batch, one optimizer step per batch.
+/// [`DaceEstimator::fine_tune_lora`]: shuffle the plan order once, pack
+/// every mini-batch once, then per epoch reshuffle only the *batch order*
+/// and run one allocation-free block-diagonal forward/backward per batch
+/// (workspace-compact path), one optimizer step per batch.
+///
+/// Epoch-persistent packing changes the schedule from per-epoch re-chunking
+/// to a per-epoch permutation of fixed batches; every batch is still
+/// visited exactly once per epoch in a seeded-random order, and
+/// [`Trainer::fit_per_plan_reference`] mirrors the identical schedule for
+/// the equivalence tests.
 ///
 /// When `validation_fraction > 0` and `patience > 0`, a seeded validation
 /// split (drawn from its own RNG stream so the shuffle stream is unchanged)
@@ -262,6 +311,22 @@ fn run_epochs(
         ((0..feats.len()).collect(), Vec::new())
     };
 
+    // Pack every mini-batch once, before the first epoch. Plan membership
+    // of each batch is frozen from here on; epochs permute the batch order.
+    order.shuffle(&mut rng);
+    let batches: Vec<PackedBatch> = order
+        .chunks(batch_plans.max(1))
+        .map(|chunk| {
+            let refs: Vec<&PlanFeatures> = chunk.iter().map(|&i| &feats[i]).collect();
+            PackedBatch::pack(&refs)
+        })
+        .collect();
+    let mut batch_order: Vec<usize> = (0..batches.len()).collect();
+    // Reused gradient buffer: with the packs hoisted and the model running
+    // on its workspace arena, the batch loop's steady state is
+    // allocation-free.
+    let mut d_buf = Tensor2::default();
+
     let telemetry_on = telemetry.active();
     let mut best_val = f32::INFINITY;
     let mut best_model: Option<DaceModel> = None;
@@ -269,18 +334,22 @@ fn run_epochs(
     for epoch in 0..epochs {
         let _span = span!("train_epoch");
         let epoch_started = Instant::now();
-        order.shuffle(&mut rng);
+        batch_order.shuffle(&mut rng);
+        let alloc_start = if telemetry_on {
+            alloc_probe_bytes()
+        } else {
+            None
+        };
         let mut loss_sum = 0.0f64;
-        let mut batches = 0usize;
+        let mut batches_done = 0usize;
         let mut grad_norm = 0.0f64;
-        for batch in order.chunks(batch_plans.max(1)) {
-            let refs: Vec<&PlanFeatures> = batch.iter().map(|&i| &feats[i]).collect();
-            let packed = PackedBatch::pack(&refs);
-            let preds = model.forward_batch(&packed);
-            let (loss, d_pred) = packed_grad(adjuster, &preds, &packed);
-            loss_sum += loss as f64;
-            batches += 1;
-            model.backward(&d_pred);
+        for &bi in &batch_order {
+            let packed = &batches[bi];
+            model.forward_batch_compact(packed);
+            let loss = packed_grad_compact(adjuster, model.batch_preds(), packed, &mut d_buf);
+            loss_sum += f64::from(loss);
+            batches_done += 1;
+            model.backward_compact(&d_buf);
             if telemetry_on {
                 // Gradient norm over the parameters the optimizer will
                 // actually move (mirrors Adam's clip-norm accounting).
@@ -293,6 +362,14 @@ fn run_epochs(
                 grad_norm = f64::from(g).sqrt();
             }
             opt.step(&mut model.params_mut());
+        }
+        // Sampled around the batch loop only: validation and snapshotting
+        // below are allowed to allocate without polluting the metric.
+        let alloc_bytes = alloc_delta(alloc_start);
+        if let Some(bytes) = alloc_bytes {
+            MetricsRegistry::global()
+                .histogram("train_epoch_alloc_bytes")
+                .record(bytes);
         }
 
         let mut val_loss = None;
@@ -323,7 +400,7 @@ fn run_epochs(
                 phase: telemetry.phase.to_string(),
                 epoch,
                 epochs_planned: epochs,
-                train_loss: loss_sum / batches.max(1) as f64,
+                train_loss: loss_sum / batches_done.max(1) as f64,
                 grad_norm,
                 lr: f64::from(lr),
                 epoch_ms: epoch_started.elapsed().as_secs_f64() * 1e3,
@@ -332,6 +409,7 @@ fn run_epochs(
                 val_qerr_p90: quantile(&mut qerrs, 0.90),
                 val_qerr_p99: quantile(&mut qerrs, 0.99),
                 early_stop: decision,
+                alloc_bytes,
             });
         }
         if early_stop && bad_epochs >= patience {
@@ -340,6 +418,72 @@ fn run_epochs(
     }
     if let Some(best) = best_model {
         *model = best;
+    }
+    if let Some(sink) = telemetry.sink {
+        sink.finish();
+    }
+}
+
+/// The pre-workspace epoch loop, kept as the allocation/throughput
+/// baseline: a full per-epoch plan shuffle followed by per-batch re-packing
+/// and the padded (gather/scatter, layer-cache) forward/backward. This is
+/// exactly what [`run_epochs`] did before epoch-persistent packing; the
+/// `train_alloc` benchmark measures its per-epoch heap traffic against the
+/// workspace loop's.
+// Mirrors the historical `run_epochs` signature on purpose.
+#[allow(clippy::too_many_arguments)]
+fn run_epochs_repack_baseline(
+    model: &mut DaceModel,
+    adjuster: &LossAdjuster,
+    feats: &[PlanFeatures],
+    epochs: usize,
+    lr: f32,
+    batch_plans: usize,
+    shuffle_seed: u64,
+    telemetry: RunTelemetry<'_>,
+) {
+    model.restore_training_state();
+    let mut opt = Adam::new(lr);
+    let mut rng = SmallRng::seed_from_u64(shuffle_seed);
+    let mut order: Vec<usize> = (0..feats.len()).collect();
+    let telemetry_on = telemetry.active();
+    for epoch in 0..epochs {
+        let epoch_started = Instant::now();
+        let alloc_start = if telemetry_on {
+            alloc_probe_bytes()
+        } else {
+            None
+        };
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for batch in order.chunks(batch_plans.max(1)) {
+            let refs: Vec<&PlanFeatures> = batch.iter().map(|&i| &feats[i]).collect();
+            let packed = PackedBatch::pack(&refs);
+            let preds = model.forward_batch_reference(&packed);
+            let (loss, d_pred) = packed_grad(adjuster, &preds, &packed);
+            loss_sum += f64::from(loss);
+            batches += 1;
+            model.backward(&d_pred);
+            opt.step(&mut model.params_mut());
+        }
+        if telemetry_on {
+            telemetry.emit(&EpochRecord {
+                phase: telemetry.phase.to_string(),
+                epoch,
+                epochs_planned: epochs,
+                train_loss: loss_sum / batches.max(1) as f64,
+                grad_norm: 0.0,
+                lr: f64::from(lr),
+                epoch_ms: epoch_started.elapsed().as_secs_f64() * 1e3,
+                val_loss: None,
+                val_qerr_p50: None,
+                val_qerr_p90: None,
+                val_qerr_p99: None,
+                early_stop: "continue".to_string(),
+                alloc_bytes: alloc_delta(alloc_start),
+            });
+        }
     }
     if let Some(sink) = telemetry.sink {
         sink.finish();
@@ -409,12 +553,52 @@ impl Trainer {
         }
     }
 
+    /// [`fit`] through the pre-workspace epoch loop
+    /// ([`run_epochs_repack_baseline`]): per-epoch re-shuffling and
+    /// re-packing with the padded, allocating forward/backward. Kept as the
+    /// measured "before" of the zero-allocation work — the `train_alloc`
+    /// benchmark compares its heap traffic and throughput against [`fit`].
+    /// Ignores early stopping (the baseline predates it in the bench).
+    ///
+    /// [`fit`]: Trainer::fit
+    pub fn fit_baseline_repack(&self, train: &Dataset) -> DaceEstimator {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let cfg = self.config;
+        let featurizer = Featurizer::fit(train, cfg.features);
+        let mut model = DaceModel::new(cfg.seed);
+        model.set_mode(LoraMode::Pretrain);
+        let adjuster = LossAdjuster::new(cfg.alpha);
+        let feats = featurize_sharded(&featurizer, &train.plans, cfg.featurize_threads);
+        run_epochs_repack_baseline(
+            &mut model,
+            &adjuster,
+            &feats,
+            cfg.epochs,
+            cfg.lr,
+            cfg.batch_plans,
+            cfg.seed ^ 0x5417,
+            RunTelemetry {
+                phase: "pretrain-repack-baseline",
+                sink: self.sink.as_deref(),
+                verbosity: cfg.verbosity,
+            },
+        );
+        DaceEstimator {
+            model,
+            featurizer,
+            adjuster,
+            config: cfg,
+        }
+    }
+
     /// The pre-batching per-plan training loop, kept as the reference
     /// implementation: one forward/backward per plan with gradient
-    /// accumulation across the mini-batch. Gradient-identical to [`fit`]'s
-    /// batched loop up to floating-point summation order — the property
-    /// tests assert agreement to 1e-4. Also serves as the benchmark
-    /// baseline for the batched-throughput comparison.
+    /// accumulation across the mini-batch, on the same schedule as [`fit`]
+    /// (plan order shuffled once, fixed batch membership, per-epoch batch
+    /// permutation). Gradient-identical to [`fit`]'s batched loop up to
+    /// floating-point summation order — the property tests assert agreement
+    /// to 1e-4. Also serves as the benchmark baseline for the
+    /// batched-throughput comparison.
     ///
     /// [`fit`]: Trainer::fit
     pub fn fit_per_plan_reference(&self, train: &Dataset) -> DaceEstimator {
@@ -434,9 +618,19 @@ impl Trainer {
         let mut opt = Adam::new(cfg.lr);
         let mut order: Vec<usize> = (0..feats.len()).collect();
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5417);
+        // Mirror run_epochs' epoch-persistent schedule exactly: one plan
+        // shuffle up front, fixed batch membership, then a per-epoch
+        // permutation of the batch order from the same RNG stream.
+        order.shuffle(&mut rng);
+        let chunks: Vec<Vec<usize>> = order
+            .chunks(cfg.batch_plans.max(1))
+            .map(|c| c.to_vec())
+            .collect();
+        let mut batch_order: Vec<usize> = (0..chunks.len()).collect();
         for _epoch in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for batch in order.chunks(cfg.batch_plans.max(1)) {
+            batch_order.shuffle(&mut rng);
+            for &bi in &batch_order {
+                let batch = &chunks[bi];
                 for &i in batch {
                     let f = &feats[i];
                     let preds = model.forward(f);
@@ -526,19 +720,41 @@ impl DaceEstimator {
         &self,
         feats: &[&PlanFeatures],
     ) -> (Vec<f64>, ForwardTimings) {
-        // Chunks run on the compact layout ([`DaceModel::predict_roots`]):
-        // no padding rows exist, so mixed plan sizes cost nothing and
-        // chunking needs no size sorting — plain input-order chunks keep
-        // the output aligned for free.
+        let mut ws = Workspace::new();
+        let mut roots = Vec::new();
+        let mut out = Vec::new();
+        let timings = self.predict_features_batch_ms_timed_ws(feats, &mut ws, &mut roots, &mut out);
+        (out, timings)
+    }
+
+    /// [`predict_features_batch_ms_timed`] over caller-owned scratch — the
+    /// serve worker's steady-state entry point. The workspace and the
+    /// `roots` staging vector are reused across calls (no allocation once
+    /// they reach the high-water batch size); millisecond predictions are
+    /// appended to `out` (cleared first), aligned with `feats`.
+    ///
+    /// Chunks run on the compact layout ([`DaceModel::predict_roots`]): no
+    /// padding rows exist, so mixed plan sizes cost nothing and chunking
+    /// needs no size sorting — plain input-order chunks keep the output
+    /// aligned for free.
+    ///
+    /// [`predict_features_batch_ms_timed`]: DaceEstimator::predict_features_batch_ms_timed
+    pub fn predict_features_batch_ms_timed_ws(
+        &self,
+        feats: &[&PlanFeatures],
+        ws: &mut Workspace,
+        roots: &mut Vec<f32>,
+        out: &mut Vec<f64>,
+    ) -> ForwardTimings {
         let chunk = self.config.batch_plans.max(1);
-        let mut out = Vec::with_capacity(feats.len());
+        out.clear();
         let mut timings = ForwardTimings::default();
         for group in feats.chunks(chunk) {
-            let (roots, t) = self.model.predict_roots_timed(group);
+            let t = self.model.predict_roots_timed_ws(group, ws, roots);
             timings.accumulate(t);
-            out.extend(roots.into_iter().map(Featurizer::to_ms));
+            out.extend(roots.iter().map(|&r| Featurizer::to_ms(r)));
         }
-        (out, timings)
+        timings
     }
 
     /// One block-diagonal inference pass over an already-packed batch:
@@ -809,6 +1025,67 @@ mod tests {
             assert!(
                 (a - b).abs() < 1e-3,
                 "batched {a} vs per-plan {b} log-ms diverged"
+            );
+        }
+    }
+
+    /// The two pillars of epoch-persistent packing, proven bit-exactly:
+    /// training on batches packed once and visited in a permuted order is
+    /// identical to re-packing the same plan chunks from scratch every
+    /// step, and the workspace-compact forward/backward is identical to the
+    /// padded reference chain.
+    #[test]
+    fn persistent_packing_matches_per_epoch_repacking() {
+        let train = synthetic_dataset(60, 31);
+        let featurizer = Featurizer::fit(&train, FeatureConfig::default());
+        let feats: Vec<PlanFeatures> = train
+            .plans
+            .iter()
+            .map(|p| featurizer.encode(&p.tree))
+            .collect();
+        let adjuster = LossAdjuster::new(0.5);
+
+        let mut a = DaceModel::new(42);
+        a.set_mode(LoraMode::Pretrain);
+        let mut b = a.clone();
+        let mut opt_a = Adam::new(1e-3);
+        let mut opt_b = Adam::new(1e-3);
+
+        // Fixed plan order, chunked once: 60 plans / 16 → 4 batches.
+        let order: Vec<usize> = (0..feats.len()).collect();
+        let chunks: Vec<Vec<usize>> = order.chunks(16).map(|c| c.to_vec()).collect();
+        let packed: Vec<PackedBatch> = chunks
+            .iter()
+            .map(|c| {
+                let refs: Vec<&PlanFeatures> = c.iter().map(|&i| &feats[i]).collect();
+                PackedBatch::pack(&refs)
+            })
+            .collect();
+        // Three epochs of arbitrary batch permutations.
+        let perms = [vec![2usize, 0, 3, 1], vec![1, 3, 0, 2], vec![3, 2, 1, 0]];
+
+        let mut d_buf = Tensor2::default();
+        for perm in &perms {
+            for &bi in perm {
+                // Workspace path over the pre-packed batch.
+                a.forward_batch_compact(&packed[bi]);
+                let _ = packed_grad_compact(&adjuster, a.batch_preds(), &packed[bi], &mut d_buf);
+                a.backward_compact(&d_buf);
+                opt_a.step(&mut a.params_mut());
+                // Reference path re-packing the same chunk from scratch.
+                let refs: Vec<&PlanFeatures> = chunks[bi].iter().map(|&i| &feats[i]).collect();
+                let fresh = PackedBatch::pack(&refs);
+                let preds = b.forward_batch_reference(&fresh);
+                let (_, d) = packed_grad(&adjuster, &preds, &fresh);
+                b.backward(&d);
+                opt_b.step(&mut b.params_mut());
+            }
+        }
+        for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            assert_eq!(
+                pa.value.as_slice(),
+                pb.value.as_slice(),
+                "persistent-packed workspace training diverged from repacking"
             );
         }
     }

@@ -72,18 +72,25 @@ impl Adam {
             // reallocate instead of indexing out of bounds so fine-tuning a
             // registry-loaded model just works.
             p.restore_state();
-            let n = p.value.len();
-            let grad = p.grad.as_slice().to_vec();
-            let m = p.m.as_mut_slice();
-            let v = p.v.as_mut_slice();
-            let value = p.value.as_mut_slice();
-            for i in 0..n {
-                let g = grad[i] * scale;
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            // Fused single-pass update: split-borrowing the param fields
+            // lets value/m/v update in one zipped sweep with no gradient
+            // temporary.
+            let Param {
+                value, grad, m, v, ..
+            } = &mut **p;
+            for (((val, &g0), mi), vi) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                let g = g0 * scale;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
             p.zero_grad();
         }

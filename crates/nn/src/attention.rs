@@ -17,6 +17,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::param::Param;
 use crate::tensor::Tensor2;
+use crate::workspace::AttnScratch;
+
+fn default_true() -> bool {
+    true
+}
 
 /// Additive value standing in for `-∞` in masked score positions.
 ///
@@ -46,6 +51,10 @@ pub struct MaskedSelfAttention {
     d_k: usize,
     #[serde(skip)]
     cache: Option<Cache>,
+    /// Train/eval switch: in eval mode the caching forward entry points
+    /// route to their inference twins and skip cloning `x` into the cache.
+    #[serde(skip, default = "default_true")]
+    train: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -71,6 +80,16 @@ impl MaskedSelfAttention {
             wv: Param::xavier(d, d_v, seed ^ 0x5EED_0002),
             d_k,
             cache: None,
+            train: true,
+        }
+    }
+
+    /// Switch between training (activations cached for backward) and eval
+    /// (no cache clone) behaviour of the caching forward entry points.
+    pub fn set_train(&mut self, train: bool) {
+        self.train = train;
+        if !train {
+            self.cache = None;
         }
     }
 
@@ -144,6 +163,9 @@ impl MaskedSelfAttention {
         stride: usize,
         bias: &[f32],
     ) -> Tensor2 {
+        if !self.train {
+            return self.forward_packed_inference(x, lens, stride, bias);
+        }
         let (q, k, v, probs) = self.project_packed(x, lens, stride, bias);
         let out = Self::apply_probs(&probs, &v, lens);
         self.cache = Some(Cache {
@@ -155,6 +177,131 @@ impl MaskedSelfAttention {
             lens: lens.to_vec(),
         });
         out
+    }
+
+    /// Workspace twin of [`forward_packed`]: every intermediate lives in
+    /// `ws` and the attention output lands in `out`, so steady-state calls
+    /// allocate nothing. `ws.{q, k, v, probs}` double as the backward
+    /// cache — call [`backward_params_ws`] with the same `ws`. Same kernels
+    /// and op order as [`forward_packed`], so results are bit-identical.
+    ///
+    /// [`forward_packed`]: MaskedSelfAttention::forward_packed
+    /// [`backward_params_ws`]: MaskedSelfAttention::backward_params_ws
+    pub fn forward_packed_ws(
+        &self,
+        x: &Tensor2,
+        lens: &[usize],
+        stride: usize,
+        bias: &[f32],
+        ws: &mut AttnScratch,
+        out: &mut Tensor2,
+    ) {
+        let n = x.rows();
+        assert_eq!(n, lens.iter().sum::<usize>(), "lens must cover all rows");
+        assert!(
+            lens.iter().all(|&l| l <= stride),
+            "block longer than bias stride"
+        );
+        assert_eq!(
+            bias.len(),
+            lens.len() * stride * stride,
+            "bias must be stride² per block"
+        );
+        x.matmul_into(&self.wq.value, &mut ws.q);
+        x.matmul_into(&self.wk.value, &mut ws.k);
+        x.matmul_into(&self.wv.value, &mut ws.v);
+        let scale = 1.0 / (self.d_k as f32).sqrt();
+        ws.probs.clear();
+        out.resize_zeroed(n, self.wv.value.cols());
+        let mut start = 0;
+        for (b, &l) in lens.iter().enumerate() {
+            ws.qb.copy_row_block_from(&ws.q, start, l);
+            ws.kb.copy_row_block_from(&ws.k, start, l);
+            ws.qb.matmul_nt_into(&ws.kb, &mut ws.scores);
+            ws.scores.scale(scale);
+            let bias_b = &bias[b * stride * stride..(b + 1) * stride * stride];
+            for i in 0..l {
+                let row = ws.scores.row_mut(i);
+                for (s, &bv) in row.iter_mut().zip(&bias_b[i * stride..i * stride + l]) {
+                    *s += bv;
+                }
+            }
+            ws.scores.softmax_rows();
+            ws.probs.extend_from_slice(ws.scores.as_slice());
+            ws.vb.copy_row_block_from(&ws.v, start, l);
+            ws.scores.matmul_into(&ws.vb, &mut ws.blk);
+            out.set_row_block(start, &ws.blk);
+            start += l;
+        }
+    }
+
+    /// Workspace twin of [`backward_params_only`]: reads the Q/K/V/probs a
+    /// [`forward_packed_ws`] call left in `ws` and accumulates
+    /// dW_Q/dW_K/dW_V with the same op order (so gradients are
+    /// bit-identical), never materializing `dx` — correct because attention
+    /// is the model's first layer.
+    ///
+    /// [`backward_params_only`]: MaskedSelfAttention::backward_params_only
+    /// [`forward_packed_ws`]: MaskedSelfAttention::forward_packed_ws
+    pub fn backward_params_ws(
+        &mut self,
+        d_out: &Tensor2,
+        x: &Tensor2,
+        lens: &[usize],
+        ws: &mut AttnScratch,
+    ) {
+        let n = x.rows();
+        assert_eq!(d_out.rows(), n, "d_out must match forward rows");
+        let scale = 1.0 / (self.d_k as f32).sqrt();
+        ws.dq.resize_zeroed(n, ws.q.cols());
+        ws.dk.resize_zeroed(n, ws.k.cols());
+        ws.dv.resize_zeroed(n, ws.v.cols());
+        let (mut start, mut p) = (0, 0);
+        for &l in lens {
+            ws.pb.copy_from_slice_shaped(l, l, &ws.probs[p..p + l * l]);
+            ws.dob.copy_row_block_from(d_out, start, l);
+            ws.vb.copy_row_block_from(&ws.v, start, l);
+
+            // dV_b = P_bᵀ @ dOut_b ; dP_b = dOut_b @ V_bᵀ
+            ws.pb.matmul_tn_into(&ws.dob, &mut ws.blk);
+            ws.dv.set_row_block(start, &ws.blk);
+            ws.dob.matmul_nt_into(&ws.vb, &mut ws.dp);
+
+            // Softmax backward per row: ds = p ⊙ (dp − ⟨dp, p⟩).
+            ws.dscores.resize_zeroed(l, l);
+            for i in 0..l {
+                let p_row = ws.pb.row(i);
+                let dp_row = ws.dp.row(i);
+                let dot: f32 = p_row.iter().zip(dp_row).map(|(a, b)| a * b).sum();
+                let out_row = ws.dscores.row_mut(i);
+                for j in 0..l {
+                    out_row[j] = p_row[j] * (dp_row[j] - dot) * scale;
+                }
+            }
+
+            // dQ_b = dS_b @ K_b ; dK_b = dS_bᵀ @ Q_b
+            ws.kb.copy_row_block_from(&ws.k, start, l);
+            ws.qb.copy_row_block_from(&ws.q, start, l);
+            ws.dscores.matmul_into(&ws.kb, &mut ws.blk);
+            ws.dq.set_row_block(start, &ws.blk);
+            ws.dscores.matmul_tn_into(&ws.qb, &mut ws.blk);
+            ws.dk.set_row_block(start, &ws.blk);
+            start += l;
+            p += l * l;
+        }
+
+        if self.wq.trainable {
+            x.matmul_tn_into(&ws.dq, &mut ws.gtmp);
+            self.wq.grad.add_assign(&ws.gtmp);
+        }
+        if self.wk.trainable {
+            x.matmul_tn_into(&ws.dk, &mut ws.gtmp);
+            self.wk.grad.add_assign(&ws.gtmp);
+        }
+        if self.wv.trainable {
+            x.matmul_tn_into(&ws.dv, &mut ws.gtmp);
+            self.wv.grad.add_assign(&ws.gtmp);
+        }
     }
 
     /// Variable-length block-diagonal forward pass without caching.
@@ -192,18 +339,43 @@ impl MaskedSelfAttention {
         lens: &[usize],
         masks: &[&[bool]],
     ) -> Tensor2 {
-        let n = x.rows();
-        assert_eq!(n, lens.iter().sum::<usize>(), "lens must cover all rows");
         assert_eq!(lens.len(), masks.len(), "one mask per block");
-        let q = x.matmul(&self.wq.value);
-        let k = x.matmul(&self.wk.value);
-        let v = x.matmul(&self.wv.value);
+        let mut ws = AttnScratch::default();
+        let mut out = Tensor2::default();
+        self.forward_masks_into(
+            x,
+            lens.iter().copied().zip(masks.iter().copied()),
+            &mut ws,
+            &mut out,
+        );
+        out
+    }
+
+    /// Workspace twin of [`forward_masks_inference`]: blocks stream in as
+    /// `(len, mask)` pairs (so callers need not build a `Vec` of mask
+    /// slices), projections and the score row live in `ws`, and the
+    /// attention output lands in `out`. Same interval-sparse math — the
+    /// per-worker serving path uses this to run allocation-free at steady
+    /// state.
+    ///
+    /// [`forward_masks_inference`]: MaskedSelfAttention::forward_masks_inference
+    pub fn forward_masks_into<'m, I>(
+        &self,
+        x: &Tensor2,
+        blocks: I,
+        ws: &mut AttnScratch,
+        out: &mut Tensor2,
+    ) where
+        I: IntoIterator<Item = (usize, &'m [bool])>,
+    {
+        let n = x.rows();
+        x.matmul_into(&self.wq.value, &mut ws.q);
+        x.matmul_into(&self.wk.value, &mut ws.k);
+        x.matmul_into(&self.wv.value, &mut ws.v);
         let scale = 1.0 / (self.d_k as f32).sqrt();
-        let max_len = lens.iter().copied().max().unwrap_or(0);
-        let mut scores = vec![0.0f32; max_len];
-        let mut out = Tensor2::zeros(n, v.cols());
+        out.resize_zeroed(n, self.wv.value.cols());
         let mut start = 0;
-        for (&l, &mask) in lens.iter().zip(masks) {
+        for (l, mask) in blocks {
             assert_eq!(mask.len(), l * l, "mask must be len² per block");
             for i in 0..l {
                 let mrow = &mask[i * l..(i + 1) * l];
@@ -215,8 +387,11 @@ impl MaskedSelfAttention {
                 if !interval {
                     run = l - j0; // dense fallback: score the rest, mask additively
                 }
-                let s = &mut scores[..run];
-                q.row_dots_nt(start + i, &k, start + j0, run, s);
+                if ws.srow.len() < run {
+                    ws.srow.resize(run, 0.0);
+                }
+                let s = &mut ws.srow[..run];
+                ws.q.row_dots_nt(start + i, &ws.k, start + j0, run, s);
                 for v in s.iter_mut() {
                     *v *= scale;
                 }
@@ -239,11 +414,11 @@ impl MaskedSelfAttention {
                         *v /= sum;
                     }
                 }
-                Tensor2::row_combine(s, &v, start + j0, out.row_mut(start + i));
+                Tensor2::row_combine(s, &ws.v, start + j0, out.row_mut(start + i));
             }
             start += l;
         }
-        out
+        assert_eq!(start, n, "blocks must cover all rows");
     }
 
     /// Shared Q/K/V projection + per-block masked softmax. The projections
@@ -509,6 +684,60 @@ mod tests {
         for c in 0..8 {
             assert_eq!(out.get(2, c), 0.0);
         }
+    }
+
+    #[test]
+    fn workspace_packed_pass_matches_caching_path() {
+        let mut a = MaskedSelfAttention::new(4, 8, 8, 3);
+        let mut b = a.clone();
+        // Two blocks of 2 and 3 rows, compact layout, stride 3.
+        let x = Tensor2::uniform(5, 4, 1.0, 7);
+        let stride = 3;
+        let mut bias = vec![f32::NEG_INFINITY; 2 * stride * stride];
+        let (ma, mb) = (chain_mask(2), chain_mask(3));
+        for i in 0..2 {
+            for j in 0..2 {
+                bias[i * stride + j] = if ma[i * 2 + j] { 0.0 } else { MASK_NEG };
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                bias[stride * stride + i * stride + j] = if mb[i * 3 + j] { 0.0 } else { MASK_NEG };
+            }
+        }
+        let lens = [2usize, 3];
+        let d_out = Tensor2::uniform(5, 8, 1.0, 19);
+
+        let out = a.forward_packed(&x, &lens, stride, &bias);
+        a.backward_params_only(&d_out);
+
+        let mut ws = AttnScratch::default();
+        let mut out_ws = Tensor2::default();
+        b.forward_packed_ws(&x, &lens, stride, &bias, &mut ws, &mut out_ws);
+        b.backward_params_ws(&d_out, &x, &lens, &mut ws);
+
+        assert_eq!(out.as_slice(), out_ws.as_slice());
+        for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            assert_eq!(pa.grad.as_slice(), pb.grad.as_slice());
+        }
+
+        // A second pass through the same (warmed) workspace must agree too.
+        b.forward_packed_ws(&x, &lens, stride, &bias, &mut ws, &mut out_ws);
+        assert_eq!(out.as_slice(), out_ws.as_slice());
+    }
+
+    #[test]
+    fn eval_mode_packed_forward_skips_cache() {
+        let mut a = MaskedSelfAttention::new(4, 8, 8, 3);
+        let x = Tensor2::uniform(3, 4, 1.0, 7);
+        let bias = mask_to_bias(&chain_mask(3));
+        a.set_train(false);
+        let out = a.forward_packed(&x, &[3], 3, &bias);
+        assert!(a.cache.is_none());
+        assert_eq!(
+            out.as_slice(),
+            a.forward_packed_inference(&x, &[3], 3, &bias).as_slice()
+        );
     }
 
     #[test]

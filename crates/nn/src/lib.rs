@@ -21,6 +21,7 @@ mod param;
 mod relu;
 mod scaler;
 mod tensor;
+mod workspace;
 
 pub use adam::Adam;
 pub use attention::{MaskedSelfAttention, MASK_NEG};
@@ -28,7 +29,8 @@ pub use linear::{Linear, LoraLinear, LoraMode};
 pub use param::Param;
 pub use relu::Relu;
 pub use scaler::RobustScaler;
-pub use tensor::{set_reference_kernels, Tensor2};
+pub use tensor::{set_kernel_tier, set_reference_kernels, KernelTier, Tensor2};
+pub use workspace::{AttnScratch, Workspace};
 
 /// Seeded Xavier/Glorot-uniform initialization bound for a `fan_in × fan_out`
 /// weight matrix.

@@ -5,6 +5,10 @@ use serde::{Deserialize, Serialize};
 use crate::param::Param;
 use crate::tensor::Tensor2;
 
+fn default_true() -> bool {
+    true
+}
+
 /// `y = x @ W + b`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
@@ -14,6 +18,10 @@ pub struct Linear {
     pub b: Param,
     #[serde(skip)]
     cache_x: Option<Tensor2>,
+    /// Train/eval switch: in eval mode [`Linear::forward`] skips cloning
+    /// the input into the backward cache.
+    #[serde(skip, default = "default_true")]
+    train: bool,
 }
 
 impl Linear {
@@ -23,11 +31,24 @@ impl Linear {
             w: Param::xavier(input, output, seed),
             b: Param::zeros(1, output),
             cache_x: None,
+            train: true,
         }
     }
 
-    /// Forward pass; caches the input for backward.
+    /// Switch between training (input cached for backward) and eval (no
+    /// cache clone) behaviour of [`Linear::forward`].
+    pub fn set_train(&mut self, train: bool) {
+        self.train = train;
+        if !train {
+            self.cache_x = None;
+        }
+    }
+
+    /// Forward pass; caches the input for backward (in train mode).
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        if !self.train {
+            return self.forward_inference(x);
+        }
         let mut y = x.matmul(&self.w.value);
         y.add_row_broadcast(self.b.value.row(0));
         self.cache_x = Some(x.clone());
@@ -112,6 +133,10 @@ pub struct LoraLinear {
     cache_x: Option<Tensor2>,
     #[serde(skip)]
     cache_xb: Option<Tensor2>,
+    /// Train/eval switch: in eval mode [`LoraLinear::forward`] skips the
+    /// cache clones.
+    #[serde(skip, default = "default_true")]
+    train: bool,
 }
 
 impl LoraLinear {
@@ -132,9 +157,20 @@ impl LoraLinear {
             mode: LoraMode::Pretrain,
             cache_x: None,
             cache_xb: None,
+            train: true,
         };
         l.set_mode(LoraMode::Pretrain);
         l
+    }
+
+    /// Switch between training (activations cached for backward) and eval
+    /// (no cache clones) behaviour of [`LoraLinear::forward`].
+    pub fn set_train(&mut self, train: bool) {
+        self.train = train;
+        if !train {
+            self.cache_x = None;
+            self.cache_xb = None;
+        }
     }
 
     /// Switch pre-train / fine-tune mode, updating trainability flags.
@@ -147,8 +183,11 @@ impl LoraLinear {
         self.lora_b.trainable = finetune;
     }
 
-    /// Forward pass; caches activations for backward.
+    /// Forward pass; caches activations for backward (in train mode).
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        if !self.train {
+            return self.forward_inference(x);
+        }
         let mut y = x.matmul(&self.w.value);
         let xb = x.matmul(&self.lora_b.value);
         y.add_assign(&xb.matmul(&self.lora_a.value));
@@ -156,6 +195,57 @@ impl LoraLinear {
         self.cache_x = Some(x.clone());
         self.cache_xb = Some(xb);
         y
+    }
+
+    /// Workspace forward: `y = x @ W + (x @ B) @ A + b` written into
+    /// caller-owned buffers (`y`, the LoRA intermediate `xb`, and a matmul
+    /// temporary), with the caller keeping `x`/`xb` alive as the backward
+    /// cache. Same op order as [`LoraLinear::forward`], so results are
+    /// bit-identical; nothing allocates once the buffers reach capacity.
+    pub fn forward_ws(&self, x: &Tensor2, y: &mut Tensor2, xb: &mut Tensor2, tmp: &mut Tensor2) {
+        x.matmul_into(&self.w.value, y);
+        x.matmul_into(&self.lora_b.value, xb);
+        xb.matmul_into(&self.lora_a.value, tmp);
+        y.add_assign(tmp);
+        y.add_row_broadcast(self.b.value.row(0));
+    }
+
+    /// Workspace backward over the activations a [`LoraLinear::forward_ws`]
+    /// call left in the caller's buffers: accumulates the mode-trainable
+    /// parameter gradients (same order as [`LoraLinear::backward`]) and
+    /// writes dx into `dx`. `dxb`/`gtmp` are reusable scratch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &mut self,
+        dy: &Tensor2,
+        x: &Tensor2,
+        xb: &Tensor2,
+        dx: &mut Tensor2,
+        dxb: &mut Tensor2,
+        gtmp: &mut Tensor2,
+    ) {
+        if self.w.trainable {
+            x.matmul_tn_into(dy, gtmp);
+            self.w.grad.add_assign(gtmp);
+        }
+        if self.b.trainable {
+            dy.col_sums_acc(self.b.grad.row_mut(0));
+        }
+        // dA = (xB)ᵀ @ dy ; d(xB) = dy @ Aᵀ ; dB = xᵀ @ d(xB)
+        if self.lora_a.trainable {
+            xb.matmul_tn_into(dy, gtmp);
+            self.lora_a.grad.add_assign(gtmp);
+        }
+        dy.matmul_nt_into(&self.lora_a.value, dxb);
+        if self.lora_b.trainable {
+            x.matmul_tn_into(dxb, gtmp);
+            self.lora_b.grad.add_assign(gtmp);
+        }
+
+        // dx = dy @ Wᵀ + d(xB) @ Bᵀ
+        dy.matmul_nt_into(&self.w.value, dx);
+        dxb.matmul_nt_into(&self.lora_b.value, gtmp);
+        dx.add_assign(gtmp);
     }
 
     /// Forward pass without caching (inference).
@@ -390,6 +480,49 @@ mod tests {
         let bad = LoraLinear::new(6, 4, 3, 1);
         let (bb, ba) = (bad.lora_b.value.clone(), bad.lora_a.value.clone());
         assert!(dst.set_lora_weights(bb, ba).is_err());
+    }
+
+    #[test]
+    fn workspace_forward_backward_match_caching_path() {
+        for mode in [LoraMode::Pretrain, LoraMode::Finetune] {
+            let mut a = LoraLinear::new(6, 4, 2, 3);
+            a.lora_a.value = Tensor2::uniform(2, 4, 0.5, 17);
+            a.set_mode(mode);
+            let mut b = a.clone();
+            let x = Tensor2::uniform(5, 6, 1.0, 9);
+            let dy = Tensor2::uniform(5, 4, 1.0, 23);
+
+            let y = a.forward(&x);
+            let dx = a.backward(&dy);
+
+            let (mut y2, mut xb, mut tmp) =
+                (Tensor2::default(), Tensor2::default(), Tensor2::default());
+            let (mut dx2, mut dxb, mut gtmp) =
+                (Tensor2::default(), Tensor2::default(), Tensor2::default());
+            b.forward_ws(&x, &mut y2, &mut xb, &mut tmp);
+            b.backward_ws(&dy, &x, &xb, &mut dx2, &mut dxb, &mut gtmp);
+
+            assert_eq!(y.as_slice(), y2.as_slice(), "{mode:?} forward");
+            assert_eq!(dx.as_slice(), dx2.as_slice(), "{mode:?} dx");
+            for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+                assert_eq!(pa.grad.as_slice(), pb.grad.as_slice(), "{mode:?} grads");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_mode_forward_skips_cache() {
+        let mut lin = Linear::new(3, 2, 7);
+        let mut lora = LoraLinear::new(3, 2, 1, 7);
+        let x = Tensor2::uniform(4, 3, 1.0, 11);
+        lin.set_train(false);
+        lora.set_train(false);
+        assert_eq!(lin.forward(&x), lin.forward_inference(&x));
+        assert_eq!(lora.forward(&x), lora.forward_inference(&x));
+        assert!(lin.cache_x.is_none() && lora.cache_x.is_none() && lora.cache_xb.is_none());
+        lin.set_train(true);
+        let _ = lin.forward(&x);
+        assert!(lin.cache_x.is_some());
     }
 
     #[test]

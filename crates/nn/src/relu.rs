@@ -4,11 +4,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::tensor::Tensor2;
 
+fn default_true() -> bool {
+    true
+}
+
 /// Elementwise `max(0, x)`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Relu {
     #[serde(skip)]
     mask: Option<Vec<bool>>,
+    /// Train/eval switch: in eval mode [`Relu::forward`] skips building the
+    /// backward mask.
+    #[serde(skip, default = "default_true")]
+    train: bool,
+}
+
+impl Default for Relu {
+    fn default() -> Relu {
+        Relu {
+            mask: None,
+            train: true,
+        }
+    }
 }
 
 impl Relu {
@@ -17,8 +34,20 @@ impl Relu {
         Relu::default()
     }
 
-    /// Forward pass; caches the activation mask.
+    /// Switch between training (mask cached for backward) and eval (no
+    /// cache) behaviour of [`Relu::forward`].
+    pub fn set_train(&mut self, train: bool) {
+        self.train = train;
+        if !train {
+            self.mask = None;
+        }
+    }
+
+    /// Forward pass; caches the activation mask (in train mode).
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        if !self.train {
+            return self.forward_inference(x);
+        }
         let mut y = x.clone();
         let mask: Vec<bool> = y
             .as_mut_slice()
@@ -34,6 +63,42 @@ impl Relu {
             .collect();
         self.mask = Some(mask);
         y
+    }
+
+    /// In-place [`Relu::forward`]: clamp negatives in `x` directly, saving
+    /// the sign mask into the caller's buffer (cleared and refilled, so no
+    /// allocation once capacity is reached). Pairs with
+    /// [`Relu::backward_in_place`].
+    pub fn forward_in_place(x: &mut Tensor2, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.extend(x.as_mut_slice().iter_mut().map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        }));
+    }
+
+    /// In-place [`Relu::backward`]: zero `d` wherever the saved sign mask
+    /// is dead.
+    pub fn backward_in_place(d: &mut Tensor2, mask: &[bool]) {
+        assert_eq!(d.len(), mask.len(), "relu mask/gradient length mismatch");
+        for (v, &alive) in d.as_mut_slice().iter_mut().zip(mask) {
+            if !alive {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// In-place inference forward (no mask saved).
+    pub fn relu_in_place(x: &mut Tensor2) {
+        for v in x.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
     }
 
     /// Forward pass without caching (inference).
@@ -95,5 +160,39 @@ mod tests {
         let a = relu.forward(&x);
         let b = relu.forward_inference(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let mut relu = Relu::new();
+        let x = Tensor2::uniform(4, 5, 2.0, 9);
+        let y = relu.forward(&x);
+        let mut y_ip = x.clone();
+        let mut mask = Vec::new();
+        Relu::forward_in_place(&mut y_ip, &mut mask);
+        assert_eq!(y.as_slice(), y_ip.as_slice());
+
+        let dy = Tensor2::uniform(4, 5, 1.0, 10);
+        let dx = relu.backward(&dy);
+        let mut dx_ip = dy.clone();
+        Relu::backward_in_place(&mut dx_ip, &mask);
+        assert_eq!(dx.as_slice(), dx_ip.as_slice());
+
+        let mut inf = x.clone();
+        Relu::relu_in_place(&mut inf);
+        assert_eq!(inf, relu.forward_inference(&x));
+    }
+
+    #[test]
+    fn eval_mode_forward_skips_mask_cache() {
+        let mut relu = Relu::new();
+        let x = Tensor2::uniform(2, 3, 2.0, 7);
+        relu.set_train(false);
+        let y = relu.forward(&x);
+        assert_eq!(y, relu.forward_inference(&x));
+        assert!(relu.mask.is_none());
+        relu.set_train(true);
+        let _ = relu.forward(&x);
+        assert!(relu.mask.is_some());
     }
 }

@@ -1,16 +1,22 @@
 //! Row-major 2-D `f32` tensors and the linear-algebra kernels the modules
-//! need. The matmul family has three tiers, picked at runtime:
+//! need. The matmul family has four tiers, picked at runtime:
 //!
-//! 1. **AVX2+FMA register-tiled kernels** (x86-64 with `avx2`+`fma`
+//! 1. **AVX-512F register-tiled kernels** (x86-64 with `avx512f`
+//!    detected): 6×32 output tiles accumulate over the whole shared
+//!    dimension in zmm registers — twice the lane width and deeper
+//!    accumulator parallelism than the AVX2 tier, with masked loads/stores
+//!    covering the column tail so every output element stays on the fused
+//!    p-ascending path.
+//! 2. **AVX2+FMA register-tiled kernels** (x86-64 with `avx2`+`fma`
 //!    detected): 4×16 output tiles accumulate over the whole shared
 //!    dimension in ymm registers, so each B element is loaded once per
 //!    four output rows and every multiply-add is fused. Batched training
 //!    packs whole mini-batches into single tensors (hundreds of rows),
 //!    which is exactly the regime these tiles are built for.
-//! 2. **Blocked scalar kernels** (portable fallback): four output rows per
+//! 3. **Blocked scalar kernels** (portable fallback): four output rows per
 //!    pass with chained-zip inner loops that auto-vectorize without bounds
 //!    checks, shared dimension in L1-sized blocks.
-//! 3. **Seed reference kernels**: the original unblocked i-k-j loops,
+//! 4. **Seed reference kernels**: the original unblocked i-k-j loops,
 //!    selectable process-wide via [`set_reference_kernels`] so benchmarks
 //!    can measure the pre-optimization configuration faithfully.
 //!
@@ -19,26 +25,58 @@
 //! of each step); `matmul_nt` additionally splits the dot product across
 //! SIMD lanes, which reassociates the sum — all consumers tolerate 1e-5.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(target_arch = "x86_64")]
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// When set, the matmul family routes through the seed's original
-/// unblocked scalar kernels. Process-global and **for benchmarking only**
-/// (the `table2_throughput` per-plan baseline row): flipping it while other
-/// threads compute would change their kernels mid-flight.
-static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+/// Process-wide matmul dispatch override, **for benchmarking only** (the
+/// `table2_throughput` baseline rows): flipping it while other threads
+/// compute would change their kernels mid-flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelTier {
+    /// Best available: AVX-512 → AVX2+FMA → blocked scalar.
+    Auto,
+    /// The PR-1 configuration: AVX2+FMA tiles, dot-product `matmul_nt`
+    /// (no transposed-B packing), and an unconditional output memset —
+    /// the faithful "before" for kernel-level speedup measurements.
+    Avx2Baseline,
+    /// The seed's original unblocked scalar kernels.
+    SeedReference,
+}
+
+static KERNEL_TIER: AtomicU8 = AtomicU8::new(0);
+
+/// Select the matmul dispatch tier for every subsequent matmul in the
+/// process. See [`KernelTier`].
+pub fn set_kernel_tier(tier: KernelTier) {
+    KERNEL_TIER.store(tier as u8, Ordering::Relaxed);
+}
+
+fn kernel_tier() -> KernelTier {
+    match KERNEL_TIER.load(Ordering::Relaxed) {
+        1 => KernelTier::Avx2Baseline,
+        2 => KernelTier::SeedReference,
+        _ => KernelTier::Auto,
+    }
+}
 
 /// Select (`true`) or deselect (`false`) the seed reference kernels for
-/// every subsequent matmul in the process. See [`REFERENCE_KERNELS`].
+/// every subsequent matmul in the process — shorthand for
+/// [`set_kernel_tier`] with [`KernelTier::SeedReference`] / `Auto`.
 pub fn set_reference_kernels(on: bool) {
-    REFERENCE_KERNELS.store(on, Ordering::Relaxed);
+    set_kernel_tier(if on {
+        KernelTier::SeedReference
+    } else {
+        KernelTier::Auto
+    });
 }
 
 fn reference_kernels() -> bool {
-    REFERENCE_KERNELS.load(Ordering::Relaxed)
+    kernel_tier() == KernelTier::SeedReference
 }
 
 /// AVX2+FMA register-tiled kernels, used when the CPU supports them.
@@ -201,16 +239,209 @@ mod fma {
     }
 }
 
+/// AVX-512F register-tiled kernels, preferred over the AVX2 tier when the
+/// CPU supports them: same tile structure at twice the lane width.
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// Cached runtime check for `avx512f`.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f"))
+    }
+
+    /// One `R × 32` output tile of `C = op(A) @ B`, accumulated over the
+    /// whole shared dimension in `2R` zmm registers. Strides as in
+    /// [`super::fma::matmul_strided`].
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile32<const R: usize>(
+        a: *const f32,
+        sa: usize,
+        sp: usize,
+        b: *const f32,
+        c: *mut f32,
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut acc = [[_mm512_setzero_ps(); 2]; R];
+        for p in 0..k {
+            let bp = b.add(p * n + j);
+            let b0 = _mm512_loadu_ps(bp);
+            let b1 = _mm512_loadu_ps(bp.add(16));
+            for (t, row) in acc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a.add((i + t) * sa + p * sp));
+                row[0] = _mm512_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm512_fmadd_ps(av, b1, row[1]);
+            }
+        }
+        for (t, row) in acc.iter().enumerate() {
+            let cp = c.add((i + t) * n + j);
+            _mm512_storeu_ps(cp, row[0]);
+            _mm512_storeu_ps(cp.add(16), row[1]);
+        }
+    }
+
+    /// One `R × ≤16` masked output tile: the column tail of
+    /// [`matmul_strided`], still fused and p-ascending per element.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile16m<const R: usize>(
+        a: *const f32,
+        sa: usize,
+        sp: usize,
+        b: *const f32,
+        c: *mut f32,
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        mask: __mmask16,
+    ) {
+        let mut acc = [_mm512_setzero_ps(); R];
+        for p in 0..k {
+            let bv = _mm512_maskz_loadu_ps(mask, b.add(p * n + j));
+            for (t, accu) in acc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a.add((i + t) * sa + p * sp));
+                *accu = _mm512_fmadd_ps(av, bv, *accu);
+            }
+        }
+        for (t, accu) in acc.iter().enumerate() {
+            _mm512_mask_storeu_ps(c.add((i + t) * n + j), mask, *accu);
+        }
+    }
+
+    /// `C (m×n, pre-zeroed) = op(A) @ B (k×n)` with
+    /// `op(A)(i, p) = a[i·sa + p·sp]`. Full 32-wide column tiles run in
+    /// registers; the tail runs in ≤16-wide masked tiles.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn matmul_strided(
+        a: *const f32,
+        sa: usize,
+        sp: usize,
+        b: *const f32,
+        c: *mut f32,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut i = 0;
+        while i < m {
+            let r = (m - i).min(6);
+            let mut j = 0;
+            while j + 32 <= n {
+                match r {
+                    6 => tile32::<6>(a, sa, sp, b, c, i, j, k, n),
+                    5 => tile32::<5>(a, sa, sp, b, c, i, j, k, n),
+                    4 => tile32::<4>(a, sa, sp, b, c, i, j, k, n),
+                    3 => tile32::<3>(a, sa, sp, b, c, i, j, k, n),
+                    2 => tile32::<2>(a, sa, sp, b, c, i, j, k, n),
+                    _ => tile32::<1>(a, sa, sp, b, c, i, j, k, n),
+                }
+                j += 32;
+            }
+            while j < n {
+                let rem = (n - j).min(16);
+                let mask = 0xffffu16 >> (16 - rem);
+                match r {
+                    6 => tile16m::<6>(a, sa, sp, b, c, i, j, k, n, mask),
+                    5 => tile16m::<5>(a, sa, sp, b, c, i, j, k, n, mask),
+                    4 => tile16m::<4>(a, sa, sp, b, c, i, j, k, n, mask),
+                    3 => tile16m::<3>(a, sa, sp, b, c, i, j, k, n, mask),
+                    2 => tile16m::<2>(a, sa, sp, b, c, i, j, k, n, mask),
+                    _ => tile16m::<1>(a, sa, sp, b, c, i, j, k, n, mask),
+                }
+                j += rem;
+            }
+            i += r;
+        }
+    }
+
+    /// Four dot products `c[j..j+4] = a_row · b_rows[j..j+4]` over `k`,
+    /// sixteen lanes at a time.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot4(a_row: *const f32, b: *const f32, c: *mut f32, j: usize, k: usize) {
+        let kt = k - k % 16;
+        let mut acc = [_mm512_setzero_ps(); 4];
+        let mut p = 0;
+        while p < kt {
+            let av = _mm512_loadu_ps(a_row.add(p));
+            for (u, accu) in acc.iter_mut().enumerate() {
+                let bv = _mm512_loadu_ps(b.add((j + u) * k + p));
+                *accu = _mm512_fmadd_ps(av, bv, *accu);
+            }
+            p += 16;
+        }
+        for (u, accu) in acc.iter().enumerate() {
+            let mut s = _mm512_reduce_add_ps(*accu);
+            for pp in kt..k {
+                s += *a_row.add(pp) * *b.add((j + u) * k + pp);
+            }
+            *c.add(j + u) = s;
+        }
+    }
+
+    /// `C (m×n) = A (m×k) @ B (n×k)ᵀ`: every element is a dot product
+    /// over `k`. Four B rows share each streamed A row.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn matmul_nt(
+        a: *const f32,
+        b: *const f32,
+        c: *mut f32,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let ntile = n - n % 4;
+        for i in 0..m {
+            let a_row = a.add(i * k);
+            let c_row = c.add(i * n);
+            let mut j = 0;
+            while j < ntile {
+                dot4(a_row, b, c_row, j, k);
+                j += 4;
+            }
+            for jj in ntile..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += *a_row.add(p) * *b.add(jj * k + p);
+                }
+                *c_row.add(jj) = s;
+            }
+        }
+    }
+}
+
 /// Output-row panel height of the blocked matmul kernels: each streamed
 /// B row feeds this many independent accumulator rows.
 const MR: usize = 4;
+
+/// Minimum A rows before `matmul_nt` packs a transposed B: below this the
+/// pack (`cols × rows` scalar stores) rivals the multiply work itself, and
+/// serving's single-row score products stay on the direct dot-product path.
+#[cfg(target_arch = "x86_64")]
+const NT_PACK_MIN_ROWS: usize = 8;
+
+#[cfg(target_arch = "x86_64")]
+thread_local! {
+    /// Per-thread transposed-B scratch for [`Tensor2::matmul_nt_into`];
+    /// grows to a high-water mark and never shrinks.
+    static NT_PACK: std::cell::RefCell<Tensor2> = RefCell::new(Tensor2::default());
+}
 
 /// Shared-dimension block size: a `KC × n` B panel (n ≤ 128 everywhere in
 /// this model) stays within L1/L2 while a panel of output rows is built.
 const KC: usize = 64;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The default value is the empty `0 × 0` tensor — the natural initial
+/// state for the reusable scratch buffers of the `_into` kernel family,
+/// which reshape in place and grow capacity only to a high-water mark.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Tensor2 {
     rows: usize,
     cols: usize,
@@ -304,40 +535,128 @@ impl Tensor2 {
         &mut self.data
     }
 
+    /// Reshape to `rows × cols` reusing the existing allocation, with every
+    /// element zeroed. The workhorse of the `_into` kernel family: once a
+    /// scratch buffer has grown to its high-water capacity this never
+    /// touches the allocator again.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape to `rows × cols` reusing the existing allocation **without**
+    /// re-zeroing when the element count is unchanged. For kernels that
+    /// overwrite every output element (the SIMD matmul tiers): stale values
+    /// never survive, and skipping the memset keeps the hot loops
+    /// store-once. Paths that *accumulate* into the output (blocked/seed
+    /// matmul) must zero it first — see [`Tensor2::fill_zero`].
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if self.data.len() != len {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+        }
+    }
+
+    /// Become a copy of `src` (shape and contents), reusing capacity.
+    pub fn copy_from(&mut self, src: &Tensor2) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Become a `rows × cols` copy of `src`, reusing capacity
+    /// (`src.len() == rows * cols`).
+    pub fn copy_from_slice_shaped(&mut self, rows: usize, cols: usize, src: &[f32]) {
+        assert_eq!(src.len(), rows * cols, "shape/data mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Allocation-free [`Tensor2::row_block`]: become a copy of `rows`
+    /// consecutive rows of `src` starting at `start`, reusing capacity.
+    pub fn copy_row_block_from(&mut self, src: &Tensor2, start: usize, rows: usize) {
+        assert!(start + rows <= src.rows, "row block out of bounds");
+        let s = start * src.cols;
+        self.copy_from_slice_shaped(rows, src.cols, &src.data[s..s + rows * src.cols]);
+    }
+
     /// `self @ other` (`(m×k) @ (k×n) → m×n`).
     pub fn matmul(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor2::matmul`] writing into a caller-owned buffer: `out` is
+    /// reshaped in place and filled by the same dispatched kernels, so the
+    /// result is bit-identical to the allocating form while steady-state
+    /// callers stop touching the allocator.
+    pub fn matmul_into(&self, other: &Tensor2, out: &mut Tensor2) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        if reference_kernels() {
-            return self.matmul_seed(other);
+        out.resize_for_overwrite(self.rows, other.cols);
+        let tier = kernel_tier();
+        if tier == KernelTier::SeedReference {
+            out.fill_zero();
+            self.matmul_seed_into(other, out);
+            return;
         }
         #[cfg(target_arch = "x86_64")]
-        if fma::available() {
+        {
             let (m, k, n) = (self.rows, self.cols, other.cols);
-            let mut out = Tensor2::zeros(m, n);
-            unsafe {
-                fma::matmul_strided(
-                    self.data.as_ptr(),
-                    k,
-                    1,
-                    other.data.as_ptr(),
-                    out.data.as_mut_ptr(),
-                    m,
-                    k,
-                    n,
-                );
+            if tier == KernelTier::Auto && avx512::available() {
+                unsafe {
+                    avx512::matmul_strided(
+                        self.data.as_ptr(),
+                        k,
+                        1,
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
             }
-            return out;
+            if fma::available() {
+                if tier == KernelTier::Avx2Baseline {
+                    // PR-1 zeroed every output before the kernel ran.
+                    out.fill_zero();
+                }
+                unsafe {
+                    fma::matmul_strided(
+                        self.data.as_ptr(),
+                        k,
+                        1,
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
+            }
         }
-        self.matmul_blocked(other)
+        out.fill_zero();
+        self.matmul_blocked_into(other, out);
     }
 
     /// Blocked scalar `matmul` fallback: panels of [`MR`] output rows
     /// accumulate together so each B row is loaded once per panel, and k is
     /// processed in [`KC`]-sized blocks so the touched B panel stays
-    /// cache-resident.
-    fn matmul_blocked(&self, other: &Tensor2) -> Tensor2 {
+    /// cache-resident. Accumulates into `out`, which must be pre-zeroed
+    /// `m × n`.
+    fn matmul_blocked_into(&self, other: &Tensor2, out: &mut Tensor2) {
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor2::zeros(m, n);
         let a = &self.data;
         let mut i = 0;
         while i + MR <= m {
@@ -386,42 +705,74 @@ impl Tensor2 {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ @ other` (`(k×m)ᵀ @ (k×n) → m×n`) without materializing the
     /// transpose.
     pub fn matmul_tn(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::default();
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor2::matmul_tn`] writing into a caller-owned buffer. See
+    /// [`Tensor2::matmul_into`] for the reuse contract.
+    pub fn matmul_tn_into(&self, other: &Tensor2, out: &mut Tensor2) {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        if reference_kernels() {
-            return self.matmul_tn_seed(other);
+        out.resize_for_overwrite(self.cols, other.cols);
+        let tier = kernel_tier();
+        if tier == KernelTier::SeedReference {
+            out.fill_zero();
+            self.matmul_tn_seed_into(other, out);
+            return;
         }
         #[cfg(target_arch = "x86_64")]
-        if fma::available() {
+        {
             let (k, m, n) = (self.rows, self.cols, other.cols);
-            let mut out = Tensor2::zeros(m, n);
-            unsafe {
-                fma::matmul_strided(
-                    self.data.as_ptr(),
-                    1,
-                    m,
-                    other.data.as_ptr(),
-                    out.data.as_mut_ptr(),
-                    m,
-                    k,
-                    n,
-                );
+            if tier == KernelTier::Auto && avx512::available() {
+                unsafe {
+                    avx512::matmul_strided(
+                        self.data.as_ptr(),
+                        1,
+                        m,
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
             }
-            return out;
+            if fma::available() {
+                if tier == KernelTier::Avx2Baseline {
+                    // PR-1 zeroed every output before the kernel ran.
+                    out.fill_zero();
+                }
+                unsafe {
+                    fma::matmul_strided(
+                        self.data.as_ptr(),
+                        1,
+                        m,
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
+            }
         }
-        self.matmul_tn_blocked(other)
+        out.fill_zero();
+        self.matmul_tn_blocked_into(other, out);
     }
 
     /// Blocked scalar `matmul_tn` fallback: for each shared row `p`, panels
-    /// of [`MR`] output rows consume the same streamed B row.
-    fn matmul_tn_blocked(&self, other: &Tensor2) -> Tensor2 {
+    /// of [`MR`] output rows consume the same streamed B row. Accumulates
+    /// into `out`, which must be pre-zeroed `m × n`.
+    fn matmul_tn_blocked_into(&self, other: &Tensor2, out: &mut Tensor2) {
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor2::zeros(m, n);
         for p in 0..k {
             let a_row = self.row(p);
             let b_row = other.row(p);
@@ -454,40 +805,115 @@ impl Tensor2 {
                 }
             }
         }
-        out
     }
 
     /// `self @ otherᵀ` (`(m×k) @ (n×k)ᵀ → m×n`) without materializing the
     /// transpose.
     pub fn matmul_nt(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor2::matmul_nt`] writing into a caller-owned buffer. See
+    /// [`Tensor2::matmul_into`] for the reuse contract.
+    pub fn matmul_nt_into(&self, other: &Tensor2, out: &mut Tensor2) {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        if reference_kernels() {
-            return self.matmul_nt_seed(other);
+        // Every `matmul_nt` tier overwrites each output element (dot
+        // products and tile stores, never accumulation), so no tier needs
+        // the output pre-zeroed.
+        out.resize_for_overwrite(self.rows, other.rows);
+        let tier = kernel_tier();
+        if tier == KernelTier::SeedReference {
+            self.matmul_nt_seed_into(other, out);
+            return;
+        }
+        // With enough output rows to amortize the pack, transpose B once
+        // into a thread-local scratch and run the register-tiled strided
+        // kernel: per-element dot products are latency-bound (one
+        // accumulator chain per output), while the tile kernel keeps 6×2
+        // independent chains in flight. Same fused p-ascending per-element
+        // summation; the scratch reuses its high-water capacity, so steady
+        // state stays allocation-free.
+        #[cfg(target_arch = "x86_64")]
+        if tier == KernelTier::Auto
+            && self.rows >= NT_PACK_MIN_ROWS
+            && (avx512::available() || fma::available())
+        {
+            NT_PACK.with(|cell| {
+                let bt = &mut *cell.borrow_mut();
+                other.transpose_into(bt);
+                let (m, k, n) = (self.rows, self.cols, other.rows);
+                unsafe {
+                    if avx512::available() {
+                        avx512::matmul_strided(
+                            self.data.as_ptr(),
+                            k,
+                            1,
+                            bt.data.as_ptr(),
+                            out.data.as_mut_ptr(),
+                            m,
+                            k,
+                            n,
+                        );
+                    } else {
+                        fma::matmul_strided(
+                            self.data.as_ptr(),
+                            k,
+                            1,
+                            bt.data.as_ptr(),
+                            out.data.as_mut_ptr(),
+                            m,
+                            k,
+                            n,
+                        );
+                    }
+                }
+            });
+            return;
         }
         #[cfg(target_arch = "x86_64")]
-        if fma::available() {
+        {
             let (m, k, n) = (self.rows, self.cols, other.rows);
-            let mut out = Tensor2::zeros(m, n);
-            unsafe {
-                fma::matmul_nt(
-                    self.data.as_ptr(),
-                    other.data.as_ptr(),
-                    out.data.as_mut_ptr(),
-                    m,
-                    k,
-                    n,
-                );
+            if tier == KernelTier::Auto && avx512::available() {
+                unsafe {
+                    avx512::matmul_nt(
+                        self.data.as_ptr(),
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
             }
-            return out;
+            if fma::available() {
+                if tier == KernelTier::Avx2Baseline {
+                    // PR-1 zeroed every output before the kernel ran.
+                    out.fill_zero();
+                }
+                unsafe {
+                    fma::matmul_nt(
+                        self.data.as_ptr(),
+                        other.data.as_ptr(),
+                        out.data.as_mut_ptr(),
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                return;
+            }
         }
-        self.matmul_nt_blocked(other)
+        self.matmul_nt_blocked_into(other, out);
     }
 
     /// Blocked scalar `matmul_nt` fallback: [`MR`] dot products run
     /// together so the streamed A row is loaded once per panel of B rows.
-    fn matmul_nt_blocked(&self, other: &Tensor2) -> Tensor2 {
+    /// Overwrites `out`, which must be pre-shaped `m × n`.
+    fn matmul_nt_blocked_into(&self, other: &Tensor2, out: &mut Tensor2) {
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor2::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -521,15 +947,13 @@ impl Tensor2 {
                 *o = acc;
             }
         }
-        out
     }
 
     /// The seed's original unblocked `matmul` (i-k-j with zero-skip), kept
     /// verbatim so [`set_reference_kernels`] can reproduce the seed
-    /// configuration in benchmarks.
-    fn matmul_seed(&self, other: &Tensor2) -> Tensor2 {
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor2::zeros(m, n);
+    /// configuration in benchmarks. Accumulates into pre-zeroed `out`.
+    fn matmul_seed_into(&self, other: &Tensor2, out: &mut Tensor2) {
+        let (m, k, _n) = (self.rows, self.cols, other.cols);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -543,13 +967,12 @@ impl Tensor2 {
                 }
             }
         }
-        out
     }
 
-    /// The seed's original unblocked `matmul_tn`. See [`Self::matmul_seed`].
-    fn matmul_tn_seed(&self, other: &Tensor2) -> Tensor2 {
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor2::zeros(m, n);
+    /// The seed's original unblocked `matmul_tn`. See
+    /// [`Self::matmul_seed_into`].
+    fn matmul_tn_seed_into(&self, other: &Tensor2, out: &mut Tensor2) {
+        let (k, m, _n) = (self.rows, self.cols, other.cols);
         for p in 0..k {
             let a_row = self.row(p);
             let b_row = other.row(p);
@@ -563,13 +986,12 @@ impl Tensor2 {
                 }
             }
         }
-        out
     }
 
-    /// The seed's original unblocked `matmul_nt`. See [`Self::matmul_seed`].
-    fn matmul_nt_seed(&self, other: &Tensor2) -> Tensor2 {
+    /// The seed's original unblocked `matmul_nt`. See
+    /// [`Self::matmul_seed_into`].
+    fn matmul_nt_seed_into(&self, other: &Tensor2, out: &mut Tensor2) {
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor2::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -582,18 +1004,48 @@ impl Tensor2 {
                 *o = acc;
             }
         }
+    }
+
+    /// Allocating wrapper over [`Self::matmul_seed_into`] for the kernel
+    /// equivalence tests.
+    #[cfg(test)]
+    fn matmul_seed(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.rows, other.cols);
+        self.matmul_seed_into(other, &mut out);
+        out
+    }
+
+    /// Allocating wrapper over [`Self::matmul_tn_seed_into`] for tests.
+    #[cfg(test)]
+    fn matmul_tn_seed(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.cols, other.cols);
+        self.matmul_tn_seed_into(other, &mut out);
+        out
+    }
+
+    /// Allocating wrapper over [`Self::matmul_nt_seed_into`] for tests.
+    #[cfg(test)]
+    fn matmul_nt_seed(&self, other: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.rows, other.rows);
+        self.matmul_nt_seed_into(other, &mut out);
         out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor2 {
-        let mut out = Tensor2::zeros(self.cols, self.rows);
+        let mut out = Tensor2::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Tensor2::transpose`] into a caller-owned buffer, reusing capacity.
+    pub fn transpose_into(&self, out: &mut Tensor2) {
+        out.resize_for_overwrite(self.cols, self.rows);
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
             }
         }
-        out
     }
 
     /// Elementwise in-place addition.
@@ -628,12 +1080,19 @@ impl Tensor2 {
     /// Column sums (`1 × cols`), e.g. the bias gradient.
     pub fn col_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
+        self.col_sums_acc(&mut sums);
+        sums
+    }
+
+    /// Accumulate column sums into `acc` (`acc[j] += Σ_r self[r, j]`) —
+    /// the allocation-free [`Tensor2::col_sums`] the bias gradients use.
+    pub fn col_sums_acc(&self, acc: &mut [f32]) {
+        assert_eq!(acc.len(), self.cols, "col_sums_acc width mismatch");
         for r in 0..self.rows {
-            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+            for (s, &v) in acc.iter_mut().zip(self.row(r)) {
                 *s += v;
             }
         }
-        sums
     }
 
     /// Row-wise softmax in place. Numerically stable (max-subtracted).
@@ -674,18 +1133,33 @@ impl Tensor2 {
         let a_row = &self.data[i * k..(i + 1) * k];
         if !reference_kernels() {
             #[cfg(target_arch = "x86_64")]
-            if fma::available() {
-                unsafe {
-                    fma::matmul_nt(
-                        a_row.as_ptr(),
-                        other.data.as_ptr().add(j0 * k),
-                        dst.as_mut_ptr(),
-                        1,
-                        k,
-                        n,
-                    );
+            {
+                if avx512::available() {
+                    unsafe {
+                        avx512::matmul_nt(
+                            a_row.as_ptr(),
+                            other.data.as_ptr().add(j0 * k),
+                            dst.as_mut_ptr(),
+                            1,
+                            k,
+                            n,
+                        );
+                    }
+                    return;
                 }
-                return;
+                if fma::available() {
+                    unsafe {
+                        fma::matmul_nt(
+                            a_row.as_ptr(),
+                            other.data.as_ptr().add(j0 * k),
+                            dst.as_mut_ptr(),
+                            1,
+                            k,
+                            n,
+                        );
+                    }
+                    return;
+                }
             }
         }
         for (j, d) in dst[..n].iter_mut().enumerate() {
@@ -704,20 +1178,37 @@ impl Tensor2 {
         let n = other.cols;
         if !reference_kernels() {
             #[cfg(target_arch = "x86_64")]
-            if fma::available() {
-                unsafe {
-                    fma::matmul_strided(
-                        weights.as_ptr(),
-                        m,
-                        1,
-                        other.data.as_ptr().add(j0 * n),
-                        dst.as_mut_ptr(),
-                        1,
-                        m,
-                        n,
-                    );
+            {
+                if avx512::available() {
+                    unsafe {
+                        avx512::matmul_strided(
+                            weights.as_ptr(),
+                            m,
+                            1,
+                            other.data.as_ptr().add(j0 * n),
+                            dst.as_mut_ptr(),
+                            1,
+                            m,
+                            n,
+                        );
+                    }
+                    return;
                 }
-                return;
+                if fma::available() {
+                    unsafe {
+                        fma::matmul_strided(
+                            weights.as_ptr(),
+                            m,
+                            1,
+                            other.data.as_ptr().add(j0 * n),
+                            dst.as_mut_ptr(),
+                            1,
+                            m,
+                            n,
+                        );
+                    }
+                    return;
+                }
             }
         }
         dst[..n].fill(0.0);

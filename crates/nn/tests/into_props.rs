@@ -1,0 +1,218 @@
+//! Bit-identity proptests for the `_into` kernel family and in-place ops.
+//!
+//! The zero-allocation training path is only sound if every buffer-reuse
+//! kernel produces *exactly* the same bits as its allocating counterpart —
+//! the trainer's equivalence proofs (batched vs per-plan reference) compose
+//! out of these identities. Each property runs under both dispatch modes
+//! (optimized FMA/blocked kernels and the seed reference kernels), and the
+//! reused output buffers are pre-poisoned with garbage of a *different*
+//! shape so stale capacity can never leak into results.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+
+use dace_nn::{set_kernel_tier, KernelTier, Relu, Tensor2};
+
+/// The kernel tier is process-global and the test harness is
+/// multi-threaded: every test that flips dispatch modes must hold this lock
+/// so another property never observes a pinned tier mid-run.
+fn dispatch_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` under every kernel-dispatch tier, always restoring the default.
+/// Restoration happens even when an assert panics, so one failing property
+/// cannot leave the whole process on a pinned tier.
+fn with_both_dispatch_modes(mut f: impl FnMut()) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_tier(KernelTier::Auto);
+        }
+    }
+    let _guard = dispatch_lock();
+    let _restore = Restore;
+    for tier in [
+        KernelTier::Auto,
+        KernelTier::Avx2Baseline,
+        KernelTier::SeedReference,
+    ] {
+        set_kernel_tier(tier);
+        f();
+    }
+}
+
+/// A deterministic garbage buffer, shaped differently from any result, so
+/// `_into` must fully overwrite both shape and contents.
+fn poisoned() -> Tensor2 {
+    Tensor2::uniform(3, 7, 123.0, 0xBAD)
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    // Cover the FMA tile edges (n % 16, m % 4), the blocked-kernel panels,
+    // and the k % 8 dot-product boundary.
+    (1usize..24, 1usize..20, 1usize..36)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_into_is_bit_identical(mkn in dims(), seed in 0u64..1000) {
+        let (m, k, n) = mkn;
+        let a = Tensor2::uniform(m, k, 1.0, seed);
+        let b = Tensor2::uniform(k, n, 1.0, seed ^ 0xF00D);
+        with_both_dispatch_modes(|| {
+            let want = a.matmul(&b);
+            let mut out = poisoned();
+            a.matmul_into(&b, &mut out);
+            prop_assert_eq!(want.as_slice(), out.as_slice());
+            prop_assert_eq!((out.rows(), out.cols()), (m, n));
+            // Reusing the warmed buffer must give the same bits again.
+            a.matmul_into(&b, &mut out);
+            prop_assert_eq!(want.as_slice(), out.as_slice());
+        });
+    }
+
+    #[test]
+    fn matmul_tn_into_is_bit_identical(mkn in dims(), seed in 0u64..1000) {
+        let (m, k, n) = mkn;
+        let a = Tensor2::uniform(k, m, 1.0, seed);
+        let b = Tensor2::uniform(k, n, 1.0, seed ^ 0xF00D);
+        with_both_dispatch_modes(|| {
+            let want = a.matmul_tn(&b);
+            let mut out = poisoned();
+            a.matmul_tn_into(&b, &mut out);
+            prop_assert_eq!(want.as_slice(), out.as_slice());
+            prop_assert_eq!((out.rows(), out.cols()), (m, n));
+        });
+    }
+
+    #[test]
+    fn matmul_nt_into_is_bit_identical(mkn in dims(), seed in 0u64..1000) {
+        let (m, k, n) = mkn;
+        let a = Tensor2::uniform(m, k, 1.0, seed);
+        let b = Tensor2::uniform(n, k, 1.0, seed ^ 0xF00D);
+        with_both_dispatch_modes(|| {
+            let want = a.matmul_nt(&b);
+            let mut out = poisoned();
+            a.matmul_nt_into(&b, &mut out);
+            prop_assert_eq!(want.as_slice(), out.as_slice());
+            prop_assert_eq!((out.rows(), out.cols()), (m, n));
+        });
+    }
+
+    #[test]
+    fn row_block_copy_and_col_sums_acc_match(
+        shape in (2usize..12, 1usize..9),
+        seed in 0u64..1000,
+    ) {
+        let (rows, cols) = shape;
+        let x = Tensor2::uniform(rows, cols, 2.0, seed);
+        let start = (seed as usize) % (rows - 1);
+        let take = 1 + (seed as usize) % (rows - start);
+        let want = x.row_block(start, take);
+        let mut got = poisoned();
+        got.copy_row_block_from(&x, start, take);
+        prop_assert_eq!(want.as_slice(), got.as_slice());
+        prop_assert_eq!((got.rows(), got.cols()), (take, cols));
+
+        let mut acc = vec![0.0f32; cols];
+        x.col_sums_acc(&mut acc);
+        prop_assert_eq!(x.col_sums(), acc.clone());
+        // Accumulation (not overwrite): a second pass ~doubles the sums
+        // (approximate — the second pass folds onto a non-zero start, which
+        // reassociates the float sum).
+        x.col_sums_acc(&mut acc);
+        for (s, a) in x.col_sums().iter().zip(&acc) {
+            prop_assert!((2.0 * s - a).abs() <= 1e-4 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn in_place_relu_matches_allocating_relu(
+        shape in (1usize..10, 1usize..10),
+        seed in 0u64..1000,
+    ) {
+        let (rows, cols) = shape;
+        let x = Tensor2::uniform(rows, cols, 2.0, seed);
+        let dy = Tensor2::uniform(rows, cols, 1.0, seed ^ 0x1CE);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x);
+        let dx = relu.backward(&dy);
+
+        let mut y_ip = x.clone();
+        let mut mask = vec![true; 3]; // wrong-sized garbage: must be refilled
+        Relu::forward_in_place(&mut y_ip, &mut mask);
+        prop_assert_eq!(y.as_slice(), y_ip.as_slice());
+
+        let mut dx_ip = dy.clone();
+        Relu::backward_in_place(&mut dx_ip, &mask);
+        prop_assert_eq!(dx.as_slice(), dx_ip.as_slice());
+
+        let mut inf = x.clone();
+        Relu::relu_in_place(&mut inf);
+        prop_assert_eq!(relu.forward_inference(&x).as_slice(), inf.as_slice());
+    }
+}
+
+/// Every dispatch tier must agree numerically: the `Avx2Baseline` and
+/// `SeedReference` tiers exist so benchmarks can time historical kernel
+/// configurations, which is only meaningful if they compute the same
+/// function. `matmul`/`matmul_tn` keep the exact p-ascending per-element
+/// FMA chain across SIMD tiers (bit-identical); `matmul_nt`'s dot-product
+/// tier splits the sum across lanes, so cross-tier agreement is 1e-5.
+#[test]
+fn kernel_tiers_agree_numerically() {
+    let _guard = dispatch_lock();
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_tier(KernelTier::Auto);
+        }
+    }
+    let _restore = Restore;
+    // Big enough to engage the AVX-512 panels and the nt transpose-pack
+    // path (rows ≥ 8), with ragged tails on every dimension.
+    let (m, k, n) = (37, 45, 51);
+    let a = Tensor2::uniform(m, k, 1.0, 11);
+    let b = Tensor2::uniform(k, n, 1.0, 22);
+    let at = Tensor2::uniform(k, m, 1.0, 33);
+    let bt = Tensor2::uniform(n, k, 1.0, 44);
+    let run = |tier| {
+        set_kernel_tier(tier);
+        (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+    };
+    let (mm0, tn0, nt0) = run(KernelTier::Auto);
+    for tier in [KernelTier::Avx2Baseline, KernelTier::SeedReference] {
+        let (mm, tn, nt) = run(tier);
+        for (want, got) in [(&mm0, &mm), (&tn0, &tn), (&nt0, &nt)] {
+            for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+                assert!(
+                    (w - g).abs() <= 1e-5 * (1.0 + w.abs()),
+                    "{tier:?} diverges: {w} vs {g}"
+                );
+            }
+        }
+    }
+}
+
+/// In-place softmax (already the only softmax) must keep its all-`−∞`-row
+/// guarantee when fed through reused buffers in both dispatch modes.
+#[test]
+fn softmax_fully_masked_rows_stay_zero_in_reused_buffers() {
+    with_both_dispatch_modes(|| {
+        let inf = f32::NEG_INFINITY;
+        let mut x = poisoned();
+        x.copy_from_slice_shaped(3, 3, &[inf, inf, inf, 0.0, inf, 0.0, inf, inf, 1.0]);
+        x.softmax_rows();
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(x.row(0), &[0.0, 0.0, 0.0]);
+        assert!((x.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((x.get(2, 2) - 1.0).abs() < 1e-6);
+    });
+}

@@ -32,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod hist;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod span;
 
+pub use alloc::{alloc_probe_bytes, set_alloc_probe};
 pub use hist::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use metrics::{parse_prometheus_text, Counter, MetricsRegistry, RegistrySnapshot};
 pub use recorder::{chrome_trace, Event, EventRecord, FlightRecorder, DEFAULT_RECORDER_CAPACITY};

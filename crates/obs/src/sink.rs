@@ -53,6 +53,11 @@ pub struct EpochRecord {
     /// Early-stop decision after this epoch: `"continue"`, `"improved"`,
     /// `"patience N/M"`, or `"stop"`.
     pub early_stop: String,
+    /// Heap bytes allocated during this epoch's batch loop (validation
+    /// excluded), when an allocation probe is installed
+    /// ([`crate::set_alloc_probe`]); `null` otherwise.
+    #[serde(default)]
+    pub alloc_bytes: Option<u64>,
 }
 
 impl EpochRecord {
@@ -189,6 +194,7 @@ mod tests {
             val_qerr_p90: Some(3.2),
             val_qerr_p99: Some(9.9),
             early_stop: "improved".to_string(),
+            alloc_bytes: None,
         }
     }
 

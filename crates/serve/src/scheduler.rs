@@ -29,7 +29,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dace_core::{featurize_trees_sharded, PlanFeatures};
+use dace_core::{featurize_trees_sharded, PlanFeatures, Workspace};
 use dace_obs::{span, MetricsRegistry};
 use dace_plan::PlanTree;
 
@@ -397,6 +397,16 @@ fn drain_batch(
     Some(batch)
 }
 
+/// Per-worker reusable inference scratch: the model workspace plus the
+/// prediction staging vectors. Buffers grow to the high-water batch size and
+/// then the drain loop's forward path stops allocating entirely.
+#[derive(Default)]
+struct WorkerScratch {
+    ws: Workspace,
+    roots: Vec<f32>,
+    ms: Vec<f64>,
+}
+
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     registry: &ModelRegistry,
@@ -404,8 +414,9 @@ fn worker_loop(
     cache: &FeatureCache,
     config: ServeConfig,
 ) {
+    let mut scratch = WorkerScratch::default();
     while let Some(batch) = drain_batch(rx, metrics, config) {
-        process_batch(batch, registry, metrics, cache, config);
+        process_batch(batch, registry, metrics, cache, config, &mut scratch);
     }
 }
 
@@ -415,6 +426,7 @@ fn process_batch(
     metrics: &ServeMetrics,
     cache: &FeatureCache,
     config: ServeConfig,
+    scratch: &mut WorkerScratch,
 ) {
     let _span = span!("serve_process_batch");
     let drained_at = Instant::now();
@@ -482,23 +494,30 @@ fn process_batch(
         // One packed block-diagonal forward for the whole group.
         let t_fwd = Instant::now();
         let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
-        let (preds, stages) = {
+        let stages = {
             let _span = span!("serve_forward");
+            // Predictions land in the worker's reusable scratch
+            // (`scratch.ms`, aligned with `jobs`): the steady-state forward
+            // path allocates nothing.
+            let timings = est.predict_features_batch_ms_timed_ws(
+                &refs,
+                &mut scratch.ws,
+                &mut scratch.roots,
+                &mut scratch.ms,
+            );
             if config.stage_timing {
                 metrics.cache_lookup_us.record(cache_lookup_us);
-                let (preds, timings) = est.predict_features_batch_ms_timed(&refs);
                 metrics.attention_us.record(timings.attention_us);
                 metrics.mlp_us.record(timings.mlp_us);
-                let stages = StageBreakdown {
+                Some(StageBreakdown {
                     queue_wait_us: 0, // stamped per request below
                     cache_lookup_us,
                     featurize_us: featurize_us - cache_lookup_us,
                     attention_us: timings.attention_us,
                     mlp_us: timings.mlp_us,
-                };
-                (preds, Some(stages))
+                })
             } else {
-                (est.predict_features_batch_ms(&refs), None)
+                None
             }
         };
         metrics
@@ -508,7 +527,7 @@ fn process_batch(
         let group_size = jobs.len();
         let t_resp = Instant::now();
         let _span = span!("serve_respond");
-        for ((job, ms), hit) in jobs.into_iter().zip(preds).zip(hit_mask) {
+        for ((job, &ms), hit) in jobs.into_iter().zip(&scratch.ms).zip(hit_mask) {
             metrics.completed.inc();
             metrics
                 .e2e_us
