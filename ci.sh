@@ -54,6 +54,24 @@ grep -q 'serve_e2e_us{quantile="0.5"}' "$OBS_TMP/metrics.prom" \
 grep -q '^serve_completed_total ' "$OBS_TMP/metrics.prom" \
     || { echo "FAIL: Prometheus export missing serve counters"; exit 1; }
 
+# Chaos smoke: run the serving path under a fixed seeded fault plan (1%
+# worker kills, 1% batch panics, 0.5% checkpoint corruption) with a
+# circuit-broken fallback estimator. serve_bench itself exits non-zero on
+# any contract violation; the emitted JSON is re-asserted here: ≥99% of
+# requests answered (degraded answers count, shed does not), the worker
+# pool never dies, every degraded answer is flagged and counted, and the
+# corrupted-checkpoint rejection path fired.
+echo "==> chaos smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- \
+    --chaos --smoke --json --chaos-seed 3405 >"$OBS_TMP/chaos.json"
+jq -e '.availability >= 0.99
+       and .pool_exhausted == 0
+       and .completed == .requests
+       and .degraded <= .completed
+       and .checkpoint_rejects >= 1' \
+    "$OBS_TMP/chaos.json" >/dev/null \
+    || { echo "FAIL: chaos smoke out of bounds"; cat "$OBS_TMP/chaos.json"; exit 1; }
+
 # Bench smoke: compile and run each bench once in test mode (no sampling);
 # catches bit-rot in the criterion harness wiring without the full run.
 echo "==> bench smoke"

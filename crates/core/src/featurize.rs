@@ -52,6 +52,23 @@ const MAX_LOG_MS: f64 = 20.0;
 /// fingerprint — far finer than the model can distinguish.
 const FINGERPRINT_STEPS_PER_NAT: f64 = 64.0;
 
+/// `ln(1 + x)` with hostile inputs neutralized: NaN, ±∞ and values below
+/// `-1` (whose log1p is undefined) encode as `0.0` — the same feature a
+/// zero-cost node produces — instead of poisoning the whole batch tensor
+/// with NaNs. Finite in-domain values are untouched (bit-identical to the
+/// plain transform), so sanitization is a no-op for every plan a real
+/// optimizer emits; the serving layer additionally *rejects* such plans up
+/// front via `dace_plan::validate_plan`, making this the defense-in-depth
+/// layer for callers that skip validation.
+#[inline]
+fn safe_log1p(x: f64) -> f64 {
+    if x.is_finite() && x > -1.0 {
+        (1.0 + x).ln()
+    } else {
+        0.0
+    }
+}
+
 /// A mini-batch of featurized plans packed into one padded tensor, ready
 /// for a single block-diagonal forward/backward pass.
 ///
@@ -154,13 +171,13 @@ impl Featurizer {
         for plan in &train.plans {
             for id in plan.tree.ids() {
                 let node = plan.tree.node(id);
-                costs.push((1.0 + node.est_cost).ln());
+                costs.push(safe_log1p(node.est_cost));
                 let card = if config.use_actual_cardinality {
                     node.actual_rows
                 } else {
                     node.est_rows
                 };
-                cards.push((1.0 + card).ln());
+                cards.push(safe_log1p(card));
             }
         }
         Featurizer {
@@ -181,13 +198,13 @@ impl Featurizer {
             let node = tree.node(id);
             let row = x.row_mut(i);
             row[node.node_type.one_hot_index()] = 1.0;
-            row[NODE_TYPE_COUNT] = self.cost_scaler.transform((1.0 + node.est_cost).ln()) as f32;
+            row[NODE_TYPE_COUNT] = self.cost_scaler.transform(safe_log1p(node.est_cost)) as f32;
             let card = if self.config.use_actual_cardinality {
                 node.actual_rows
             } else {
                 node.est_rows
             };
-            row[NODE_TYPE_COUNT + 1] = self.card_scaler.transform((1.0 + card).ln()) as f32;
+            row[NODE_TYPE_COUNT + 1] = self.card_scaler.transform(safe_log1p(card)) as f32;
             targets.push(node.actual_ms.max(MS_FLOOR).ln() as f32);
         }
         let mask = if self.config.disable_tree_attention {
@@ -237,13 +254,13 @@ impl Featurizer {
             let node = tree.node(id);
             mix(&mut h, node.node_type.one_hot_index() as u64);
             mix(&mut h, node.children.len() as u64);
-            mix(&mut h, quant((1.0 + node.est_cost).ln()));
+            mix(&mut h, quant(safe_log1p(node.est_cost)));
             let card = if self.config.use_actual_cardinality {
                 node.actual_rows
             } else {
                 node.est_rows
             };
-            mix(&mut h, quant((1.0 + card).ln()));
+            mix(&mut h, quant(safe_log1p(card)));
         }
         h
     }
@@ -446,6 +463,35 @@ mod tests {
             assert_eq!(batch.xc.get(1, c), two.x.get(0, c));
             assert_eq!(batch.xc.get(2, c), two.x.get(1, c));
         }
+    }
+
+    #[test]
+    fn hostile_estimates_encode_to_finite_features() {
+        let ds = toy_dataset();
+        let f = Featurizer::fit(&ds, FeatureConfig::default());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0] {
+            let mut plan = toy_plan(10.0, 5.0, 1.0);
+            let root = plan.tree.root();
+            plan.tree.node_mut(root).est_cost = bad;
+            plan.tree.node_mut(root).est_rows = bad;
+            let feats = f.encode(&plan.tree);
+            for r in 0..feats.x.rows() {
+                for c in 0..FEATURE_DIM {
+                    assert!(feats.x.get(r, c).is_finite(), "x[{r},{c}] with {bad}");
+                }
+            }
+            // The fingerprint must stay well-defined too (cache keys).
+            let _ = f.fingerprint(&plan.tree);
+        }
+        // Finite in-domain estimates are bit-identical to the plain
+        // transform: sanitization changes nothing for real plans.
+        let plain = f.encode(&ds.plans[10].tree);
+        assert_eq!(
+            plain.x.get(0, NODE_TYPE_COUNT),
+            f.cost_scaler
+                .transform((1.0 + ds.plans[10].tree.node(ds.plans[10].tree.root()).est_cost).ln())
+                as f32
+        );
     }
 
     #[test]

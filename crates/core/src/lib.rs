@@ -23,6 +23,7 @@ mod adapter;
 mod featurize;
 mod loss;
 mod model;
+mod persist;
 mod trainer;
 
 pub use adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
@@ -30,4 +31,8 @@ pub use dace_nn::Workspace;
 pub use featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures, FEATURE_DIM};
 pub use loss::LossAdjuster;
 pub use model::{DaceModel, ForwardTimings, ENCODING_DIM};
+pub use persist::{
+    decode_checkpoint, encode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint,
+    CheckpointError, CHECKPOINT_MAGIC,
+};
 pub use trainer::{featurize_trees_sharded, DaceEstimator, TrainConfig, Trainer};

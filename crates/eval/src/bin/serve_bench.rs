@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! serve_bench [--clients N] [--requests R] [--queries Q] [--epochs E]
-//!             [--seconds S] [--json] [--smoke] [--manifest PATH]
+//!             [--seconds S] [--json] [--smoke] [--chaos] [--manifest PATH]
 //!             [--trace PATH] [--prom PATH] [--no-stage-timing]
 //! ```
 //!
@@ -20,6 +20,14 @@
 //! `--smoke` shrinks everything and runs only the micro-batched closed loop,
 //! asserting zero shed and a non-empty snapshot (CI's serve gate); any
 //! violation exits non-zero.
+//!
+//! `--chaos` replaces the phases with an availability measurement under a
+//! seeded fault plan (1% worker kills, 1% batch panics, plus a background
+//! checkpoint reloader whose files are corrupted at 0.5%): closed-loop
+//! clients with no deadlines hammer a server built with a circuit-broken
+//! `pg_linear`-style fallback, and the run fails unless ≥99% of requests
+//! are answered (degraded answers count, shed/dropped do not), every
+//! degraded answer is flagged and counted, and the worker pool never dies.
 //!
 //! Telemetry flags: `--manifest` writes a per-epoch JSONL run manifest for
 //! the base-model pretrain and the adapter fine-tune, `--prom` dumps the
@@ -38,7 +46,10 @@ use dace_eval::EvalConfig;
 use dace_obs::{JsonlSink, RunSink};
 use dace_plan::{MachineId, PlanTree};
 use dace_query::ComplexWorkloadGen;
-use dace_serve::{DaceServer, MetricsSnapshot, ModelRegistry, ServeConfig, ServeError};
+use dace_serve::{
+    silence_injected_panics, CostLinearFallback, DaceServer, FaultConfig, FaultSite,
+    MetricsSnapshot, ModelRegistry, ServeConfig, ServeError,
+};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -62,6 +73,29 @@ struct BenchReport {
     open_loop_expired: u64,
 }
 
+/// What `--chaos` measures: availability and degradation accounting under
+/// a seeded fault plan. `availability` counts degraded answers as answered
+/// (that is the point of the fallback); shed and dropped requests do not
+/// count.
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    requests: u64,
+    completed: u64,
+    degraded: u64,
+    availability: f64,
+    degraded_rate: f64,
+    requests_per_sec: f64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    pool_exhausted: u64,
+    batch_panics: u64,
+    breaker_opened: u64,
+    breaker_closed: u64,
+    checkpoint_saves: u64,
+    checkpoint_reloads: u64,
+    checkpoint_rejects: u64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut clients = 32usize;
@@ -72,6 +106,8 @@ fn main() {
     let mut workers = ServeConfig::default().workers;
     let mut open_secs = 2.0f64;
     let mut smoke = false;
+    let mut chaos = false;
+    let mut chaos_seed = 0xC4A05u64;
     let mut json = false;
     let mut manifest: Option<String> = None;
     let mut trace: Option<String> = None;
@@ -100,6 +136,11 @@ fn main() {
                 smoke = true;
                 continue;
             }
+            "--chaos" => {
+                chaos = true;
+                continue;
+            }
+            "--chaos-seed" => chaos_seed = parse(args.get(i), "--chaos-seed"),
             "--json" => {
                 json = true;
                 continue;
@@ -107,8 +148,9 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
-                     [--epochs E] [--seconds S] [--json] [--smoke] [--manifest PATH] \
-                     [--trace PATH] [--prom PATH] [--no-stage-timing]"
+                     [--epochs E] [--seconds S] [--json] [--smoke] [--chaos] \
+                     [--chaos-seed S] [--manifest PATH] [--trace PATH] [--prom PATH] \
+                     [--no-stage-timing]"
                 );
                 return;
             }
@@ -218,6 +260,14 @@ fn main() {
         stage_timing,
         ..ServeConfig::default()
     };
+
+    if chaos {
+        let fallback = CostLinearFallback::fit(&data);
+        run_chaos(
+            registry, fallback, &pool, clients, requests, workers, chaos_seed, json,
+        );
+        return;
+    }
 
     if smoke {
         let server = DaceServer::new(Arc::clone(&registry), batched_cfg);
@@ -341,6 +391,221 @@ fn main() {
             report.speedup
         );
     }
+}
+
+/// The `--chaos` phase: closed-loop clients (no deadlines) against a
+/// fault-injected server with a fitted cost-linear fallback, while a
+/// background reloader round-trips the base model through disk checkpoints
+/// that are corrupted at the configured rate. Exits non-zero unless the
+/// availability/flagging/pool-health contract holds.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos(
+    registry: Arc<ModelRegistry>,
+    fallback: CostLinearFallback,
+    pool: &[PlanTree],
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    seed: u64,
+    json: bool,
+) {
+    silence_injected_panics();
+    let config = ServeConfig {
+        workers,
+        default_deadline: None,
+        faults: FaultConfig {
+            seed,
+            worker_kill_ppm: 10_000,       // 1% of drains kill their worker
+            batch_panic_ppm: 10_000,       // 1% of forwards panic mid-batch
+            checkpoint_corrupt_ppm: 5_000, // 0.5% of checkpoint writes torn
+            ..FaultConfig::disabled()
+        },
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "chaos: {clients} clients × {requests} requests, seed {seed:#x} \
+         (1% worker kills, 1% batch panics, 0.5% checkpoint corruption)…"
+    );
+    let server = DaceServer::with_fallback(Arc::clone(&registry), config, Box::new(fallback));
+    let injector = server.fault_injector();
+
+    let ckpt_dir = std::env::temp_dir().join(format!("dace-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).unwrap_or_else(|e| die(&format!("chaos ckpt dir: {e}")));
+    let ckpt_path = ckpt_dir.join("base.ckpt");
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let saves = AtomicU64::new(0);
+    let reloads = AtomicU64::new(0);
+    let rejects = AtomicU64::new(0);
+
+    // One checkpoint cycle: persist the live base model, maybe corrupt the
+    // file (the injector's deterministic 0.5%), reload through the typed
+    // path. A rejected reload must leave the registry on its last good
+    // version — the traffic running concurrently proves it does.
+    let cycle = |force_corrupt: bool| {
+        let base = registry.base();
+        if dace_core::save_checkpoint(&ckpt_path, &base.estimator).is_err() {
+            return;
+        }
+        saves.fetch_add(1, Ordering::Relaxed);
+        if force_corrupt || injector.should_fire(FaultSite::CheckpointCorrupt) {
+            if let Ok(mut bytes) = std::fs::read(&ckpt_path) {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x04;
+                let _ = std::fs::write(&ckpt_path, &bytes);
+            }
+        }
+        match registry.swap_base_from_checkpoint(&ckpt_path) {
+            Ok(_) => reloads.fetch_add(1, Ordering::Relaxed),
+            Err(_) => rejects.fetch_add(1, Ordering::Relaxed),
+        };
+    };
+
+    let (secs, ok, degraded_seen) = std::thread::scope(|s| {
+        s.spawn(|| {
+            // Stay well inside the registry's version-slot capacity (1024
+            // swaps per cell) however long the traffic runs.
+            while !stop.load(Ordering::Acquire) && saves.load(Ordering::Relaxed) < 900 {
+                cycle(false);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let r = chaos_closed_loop(&server, pool, clients, requests);
+        stop.store(true, Ordering::Release);
+        r
+    });
+    // Prove the rejection path regardless of how the 0.5% dice fell.
+    let rejects_before = rejects.load(Ordering::Relaxed);
+    cycle(true);
+    let forced_reject_ok = rejects.load(Ordering::Relaxed) == rejects_before + 1;
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    let snap = server.metrics_snapshot();
+    server.shutdown();
+    let total = (clients * requests) as u64;
+    let report = ChaosReport {
+        requests: total,
+        completed: snap.completed,
+        degraded: snap.degraded,
+        availability: snap.availability(),
+        degraded_rate: snap.degraded_rate(),
+        requests_per_sec: ok as f64 / secs,
+        worker_panics: snap.worker_panics,
+        worker_restarts: snap.worker_restarts,
+        pool_exhausted: snap.pool_exhausted,
+        batch_panics: snap.batch_panics,
+        breaker_opened: snap.breaker_opened,
+        breaker_closed: snap.breaker_closed,
+        checkpoint_saves: saves.load(Ordering::Relaxed),
+        checkpoint_reloads: reloads.load(Ordering::Relaxed),
+        checkpoint_rejects: rejects.load(Ordering::Relaxed),
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("chaos report serializes")
+        );
+    } else {
+        println!("== chaos: availability under faults ==");
+        println!(
+            "  {}/{} answered ({:.2}% availability) in {secs:.2}s ({:.0} req/s)",
+            report.completed,
+            report.requests,
+            100.0 * report.availability,
+            report.requests_per_sec
+        );
+        println!(
+            "  degraded: {} ({:.2}%), batch panics {}, worker panics {}, restarts {}",
+            report.degraded,
+            100.0 * report.degraded_rate,
+            report.batch_panics,
+            report.worker_panics,
+            report.worker_restarts
+        );
+        println!(
+            "  breaker opened {} / closed {}; checkpoints: {} saved, {} reloaded, {} rejected",
+            report.breaker_opened,
+            report.breaker_closed,
+            report.checkpoint_saves,
+            report.checkpoint_reloads,
+            report.checkpoint_rejects
+        );
+        println!("{snap}");
+    }
+
+    let mut failed = false;
+    if ok != total {
+        eprintln!("FAIL: {ok} of {total} closed-loop requests answered");
+        failed = true;
+    }
+    if report.availability < 0.99 {
+        eprintln!(
+            "FAIL: availability {:.4} below the 0.99 floor",
+            report.availability
+        );
+        failed = true;
+    }
+    if report.pool_exhausted != 0 {
+        eprintln!(
+            "FAIL: worker pool died {} time(s) under chaos",
+            report.pool_exhausted
+        );
+        failed = true;
+    }
+    if degraded_seen != report.degraded {
+        eprintln!(
+            "FAIL: clients saw {degraded_seen} degraded flags but the counter says {}",
+            report.degraded
+        );
+        failed = true;
+    }
+    if !forced_reject_ok {
+        eprintln!("FAIL: a deliberately corrupted checkpoint was not rejected");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if !json {
+        println!("chaos OK");
+    }
+}
+
+/// Closed-loop chaos traffic: like [`closed_loop`] but with no deadlines
+/// and per-response degradation accounting. Returns (elapsed seconds,
+/// answered, degraded-flagged).
+fn chaos_closed_loop(
+    server: &DaceServer,
+    pool: &[PlanTree],
+    clients: usize,
+    requests: usize,
+) -> (f64, u64, u64) {
+    let ok = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (ok, degraded) = (&ok, &degraded);
+            s.spawn(move || {
+                for r in 0..requests {
+                    let tree = &pool[(c * 7 + r) % pool.len()];
+                    let adapter = ((c + r) % 4 == 0).then_some("tenant");
+                    if let Ok(pred) = server.predict_with(tree, adapter, None) {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        if pred.degraded {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (
+        t0.elapsed().as_secs_f64(),
+        ok.load(Ordering::Relaxed),
+        degraded.load(Ordering::Relaxed),
+    )
 }
 
 /// Dump the server's metrics registry as Prometheus text.

@@ -25,9 +25,11 @@ mod label;
 mod node;
 mod node_type;
 mod tree;
+mod validate;
 
 pub use explain::explain_tree;
 pub use label::{Dataset, LabeledPlan, MachineId};
 pub use node::{CmpOp, JoinInfo, OpPayload, PlanNode, PredicateInfo, ScanInfo};
 pub use node_type::{NodeKind, NodeType, NODE_TYPE_COUNT};
 pub use tree::{NodeId, PlanTree, TreeBuilder};
+pub use validate::{validate_plan, PlanValidationError, DEFAULT_MAX_PLAN_DEPTH};

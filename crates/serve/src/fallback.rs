@@ -1,0 +1,514 @@
+//! Graceful degradation: a heuristic fallback estimator behind a circuit
+//! breaker.
+//!
+//! When the learned model path fails — panicking forwards, deadline misses
+//! piling up — the plan still carries the optimizer's own cost estimate,
+//! and the Zero-Shot / FasCo line of work shows a cheap optimizer-cost
+//! calibration is a serviceable floor. So instead of shedding, the serve
+//! path answers from a [`FallbackEstimator`] (the default implementation
+//! wraps the `pg_linear` baseline: `ln(time) ≈ a·ln(1+cost) + b`) and flags
+//! the answer `degraded: true`.
+//!
+//! The [`CircuitBreaker`] decides *when*: it is a lock-free state machine
+//! (closed → open → half-open) whose closed-state evidence is a 64-bit
+//! shift register of recent outcomes — one `fetch_update` per result, a
+//! popcount for the error rate, no mutex anywhere near the hot path. Open
+//! lasts [`BreakerConfig::open_cooldown`], after which a single probe
+//! request at a time is let through to the model; enough consecutive probe
+//! successes close the breaker, one probe failure re-opens it.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use dace_baselines::{CostEstimator, PgLinear};
+use dace_plan::{Dataset, PlanTree};
+
+/// An estimator of last resort: answers when the model path cannot.
+///
+/// Implementations must be cheap, allocation-light and — above all —
+/// total: `predict_ms` must return a finite positive number for every plan
+/// the serve layer admits, because it runs exactly when the system is
+/// already in trouble.
+pub trait FallbackEstimator: Send + Sync + std::fmt::Debug {
+    /// Short stable name, recorded in logs/results.
+    fn name(&self) -> &str;
+    /// Predicted latency in milliseconds; always finite and positive.
+    fn predict_ms(&self, tree: &PlanTree) -> f64;
+}
+
+/// Latency bounds a fallback answer is clamped into: nothing real is below
+/// the 0.1 µs measurement floor or above ~11.5 days.
+const FALLBACK_MIN_MS: f64 = 1e-4;
+const FALLBACK_MAX_MS: f64 = 1e9;
+
+/// The default fallback: the `pg_linear` baseline (OLS in log–log space
+/// over the plan's root optimizer cost), totalized by clamping its output
+/// into `[1e-4, 1e9]` ms.
+///
+/// Unfitted ([`CostLinearFallback::identity`]) it predicts `1 + est_cost`
+/// — the optimizer's cost read as milliseconds — which preserves the
+/// *ordering* of plans even with no training data at all.
+#[derive(Debug, Clone)]
+pub struct CostLinearFallback {
+    model: PgLinear,
+}
+
+impl CostLinearFallback {
+    /// The unfitted identity calibration (slope 1, intercept 0).
+    pub fn identity() -> CostLinearFallback {
+        CostLinearFallback {
+            model: PgLinear::new(),
+        }
+    }
+
+    /// Fit the log–log calibration on labeled plans (same fit the
+    /// `pg_linear` baseline uses in the eval tables).
+    pub fn fit(train: &Dataset) -> CostLinearFallback {
+        let mut model = PgLinear::new();
+        model.fit(train);
+        CostLinearFallback { model }
+    }
+
+    /// Fitted `(slope, intercept)`.
+    pub fn coefficients(&self) -> (f64, f64) {
+        self.model.coefficients()
+    }
+}
+
+impl FallbackEstimator for CostLinearFallback {
+    fn name(&self) -> &str {
+        "pg_linear"
+    }
+
+    fn predict_ms(&self, tree: &PlanTree) -> f64 {
+        let ms = self.model.predict_ms(tree);
+        if ms.is_finite() {
+            ms.clamp(FALLBACK_MIN_MS, FALLBACK_MAX_MS)
+        } else {
+            // NaN cost or overflowed exp: answer the floor rather than
+            // propagate garbage (admission validation makes this
+            // unreachable for served traffic, but the trait promise is
+            // unconditional).
+            FALLBACK_MIN_MS
+        }
+    }
+}
+
+/// Circuit-breaker tuning. All-integer + `Duration`, so `Copy + Eq` inside
+/// `ServeConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window of recent model outcomes the closed state judges on
+    /// (clamped to `1..=56` — the register is one u64).
+    pub window: u32,
+    /// Minimum outcomes in the window before the error rate is believed.
+    pub min_samples: u32,
+    /// Open when `errors / samples ≥ error_percent / 100` (and at least one
+    /// error was seen).
+    pub error_percent: u32,
+    /// How long the breaker stays open before letting a probe through.
+    pub open_cooldown: Duration,
+    /// Consecutive probe successes required to close again.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            error_percent: 50,
+            open_cooldown: Duration::from_millis(25),
+            probe_successes: 3,
+        }
+    }
+}
+
+/// What the breaker told a request to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerGate {
+    /// Use the model (closed state).
+    Model,
+    /// Use the model *as the half-open probe* — the caller must report the
+    /// outcome with `probe = true`.
+    Probe,
+    /// Answer from the fallback; the model is not trusted right now.
+    Fallback,
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows to the model, outcomes are recorded.
+    Closed,
+    /// Tripped: traffic flows to the fallback until the cooldown expires.
+    Open,
+    /// Probing: one request at a time tries the model.
+    HalfOpen,
+}
+
+/// State transition worth counting in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// Closed→Open trip, or a failed probe re-opening.
+    Opened,
+    /// Half-open probes succeeded; model traffic restored.
+    Closed,
+}
+
+const ST_CLOSED: u8 = 0;
+const ST_OPEN: u8 = 1;
+const ST_HALF_OPEN: u8 = 2;
+
+/// Outcome ring layout inside one `AtomicU64`: bits `0..window` hold the
+/// most recent outcomes (bit = 1 ⇒ error, newest in bit 0), bits `56..63`
+/// hold the saturating fill count. One `fetch_update` keeps ring and fill
+/// consistent without a lock.
+const FILL_SHIFT: u32 = 56;
+
+/// Lock-free circuit breaker. See module docs for the state machine; all
+/// methods are safe under arbitrary concurrency from worker threads.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    window_bits: u32,
+    state: AtomicU8,
+    outcomes: AtomicU64,
+    opened_at_us: AtomicU64,
+    probe_inflight: AtomicBool,
+    probe_ok: AtomicU32,
+    epoch: Instant,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config` (window clamped to `1..=56`).
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            window_bits: config.window.clamp(1, 56),
+            state: AtomicU8::new(ST_CLOSED),
+            outcomes: AtomicU64::new(0),
+            opened_at_us: AtomicU64::new(0),
+            probe_inflight: AtomicBool::new(false),
+            probe_ok: AtomicU32::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Current state (racy by nature; exact at quiescence).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            ST_CLOSED => BreakerState::Closed,
+            ST_OPEN => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Route a request: model, probe, or fallback. A `Probe` grant claims
+    /// the single probe token; the caller **must** follow up with
+    /// [`CircuitBreaker::on_result`]`(_, probe = true)` to release it.
+    pub fn gate(&self) -> BreakerGate {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                ST_CLOSED => return BreakerGate::Model,
+                ST_OPEN => {
+                    let opened = self.opened_at_us.load(Ordering::Acquire);
+                    let cooldown = self.config.open_cooldown.as_micros() as u64;
+                    if self.now_us().saturating_sub(opened) < cooldown {
+                        return BreakerGate::Fallback;
+                    }
+                    if self
+                        .state
+                        .compare_exchange(
+                            ST_OPEN,
+                            ST_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.probe_ok.store(0, Ordering::Release);
+                        self.probe_inflight.store(true, Ordering::Release);
+                        return BreakerGate::Probe;
+                    }
+                    // Lost the transition race; re-read the new state.
+                    continue;
+                }
+                _ => {
+                    return if self
+                        .probe_inflight
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        BreakerGate::Probe
+                    } else {
+                        BreakerGate::Fallback
+                    };
+                }
+            }
+        }
+    }
+
+    /// Report a model-path outcome. `probe` must echo whether the request
+    /// was gated as [`BreakerGate::Probe`]. Returns a transition to count,
+    /// if this result caused one.
+    pub fn on_result(&self, ok: bool, probe: bool) -> Option<BreakerEvent> {
+        if !probe {
+            return self.record(ok);
+        }
+        self.probe_inflight.store(false, Ordering::Release);
+        if ok {
+            let n = self.probe_ok.fetch_add(1, Ordering::AcqRel) + 1;
+            if n >= self.config.probe_successes.max(1)
+                && self
+                    .state
+                    .compare_exchange(ST_HALF_OPEN, ST_CLOSED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.outcomes.store(0, Ordering::Release);
+                self.probe_ok.store(0, Ordering::Release);
+                return Some(BreakerEvent::Closed);
+            }
+            None
+        } else {
+            self.probe_ok.store(0, Ordering::Release);
+            if self
+                .state
+                .compare_exchange(ST_HALF_OPEN, ST_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.opened_at_us.store(self.now_us(), Ordering::Release);
+                return Some(BreakerEvent::Opened);
+            }
+            None
+        }
+    }
+
+    /// Closed-state evidence: shift the outcome into the ring and trip if
+    /// the windowed error rate crosses the threshold. No-op outside the
+    /// closed state (stale results from before a trip must not double-trip).
+    fn record(&self, ok: bool) -> Option<BreakerEvent> {
+        if self.state.load(Ordering::Acquire) != ST_CLOSED {
+            return None;
+        }
+        let w = u64::from(self.window_bits);
+        let mask = (1u64 << self.window_bits) - 1;
+        let prev = self
+            .outcomes
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                let fill = (cur >> FILL_SHIFT).min(w);
+                let ring = ((cur & mask) << 1 | u64::from(!ok)) & mask;
+                Some(((fill + 1).min(w) << FILL_SHIFT) | ring)
+            })
+            .expect("updater always returns Some");
+        // Recompute exactly what this thread published.
+        let fill = ((prev >> FILL_SHIFT).min(w) + 1).min(w);
+        let ring = ((prev & mask) << 1 | u64::from(!ok)) & mask;
+        let errors = u64::from(ring.count_ones());
+        if fill >= u64::from(self.config.min_samples.max(1))
+            && errors > 0
+            && errors * 100 >= u64::from(self.config.error_percent) * fill
+            && self
+                .state
+                .compare_exchange(ST_CLOSED, ST_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.opened_at_us.store(self.now_us(), Ordering::Release);
+            self.outcomes.store(0, Ordering::Release);
+            return Some(BreakerEvent::Opened);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dace_plan::{LabeledPlan, MachineId, NodeType, OpPayload, PlanNode, TreeBuilder};
+
+    fn plan_with(cost: f64, ms: f64) -> LabeledPlan {
+        let mut b = TreeBuilder::new();
+        let id = {
+            let mut n = PlanNode::new(NodeType::SeqScan, OpPayload::Other);
+            n.est_cost = cost;
+            n.actual_ms = ms;
+            b.leaf(n)
+        };
+        LabeledPlan {
+            tree: b.finish(id),
+            db_id: 0,
+            machine: MachineId::M1,
+        }
+    }
+
+    fn quick_breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            error_percent: 50,
+            open_cooldown: Duration::from_millis(5),
+            probe_successes: 2,
+        })
+    }
+
+    #[test]
+    fn fallback_is_total_and_ordered() {
+        let fb = CostLinearFallback::identity();
+        let cheap = fb.predict_ms(&plan_with(10.0, 0.0).tree);
+        let pricey = fb.predict_ms(&plan_with(10_000.0, 0.0).tree);
+        assert!(cheap.is_finite() && cheap > 0.0);
+        assert!(pricey > cheap, "cost ordering must survive the fallback");
+        // Hostile root cost: still finite and positive.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -7.0] {
+            let p = plan_with(bad, 0.0);
+            let ms = fb.predict_ms(&p.tree);
+            assert!(ms.is_finite() && ms > 0.0, "predict_ms({bad}) = {ms}");
+        }
+    }
+
+    #[test]
+    fn fitted_fallback_calibrates_cost_to_time() {
+        // time = 0.004 × cost: the fit should land within 10%.
+        let ds = Dataset::from_plans(
+            (1..200)
+                .map(|i| plan_with(i as f64 * 50.0, i as f64 * 50.0 * 0.004))
+                .collect(),
+        );
+        let fb = CostLinearFallback::fit(&ds);
+        let pred = fb.predict_ms(&ds.plans[100].tree);
+        let actual = ds.plans[100].latency_ms();
+        assert!(
+            (pred / actual).max(actual / pred) < 1.1,
+            "{pred} vs {actual}"
+        );
+    }
+
+    #[test]
+    fn stays_closed_on_successes() {
+        let br = quick_breaker();
+        for _ in 0..100 {
+            assert_eq!(br.gate(), BreakerGate::Model);
+            assert_eq!(br.on_result(true, false), None);
+        }
+        assert_eq!(br.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_on_error_rate_then_gates_fallback() {
+        let br = quick_breaker();
+        let mut opened = false;
+        for _ in 0..8 {
+            if br.on_result(false, false) == Some(BreakerEvent::Opened) {
+                opened = true;
+                break;
+            }
+        }
+        assert!(opened, "all-error window must trip");
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.gate(), BreakerGate::Fallback);
+        // Stale non-probe results while open are ignored.
+        assert_eq!(br.on_result(true, false), None);
+        assert_eq!(br.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn below_min_samples_never_trips() {
+        let br = CircuitBreaker::new(BreakerConfig {
+            min_samples: 50,
+            window: 8,
+            ..quick_breaker().config
+        });
+        // Window saturates at 8 samples < min_samples 50: never trips.
+        for _ in 0..100 {
+            assert_eq!(br.on_result(false, false), None);
+        }
+        assert_eq!(br.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_cycle_closes_after_successes() {
+        let br = quick_breaker();
+        for _ in 0..8 {
+            br.on_result(false, false);
+        }
+        assert_eq!(br.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(7));
+        // Cooldown elapsed: one probe at a time.
+        assert_eq!(br.gate(), BreakerGate::Probe);
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+        assert_eq!(br.gate(), BreakerGate::Fallback, "single probe token");
+        assert_eq!(br.on_result(true, true), None, "1 of 2 successes");
+        assert_eq!(br.gate(), BreakerGate::Probe);
+        assert_eq!(br.on_result(true, true), Some(BreakerEvent::Closed));
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert_eq!(br.gate(), BreakerGate::Model);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let br = quick_breaker();
+        for _ in 0..8 {
+            br.on_result(false, false);
+        }
+        std::thread::sleep(Duration::from_millis(7));
+        assert_eq!(br.gate(), BreakerGate::Probe);
+        assert_eq!(br.on_result(false, true), Some(BreakerEvent::Opened));
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.gate(), BreakerGate::Fallback, "cooldown restarts");
+    }
+
+    #[test]
+    fn concurrent_results_never_wedge_the_breaker() {
+        // Hammer gate/on_result from 4 threads; the breaker must end in a
+        // legal state with no probe token leaked.
+        let br = std::sync::Arc::new(quick_breaker());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let br = std::sync::Arc::clone(&br);
+                std::thread::spawn(move || {
+                    for i in 0..5000u32 {
+                        match br.gate() {
+                            BreakerGate::Model => {
+                                br.on_result((i + t) % 3 != 0, false);
+                            }
+                            BreakerGate::Probe => {
+                                br.on_result(i % 2 == 0, true);
+                            }
+                            BreakerGate::Fallback => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Whatever state it landed in, the machine still makes progress:
+        // a full success run from here must reach Closed via probes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match br.gate() {
+                BreakerGate::Model => break,
+                BreakerGate::Probe => {
+                    br.on_result(true, true);
+                }
+                BreakerGate::Fallback => std::thread::sleep(Duration::from_millis(1)),
+            }
+            assert!(
+                Instant::now() < deadline,
+                "breaker wedged in {:?}",
+                br.state()
+            );
+        }
+        assert_eq!(br.state(), BreakerState::Closed);
+    }
+}

@@ -22,6 +22,13 @@
 //!   size, cache lookup, featurize, attention/MLP forward split, end-to-end
 //!   p50/p95/p99), exportable as Prometheus text or JSON and printed by the
 //!   `serve_bench` binary in `dace-eval`.
+//! * **Robustness** — workers are supervised (`catch_unwind` isolation,
+//!   respawn with capped backoff, poison-recovering locks); an optional
+//!   [`FallbackEstimator`] behind a [`CircuitBreaker`] answers
+//!   `degraded: true` from an optimizer-cost heuristic when the model path
+//!   is distrusted; and a deterministic seeded [`FaultInjector`]
+//!   ([`ServeConfig::faults`]) drives the chaos tests and
+//!   `serve_bench --chaos`.
 //!
 //! ```no_run
 //! use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
@@ -36,14 +43,22 @@
 //! ```
 
 mod cache;
+mod fallback;
+mod fault;
 mod metrics;
 mod registry;
 mod scheduler;
+mod supervisor;
 
 pub use cache::{FeatureCache, ShardedLruCache};
 pub use dace_obs::MetricsRegistry;
+pub use fallback::{
+    BreakerConfig, BreakerEvent, BreakerGate, BreakerState, CircuitBreaker, CostLinearFallback,
+    FallbackEstimator,
+};
+pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, FaultSite, INJECTED_PANIC};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
-pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError};
+pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError, ReloadError};
 pub use scheduler::{
     DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, StageBreakdown,
 };

@@ -34,6 +34,28 @@ pub struct ServeMetrics {
     pub expired: Arc<Counter>,
     /// Requests naming an adapter the registry does not hold.
     pub unknown_adapter: Arc<Counter>,
+    /// Requests rejected at admission by plan validation (NaN/Inf
+    /// estimates, malformed tree, over the depth limit).
+    pub invalid_plan: Arc<Counter>,
+    /// Requests answered from the fallback estimator (`degraded: true`).
+    pub degraded: Arc<Counter>,
+    /// Forward-path panics caught per adapter group (the group is answered
+    /// degraded, or failed with `ServeError::Internal` without a fallback).
+    pub batch_panics: Arc<Counter>,
+    /// Worker threads that died to a panic (injected or real).
+    pub worker_panics: Arc<Counter>,
+    /// Workers respawned by the supervisor.
+    pub worker_restarts: Arc<Counter>,
+    /// Supervisor respawn attempts that failed at `thread::spawn`.
+    pub spawn_failures: Arc<Counter>,
+    /// Times a spawn failure left the worker pool *empty* — the one
+    /// condition that actually stops service. Deterministically zero unless
+    /// the OS refuses threads; chaos CI asserts it stays zero.
+    pub pool_exhausted: Arc<Counter>,
+    /// Circuit-breaker trips (closed→open, or a failed probe re-opening).
+    pub breaker_opened: Arc<Counter>,
+    /// Circuit-breaker recoveries (half-open→closed).
+    pub breaker_closed: Arc<Counter>,
     /// Batches drained by workers.
     pub batches: Arc<Counter>,
     /// Featurization-cache hits (shared with the cache itself).
@@ -85,6 +107,15 @@ impl ServeMetrics {
             shed: registry.counter("serve_shed_total"),
             expired: registry.counter("serve_expired_total"),
             unknown_adapter: registry.counter("serve_unknown_adapter_total"),
+            invalid_plan: registry.counter("serve_invalid_plan_total"),
+            degraded: registry.counter("serve_degraded_total"),
+            batch_panics: registry.counter("serve_batch_panics_total"),
+            worker_panics: registry.counter("serve_worker_panics_total"),
+            worker_restarts: registry.counter("serve_worker_restarts_total"),
+            spawn_failures: registry.counter("serve_spawn_failures_total"),
+            pool_exhausted: registry.counter("serve_pool_exhausted_total"),
+            breaker_opened: registry.counter("serve_breaker_opened_total"),
+            breaker_closed: registry.counter("serve_breaker_closed_total"),
             batches: registry.counter("serve_batches_total"),
             cache_hits: registry.counter("serve_cache_hits_total"),
             cache_misses: registry.counter("serve_cache_misses_total"),
@@ -110,6 +141,15 @@ impl ServeMetrics {
             shed: self.shed.get(),
             expired: self.expired.get(),
             unknown_adapter: self.unknown_adapter.get(),
+            invalid_plan: self.invalid_plan.get(),
+            degraded: self.degraded.get(),
+            batch_panics: self.batch_panics.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
+            spawn_failures: self.spawn_failures.get(),
+            pool_exhausted: self.pool_exhausted.get(),
+            breaker_opened: self.breaker_opened.get(),
+            breaker_closed: self.breaker_closed.get(),
             batches: self.batches.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
@@ -147,6 +187,25 @@ pub struct MetricsSnapshot {
     pub expired: u64,
     /// Requests for unknown adapters.
     pub unknown_adapter: u64,
+    /// Requests rejected by plan validation at admission.
+    pub invalid_plan: u64,
+    /// Requests answered from the fallback (`degraded: true`).
+    pub degraded: u64,
+    /// Forward-path panics caught per group.
+    pub batch_panics: u64,
+    /// Worker threads lost to panics.
+    pub worker_panics: u64,
+    /// Workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Failed respawn attempts.
+    pub spawn_failures: u64,
+    /// Spawn failures that left the pool empty (service-stopping; chaos CI
+    /// asserts zero).
+    pub pool_exhausted: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opened: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_closed: u64,
     /// Batches drained.
     pub batches: u64,
     /// Featurization-cache hits.
@@ -181,6 +240,29 @@ impl MetricsSnapshot {
         self.submitted == 0 && self.shed == 0
     }
 
+    /// Fraction of *answered* requests that came from the fallback, in
+    /// `[0, 1]` (0 with no completions). Degraded answers are included in
+    /// `completed` — they are answers, just flagged ones.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.completed as f64
+        }
+    }
+
+    /// Answered fraction of admitted-or-shed traffic, in `[0, 1]` — the
+    /// chaos bench's availability number. Degraded answers count; shed,
+    /// expired and failed requests do not.
+    pub fn availability(&self) -> f64 {
+        let offered = self.submitted + self.shed;
+        if offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / offered as f64
+        }
+    }
+
     /// Cache hit rate in `[0, 1]` (0 when the cache saw no lookups).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -207,6 +289,19 @@ impl std::fmt::Display for MetricsSnapshot {
             self.batch_size.p95,
             self.batch_size.max,
             self.batch_size.mean
+        )?;
+        writeln!(
+            f,
+            "faults:   {} degraded, {} invalid-plan, {} batch-panics, {} worker-panics, {} restarts ({} spawn-fail, {} pool-exhausted), breaker {}↑/{}↓",
+            self.degraded,
+            self.invalid_plan,
+            self.batch_panics,
+            self.worker_panics,
+            self.worker_restarts,
+            self.spawn_failures,
+            self.pool_exhausted,
+            self.breaker_opened,
+            self.breaker_closed
         )?;
         writeln!(
             f,

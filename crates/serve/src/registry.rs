@@ -24,10 +24,11 @@
 //! re-install an adapter to rebase it. Every response carries the version id
 //! that served it, so clients can always tell which snapshot answered.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use dace_core::{AdapterError, DaceEstimator, LoraAdapter};
+use dace_core::{AdapterError, CheckpointError, DaceEstimator, LoraAdapter};
 
 /// One immutable published model snapshot.
 #[derive(Debug)]
@@ -71,6 +72,37 @@ impl std::fmt::Display for RegistryError {
 }
 
 impl std::error::Error for RegistryError {}
+
+/// Why a checkpoint-driven base reload failed. In either case the registry
+/// is untouched: the last good version keeps serving.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The checkpoint file was missing, torn, corrupt, or unparseable
+    /// (typed detail inside — this is the path a crashed writer or bit rot
+    /// lands on).
+    Checkpoint(CheckpointError),
+    /// The checkpoint was valid but the registry refused the swap (version
+    /// table full).
+    Registry(RegistryError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            ReloadError::Registry(e) => write!(f, "registry refused reload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Checkpoint(e) => Some(e),
+            ReloadError::Registry(e) => Some(e),
+        }
+    }
+}
 
 /// Capacity knobs for [`ModelRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,7 +243,13 @@ impl ModelRegistry {
     /// the version they resolved; new resolutions see the new base. Existing
     /// adapter versions are *not* rebased (see module docs).
     pub fn swap_base(&self, est: DaceEstimator) -> Result<u64, RegistryError> {
-        let _g = self.install_lock.lock().expect("install lock poisoned");
+        // Poison-recovering: the guarded section only appends immutable
+        // snapshots, so a panicking installer cannot leave partial state —
+        // later installers may proceed.
+        let _g = self
+            .install_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let version = self.next_version();
         self.base.publish(Arc::new(ModelVersion {
             estimator: est.serving_clone(),
@@ -238,7 +276,10 @@ impl ModelRegistry {
     /// Publish a full estimator under an adapter name (the escape hatch for
     /// adapters fine-tuned elsewhere against a matching base).
     pub fn install_estimator(&self, name: &str, est: DaceEstimator) -> Result<u64, RegistryError> {
-        let _g = self.install_lock.lock().expect("install lock poisoned");
+        let _g = self
+            .install_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let version = self.next_version();
         let snapshot = Arc::new(ModelVersion {
             estimator: est.serving_clone(),
@@ -264,6 +305,17 @@ impl ModelRegistry {
             .unwrap_or_else(|_| unreachable!("slot claimed under install lock"));
         self.adapter_len.store(len + 1, Ordering::Release);
         Ok(version)
+    }
+
+    /// Hot-swap the base model from an on-disk checkpoint written by
+    /// [`dace_core::save_checkpoint`]. The crash-safety contract lives
+    /// here: a torn, truncated, bit-flipped or unparseable file returns a
+    /// typed [`ReloadError`] and the registry **keeps serving the last
+    /// good version** — a corrupt checkpoint degrades a reload into a
+    /// no-op, never into an outage or a silently-wrong model.
+    pub fn swap_base_from_checkpoint(&self, path: &Path) -> Result<u64, ReloadError> {
+        let est = dace_core::load_checkpoint(path).map_err(ReloadError::Checkpoint)?;
+        self.swap_base(est).map_err(ReloadError::Registry)
     }
 
     /// Registered adapter names, in installation order.

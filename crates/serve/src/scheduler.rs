@@ -11,9 +11,11 @@
 //! clients (all blocked on responses, so no arrivals are even possible)
 //! from paying the window at all. Admission control keeps tail latency degrading gracefully
 //! instead of collapsing: a full queue sheds the request immediately with
-//! [`ServeError::Overloaded`] (the client can retry against a replica), and
-//! requests whose deadline passed while queued are dropped with
-//! [`ServeError::DeadlineExceeded`] before any work is spent on them.
+//! [`ServeError::Overloaded`] (the client can retry against a replica),
+//! malformed or hostile plans are rejected up front with
+//! [`ServeError::InvalidPlan`], and requests whose deadline passed while
+//! queued are dropped with [`ServeError::DeadlineExceeded`] before any work
+//! is spent on them.
 //!
 //! Per batch, each request resolves its model through the lock-free
 //! [`ModelRegistry`], features come from the fingerprint-keyed
@@ -21,21 +23,39 @@
 //! [`featurize_trees_sharded`] path training uses), and one block-diagonal
 //! forward serves the whole adapter group.
 //!
+//! **Failure model.** Workers are supervised (see [`crate::supervisor`]): a
+//! panic anywhere in the drain/forward path kills only that worker, which
+//! the supervisor respawns; a panic inside one group's forward is caught
+//! *in place* and — when the server was built
+//! [`DaceServer::with_fallback`] — the group is answered from the
+//! [`FallbackEstimator`] with `degraded: true` instead of failing. A
+//! [`CircuitBreaker`] watches model-path outcomes (errors and deadline
+//! misses) and, once tripped, routes whole groups straight to the fallback
+//! until half-open probes prove the model healthy again. Faults themselves
+//! can be injected deterministically via [`ServeConfig::faults`] for chaos
+//! tests and `serve_bench --chaos`.
+//!
 //! [`PackedBatch`]: dace_core::PackedBatch
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dace_core::{featurize_trees_sharded, PlanFeatures, Workspace};
+use dace_core::{featurize_trees_sharded, DaceEstimator, PlanFeatures, Workspace};
 use dace_obs::{span, MetricsRegistry};
-use dace_plan::PlanTree;
+use dace_plan::{validate_plan, PlanTree, PlanValidationError, DEFAULT_MAX_PLAN_DEPTH};
 
 use crate::cache::FeatureCache;
+use crate::fallback::{
+    BreakerConfig, BreakerEvent, BreakerGate, BreakerState, CircuitBreaker, FallbackEstimator,
+};
+use crate::fault::{FaultConfig, FaultInjector, INJECTED_PANIC};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, ModelVersion};
+use crate::supervisor::{lock_recover, WorkerPool};
 
 /// Scheduler policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +95,16 @@ pub struct ServeConfig {
     /// it defaults on; turn off to shave the last fraction of a percent in
     /// throughput benchmarks.
     pub stage_timing: bool,
+    /// Depth limit enforced by admission-time plan validation (`0`
+    /// disables the depth check; structural and numeric validation always
+    /// run). Defaults to [`DEFAULT_MAX_PLAN_DEPTH`].
+    pub max_plan_depth: usize,
+    /// Circuit-breaker tuning; only consulted when the server was built
+    /// with a fallback estimator.
+    pub breaker: BreakerConfig,
+    /// Deterministic fault-injection plan; [`FaultConfig::disabled`] (the
+    /// default) compiles to one relaxed atomic load per site.
+    pub faults: FaultConfig,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +119,9 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             featurize_threads: 1,
             stage_timing: true,
+            max_plan_depth: DEFAULT_MAX_PLAN_DEPTH,
+            breaker: BreakerConfig::default(),
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -103,6 +136,12 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The request named an adapter the registry does not hold.
     UnknownAdapter(String),
+    /// The plan failed admission-time validation (malformed tree, NaN/Inf
+    /// estimates, or deeper than [`ServeConfig::max_plan_depth`]).
+    InvalidPlan(PlanValidationError),
+    /// The model path panicked on this request's group and no fallback
+    /// estimator was configured to absorb it.
+    Internal,
     /// The server is shutting down (or already shut down).
     ShuttingDown,
 }
@@ -113,6 +152,8 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "queue full: request shed"),
             ServeError::DeadlineExceeded => write!(f, "deadline passed in queue"),
             ServeError::UnknownAdapter(n) => write!(f, "unknown adapter {n:?}"),
+            ServeError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            ServeError::Internal => write!(f, "model path failed and no fallback is configured"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
         }
     }
@@ -134,8 +175,14 @@ pub struct Prediction {
     pub batch_size: usize,
     /// Whether featurization came from the cache.
     pub cache_hit: bool,
+    /// True when this answer came from the fallback estimator (circuit
+    /// breaker open, or the model path panicked on this group) rather than
+    /// the model named by `version`. Degraded answers are counted in
+    /// `serve_degraded_total`.
+    pub degraded: bool,
     /// Per-stage wall-time attribution for this request's batch; `None`
-    /// when [`ServeConfig::stage_timing`] is off.
+    /// when [`ServeConfig::stage_timing`] is off (and on degraded answers,
+    /// which skip the staged path).
     pub stages: Option<StageBreakdown>,
 }
 
@@ -156,7 +203,7 @@ pub struct StageBreakdown {
     pub mlp_us: u64,
 }
 
-struct Job {
+pub(crate) struct Job {
     tree: PlanTree,
     adapter: Option<String>,
     enqueued: Instant,
@@ -180,8 +227,33 @@ impl PredictionHandle {
     }
 }
 
+/// Graceful-degradation state: the fallback estimator and the circuit
+/// breaker that decides when to use it. Present iff the server was built
+/// with [`DaceServer::with_fallback`].
+pub(crate) struct DegradeState {
+    pub fallback: Box<dyn FallbackEstimator>,
+    pub breaker: CircuitBreaker,
+}
+
+/// Everything a worker thread needs, bundled so the supervisor can respawn
+/// workers from one `Arc` — and so the receiver stays alive with
+/// `workers = 0` (admission-control tests).
+pub(crate) struct WorkerCtx {
+    pub rx: Mutex<Receiver<Job>>,
+    pub registry: Arc<ModelRegistry>,
+    pub metrics: Arc<ServeMetrics>,
+    pub cache: Arc<FeatureCache>,
+    pub config: ServeConfig,
+    pub degrade: Option<DegradeState>,
+    pub injector: FaultInjector,
+    /// Raised before teardown so worker deaths during shutdown are not
+    /// respawned (or miscounted as service-affecting).
+    pub shutdown: AtomicBool,
+}
+
 /// The online estimator service: micro-batching scheduler over a
-/// [`ModelRegistry`], with featurization cache and metrics.
+/// [`ModelRegistry`], with featurization cache, metrics, supervised
+/// workers, and (optionally) a circuit-broken fallback estimator.
 ///
 /// Shared state is behind `Arc`s, so `&DaceServer` can be used from any
 /// number of client threads; dropping the server joins its workers after
@@ -193,18 +265,36 @@ pub struct DaceServer {
     cache: Arc<FeatureCache>,
     config: ServeConfig,
     sender: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-    /// Keeps the queue connected even with `workers = 0` (admission-control
-    /// tests); workers exit on sender disconnect, not receiver drop.
-    _receiver: Arc<Mutex<Receiver<Job>>>,
+    ctx: Arc<WorkerCtx>,
+    pool: Option<WorkerPool>,
 }
 
 impl DaceServer {
     /// Start a server over `registry` with `config`, spawning the worker
-    /// threads immediately.
+    /// threads immediately. Without a fallback estimator, model-path
+    /// panics are still caught and isolated, but the affected requests
+    /// fail with [`ServeError::Internal`] instead of degrading.
     pub fn new(registry: Arc<ModelRegistry>, config: ServeConfig) -> DaceServer {
+        DaceServer::build(registry, config, None)
+    }
+
+    /// Start a server that degrades to `fallback` (flagged and counted)
+    /// whenever the circuit breaker distrusts the model path, instead of
+    /// failing requests.
+    pub fn with_fallback(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fallback: Box<dyn FallbackEstimator>,
+    ) -> DaceServer {
+        DaceServer::build(registry, config, Some(fallback))
+    }
+
+    fn build(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fallback: Option<Box<dyn FallbackEstimator>>,
+    ) -> DaceServer {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
         // Per-server registry (not the process-global one) so two servers —
         // or two sequential bench phases — never blend their counts.
         let metrics_registry = Arc::new(MetricsRegistry::new());
@@ -214,18 +304,21 @@ impl DaceServer {
             Arc::clone(&metrics.cache_hits),
             Arc::clone(&metrics.cache_misses),
         ));
-        let workers = (0..config.workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
-                let cache = Arc::clone(&cache);
-                std::thread::Builder::new()
-                    .name(format!("dace-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry, &metrics, &cache, config))
-                    .expect("spawning serve worker failed")
-            })
-            .collect();
+        let degrade = fallback.map(|fallback| DegradeState {
+            fallback,
+            breaker: CircuitBreaker::new(config.breaker),
+        });
+        let ctx = Arc::new(WorkerCtx {
+            rx: Mutex::new(rx),
+            registry: Arc::clone(&registry),
+            metrics: Arc::clone(&metrics),
+            cache: Arc::clone(&cache),
+            config,
+            degrade,
+            injector: FaultInjector::new(config.faults),
+            shutdown: AtomicBool::new(false),
+        });
+        let pool = WorkerPool::start(Arc::clone(&ctx), config.workers);
         DaceServer {
             registry,
             metrics_registry,
@@ -233,8 +326,8 @@ impl DaceServer {
             cache,
             config,
             sender: Some(tx),
-            workers,
-            _receiver: rx,
+            ctx,
+            pool: Some(pool),
         }
     }
 
@@ -249,8 +342,21 @@ impl DaceServer {
         &self.config
     }
 
+    /// The server's fault injector — chaos tests use this to toggle fault
+    /// load mid-run ([`FaultInjector::set_enabled`]) and to read roll/fire
+    /// counts.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.ctx.injector
+    }
+
+    /// Circuit-breaker state, when a fallback is configured.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.ctx.degrade.as_ref().map(|d| d.breaker.state())
+    }
+
     /// Submit a request without blocking for its response. Admission
-    /// control happens *here*: a full queue returns
+    /// control happens *here*: plan validation rejects hostile input with
+    /// [`ServeError::InvalidPlan`], and a full queue returns
     /// [`ServeError::Overloaded`] immediately.
     pub fn submit(
         &self,
@@ -259,6 +365,10 @@ impl DaceServer {
         deadline: Option<Duration>,
     ) -> Result<PredictionHandle, ServeError> {
         let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
+        if let Err(e) = validate_plan(tree, self.config.max_plan_depth) {
+            self.metrics.invalid_plan.inc();
+            return Err(ServeError::InvalidPlan(e));
+        }
         let now = Instant::now();
         let (tx, rx) = mpsc::sync_channel(1);
         let job = Job {
@@ -321,11 +431,14 @@ impl DaceServer {
     }
 
     fn shutdown_inner(&mut self) {
-        // Dropping the only sender disconnects the channel; workers finish
-        // the backlog and exit.
+        // Flag first (stops supervision), then disconnect the channel by
+        // dropping the only sender; workers finish the backlog and exit.
+        self.ctx
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
         self.sender.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
         }
     }
 }
@@ -341,17 +454,29 @@ impl Drop for DaceServer {
 /// others are either forwarding a previous batch or parked on the mutex,
 /// which is exactly the recv they would otherwise be parked on), and under
 /// load `recv_timeout` returns instantly so the lock hold is one splice.
-fn drain_batch(
-    rx: &Mutex<Receiver<Job>>,
-    metrics: &ServeMetrics,
-    config: ServeConfig,
-) -> Option<Vec<Job>> {
-    let rx = rx.lock().expect("serve queue lock poisoned");
+///
+/// Fault sites: a worker kill fires *after* taking the queue lock but
+/// *before* receiving any job — the dying worker holds no request (nothing
+/// is lost) but does poison the mutex, exercising both poison recovery in
+/// its peers and the supervisor respawn. A queue stall sleeps while
+/// holding the lock, stalling every worker behind it.
+fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
+    let rx = lock_recover(&ctx.rx);
+    if ctx
+        .injector
+        .should_fire(crate::fault::FaultSite::WorkerKill)
+    {
+        panic!("{INJECTED_PANIC}: worker kill");
+    }
+    if let Some(stall) = ctx.injector.queue_stall() {
+        std::thread::sleep(stall);
+    }
     let first = rx.recv().ok()?;
     // The span opens after the blocking recv: it measures batch collection,
     // not idle time waiting for the first request.
     let _span = span!("serve_drain");
     let collect_started = Instant::now();
+    let config = ctx.config;
     let max_batch = config.max_batch.max(1);
     let min_fill = config.min_fill.clamp(1, max_batch);
     let mut batch = Vec::with_capacity(max_batch);
@@ -391,7 +516,7 @@ fn drain_batch(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    metrics
+    ctx.metrics
         .drain_us
         .record(collect_started.elapsed().as_micros() as u64);
     Some(batch)
@@ -407,28 +532,24 @@ struct WorkerScratch {
     ms: Vec<f64>,
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    registry: &ModelRegistry,
-    metrics: &ServeMetrics,
-    cache: &FeatureCache,
-    config: ServeConfig,
-) {
+pub(crate) fn worker_loop(ctx: &WorkerCtx) {
     let mut scratch = WorkerScratch::default();
-    while let Some(batch) = drain_batch(rx, metrics, config) {
-        process_batch(batch, registry, metrics, cache, config, &mut scratch);
+    while let Some(batch) = drain_batch(ctx) {
+        process_batch(ctx, batch, &mut scratch);
     }
 }
 
-fn process_batch(
-    batch: Vec<Job>,
-    registry: &ModelRegistry,
-    metrics: &ServeMetrics,
-    cache: &FeatureCache,
-    config: ServeConfig,
-    scratch: &mut WorkerScratch,
-) {
+fn count_breaker_event(metrics: &ServeMetrics, ev: Option<BreakerEvent>) {
+    match ev {
+        Some(BreakerEvent::Opened) => metrics.breaker_opened.inc(),
+        Some(BreakerEvent::Closed) => metrics.breaker_closed.inc(),
+        None => {}
+    }
+}
+
+fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) {
     let _span = span!("serve_process_batch");
+    let metrics = &ctx.metrics;
     let drained_at = Instant::now();
     metrics.batches.inc();
     metrics.batch_size.record(batch.len() as u64);
@@ -442,6 +563,12 @@ fn process_batch(
             .record(drained_at.duration_since(job.enqueued).as_micros() as u64);
         if job.deadline.is_some_and(|d| drained_at >= d) {
             metrics.expired.inc();
+            // A deadline miss is model-path evidence too: enough of them
+            // should trip the breaker into serving (fast) degraded answers
+            // rather than missing more deadlines.
+            if let Some(d) = &ctx.degrade {
+                count_breaker_event(metrics, d.breaker.on_result(false, false));
+            }
             let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
@@ -449,7 +576,7 @@ fn process_batch(
     }
 
     for (adapter, jobs) in groups {
-        let version = match registry.resolve(adapter.as_deref()) {
+        let version = match ctx.registry.resolve(adapter.as_deref()) {
             Ok(v) => v,
             Err(_) => {
                 let name = adapter.unwrap_or_default();
@@ -460,93 +587,209 @@ fn process_batch(
                 continue;
             }
         };
-        let est = &version.estimator;
 
-        // Featurize through the cache; misses go through the same sharded
-        // path training uses (serial below 64 trees). `featurize_us` keeps
-        // its historical meaning (probe + miss featurization); stage timing
-        // additionally splits out the probe cost.
-        let t_feat = Instant::now();
-        let fingerprints: Vec<u64> = jobs
-            .iter()
-            .map(|j| est.featurizer.fingerprint(&j.tree))
-            .collect();
-        let mut feats: Vec<Option<Arc<PlanFeatures>>> =
-            fingerprints.iter().map(|&fp| cache.get(fp)).collect();
-        let cache_lookup_us = t_feat.elapsed().as_micros() as u64;
-        let hit_mask: Vec<bool> = feats.iter().map(Option::is_some).collect();
-        let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| feats[i].is_none()).collect();
-        if !miss_idx.is_empty() {
-            let _span = span!("serve_featurize");
-            let miss_trees: Vec<&PlanTree> = miss_idx.iter().map(|&i| &jobs[i].tree).collect();
-            let fresh =
-                featurize_trees_sharded(&est.featurizer, &miss_trees, config.featurize_threads);
-            for (&i, f) in miss_idx.iter().zip(fresh) {
-                let f = Arc::new(f);
-                cache.insert(fingerprints[i], Arc::clone(&f));
-                feats[i] = Some(f);
-            }
-        }
-        let feats: Vec<Arc<PlanFeatures>> = feats.into_iter().map(Option::unwrap).collect();
-        let featurize_us = t_feat.elapsed().as_micros() as u64;
-        metrics.featurize_us.record(featurize_us);
-
-        // One packed block-diagonal forward for the whole group.
-        let t_fwd = Instant::now();
-        let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
-        let stages = {
-            let _span = span!("serve_forward");
-            // Predictions land in the worker's reusable scratch
-            // (`scratch.ms`, aligned with `jobs`): the steady-state forward
-            // path allocates nothing.
-            let timings = est.predict_features_batch_ms_timed_ws(
-                &refs,
-                &mut scratch.ws,
-                &mut scratch.roots,
-                &mut scratch.ms,
-            );
-            if config.stage_timing {
-                metrics.cache_lookup_us.record(cache_lookup_us);
-                metrics.attention_us.record(timings.attention_us);
-                metrics.mlp_us.record(timings.mlp_us);
-                Some(StageBreakdown {
-                    queue_wait_us: 0, // stamped per request below
-                    cache_lookup_us,
-                    featurize_us: featurize_us - cache_lookup_us,
-                    attention_us: timings.attention_us,
-                    mlp_us: timings.mlp_us,
-                })
-            } else {
-                None
-            }
+        // Route the group: model, breaker probe, or straight to fallback.
+        let (use_model, probe) = match &ctx.degrade {
+            Some(d) => match d.breaker.gate() {
+                BreakerGate::Model => (true, false),
+                BreakerGate::Probe => (true, true),
+                BreakerGate::Fallback => (false, false),
+            },
+            None => (true, false),
         };
-        metrics
-            .forward_us
-            .record(t_fwd.elapsed().as_micros() as u64);
-
-        let group_size = jobs.len();
-        let t_resp = Instant::now();
-        let _span = span!("serve_respond");
-        for ((job, &ms), hit) in jobs.into_iter().zip(&scratch.ms).zip(hit_mask) {
-            metrics.completed.inc();
-            metrics
-                .e2e_us
-                .record(job.enqueued.elapsed().as_micros() as u64);
-            let stages = stages.map(|s| StageBreakdown {
-                queue_wait_us: drained_at.duration_since(job.enqueued).as_micros() as u64,
-                ..s
-            });
-            let _ = job.resp.send(Ok(Prediction {
-                ms,
-                adapter: version.adapter.clone(),
-                version: version.version,
-                batch_size: group_size,
-                cache_hit: hit,
-                stages,
-            }));
+        if !use_model {
+            respond_degraded(ctx, &version, jobs);
+            continue;
         }
+
+        // The whole model path runs under `catch_unwind`, borrowing the
+        // jobs: a panic (injected or real) leaves them intact, so the
+        // group degrades to the fallback — or fails typed — instead of
+        // killing the worker and poisoning the queue.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            forward_group(ctx, &version.estimator, &jobs, scratch)
+        }));
+        match outcome {
+            Ok(group) => {
+                if let Some(d) = &ctx.degrade {
+                    count_breaker_event(metrics, d.breaker.on_result(true, probe));
+                }
+                respond_predictions(ctx, &version, jobs, group, &scratch.ms, drained_at);
+            }
+            Err(_) => {
+                metrics.batch_panics.inc();
+                match &ctx.degrade {
+                    Some(d) => {
+                        count_breaker_event(metrics, d.breaker.on_result(false, probe));
+                        respond_degraded(ctx, &version, jobs);
+                    }
+                    None => {
+                        for job in jobs {
+                            let _ = job.resp.send(Err(ServeError::Internal));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What the model path produced for a group (predictions land in
+/// `scratch.ms`, aligned with the group's jobs).
+struct GroupOutput {
+    hit_mask: Vec<bool>,
+    stages: Option<StageBreakdown>,
+}
+
+/// The model path for one adapter group: featurize through the cache, one
+/// packed block-diagonal forward. May panic (that is the point — the
+/// caller catches it); must not consume the jobs.
+fn forward_group(
+    ctx: &WorkerCtx,
+    est: &DaceEstimator,
+    jobs: &[Job],
+    scratch: &mut WorkerScratch,
+) -> GroupOutput {
+    let metrics = &ctx.metrics;
+    let config = ctx.config;
+    if let Some(delay) = ctx.injector.stage_delay() {
+        std::thread::sleep(delay);
+    }
+
+    // Featurize through the cache; misses go through the same sharded
+    // path training uses (serial below 64 trees). `featurize_us` keeps
+    // its historical meaning (probe + miss featurization); stage timing
+    // additionally splits out the probe cost.
+    let t_feat = Instant::now();
+    let fingerprints: Vec<u64> = jobs
+        .iter()
+        .map(|j| est.featurizer.fingerprint(&j.tree))
+        .collect();
+    let mut feats: Vec<Option<Arc<PlanFeatures>>> =
+        fingerprints.iter().map(|&fp| ctx.cache.get(fp)).collect();
+    let cache_lookup_us = t_feat.elapsed().as_micros() as u64;
+    let hit_mask: Vec<bool> = feats.iter().map(Option::is_some).collect();
+    let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| feats[i].is_none()).collect();
+    if !miss_idx.is_empty() {
+        let _span = span!("serve_featurize");
+        let miss_trees: Vec<&PlanTree> = miss_idx.iter().map(|&i| &jobs[i].tree).collect();
+        let fresh = featurize_trees_sharded(&est.featurizer, &miss_trees, config.featurize_threads);
+        for (&i, f) in miss_idx.iter().zip(fresh) {
+            let f = Arc::new(f);
+            ctx.cache.insert(fingerprints[i], Arc::clone(&f));
+            feats[i] = Some(f);
+        }
+    }
+    let feats: Vec<Arc<PlanFeatures>> = feats.into_iter().map(Option::unwrap).collect();
+    let featurize_us = t_feat.elapsed().as_micros() as u64;
+    metrics.featurize_us.record(featurize_us);
+
+    if ctx
+        .injector
+        .should_fire(crate::fault::FaultSite::BatchPanic)
+    {
+        panic!("{INJECTED_PANIC}: batch forward panic");
+    }
+
+    // One packed block-diagonal forward for the whole group.
+    let t_fwd = Instant::now();
+    let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
+    let stages = {
+        let _span = span!("serve_forward");
+        // Predictions land in the worker's reusable scratch
+        // (`scratch.ms`, aligned with `jobs`): the steady-state forward
+        // path allocates nothing.
+        let timings = est.predict_features_batch_ms_timed_ws(
+            &refs,
+            &mut scratch.ws,
+            &mut scratch.roots,
+            &mut scratch.ms,
+        );
+        if config.stage_timing {
+            metrics.cache_lookup_us.record(cache_lookup_us);
+            metrics.attention_us.record(timings.attention_us);
+            metrics.mlp_us.record(timings.mlp_us);
+            Some(StageBreakdown {
+                queue_wait_us: 0, // stamped per request below
+                cache_lookup_us,
+                featurize_us: featurize_us - cache_lookup_us,
+                attention_us: timings.attention_us,
+                mlp_us: timings.mlp_us,
+            })
+        } else {
+            None
+        }
+    };
+    metrics
+        .forward_us
+        .record(t_fwd.elapsed().as_micros() as u64);
+    GroupOutput { hit_mask, stages }
+}
+
+/// Deliver a group's model predictions (`ms` is the scratch-backed slice
+/// `forward_group` filled, aligned with `jobs`).
+fn respond_predictions(
+    ctx: &WorkerCtx,
+    version: &Arc<ModelVersion>,
+    jobs: Vec<Job>,
+    group: GroupOutput,
+    ms: &[f64],
+    drained_at: Instant,
+) {
+    let metrics = &ctx.metrics;
+    let group_size = jobs.len();
+    let t_resp = Instant::now();
+    let _span = span!("serve_respond");
+    for ((job, &ms), hit) in jobs.into_iter().zip(ms).zip(group.hit_mask) {
+        metrics.completed.inc();
         metrics
-            .respond_us
-            .record(t_resp.elapsed().as_micros() as u64);
+            .e2e_us
+            .record(job.enqueued.elapsed().as_micros() as u64);
+        let stages = group.stages.map(|s| StageBreakdown {
+            queue_wait_us: drained_at.duration_since(job.enqueued).as_micros() as u64,
+            ..s
+        });
+        let _ = job.resp.send(Ok(Prediction {
+            ms,
+            adapter: version.adapter.clone(),
+            version: version.version,
+            batch_size: group_size,
+            cache_hit: hit,
+            degraded: false,
+            stages,
+        }));
+    }
+    metrics
+        .respond_us
+        .record(t_resp.elapsed().as_micros() as u64);
+}
+
+/// Answer a whole group from the fallback estimator, flagged `degraded`.
+/// Used both when the breaker gates the group away from the model and when
+/// the model path panicked on it. Only callable with a fallback configured.
+fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>) {
+    let metrics = &ctx.metrics;
+    let degrade = ctx
+        .degrade
+        .as_ref()
+        .expect("respond_degraded requires a fallback");
+    let group_size = jobs.len();
+    let _span = span!("serve_respond");
+    for job in jobs {
+        let ms = degrade.fallback.predict_ms(&job.tree);
+        metrics.degraded.inc();
+        metrics.completed.inc();
+        metrics
+            .e2e_us
+            .record(job.enqueued.elapsed().as_micros() as u64);
+        let _ = job.resp.send(Ok(Prediction {
+            ms,
+            adapter: version.adapter.clone(),
+            version: version.version,
+            batch_size: group_size,
+            cache_hit: false,
+            degraded: true,
+            stages: None,
+        }));
     }
 }

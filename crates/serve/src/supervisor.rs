@@ -1,0 +1,208 @@
+//! Worker supervision: panic isolation, respawn with capped backoff, and
+//! poison-tolerant locking.
+//!
+//! Every serve worker runs inside `catch_unwind`; a panic (injected or
+//! real) kills only that thread, marks its pool slot dirty, and is counted
+//! in `serve_worker_panics_total`. A dedicated supervisor thread polls the
+//! slots (~1 ms cadence), joins the corpse and respawns a replacement:
+//! immediately for an isolated death, with capped exponential backoff when
+//! deaths come back-to-back (a crash loop must not become a spawn storm) —
+//! except that an *empty* pool is always revived without backoff, because
+//! availability beats politeness when nobody is draining the queue.
+//!
+//! The one failure the supervisor cannot absorb is `thread::spawn` itself
+//! failing while no worker is alive; that increments
+//! `serve_pool_exhausted_total` (the chaos CI gate asserts it stays zero)
+//! and the supervisor keeps retrying every poll — the pool is never
+//! abandoned while the server lives.
+//!
+//! A worker that dies holding the queue lock poisons it; [`lock_recover`]
+//! is how every lock site in the crate says "the data is a queue of jobs /
+//! a slot handle, not a broken invariant" and keeps going.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::scheduler::{worker_loop, WorkerCtx};
+
+/// Lock a mutex, recovering from poisoning. Used everywhere in this crate
+/// where the protected data stays valid across a panic (job queues, slot
+/// handles, install serialization) — which is all of them.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// First respawn delay once a crash loop is suspected (second consecutive
+/// death and onward); doubles per consecutive death.
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_millis(100);
+/// Supervisor poll cadence.
+const POLL: Duration = Duration::from_millis(1);
+/// Quiet polls after which the consecutive-death counter resets.
+const QUIET_POLLS_TO_RESET: u32 = 100;
+
+/// One worker slot: the live thread handle plus the dirty flag its panic
+/// wrapper raises on the way out.
+struct WorkerSlot {
+    handle: Mutex<Option<JoinHandle<()>>>,
+    dirty: AtomicBool,
+}
+
+/// The supervised worker pool. Owns the worker threads and the supervisor;
+/// [`WorkerPool::join`] tears all of it down (after the server has
+/// disconnected the queue so workers drain and exit).
+pub(crate) struct WorkerPool {
+    slots: Arc<Vec<WorkerSlot>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` supervised workers over `ctx` plus the supervisor
+    /// thread (none of either when `workers == 0`). Initial spawn failures
+    /// are recorded and left to the supervisor to retry — the pool starts
+    /// degraded, not dead.
+    pub fn start(ctx: Arc<WorkerCtx>, workers: usize) -> WorkerPool {
+        let slots: Arc<Vec<WorkerSlot>> = Arc::new(
+            (0..workers)
+                .map(|_| WorkerSlot {
+                    handle: Mutex::new(None),
+                    dirty: AtomicBool::new(false),
+                })
+                .collect(),
+        );
+        for i in 0..workers {
+            match spawn_worker(&ctx, &slots, i) {
+                Ok(h) => *lock_recover(&slots[i].handle) = Some(h),
+                Err(_) => {
+                    ctx.metrics.spawn_failures.inc();
+                    slots[i].dirty.store(true, Ordering::Release);
+                }
+            }
+        }
+        let supervisor = (workers > 0).then(|| {
+            let sctx = Arc::clone(&ctx);
+            let sslots = Arc::clone(&slots);
+            std::thread::Builder::new()
+                .name("dace-serve-supervisor".into())
+                .spawn(move || supervise(&sctx, &sslots))
+        });
+        let supervisor = match supervisor {
+            Some(Ok(h)) => Some(h),
+            Some(Err(_)) => {
+                // No supervisor: workers run unsupervised (panics still
+                // isolated and counted, just not respawned). Recorded, not
+                // fatal.
+                ctx.metrics.spawn_failures.inc();
+                None
+            }
+            None => None,
+        };
+        WorkerPool { slots, supervisor }
+    }
+
+    /// Join the supervisor and every worker. Call only after the job queue
+    /// has been disconnected, or workers will never exit.
+    pub fn join(mut self) {
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        for slot in self.slots.iter() {
+            if let Some(h) = lock_recover(&slot.handle).take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Spawn one supervised worker into slot `i`: the worker body runs under
+/// `catch_unwind`, and a panicking exit raises the slot's dirty flag for
+/// the supervisor (and is counted, unless the server is shutting down and
+/// the death is moot).
+fn spawn_worker(
+    ctx: &Arc<WorkerCtx>,
+    slots: &Arc<Vec<WorkerSlot>>,
+    i: usize,
+) -> std::io::Result<JoinHandle<()>> {
+    let ctx = Arc::clone(ctx);
+    let slots = Arc::clone(slots);
+    std::thread::Builder::new()
+        .name(format!("dace-serve-{i}"))
+        .spawn(move || {
+            if catch_unwind(AssertUnwindSafe(|| worker_loop(&ctx))).is_err() {
+                ctx.metrics.worker_panics.inc();
+                if !ctx.shutdown.load(Ordering::Acquire) {
+                    slots[i].dirty.store(true, Ordering::Release);
+                }
+            }
+            // Clean exit (queue disconnected at shutdown): dirty stays
+            // false and the slot rests in peace.
+        })
+}
+
+/// The supervisor body: poll the slots, bury and replace dead workers.
+fn supervise(ctx: &Arc<WorkerCtx>, slots: &Arc<Vec<WorkerSlot>>) {
+    let mut consecutive: u32 = 0;
+    let mut quiet_polls: u32 = 0;
+    while !ctx.shutdown.load(Ordering::Acquire) {
+        let mut respawned_this_poll = false;
+        for i in 0..slots.len() {
+            if !slots[i].dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            respawned_this_poll = true;
+            // Clear *before* spawning: a replacement that dies instantly
+            // re-raises the flag; clearing after would race it away and
+            // orphan the slot.
+            slots[i].dirty.store(false, Ordering::Release);
+            if let Some(h) = lock_recover(&slots[i].handle).take() {
+                let _ = h.join();
+            }
+            let alive = slots
+                .iter()
+                .filter(|s| {
+                    lock_recover(&s.handle)
+                        .as_ref()
+                        .is_some_and(|h| !h.is_finished())
+                })
+                .count();
+            // Back off only on a suspected crash loop, and never while the
+            // pool is empty — an undrained queue is the worse failure.
+            if consecutive > 0 && alive > 0 {
+                let shift = (consecutive - 1).min(7);
+                std::thread::sleep((BACKOFF_BASE * 2u32.pow(shift)).min(BACKOFF_MAX));
+            }
+            if ctx.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match spawn_worker(ctx, slots, i) {
+                Ok(h) => {
+                    *lock_recover(&slots[i].handle) = Some(h);
+                    ctx.metrics.worker_restarts.inc();
+                    consecutive = consecutive.saturating_add(1);
+                }
+                Err(_) => {
+                    ctx.metrics.spawn_failures.inc();
+                    if alive == 0 {
+                        ctx.metrics.pool_exhausted.inc();
+                    }
+                    // Re-raise and retry next poll; never abandon the slot.
+                    slots[i].dirty.store(true, Ordering::Release);
+                }
+            }
+        }
+        if respawned_this_poll {
+            quiet_polls = 0;
+        } else {
+            quiet_polls += 1;
+            if quiet_polls >= QUIET_POLLS_TO_RESET {
+                consecutive = 0;
+                quiet_polls = 0;
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hardening tests for the model-reload path: a corrupt or torn checkpoint
+//! on disk must surface as a typed [`ReloadError`] and leave the registry
+//! serving its last good version, bit-for-bit.
+
+mod common;
+
+use std::sync::Arc;
+
+use dace_core::{save_checkpoint, CheckpointError};
+use dace_serve::{ModelRegistry, ReloadError};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dace-hardening-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn clean_checkpoint_reload_swaps_the_base() {
+    let (est, train) = common::quick_estimator(21);
+    let (next, _) = common::quick_estimator(22);
+    let dir = temp_dir("clean");
+    let path = dir.join("model.ckpt");
+    save_checkpoint(&path, &next).unwrap();
+
+    let registry = ModelRegistry::new(est);
+    let v0 = registry.base().version;
+    let v1 = registry
+        .swap_base_from_checkpoint(&path)
+        .expect("clean checkpoint reloads");
+    assert!(v1 > v0);
+    let expected = next.predict_ms(&train.plans[0].tree);
+    let got = registry.base().estimator.predict_ms(&train.plans[0].tree);
+    assert_eq!(expected.to_bits(), got.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_and_last_good_version_keeps_serving() {
+    let (est, train) = common::quick_estimator(23);
+    let probe = &train.plans[0].tree;
+    let baseline = est.predict_ms(probe);
+
+    let dir = temp_dir("corrupt");
+    let path = dir.join("model.ckpt");
+    save_checkpoint(&path, &est).unwrap();
+
+    // Flip one payload bit — the torn-write/bit-rot stand-in.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new(est));
+    let v_before = registry.base().version;
+    match registry.swap_base_from_checkpoint(&path) {
+        Err(ReloadError::Checkpoint(CheckpointError::ChecksumMismatch { .. })) => {}
+        other => panic!("expected a checksum rejection, got {other:?}"),
+    }
+    // The registry is untouched: same version, bit-identical predictions.
+    assert_eq!(registry.base().version, v_before);
+    assert_eq!(
+        registry.base().estimator.predict_ms(probe).to_bits(),
+        baseline.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected_typed() {
+    let (est, _) = common::quick_estimator(24);
+    let dir = temp_dir("torn");
+    let path = dir.join("model.ckpt");
+    save_checkpoint(&path, &est).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+    let registry = ModelRegistry::new(est);
+    assert!(matches!(
+        registry.swap_base_from_checkpoint(&path),
+        Err(ReloadError::Checkpoint(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_checkpoint_file_is_a_typed_io_error() {
+    let (est, _) = common::quick_estimator(25);
+    let registry = ModelRegistry::new(est);
+    let path = std::env::temp_dir().join(format!("dace-no-ckpt-{}", std::process::id()));
+    match registry.swap_base_from_checkpoint(&path) {
+        Err(ReloadError::Checkpoint(CheckpointError::Io(_))) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
