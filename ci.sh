@@ -72,6 +72,29 @@ jq -e '.availability >= 0.99
     "$OBS_TMP/chaos.json" >/dev/null \
     || { echo "FAIL: chaos smoke out of bounds"; cat "$OBS_TMP/chaos.json"; exit 1; }
 
+# Adaptive smoke: run the observe→retrain→swap loop end to end (clean
+# traffic → sustained 6× drift → background retrain → shadow eval →
+# checkpointed promotion → probation), plus a sabotaged sub-run whose
+# garbage candidate must be rejected. serve_bench itself exits non-zero on
+# any contract violation; the emitted JSON is re-asserted here: drift was
+# detected, exactly the clean run's retrain promoted a new version,
+# post-swap q-error p90 recovered to within 1.2× of the pre-drift p90, no
+# probation rollback fired on the clean run, and the sabotaged candidate
+# never published.
+echo "==> adaptive smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- \
+    --adaptive --smoke --json >"$OBS_TMP/adaptive.json"
+jq -e '.drift_trips >= 1
+       and .retrains_succeeded >= 1
+       and .promotions >= 1
+       and .versions_after > .versions_before
+       and .rollbacks == 0
+       and .post_q_p90 <= .pre_q_p90 * 1.2
+       and .sabotage_rejections >= 1
+       and .sabotage_promotions == 0' \
+    "$OBS_TMP/adaptive.json" >/dev/null \
+    || { echo "FAIL: adaptive smoke out of bounds"; cat "$OBS_TMP/adaptive.json"; exit 1; }
+
 # Bench smoke: compile and run each bench once in test mode (no sampling);
 # catches bit-rot in the criterion harness wiring without the full run.
 echo "==> bench smoke"

@@ -124,6 +124,35 @@ pub fn node_features(tree: &PlanTree, scalers: &NodeScalers) -> Tensor2 {
     x
 }
 
+/// Debug-check the traversal assumption every bottom-up baseline forward
+/// pass relies on: [`PlanTree::dfs`] is a *preorder* (parent before
+/// children), so iterating it **reversed** visits every child before its
+/// parent, and a parent may read its children's caches unconditionally.
+///
+/// The property holds for any valid tree (`TreeBuilder::finish` validates
+/// single-reachability), so this compiles to nothing in release builds; it
+/// exists to fail loudly if the traversal or builder contract ever changes
+/// instead of surfacing as an opaque `unwrap` on an empty cache slot.
+pub fn debug_assert_child_before_parent(tree: &PlanTree) {
+    if cfg!(debug_assertions) {
+        let order = tree.dfs();
+        let mut pos = vec![usize::MAX; tree.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for &id in &order {
+            for &c in &tree.node(id).children {
+                debug_assert!(
+                    pos[c.index()] > pos[id.index()],
+                    "DFS preorder must place parent {id:?} before child {c:?}: \
+                     bottom-up passes iterate it reversed and read child caches \
+                     before the parent's"
+                );
+            }
+        }
+    }
+}
+
 /// Feature vector of a single node (same layout as [`node_features`] rows).
 pub fn single_node_features(
     tree: &PlanTree,

@@ -10,7 +10,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::estimator::{log_ms, CostEstimator};
-use crate::plan_feat::{single_node_features, NodeScalers, NODE_FEAT};
+use crate::plan_feat::{
+    debug_assert_child_before_parent, single_node_features, NodeScalers, NODE_FEAT,
+};
 
 /// Width of the "data vector" a node passes to its parent.
 const DATA_VEC: usize = 16;
@@ -73,6 +75,7 @@ impl QppNet {
     /// Post-order forward over the whole plan; returns per-node caches
     /// indexed by arena id.
     fn forward_plan(&self, tree: &PlanTree, scalers: &NodeScalers) -> Vec<Option<NodeCache>> {
+        debug_assert_child_before_parent(tree);
         let mut caches: Vec<Option<NodeCache>> = (0..tree.len()).map(|_| None).collect();
         // Reverse DFS preorder = children before parents.
         let order = tree.dfs();
@@ -81,7 +84,10 @@ impl QppNet {
             let mut x = vec![0.0f32; INPUT];
             x[..NODE_FEAT].copy_from_slice(&single_node_features(tree, id, scalers));
             for &c in &node.children {
-                let child_out = &caches[c.index()].as_ref().expect("child not done").out;
+                let child_out = &caches[c.index()]
+                    .as_ref()
+                    .expect("DFS invariant: child cached before parent")
+                    .out;
                 for k in 0..1 + DATA_VEC {
                     x[NODE_FEAT + k] += child_out.get(0, k);
                 }
@@ -117,7 +123,9 @@ impl QppNet {
         }
         for &id in &order {
             let node = tree.node(id);
-            let cache = caches[id.index()].as_ref().unwrap();
+            let cache = caches[id.index()]
+                .as_ref()
+                .expect("forward_plan caches every node");
             let net = &mut self.nets[node.node_type.one_hot_index()];
             let dh = net.l2.backward_from(&d_out[id.index()], &cache.h);
             let da = Relu::backward_from(&dh, &cache.h);

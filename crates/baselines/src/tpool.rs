@@ -15,7 +15,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::estimator::{log_ms, CostEstimator};
-use crate::plan_feat::{single_node_features, NodeScalers, NODE_FEAT, PRED_FEAT};
+use crate::plan_feat::{
+    debug_assert_child_before_parent, single_node_features, NodeScalers, NODE_FEAT, PRED_FEAT,
+};
 
 /// Node representation width.
 const HIDDEN: usize = 256;
@@ -87,7 +89,12 @@ impl TPool {
     }
 
     /// Bottom-up forward with per-dimension max pooling over children.
+    ///
+    /// Walks the DFS preorder **reversed**, so every child's cache exists
+    /// by the time its parent pools over it (see
+    /// [`debug_assert_child_before_parent`]).
     fn forward_plan(&self, tree: &PlanTree, scalers: &NodeScalers) -> Vec<Option<NodeCache>> {
+        debug_assert_child_before_parent(tree);
         let mut caches: Vec<Option<NodeCache>> = (0..tree.len()).map(|_| None).collect();
         let order = tree.dfs();
         for &id in order.iter().rev() {
@@ -102,7 +109,10 @@ impl TPool {
             let mut pooled = vec![0.0f32; HIDDEN];
             let mut argmax = vec![usize::MAX; HIDDEN];
             for &c in &node.children {
-                let ch = &caches[c.index()].as_ref().unwrap().repr;
+                let ch = &caches[c.index()]
+                    .as_ref()
+                    .expect("DFS invariant: child cached before parent")
+                    .repr;
                 for j in 0..HIDDEN {
                     let v = ch.get(0, j);
                     if v > pooled[j] {
@@ -145,7 +155,10 @@ impl TPool {
         d_card: f32,
     ) {
         let root = tree.root().index();
-        let root_repr = &caches[root].as_ref().unwrap().repr;
+        let root_repr = &caches[root]
+            .as_ref()
+            .expect("forward_plan caches every node")
+            .repr;
         // Cost head.
         let d = Tensor2::from_vec(1, 1, vec![d_cost]);
         let d = self.cost_head2.backward_from(&d, head_h);
@@ -160,7 +173,9 @@ impl TPool {
         let mut d_repr: Vec<Tensor2> = (0..tree.len()).map(|_| Tensor2::zeros(1, HIDDEN)).collect();
         d_repr[root] = d_root;
         for &id in &order {
-            let cache = caches[id.index()].as_ref().unwrap();
+            let cache = caches[id.index()]
+                .as_ref()
+                .expect("forward_plan caches every node");
             let d = Relu::backward_from(&d_repr[id.index()], &cache.repr);
             let d_comb = self.combine.backward_from(&d, &cache.comb_in);
             // Encoder segment.
@@ -223,7 +238,10 @@ impl CostEstimator for TPool {
                 for &i in batch {
                     let tree = &train.plans[i].tree;
                     let caches = self.forward_plan(tree, &scalers);
-                    let root_repr = &caches[tree.root().index()].as_ref().unwrap().repr;
+                    let root_repr = &caches[tree.root().index()]
+                        .as_ref()
+                        .expect("forward_plan caches every node")
+                        .repr;
                     let (h, cost, card) = self.heads(root_repr);
                     let d_cost = 2.0 * (cost - cost_targets[i]) / batch.len() as f32;
                     let d_card =
@@ -239,7 +257,10 @@ impl CostEstimator for TPool {
     fn predict_ms(&self, tree: &PlanTree) -> f64 {
         let scalers = self.scalers.as_ref().expect("TPool not fitted");
         let caches = self.forward_plan(tree, scalers);
-        let root_repr = &caches[tree.root().index()].as_ref().unwrap().repr;
+        let root_repr = &caches[tree.root().index()]
+            .as_ref()
+            .expect("forward_plan caches every node")
+            .repr;
         let (_, cost, _) = self.heads(root_repr);
         (cost as f64).exp()
     }
@@ -258,7 +279,10 @@ impl TPool {
     pub fn predict_cardinality(&self, tree: &PlanTree) -> f64 {
         let scalers = self.scalers.as_ref().expect("TPool not fitted");
         let caches = self.forward_plan(tree, scalers);
-        let root_repr = &caches[tree.root().index()].as_ref().unwrap().repr;
+        let root_repr = &caches[tree.root().index()]
+            .as_ref()
+            .expect("forward_plan caches every node")
+            .repr;
         let (_, _, card) = self.heads(root_repr);
         (card as f64).exp() - 1.0
     }

@@ -12,7 +12,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::estimator::{log_ms, CostEstimator};
-use crate::plan_feat::{single_node_features, NodeScalers, NODE_FEAT};
+use crate::plan_feat::{
+    debug_assert_child_before_parent, single_node_features, NodeScalers, NODE_FEAT,
+};
 
 /// Hidden state width propagated up the tree.
 const HIDDEN: usize = 128;
@@ -75,6 +77,7 @@ impl ZeroShot {
 
     /// Bottom-up message passing; returns per-node caches (arena-indexed).
     fn forward_plan(&self, tree: &PlanTree, scalers: &NodeScalers) -> Vec<Option<NodeCache>> {
+        debug_assert_child_before_parent(tree);
         let mut caches: Vec<Option<NodeCache>> = (0..tree.len()).map(|_| None).collect();
         let order = tree.dfs();
         for &id in order.iter().rev() {
@@ -84,7 +87,10 @@ impl ZeroShot {
             let k = node.children.len();
             if k > 0 {
                 for &c in &node.children {
-                    let ch = &caches[c.index()].as_ref().unwrap().h2;
+                    let ch = &caches[c.index()]
+                        .as_ref()
+                        .expect("DFS invariant: child cached before parent")
+                        .h2;
                     for j in 0..HIDDEN {
                         x[NODE_FEAT + j] += ch.get(0, j) / k as f32;
                     }
@@ -123,9 +129,13 @@ impl ZeroShot {
         let d = Tensor2::from_vec(1, 1, vec![d_pred]);
         let d = self.out2.backward_from(&d, o1);
         let d = Relu::backward_from(&d, o1);
-        let d_root_h = self
-            .out1
-            .backward_from(&d, &caches[tree.root().index()].as_ref().unwrap().h2);
+        let d_root_h = self.out1.backward_from(
+            &d,
+            &caches[tree.root().index()]
+                .as_ref()
+                .expect("forward_plan caches every node")
+                .h2,
+        );
 
         // Top-down through the tree.
         let order = tree.dfs();
@@ -133,7 +143,9 @@ impl ZeroShot {
         d_h2[tree.root().index()] = d_root_h;
         for &id in &order {
             let node = tree.node(id);
-            let cache = caches[id.index()].as_ref().unwrap();
+            let cache = caches[id.index()]
+                .as_ref()
+                .expect("forward_plan caches every node");
             let net = &mut self.nets[node.node_type.one_hot_index()];
             let d = Relu::backward_from(&d_h2[id.index()], &cache.h2);
             let d = net.l2.backward_from(&d, &cache.h1);
@@ -195,7 +207,10 @@ impl CostEstimator for ZeroShot {
                 for &i in batch {
                     let tree = &train.plans[i].tree;
                     let caches = self.forward_plan(tree, &scalers);
-                    let root_h = &caches[tree.root().index()].as_ref().unwrap().h2;
+                    let root_h = &caches[tree.root().index()]
+                        .as_ref()
+                        .expect("forward_plan caches every node")
+                        .h2;
                     let (o1, pred) = self.head(root_h);
                     let d = 2.0 * (pred - targets[i]) / batch.len() as f32;
                     self.backward_plan(tree, &caches, &o1, d);
@@ -209,7 +224,10 @@ impl CostEstimator for ZeroShot {
     fn predict_ms(&self, tree: &PlanTree) -> f64 {
         let scalers = self.scalers.as_ref().expect("Zero-Shot not fitted");
         let caches = self.forward_plan(tree, scalers);
-        let root_h = &caches[tree.root().index()].as_ref().unwrap().h2;
+        let root_h = &caches[tree.root().index()]
+            .as_ref()
+            .expect("forward_plan caches every node")
+            .h2;
         let (_, pred) = self.head(root_h);
         (pred as f64).exp()
     }

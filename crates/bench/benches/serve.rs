@@ -32,7 +32,8 @@ fn fixture() -> (dace_core::DaceEstimator, Vec<PlanTree>) {
         epochs: 1,
         ..Default::default()
     })
-    .fit(&data);
+    .fit(&data)
+    .unwrap();
     let pool = data.plans.into_iter().map(|p| p.tree).collect();
     (est, pool)
 }

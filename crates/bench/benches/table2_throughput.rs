@@ -50,7 +50,8 @@ fn bench_inference(c: &mut Criterion) {
         epochs: 2,
         ..Default::default()
     })
-    .fit(&train);
+    .fit(&train)
+    .unwrap();
     group.bench_function("DACE", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -122,7 +123,8 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 1,
                     ..Default::default()
                 })
-                .fit(&slice),
+                .fit(&slice)
+                .unwrap(),
             );
         })
     });
@@ -142,7 +144,8 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 1,
                     ..Default::default()
                 })
-                .fit_baseline_repack(&slice),
+                .fit_baseline_repack(&slice)
+                .unwrap(),
             );
         });
         dace_nn::set_kernel_tier(dace_nn::KernelTier::Auto);
@@ -154,7 +157,8 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 5,
                     ..Default::default()
                 })
-                .fit(&slice),
+                .fit(&slice)
+                .unwrap(),
             );
         })
     });
@@ -166,7 +170,8 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 5,
                     ..Default::default()
                 })
-                .fit_baseline_repack(&slice),
+                .fit_baseline_repack(&slice)
+                .unwrap(),
             );
         });
         dace_nn::set_kernel_tier(dace_nn::KernelTier::Auto);
@@ -179,7 +184,8 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 1,
                     ..Default::default()
                 })
-                .fit_per_plan_reference(&slice),
+                .fit_per_plan_reference(&slice)
+                .unwrap(),
             );
         });
         dace_nn::set_reference_kernels(false);
@@ -189,8 +195,9 @@ fn bench_training(c: &mut Criterion) {
             epochs: 1,
             ..Default::default()
         })
-        .fit(&slice);
-        b.iter(|| est.fine_tune_lora(&slice, 1, 2e-3))
+        .fit(&slice)
+        .unwrap();
+        b.iter(|| est.fine_tune_lora(&slice, 1, 2e-3).unwrap())
     });
     group.bench_function("MSCN", |b| {
         b.iter(|| {

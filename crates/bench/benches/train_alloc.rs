@@ -81,17 +81,17 @@ fn main() {
     let train = synthetic_training_set(PLANS, 42);
 
     let (workspace_bytes, workspace_ms) = run(|t| {
-        t.fit(&train);
+        t.fit(&train).unwrap();
     });
     let (repack_bytes, _repack_ms) = run(|t| {
-        t.fit_baseline_repack(&train);
+        t.fit_baseline_repack(&train).unwrap();
     });
 
     let reduction = 1.0 - workspace_bytes as f64 / repack_bytes.max(1) as f64;
     let samples_per_sec = PLANS as f64 / (workspace_ms / 1e3);
 
     // Single-plan end-to-end forward latency (featurize + workspace forward).
-    let est = Trainer::new(config()).fit(&train);
+    let est = Trainer::new(config()).fit(&train).unwrap();
     let tree = &train.plans[0].tree;
     let reps = 2000;
     let t0 = Instant::now();

@@ -106,8 +106,15 @@ pub struct PackedBatch {
 
 impl PackedBatch {
     /// Pack a mini-batch, padding every plan to the batch's largest plan.
-    pub fn pack(plans: &[&PlanFeatures]) -> PackedBatch {
-        assert!(!plans.is_empty(), "cannot pack an empty batch");
+    /// An empty batch is a typed [`TrainError::EmptyDataset`], not a panic:
+    /// automated retrain paths chunk whatever a feedback window drained, and
+    /// a degenerate window must not kill the trainer thread.
+    ///
+    /// [`TrainError::EmptyDataset`]: crate::TrainError::EmptyDataset
+    pub fn pack(plans: &[&PlanFeatures]) -> Result<PackedBatch, crate::trainer::TrainError> {
+        if plans.is_empty() {
+            return Err(crate::trainer::TrainError::EmptyDataset);
+        }
         let n_max = plans.iter().map(|p| p.x.rows()).max().unwrap();
         let count = plans.len();
         let total: usize = plans.iter().map(|p| p.x.rows()).sum();
@@ -133,7 +140,7 @@ impl PackedBatch {
             targets[b * n_max..b * n_max + n].copy_from_slice(&p.targets);
             heights[b * n_max..b * n_max + n].copy_from_slice(&p.heights);
         }
-        PackedBatch {
+        Ok(PackedBatch {
             x,
             xc,
             n_max,
@@ -142,7 +149,7 @@ impl PackedBatch {
             bias,
             targets,
             heights,
-        }
+        })
     }
 
     /// Total packed rows (`count · n_max`).
@@ -409,7 +416,7 @@ mod tests {
                                              // with toy plans, so pack two 2-node plans plus a padded slot check
                                              // via differing n_max from a hand-built 1-node comparison below.
         let b = f.encode(&ds.plans[7].tree); // 2 nodes
-        let batch = PackedBatch::pack(&[&a, &b]);
+        let batch = PackedBatch::pack(&[&a, &b]).unwrap();
         assert_eq!(batch.count, 2);
         assert_eq!(batch.n_max, 2);
         assert_eq!(batch.lens, vec![2, 2]);
@@ -444,7 +451,7 @@ mod tests {
             heights: vec![0],
             targets: vec![two.targets[1]],
         };
-        let batch = PackedBatch::pack(&[&one, &two]);
+        let batch = PackedBatch::pack(&[&one, &two]).unwrap();
         assert_eq!(batch.n_max, 2);
         assert_eq!(batch.lens, vec![1, 2]);
         // Plan 0's padding row is zero features, zero target.

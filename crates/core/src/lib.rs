@@ -35,4 +35,6 @@ pub use persist::{
     decode_checkpoint, encode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint,
     CheckpointError, CHECKPOINT_MAGIC,
 };
-pub use trainer::{featurize_trees_sharded, DaceEstimator, TrainConfig, Trainer};
+pub use trainer::{
+    featurize_trees_sharded, quantile, DaceEstimator, TrainConfig, TrainError, Trainer,
+};

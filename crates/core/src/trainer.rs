@@ -27,6 +27,27 @@ use crate::featurize::{FeatureConfig, Featurizer, PackedBatch, PlanFeatures};
 use crate::loss::LossAdjuster;
 use crate::model::{DaceModel, ForwardTimings};
 
+/// Why training or fine-tuning could not run. An automated retrain loop
+/// (the serving layer's drift-triggered fine-tune) feeds whatever its
+/// feedback window holds into these entry points; a window that drained
+/// empty must degrade into a typed error the caller can count and skip,
+/// never a panic that kills the trainer thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The dataset (or packed mini-batch) contained no plans.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "dataset is empty: nothing to train on"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -227,8 +248,10 @@ fn validation_stats(
 }
 
 /// Quantile of an unsorted sample set by exact rank (`ceil(p·n)`-th order
-/// statistic), `None` on an empty set.
-fn quantile(samples: &mut [f64], p: f64) -> Option<f64> {
+/// statistic), `None` on an empty set. Shared by training telemetry and the
+/// serving layer's q-error drift detector — one definition of "p90" across
+/// the whole observe→retrain loop.
+pub fn quantile(samples: &mut [f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
@@ -318,7 +341,7 @@ fn run_epochs(
         .chunks(batch_plans.max(1))
         .map(|chunk| {
             let refs: Vec<&PlanFeatures> = chunk.iter().map(|&i| &feats[i]).collect();
-            PackedBatch::pack(&refs)
+            PackedBatch::pack(&refs).expect("mini-batch chunks are non-empty")
         })
         .collect();
     let mut batch_order: Vec<usize> = (0..batches.len()).collect();
@@ -459,7 +482,7 @@ fn run_epochs_repack_baseline(
         let mut batches = 0usize;
         for batch in order.chunks(batch_plans.max(1)) {
             let refs: Vec<&PlanFeatures> = batch.iter().map(|&i| &feats[i]).collect();
-            let packed = PackedBatch::pack(&refs);
+            let packed = PackedBatch::pack(&refs).expect("mini-batch chunks are non-empty");
             let preds = model.forward_batch_reference(&packed);
             let (loss, d_pred) = packed_grad(adjuster, &preds, &packed);
             loss_sum += f64::from(loss);
@@ -518,9 +541,13 @@ impl Trainer {
     /// Pre-train DACE on `train` (plans from many databases).
     ///
     /// Featurization is sharded across threads; training runs the shared
-    /// batched loop (one padded forward/backward per mini-batch).
-    pub fn fit(&self, train: &Dataset) -> DaceEstimator {
-        assert!(!train.is_empty(), "cannot train on an empty dataset");
+    /// batched loop (one padded forward/backward per mini-batch). An empty
+    /// dataset is a typed [`TrainError::EmptyDataset`], not a panic — the
+    /// serving layer's auto-retrain feeds whatever its feedback window holds.
+    pub fn fit(&self, train: &Dataset) -> Result<DaceEstimator, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
         let cfg = self.config;
         let featurizer = Featurizer::fit(train, cfg.features);
         let mut model = DaceModel::new(cfg.seed);
@@ -545,12 +572,12 @@ impl Trainer {
                 verbosity: cfg.verbosity,
             },
         );
-        DaceEstimator {
+        Ok(DaceEstimator {
             model,
             featurizer,
             adjuster,
             config: cfg,
-        }
+        })
     }
 
     /// [`fit`] through the pre-workspace epoch loop
@@ -561,8 +588,10 @@ impl Trainer {
     /// Ignores early stopping (the baseline predates it in the bench).
     ///
     /// [`fit`]: Trainer::fit
-    pub fn fit_baseline_repack(&self, train: &Dataset) -> DaceEstimator {
-        assert!(!train.is_empty(), "cannot train on an empty dataset");
+    pub fn fit_baseline_repack(&self, train: &Dataset) -> Result<DaceEstimator, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
         let cfg = self.config;
         let featurizer = Featurizer::fit(train, cfg.features);
         let mut model = DaceModel::new(cfg.seed);
@@ -583,12 +612,12 @@ impl Trainer {
                 verbosity: cfg.verbosity,
             },
         );
-        DaceEstimator {
+        Ok(DaceEstimator {
             model,
             featurizer,
             adjuster,
             config: cfg,
-        }
+        })
     }
 
     /// The pre-batching per-plan training loop, kept as the reference
@@ -601,8 +630,10 @@ impl Trainer {
     /// batched-throughput comparison.
     ///
     /// [`fit`]: Trainer::fit
-    pub fn fit_per_plan_reference(&self, train: &Dataset) -> DaceEstimator {
-        assert!(!train.is_empty(), "cannot train on an empty dataset");
+    pub fn fit_per_plan_reference(&self, train: &Dataset) -> Result<DaceEstimator, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
         let cfg = self.config;
         let featurizer = Featurizer::fit(train, cfg.features);
         let mut model = DaceModel::new(cfg.seed);
@@ -646,12 +677,12 @@ impl Trainer {
                 opt.step(&mut model.params_mut());
             }
         }
-        DaceEstimator {
+        Ok(DaceEstimator {
             model,
             featurizer,
             adjuster,
             config: cfg,
-        }
+        })
     }
 }
 
@@ -797,9 +828,15 @@ impl DaceEstimator {
     /// every base weight and trains only the MLP adapters `ΔW = B·A` on the
     /// new data. Runs the same shared batched loop as [`Trainer::fit`]
     /// (distinct shuffle stream), honoring the config's early-stopping
-    /// settings.
-    pub fn fine_tune_lora(&mut self, data: &Dataset, epochs: usize, lr: f32) {
-        self.fine_tune_lora_with_sink(data, epochs, lr, None);
+    /// settings. An empty dataset returns [`TrainError::EmptyDataset`] with
+    /// the estimator untouched.
+    pub fn fine_tune_lora(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        lr: f32,
+    ) -> Result<(), TrainError> {
+        self.fine_tune_lora_with_sink(data, epochs, lr, None)
     }
 
     /// [`fine_tune_lora`] with per-epoch telemetry: records go to `sink`
@@ -813,8 +850,10 @@ impl DaceEstimator {
         epochs: usize,
         lr: f32,
         sink: Option<&dyn RunSink>,
-    ) {
-        assert!(!data.is_empty(), "cannot fine-tune on an empty dataset");
+    ) -> Result<(), TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
         self.model.set_mode(LoraMode::Finetune);
         let feats = featurize_sharded(&self.featurizer, &data.plans, self.config.featurize_threads);
         run_epochs(
@@ -833,6 +872,24 @@ impl DaceEstimator {
                 verbosity: self.config.verbosity,
             },
         );
+        Ok(())
+    }
+
+    /// The incremental fine-tune entry point for online adaptation: LoRA
+    /// fine-tune a *copy* of this estimator on `data` and return it,
+    /// leaving `self` untouched. This is what a background retrain thread
+    /// calls against the currently-serving snapshot — the candidate it
+    /// returns goes through shadow evaluation before any registry
+    /// promotion, so the serving model must never be mutated in place.
+    pub fn fine_tuned_clone(
+        &self,
+        data: &Dataset,
+        epochs: usize,
+        lr: f32,
+    ) -> Result<DaceEstimator, TrainError> {
+        let mut candidate = self.clone();
+        candidate.fine_tune_lora(data, epochs, lr)?;
+        Ok(candidate)
     }
 
     /// Serialize to JSON.
@@ -926,7 +983,7 @@ mod tests {
             epochs: 60,
             ..Default::default()
         });
-        let est = trainer.fit(&train);
+        let est = trainer.fit(&train).unwrap();
         let q = median_qerror(&est, &test);
         assert!(
             q < 1.5,
@@ -941,7 +998,8 @@ mod tests {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let preds = est.predict_subplans_ms(&train.plans[0].tree);
         assert_eq!(preds.len(), train.plans[0].tree.len());
         assert!(preds.iter().all(|&p| p > 0.0 && p.is_finite()));
@@ -954,7 +1012,7 @@ mod tests {
             epochs: 40,
             ..Default::default()
         });
-        let mut est = trainer.fit(&train);
+        let mut est = trainer.fit(&train).unwrap();
 
         // "Machine 2": every latency is 3× slower.
         let mut shifted = synthetic_dataset(300, 5);
@@ -964,7 +1022,7 @@ mod tests {
             }
         }
         let before = median_qerror(&est, &shifted);
-        est.fine_tune_lora(&shifted, 40, 2e-3);
+        est.fine_tune_lora(&shifted, 40, 2e-3).unwrap();
         let after = median_qerror(&est, &shifted);
         assert!(
             after < before,
@@ -986,7 +1044,8 @@ mod tests {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let json = est.to_json();
         let restored = DaceEstimator::from_json(&json).unwrap();
         let t = &train.plans[0].tree;
@@ -1001,8 +1060,8 @@ mod tests {
             epochs: 3,
             ..Default::default()
         };
-        let a = Trainer::new(cfg).fit(&train);
-        let b = Trainer::new(cfg).fit(&train);
+        let a = Trainer::new(cfg).fit(&train).unwrap();
+        let b = Trainer::new(cfg).fit(&train).unwrap();
         let t = &train.plans[0].tree;
         assert_eq!(a.predict_ms(t), b.predict_ms(t));
     }
@@ -1017,8 +1076,8 @@ mod tests {
             epochs: 2,
             ..Default::default()
         };
-        let batched = Trainer::new(cfg).fit(&train);
-        let reference = Trainer::new(cfg).fit_per_plan_reference(&train);
+        let batched = Trainer::new(cfg).fit(&train).unwrap();
+        let reference = Trainer::new(cfg).fit_per_plan_reference(&train).unwrap();
         for p in &train.plans {
             let a = batched.predict_ms(&p.tree).ln();
             let b = reference.predict_ms(&p.tree).ln();
@@ -1058,7 +1117,7 @@ mod tests {
             .iter()
             .map(|c| {
                 let refs: Vec<&PlanFeatures> = c.iter().map(|&i| &feats[i]).collect();
-                PackedBatch::pack(&refs)
+                PackedBatch::pack(&refs).unwrap()
             })
             .collect();
         // Three epochs of arbitrary batch permutations.
@@ -1074,7 +1133,7 @@ mod tests {
                 opt_a.step(&mut a.params_mut());
                 // Reference path re-packing the same chunk from scratch.
                 let refs: Vec<&PlanFeatures> = chunks[bi].iter().map(|&i| &feats[i]).collect();
-                let fresh = PackedBatch::pack(&refs);
+                let fresh = PackedBatch::pack(&refs).unwrap();
                 let preds = b.forward_batch_reference(&fresh);
                 let (_, d) = packed_grad(&adjuster, &preds, &fresh);
                 b.backward(&d);
@@ -1097,7 +1156,8 @@ mod tests {
             epochs: 3,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let trees: Vec<&PlanTree> = train.plans.iter().map(|p| &p.tree).collect();
         let batch = est.predict_batch_ms(&trees);
         assert_eq!(batch.len(), trees.len());
@@ -1120,13 +1180,14 @@ mod tests {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let before: Vec<f64> = train
             .plans
             .iter()
             .map(|p| est.predict_ms(&p.tree))
             .collect();
-        est.fine_tune_lora(&train, 3, 0.0);
+        est.fine_tune_lora(&train, 3, 0.0).unwrap();
         let after: Vec<f64> = train
             .plans
             .iter()
@@ -1144,7 +1205,8 @@ mod tests {
             patience: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         // Early stopping must leave a usable model behind.
         let q = median_qerror(&with_es, &train);
         assert!(q.is_finite() && q >= 1.0);
@@ -1156,14 +1218,16 @@ mod tests {
             patience: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let b = Trainer::new(TrainConfig {
             epochs: 3,
             validation_fraction: 0.2,
             patience: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         assert_eq!(
             a.predict_ms(&train.plans[0].tree),
             b.predict_ms(&train.plans[0].tree),
@@ -1192,7 +1256,7 @@ mod tests {
             epochs: 6,
             ..Default::default()
         });
-        let base = trainer.fit(&train);
+        let base = trainer.fit(&train).unwrap();
 
         let mut shifted = synthetic_dataset(120, 21);
         for p in &mut shifted.plans {
@@ -1201,7 +1265,7 @@ mod tests {
             }
         }
         let mut tuned = base.clone();
-        tuned.fine_tune_lora(&shifted, 5, 2e-3);
+        tuned.fine_tune_lora(&shifted, 5, 2e-3).unwrap();
 
         // base + extracted adapter ≡ the fine-tuned estimator, bit-exactly.
         let adapter = tuned.extract_adapter();
@@ -1227,7 +1291,8 @@ mod tests {
             epochs: 3,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let mut served = est.serving_clone();
         for p in train.plans.iter().take(8) {
             assert_eq!(served.predict_ms(&p.tree), est.predict_ms(&p.tree));
@@ -1238,7 +1303,7 @@ mod tests {
             est.predict_batch_ms(&trees)
         );
         // Detached state must transparently reallocate when training resumes.
-        served.fine_tune_lora(&train, 1, 1e-3);
+        served.fine_tune_lora(&train, 1, 1e-3).unwrap();
         assert!(served.predict_ms(&train.plans[0].tree).is_finite());
     }
 
@@ -1249,7 +1314,8 @@ mod tests {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let trees: Vec<&PlanTree> = train.plans.iter().map(|p| &p.tree).collect();
         let feats = featurize_trees_sharded(&est.featurizer, &trees, 4);
         let refs: Vec<&PlanFeatures> = feats.iter().collect();
@@ -1288,9 +1354,11 @@ mod tests {
             patience: 10,
             ..Default::default()
         };
-        let silent = Trainer::new(cfg).fit(&train);
+        let silent = Trainer::new(cfg).fit(&train).unwrap();
         let sink = Arc::new(MemorySink::new());
-        let observed = Trainer::with_sink(cfg, Arc::clone(&sink) as Arc<dyn RunSink>).fit(&train);
+        let observed = Trainer::with_sink(cfg, Arc::clone(&sink) as Arc<dyn RunSink>)
+            .fit(&train)
+            .unwrap();
         // Telemetry must be a pure observer: bit-identical training.
         assert_eq!(
             silent.predict_ms(&train.plans[0].tree),
@@ -1325,7 +1393,8 @@ mod tests {
         // Fine-tuning reports under its own phase.
         let mut est = observed;
         let ft_sink = MemorySink::new();
-        est.fine_tune_lora_with_sink(&train, 2, 1e-3, Some(&ft_sink));
+        est.fine_tune_lora_with_sink(&train, 2, 1e-3, Some(&ft_sink))
+            .unwrap();
         let ft = ft_sink.records();
         assert_eq!(ft.len(), 2);
         assert!(ft.iter().all(|r| r.phase == "lora"));
@@ -1338,7 +1407,8 @@ mod tests {
             epochs: 10,
             ..Default::default()
         })
-        .fit(&train);
+        .fit(&train)
+        .unwrap();
         let e1 = est.encode(&train.plans[0].tree);
         let e2 = est.encode(&train.plans[1].tree);
         assert_eq!(e1.len(), crate::model::ENCODING_DIM);

@@ -97,7 +97,9 @@ fn main() {
         }
         None => Trainer::new(train_cfg),
     };
-    let est = trainer.fit(&suite);
+    let est = trainer
+        .fit(&suite)
+        .unwrap_or_else(|e| die(&format!("training failed: {e}")));
     if let Some(path) = &manifest {
         eprintln!("wrote per-epoch run manifest to {path}");
     }

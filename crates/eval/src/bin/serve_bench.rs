@@ -29,6 +29,18 @@
 //! are answered (degraded answers count, shed/dropped do not), every
 //! degraded answer is flagged and counted, and the worker pool never dies.
 //!
+//! `--adaptive` replaces the phases with an end-to-end run of the
+//! observe→retrain→swap loop: clean traffic freezes a drift baseline, a
+//! sustained 6× latency shift trips the detector, the background retrain
+//! fine-tunes a candidate on the drifted feedback, shadow eval promotes it
+//! through a crash-safe checkpoint round-trip, and post-swap accuracy is
+//! measured against the pre-drift baseline. A second sub-run sabotages the
+//! candidate (seeded `CandidateSabotage` fault at 100%) and must reject it
+//! without publishing a version. The run fails unless drift tripped, a
+//! retrain promoted, post-swap q-error p90 ≤ pre-drift p90 × 1.2, no
+//! probation rollback fired on the clean run, and the sabotaged candidate
+//! was rejected.
+//!
 //! Telemetry flags: `--manifest` writes a per-epoch JSONL run manifest for
 //! the base-model pretrain and the adapter fine-tune, `--prom` dumps the
 //! serve metrics registry as Prometheus text after the (last) closed loop,
@@ -40,15 +52,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dace_core::{TrainConfig, Trainer};
+use dace_core::{quantile, TrainConfig, Trainer};
 use dace_eval::data::suite_db;
 use dace_eval::EvalConfig;
 use dace_obs::{JsonlSink, RunSink};
-use dace_plan::{MachineId, PlanTree};
+use dace_plan::{Dataset, MachineId, PlanTree};
 use dace_query::ComplexWorkloadGen;
 use dace_serve::{
-    silence_injected_panics, CostLinearFallback, DaceServer, FaultConfig, FaultSite,
-    MetricsSnapshot, ModelRegistry, ServeConfig, ServeError,
+    q_error, silence_injected_panics, AdaptiveConfig, AdaptiveController, CostLinearFallback,
+    DaceServer, DriftConfig, FaultConfig, FaultInjector, FaultSite, MetricsSnapshot, ModelRegistry,
+    ServeConfig, ServeError,
 };
 use serde::Serialize;
 
@@ -96,6 +109,35 @@ struct ChaosReport {
     checkpoint_rejects: u64,
 }
 
+/// What `--adaptive` measures: one full pass of the observe→retrain→swap
+/// loop plus a sabotaged sub-run. Q-error quantiles are reported for the
+/// stale model on clean traffic (`pre_`), the stale model under the latency
+/// shift (`drift_`), and the promoted model on the shifted traffic
+/// (`post_`); `recovery_ratio` is `post_q_p90 / pre_q_p90` and the gate
+/// demands it ≤ 1.2.
+#[derive(Debug, Serialize)]
+struct AdaptiveReport {
+    samples: u64,
+    drift_trips: u64,
+    retrains_started: u64,
+    retrains_succeeded: u64,
+    retrains_rolled_back: u64,
+    promotions: u64,
+    rollbacks: u64,
+    versions_before: u64,
+    versions_after: u64,
+    pre_q_p50: f64,
+    pre_q_p90: f64,
+    drift_q_p50: f64,
+    drift_q_p90: f64,
+    post_q_p50: f64,
+    post_q_p90: f64,
+    recovery_ratio: f64,
+    sabotage_retrains: u64,
+    sabotage_rejections: u64,
+    sabotage_promotions: u64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut clients = 32usize;
@@ -107,6 +149,7 @@ fn main() {
     let mut open_secs = 2.0f64;
     let mut smoke = false;
     let mut chaos = false;
+    let mut adaptive = false;
     let mut chaos_seed = 0xC4A05u64;
     let mut json = false;
     let mut manifest: Option<String> = None;
@@ -140,6 +183,10 @@ fn main() {
                 chaos = true;
                 continue;
             }
+            "--adaptive" => {
+                adaptive = true;
+                continue;
+            }
             "--chaos-seed" => chaos_seed = parse(args.get(i), "--chaos-seed"),
             "--json" => {
                 json = true;
@@ -149,8 +196,8 @@ fn main() {
                 eprintln!(
                     "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
                      [--epochs E] [--seconds S] [--json] [--smoke] [--chaos] \
-                     [--chaos-seed S] [--manifest PATH] [--trace PATH] [--prom PATH] \
-                     [--no-stage-timing]"
+                     [--adaptive] [--chaos-seed S] [--manifest PATH] [--trace PATH] \
+                     [--prom PATH] [--no-stage-timing]"
                 );
                 return;
             }
@@ -201,7 +248,8 @@ fn main() {
         Some(s) => Trainer::with_sink(train_cfg, Arc::clone(s)),
         None => Trainer::new(train_cfg),
     }
-    .fit(&data);
+    .fit(&data)
+    .expect("bench dataset is non-empty");
 
     // A per-database LoRA adapter for mixed traffic: fine-tuned against a
     // uniformly slower copy of the same plans (an across-machine shift).
@@ -213,7 +261,9 @@ fn main() {
         }
     }
     let mut tuned = est.clone();
-    tuned.fine_tune_lora_with_sink(&shifted, epochs.min(4), 2e-3, sink.as_deref());
+    tuned
+        .fine_tune_lora_with_sink(&shifted, epochs.min(4), 2e-3, sink.as_deref())
+        .expect("shifted dataset is non-empty");
     let adapter = tuned.extract_adapter();
 
     // Offline calibration: the raw model cost per plan, single-plan path vs
@@ -266,6 +316,11 @@ fn main() {
         run_chaos(
             registry, fallback, &pool, clients, requests, workers, chaos_seed, json,
         );
+        return;
+    }
+
+    if adaptive {
+        run_adaptive(registry, &data, workers, smoke, chaos_seed, json);
         return;
     }
 
@@ -569,6 +624,276 @@ fn run_chaos(
     }
     if !json {
         println!("chaos OK");
+    }
+}
+
+/// The `--adaptive` phase: drive the full observe→retrain→swap loop
+/// against live traffic and gate on the outcome.
+///
+/// Three traffic segments against one server: clean (freezes the drift
+/// baseline and measures the stale model's native accuracy), drifted at 6×
+/// (until the detector trips and the background retrain promotes a
+/// candidate through a crash-safe checkpoint round-trip), and post-swap
+/// drifted (probation plus the recovery measurement). A separate sub-run
+/// with a fresh copy of the stale model fires `CandidateSabotage` at 100%
+/// and must reject the garbage candidate without publishing a version.
+fn run_adaptive(
+    registry: Arc<ModelRegistry>,
+    data: &Dataset,
+    workers: usize,
+    smoke: bool,
+    seed: u64,
+    json: bool,
+) {
+    let drift_factor = 6.0;
+    let window = if smoke { 64usize } else { 128 };
+    let probation = if smoke { 48usize } else { 96 };
+    let ckpt_dir = std::env::temp_dir().join(format!("dace-adaptive-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).unwrap_or_else(|e| die(&format!("adaptive ckpt dir: {e}")));
+    let acfg = AdaptiveConfig {
+        drift: DriftConfig {
+            min_samples: window,
+            window,
+            quantile: 0.9,
+            ratio: 1.5,
+            check_every: 16,
+            // One controlled trip per run: the cooldown outlasts the
+            // traffic, and the post-promotion rebaseline re-arms cleanly.
+            cooldown: 100 * window,
+        },
+        retrain_epochs: 40,
+        retrain_lr: 2e-3,
+        holdback_fraction: 0.25,
+        min_retrain_samples: window / 2,
+        // Retrain only on the newest window: the drain also returns the
+        // pre-drift samples, whose labels contradict the shifted regime.
+        retrain_window: window,
+        shadow_quantile: 0.9,
+        promote_margin: 1.0,
+        probation_samples: probation,
+        probation_margin: 3.0,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        buffer_capacity: 8192,
+    };
+    eprintln!(
+        "adaptive: window {window}, 6× drift, retrain {} epochs, probation {probation}…",
+        acfg.retrain_epochs
+    );
+
+    // The sabotage sub-run wants the same stale starting point, captured
+    // before the clean run promotes anything.
+    let stale = registry.base().estimator.clone();
+    let versions_before = registry.versions_published();
+
+    let config = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    let server = DaceServer::new(Arc::clone(&registry), config);
+    let ctrl = AdaptiveController::new(
+        Arc::clone(&registry),
+        server.metrics_registry(),
+        acfg.clone(),
+    );
+
+    // Segment 1: clean traffic. The detector freezes its baseline from the
+    // first `window` q-errors; the rest measure the stale model's accuracy.
+    let n_pre = window + window / 2;
+    let mut pre_qs = Vec::with_capacity(n_pre);
+    for i in 0..n_pre {
+        let plan = &data.plans[i % data.plans.len()];
+        let pred = server
+            .predict(&plan.tree)
+            .unwrap_or_else(|e| die(&format!("adaptive clean request: {e:?}")));
+        let observed = plan.latency_ms();
+        pre_qs.push(q_error(pred.ms, observed));
+        ctrl.observe(&plan.tree, &pred, observed);
+    }
+
+    // Segment 2: sustained 6× shift until the detector trips (bounded so a
+    // broken detector fails the gate instead of hanging the bench).
+    let cap = 20 * window;
+    let mut drift_qs = Vec::new();
+    let mut fed = 0usize;
+    while ctrl.metrics().drift_trips.get() == 0 && fed < cap {
+        let plan = &data.plans[fed % data.plans.len()];
+        let pred = server
+            .predict(&plan.tree)
+            .unwrap_or_else(|e| die(&format!("adaptive drift request: {e:?}")));
+        let observed = plan.latency_ms() * drift_factor;
+        drift_qs.push(q_error(pred.ms, observed));
+        ctrl.observe(&plan.tree, &pred, observed);
+        fed += 1;
+    }
+    ctrl.join(); // retrain → shadow eval → checkpointed promotion
+
+    // Segment 3: the shift persists; traffic now lands on the promoted
+    // version, runs out its probation, and measures recovery.
+    let n_post = probation + window;
+    let mut post_qs = Vec::with_capacity(n_post);
+    for i in 0..n_post {
+        let plan = &data.plans[i % data.plans.len()];
+        let pred = server
+            .predict(&plan.tree)
+            .unwrap_or_else(|e| die(&format!("adaptive post request: {e:?}")));
+        let observed = plan.latency_ms() * drift_factor;
+        post_qs.push(q_error(pred.ms, observed));
+        ctrl.observe(&plan.tree, &pred, observed);
+    }
+    let m = ctrl.metrics();
+    let (samples, drift_trips) = (m.samples.get(), m.drift_trips.get());
+    let (started, succeeded) = (m.retrains_started.get(), m.retrains_succeeded.get());
+    let (retrain_rb, promotions, rollbacks) = (
+        m.retrains_rolled_back.get(),
+        m.promotions.get(),
+        m.rollbacks.get(),
+    );
+    let versions_after = registry.versions_published();
+    server.shutdown();
+
+    // Sabotage sub-run: fresh registry from the stale base, every retrain's
+    // candidate corrupted before shadow eval. Rejection is the contract.
+    eprintln!("adaptive: sabotage sub-run (CandidateSabotage at 100%)…");
+    let sab_registry = Arc::new(ModelRegistry::new(stale));
+    let sab_versions_before = sab_registry.versions_published();
+    let sab_server = DaceServer::new(Arc::clone(&sab_registry), config);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        seed,
+        sabotage_ppm: 1_000_000,
+        ..FaultConfig::disabled()
+    }));
+    let sab_ctrl = AdaptiveController::with_faults(
+        Arc::clone(&sab_registry),
+        sab_server.metrics_registry(),
+        AdaptiveConfig {
+            checkpoint_dir: None,
+            ..acfg
+        },
+        injector,
+    );
+    for i in 0..n_pre {
+        let plan = &data.plans[i % data.plans.len()];
+        let pred = sab_server
+            .predict(&plan.tree)
+            .unwrap_or_else(|e| die(&format!("sabotage clean request: {e:?}")));
+        sab_ctrl.observe(&plan.tree, &pred, plan.latency_ms());
+    }
+    let mut sab_fed = 0usize;
+    while sab_ctrl.metrics().drift_trips.get() == 0 && sab_fed < cap {
+        let plan = &data.plans[sab_fed % data.plans.len()];
+        let pred = sab_server
+            .predict(&plan.tree)
+            .unwrap_or_else(|e| die(&format!("sabotage drift request: {e:?}")));
+        sab_ctrl.observe(&plan.tree, &pred, plan.latency_ms() * drift_factor);
+        sab_fed += 1;
+    }
+    sab_ctrl.join();
+    let sm = sab_ctrl.metrics();
+    let (sab_retrains, sab_rejections, sab_promotions) = (
+        sm.retrains_started.get(),
+        sm.retrains_rolled_back.get(),
+        sm.promotions.get(),
+    );
+    let sab_versions_ok = sab_registry.versions_published() == sab_versions_before;
+    sab_server.shutdown();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    let q = |qs: &[f64], p: f64| quantile(&mut qs.to_vec(), p).unwrap_or(f64::NAN);
+    let report = AdaptiveReport {
+        samples,
+        drift_trips,
+        retrains_started: started,
+        retrains_succeeded: succeeded,
+        retrains_rolled_back: retrain_rb,
+        promotions,
+        rollbacks,
+        versions_before,
+        versions_after,
+        pre_q_p50: q(&pre_qs, 0.5),
+        pre_q_p90: q(&pre_qs, 0.9),
+        drift_q_p50: q(&drift_qs, 0.5),
+        drift_q_p90: q(&drift_qs, 0.9),
+        post_q_p50: q(&post_qs, 0.5),
+        post_q_p90: q(&post_qs, 0.9),
+        recovery_ratio: q(&post_qs, 0.9) / q(&pre_qs, 0.9),
+        sabotage_retrains: sab_retrains,
+        sabotage_rejections: sab_rejections,
+        sabotage_promotions: sab_promotions,
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("adaptive report serializes")
+        );
+    } else {
+        println!("== adaptive: observe→retrain→swap under a 6× shift ==");
+        println!(
+            "  {} samples, {} drift trip(s), retrains {} started / {} promoted / {} rejected",
+            report.samples,
+            report.drift_trips,
+            report.retrains_started,
+            report.promotions,
+            report.retrains_rolled_back
+        );
+        println!(
+            "  q-error p50/p90: pre {:.2}/{:.2} → under drift {:.2}/{:.2} → post-swap {:.2}/{:.2}",
+            report.pre_q_p50,
+            report.pre_q_p90,
+            report.drift_q_p50,
+            report.drift_q_p90,
+            report.post_q_p50,
+            report.post_q_p90
+        );
+        println!(
+            "  recovery {:.2}× of pre-drift p90 (gate ≤ 1.2×), versions {} → {}, \
+             probation rollbacks {}",
+            report.recovery_ratio, report.versions_before, report.versions_after, report.rollbacks
+        );
+        println!(
+            "  sabotage: {} retrain(s), {} rejected, {} promoted",
+            report.sabotage_retrains, report.sabotage_rejections, report.sabotage_promotions
+        );
+    }
+
+    let mut failed = false;
+    if report.drift_trips < 1 {
+        eprintln!("FAIL: drift never tripped under a sustained 6× shift");
+        failed = true;
+    }
+    if report.promotions < 1 || report.retrains_succeeded < 1 {
+        eprintln!("FAIL: no retrain was promoted on the clean run");
+        failed = true;
+    }
+    if report.versions_after <= report.versions_before {
+        eprintln!("FAIL: promotion did not publish a new version");
+        failed = true;
+    }
+    if report.rollbacks != 0 {
+        eprintln!(
+            "FAIL: {} probation rollback(s) on a clean run",
+            report.rollbacks
+        );
+        failed = true;
+    }
+    // NaN-safe: a non-finite quantile must fail the gate, not skip it.
+    let recovered = report.post_q_p90 <= report.pre_q_p90 * 1.2;
+    if !recovered {
+        eprintln!(
+            "FAIL: post-swap q-error p90 {:.3} exceeds pre-drift {:.3} × 1.2",
+            report.post_q_p90, report.pre_q_p90
+        );
+        failed = true;
+    }
+    if report.sabotage_rejections < 1 || report.sabotage_promotions != 0 || !sab_versions_ok {
+        eprintln!("FAIL: a sabotaged candidate was not rejected");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if !json {
+        println!("adaptive OK");
     }
 }
 

@@ -49,7 +49,8 @@ pub(super) fn run(ctx: &Ctx) -> String {
         // training databases, test on the held-out database's M2 labels.
         let train2 = wl2.exclude_db(held);
         let test2 = wl2.filter_db(held);
-        dace.fine_tune_lora(&train2, (ctx.cfg.dace_epochs / 2).max(2), 2e-3);
+        dace.fine_tune_lora(&train2, (ctx.cfg.dace_epochs / 2).max(2), 2e-3)
+            .expect("workload 2 train split is non-empty");
         let lora_stats = eval_dace(&dace, &test2);
 
         if dace_stats.median <= zs_stats.median {

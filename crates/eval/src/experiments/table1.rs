@@ -48,7 +48,9 @@ pub(super) fn run(ctx: &Ctx) -> String {
     // DACE-LoRA: adapt the pre-trained DACE to workload 3 by training only
     // the adapters (the paper's instance-optimization path).
     let mut dace_lora = dace.clone();
-    dace_lora.fine_tune_lora(&wl3.train, (ctx.cfg.dace_epochs / 2).max(2), 2e-3);
+    dace_lora
+        .fine_tune_lora(&wl3.train, (ctx.cfg.dace_epochs / 2).max(2), 2e-3)
+        .expect("workload 3 train split is non-empty");
 
     let mut out = String::from(
         "Table I — qerror on workload 3. DACE & Zero-Shot untrained on the IMDB-like database.\n",

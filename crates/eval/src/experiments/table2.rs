@@ -155,7 +155,7 @@ pub(super) fn run(ctx: &Ctx) -> String {
 
         // DACE-LoRA: adapter-only tuning throughput + adapter size.
         let mut est = dace.inner.unwrap();
-        let (_, tune_secs) = time(|| est.fine_tune_lora(&train, epochs, 2e-3));
+        let (_, tune_secs) = time(|| est.fine_tune_lora(&train, epochs, 2e-3).unwrap());
         let tune_qps = (train.len() * epochs) as f64 / tune_secs;
         let (_, inf_secs) = time(|| {
             let _ = est.predict_batch_ms(&trees);

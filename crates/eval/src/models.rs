@@ -59,7 +59,11 @@ impl CostEstimator for Dace {
     }
 
     fn fit(&mut self, train: &Dataset) {
-        self.inner = Some(Trainer::new(self.config).fit(train));
+        self.inner = Some(
+            Trainer::new(self.config)
+                .fit(train)
+                .expect("eval datasets are non-empty"),
+        );
     }
 
     fn predict_ms(&self, tree: &PlanTree) -> f64 {
@@ -88,6 +92,7 @@ pub fn train_dace(
         ..Default::default()
     })
     .fit(train)
+    .expect("eval datasets are non-empty")
 }
 
 /// Evaluate any estimator on a test set.

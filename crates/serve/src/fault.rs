@@ -45,9 +45,17 @@ pub enum FaultSite {
     /// Corrupt checkpoint bytes before a reload (driven by the bench/test
     /// checkpointer, not the scheduler).
     CheckpointCorrupt = 4,
+    /// Panic the background retrain thread mid-fine-tune (after it has
+    /// drained feedback, before the candidate exists) — the adaptive
+    /// controller must recover its in-flight latch and the serving model
+    /// must be untouched.
+    RetrainCrash = 5,
+    /// Corrupt a retrained candidate's weights before shadow evaluation —
+    /// shadow eval must catch the regression and roll back to last-good.
+    CandidateSabotage = 6,
 }
 
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 7;
 
 /// Per-site salts so the same seed yields independent decision streams.
 const SITE_SALT: [u64; SITE_COUNT] = [
@@ -56,6 +64,8 @@ const SITE_SALT: [u64; SITE_COUNT] = [
     0xd1b5_4a32_d192_ed03,
     0x2b99_2ddf_a232_49d6,
     0x8163_52a1_88cf_9b61,
+    0x6c62_272e_07bb_0142,
+    0x3c79_ac49_2ba7_b653,
 ];
 
 /// Fault plan: probabilities in parts-per-million per roll, plus the
@@ -81,6 +91,12 @@ pub struct FaultConfig {
     /// Checkpoint-corruption probability per save/load cycle (ppm); consumed
     /// by the bench/test checkpointer via [`FaultInjector::should_fire`].
     pub checkpoint_corrupt_ppm: u32,
+    /// Mid-retrain crash probability per background retrain (ppm); consumed
+    /// by the adaptive controller's retrain thread.
+    pub retrain_crash_ppm: u32,
+    /// Candidate-sabotage probability per retrained candidate (ppm);
+    /// corrupts the candidate before shadow eval so rollback must fire.
+    pub sabotage_ppm: u32,
 }
 
 impl FaultConfig {
@@ -95,6 +111,8 @@ impl FaultConfig {
             queue_stall_ppm: 0,
             queue_stall: Duration::from_micros(0),
             checkpoint_corrupt_ppm: 0,
+            retrain_crash_ppm: 0,
+            sabotage_ppm: 0,
         }
     }
 
@@ -105,6 +123,8 @@ impl FaultConfig {
             && self.stage_delay_ppm == 0
             && self.queue_stall_ppm == 0
             && self.checkpoint_corrupt_ppm == 0
+            && self.retrain_crash_ppm == 0
+            && self.sabotage_ppm == 0
     }
 
     fn ppm(&self, site: FaultSite) -> u32 {
@@ -114,6 +134,8 @@ impl FaultConfig {
             FaultSite::StageDelay => self.stage_delay_ppm,
             FaultSite::QueueStall => self.queue_stall_ppm,
             FaultSite::CheckpointCorrupt => self.checkpoint_corrupt_ppm,
+            FaultSite::RetrainCrash => self.retrain_crash_ppm,
+            FaultSite::CandidateSabotage => self.sabotage_ppm,
         }
     }
 }

@@ -29,6 +29,14 @@
 //!   is distrusted; and a deterministic seeded [`FaultInjector`]
 //!   ([`ServeConfig::faults`]) drives the chaos tests and
 //!   `serve_bench --chaos`.
+//! * **Online adaptation** — an [`AdaptiveController`] closes the
+//!   observe→retrain→swap loop caller-side: completed requests with
+//!   measured actuals feed a lock-free ring, a sliding-window
+//!   [`DriftDetector`] over q-error quantiles trips a background LoRA
+//!   retrain, shadow eval gates promotion (through the crash-safe
+//!   checkpoint path), and a probation window rolls back to last-good if
+//!   live traffic disagrees — all without touching the serve hot path
+//!   (`serve_bench --adaptive` proves the loop end to end).
 //!
 //! ```no_run
 //! use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
@@ -42,6 +50,7 @@
 //! println!("{} ms, served by version {}", pred.ms, pred.version);
 //! ```
 
+mod adaptive;
 mod cache;
 mod fallback;
 mod fault;
@@ -50,6 +59,10 @@ mod registry;
 mod scheduler;
 mod supervisor;
 
+pub use adaptive::{
+    q_error, AdaptiveConfig, AdaptiveController, AdaptiveMetrics, DriftConfig, DriftDetector,
+    DriftTrip, FeedbackBuffer, FeedbackSample,
+};
 pub use cache::{FeatureCache, ShardedLruCache};
 pub use dace_obs::MetricsRegistry;
 pub use fallback::{
@@ -61,4 +74,5 @@ pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError, ReloadError};
 pub use scheduler::{
     DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, StageBreakdown,
+    FALLBACK_VERSION,
 };

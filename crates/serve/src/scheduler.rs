@@ -161,6 +161,15 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Version sentinel stamped on fallback-path answers: a degraded
+/// [`Prediction`] did **not** come from any registry snapshot, so it must
+/// not carry a real version id. Consumers that aggregate per-model accuracy
+/// — the adaptive drift window and shadow evaluation above all — key off
+/// this (and the `degraded` flag) to keep heuristic answers out of model
+/// observations. `u64::MAX` can never collide with a registry id: versions
+/// are a counter starting at 0.
+pub const FALLBACK_VERSION: u64 = u64::MAX;
+
 /// A served prediction, stamped with exactly which model answered it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
@@ -169,7 +178,9 @@ pub struct Prediction {
     /// Adapter that served the request (`None` = base model).
     pub adapter: Option<String>,
     /// Registry version id of the snapshot that served it — the hot-swap
-    /// audit trail.
+    /// audit trail. Degraded answers carry [`FALLBACK_VERSION`] instead of
+    /// the version the request *would have* resolved to, so accuracy
+    /// tracking can never attribute a heuristic answer to a model.
     pub version: u64,
     /// Size of the forward batch this request rode in.
     pub batch_size: usize,
@@ -767,6 +778,11 @@ fn respond_predictions(
 /// Answer a whole group from the fallback estimator, flagged `degraded`.
 /// Used both when the breaker gates the group away from the model and when
 /// the model path panicked on it. Only callable with a fallback configured.
+///
+/// The answer is stamped [`FALLBACK_VERSION`], not the version the group
+/// resolved: these numbers did not come from that snapshot, and a drift
+/// detector ingesting them as model observations would trip on fallback
+/// noise (or worse, mask real model drift).
 fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>) {
     let metrics = &ctx.metrics;
     let degrade = ctx
@@ -785,7 +801,7 @@ fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>
         let _ = job.resp.send(Ok(Prediction {
             ms,
             adapter: version.adapter.clone(),
-            version: version.version,
+            version: FALLBACK_VERSION,
             batch_size: group_size,
             cache_hit: false,
             degraded: true,

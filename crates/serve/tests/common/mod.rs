@@ -62,6 +62,7 @@ pub fn quick_estimator(seed: u64) -> (DaceEstimator, Dataset) {
         epochs: 4,
         ..Default::default()
     })
-    .fit(&train);
+    .fit(&train)
+    .unwrap();
     (est, train)
 }

@@ -35,7 +35,7 @@ fn scaled_variant(base: &DaceEstimator, factor: f64, seed: u64) -> DaceEstimator
         }
     }
     let mut est = base.clone();
-    est.fine_tune_lora(&shifted, 25, 2e-3);
+    est.fine_tune_lora(&shifted, 25, 2e-3).unwrap();
     est
 }
 

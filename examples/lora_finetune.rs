@@ -50,7 +50,8 @@ fn main() {
         epochs: 25,
         ..Default::default()
     })
-    .fit(&train1);
+    .fit(&train1)
+    .unwrap();
     let pretrain_secs = t0.elapsed().as_secs_f64();
 
     println!(
@@ -68,7 +69,7 @@ fn main() {
         est.model.base_param_count() + est.model.lora_param_count()
     );
     let t1 = Instant::now();
-    est.fine_tune_lora(&train2, 12, 2e-3);
+    est.fine_tune_lora(&train2, 12, 2e-3).unwrap();
     let tune_secs = t1.elapsed().as_secs_f64();
 
     let after_m2 = median_qerror(&est, &test2);

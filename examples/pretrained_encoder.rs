@@ -40,7 +40,8 @@ fn main() {
         epochs: 25,
         ..Default::default()
     })
-    .fit(&pretrain);
+    .fit(&pretrain)
+    .unwrap();
 
     // Target: the IMDB-like database with the MSCN benchmark.
     let imdb = generate_database(&specs[0], 0.04);

@@ -38,7 +38,8 @@ fn main() {
         epochs: 25,
         ..Default::default()
     })
-    .fit(&train);
+    .fit(&train)
+    .unwrap();
     println!(
         "  model size: {:.3} MB ({} parameters)",
         est.model.size_mb(),

@@ -39,7 +39,8 @@ fn main() {
         patience: 3,
         ..Default::default()
     })
-    .fit(&data);
+    .fit(&data)
+    .unwrap();
 
     // 2. Serve a burst of predictions. The scheduler's drain / featurize /
     //    forward / respond stages all carry spans, and every prediction

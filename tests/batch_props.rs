@@ -65,7 +65,7 @@ proptest! {
     ) {
         let model = DaceModel::new(seed);
         let refs: Vec<&PlanFeatures> = plans.iter().collect();
-        let packed = PackedBatch::pack(&refs);
+        let packed = PackedBatch::pack(&refs).unwrap();
         let mut batched = model.clone();
         let preds = batched.forward_batch(&packed);
         for (b, f) in plans.iter().enumerate() {
@@ -108,7 +108,7 @@ proptest! {
         // batch, per-plan loss normalization applied per block.
         let mut batched = DaceModel::new(seed);
         let refs: Vec<&PlanFeatures> = plans.iter().collect();
-        let packed = PackedBatch::pack(&refs);
+        let packed = PackedBatch::pack(&refs).unwrap();
         let preds = batched.forward_batch(&packed);
         let mut d = Tensor2::zeros(packed.rows(), 1);
         for b in 0..packed.count {

@@ -59,7 +59,8 @@ fn fixture() -> &'static (DaceEstimator, Vec<u8>, Vec<f64>, Dataset) {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&data);
+        .fit(&data)
+        .unwrap();
         let bytes = encode_checkpoint(&est);
         let trees: Vec<_> = data.plans.iter().map(|p| &p.tree).collect();
         let preds = est.predict_batch_ms(&trees);

@@ -37,7 +37,8 @@ fn dace_transfers_to_an_unseen_database() {
         epochs: 20,
         ..Default::default()
     })
-    .fit(&train);
+    .fit(&train)
+    .unwrap();
     let q = median_q(&est, &test);
     assert!(
         q < 2.0,
@@ -62,9 +63,10 @@ fn lora_adapts_to_the_other_machine() {
         epochs: 20,
         ..Default::default()
     })
-    .fit(&train_m1);
+    .fit(&train_m1)
+    .unwrap();
     let before = median_q(&est, &test_m2);
-    est.fine_tune_lora(&adapt_m2, 10, 2e-3);
+    est.fine_tune_lora(&adapt_m2, 10, 2e-3).unwrap();
     let after = median_q(&est, &test_m2);
     assert!(
         after < before * 1.05,
@@ -84,7 +86,8 @@ fn dace_encoder_warm_starts_mscn() {
         epochs: 20,
         ..Default::default()
     })
-    .fit(&pretrain);
+    .fit(&pretrain)
+    .unwrap();
 
     // Tiny within-database training budget (cold start).
     let target_train = collect(0, 60, MachineId::M1);

@@ -30,7 +30,8 @@ fn est_pair() -> &'static (DaceEstimator, DaceEstimator) {
             epochs: 2,
             ..Default::default()
         })
-        .fit(&data);
+        .fit(&data)
+        .unwrap();
         let restored = DaceEstimator::from_json(&est.to_json()).expect("round-trip parse");
         (est, restored)
     })

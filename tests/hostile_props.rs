@@ -39,6 +39,7 @@ fn trained() -> &'static DaceEstimator {
             ..Default::default()
         })
         .fit(&Dataset::from_plans(plans))
+        .unwrap()
     })
 }
 
