@@ -95,6 +95,22 @@ jq -e '.drift_trips >= 1
     "$OBS_TMP/adaptive.json" >/dev/null \
     || { echo "FAIL: adaptive smoke out of bounds"; cat "$OBS_TMP/adaptive.json"; exit 1; }
 
+# Plan-search smoke: put DACE inside the optimizer on a 3-database suite
+# (train, search with the learned scorer, execute every pick) and gate on
+# the subsystem's contract. plansearch itself exits non-zero on violation;
+# the emitted JSON is re-asserted here: the sub-plan memo shared work,
+# DACE-picked plans didn't regress total executed latency by more than 5%
+# against the analytic picks, and the router routed every query.
+echo "==> plansearch smoke"
+cargo run --release -q -p dace-eval --bin plansearch -- --smoke --json \
+    >"$OBS_TMP/plansearch.json"
+jq -e '.scoring.memo_hit_rate > 0
+       and .learned_total_ms <= .analytic_total_ms * 1.05
+       and .routing.routed_queries > 0
+       and .routing.routed_queries == .queries' \
+    "$OBS_TMP/plansearch.json" >/dev/null \
+    || { echo "FAIL: plansearch smoke out of bounds"; cat "$OBS_TMP/plansearch.json"; exit 1; }
+
 # Bench smoke: compile and run each bench once in test mode (no sampling);
 # catches bit-rot in the criterion harness wiring without the full run.
 echo "==> bench smoke"

@@ -45,11 +45,14 @@ fn bench_planner_executor(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            black_box(dace_engine::plan(&db, q, &cost_model));
+            black_box(dace_engine::plan(&db, q, &cost_model).unwrap());
         })
     });
     group.bench_function("execute_plan", |b| {
-        let plans: Vec<_> = queries.iter().map(|q| plan_query(&db, q)).collect();
+        let plans: Vec<_> = queries
+            .iter()
+            .map(|q| plan_query(&db, q).unwrap())
+            .collect();
         let mut i = 0;
         b.iter(|| {
             let mut p = plans[i % plans.len()].clone();
@@ -59,7 +62,10 @@ fn bench_planner_executor(c: &mut Criterion) {
         })
     });
     group.bench_function("latency_annotate", |b| {
-        let mut plans: Vec<_> = queries.iter().map(|q| plan_query(&db, q)).collect();
+        let mut plans: Vec<_> = queries
+            .iter()
+            .map(|q| plan_query(&db, q).unwrap())
+            .collect();
         for p in &mut plans {
             execute(&db, p);
         }
@@ -84,7 +90,7 @@ fn bench_plan_structures(c: &mut Criterion) {
     let queries = ComplexWorkloadGen::default().generate(&db, 32);
     let trees: Vec<_> = queries
         .iter()
-        .map(|q| plan_query(&db, q).to_plan_tree())
+        .map(|q| plan_query(&db, q).unwrap().to_plan_tree())
         .collect();
     let mut group = c.benchmark_group("plan");
     group.warm_up_time(Duration::from_millis(300));

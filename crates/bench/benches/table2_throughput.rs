@@ -41,7 +41,7 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            black_box(dace_engine::plan_query(&db, q));
+            black_box(dace_engine::plan_query(&db, q).unwrap());
         })
     });
 

@@ -24,6 +24,7 @@ mod featurize;
 mod loss;
 mod model;
 mod persist;
+mod scoring;
 mod trainer;
 
 pub use adapter::{AdapterError, LoraAdapter, LoraLayerWeights};
@@ -35,6 +36,7 @@ pub use persist::{
     decode_checkpoint, encode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint,
     CheckpointError, CHECKPOINT_MAGIC,
 };
+pub use scoring::ScoreSession;
 pub use trainer::{
     featurize_trees_sharded, quantile, DaceEstimator, TrainConfig, TrainError, Trainer,
 };

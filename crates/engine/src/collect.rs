@@ -7,10 +7,10 @@ use dace_query::Query;
 use crate::cost::CostModel;
 use crate::exec::execute;
 use crate::latency::MachineProfile;
-use crate::planner::{plan, PhysPlan};
+use crate::planner::{plan, PhysPlan, PlanError};
 
 /// Plan a query without executing it (estimates only).
-pub fn plan_query(db: &Database, query: &Query) -> PhysPlan {
+pub fn plan_query(db: &Database, query: &Query) -> Result<PhysPlan, PlanError> {
     plan(db, query, &CostModel::default())
 }
 
@@ -18,15 +18,20 @@ pub fn plan_query(db: &Database, query: &Query) -> PhysPlan {
 ///
 /// `seed` drives the latency noise; the collection loop uses the query index
 /// so datasets are fully reproducible.
-pub fn label_query(db: &Database, query: &Query, machine: MachineId, seed: u64) -> LabeledPlan {
-    let mut phys = plan_query(db, query);
+pub fn label_query(
+    db: &Database,
+    query: &Query,
+    machine: MachineId,
+    seed: u64,
+) -> Result<LabeledPlan, PlanError> {
+    let mut phys = plan_query(db, query)?;
     execute(db, &mut phys);
     MachineProfile::for_machine(machine).apply(db, &mut phys, seed);
-    LabeledPlan {
+    Ok(LabeledPlan {
         tree: phys.to_plan_tree(),
         db_id: db.db_id(),
         machine,
-    }
+    })
 }
 
 /// Collect labeled plans for a whole workload, parallelized across threads.
@@ -41,7 +46,9 @@ pub fn collect_dataset(db: &Database, queries: &[Query], machine: MachineId) -> 
         let plans = queries
             .iter()
             .enumerate()
-            .map(|(i, q)| label_query(db, q, machine, i as u64))
+            .map(|(i, q)| {
+                label_query(db, q, machine, i as u64).expect("generated workload queries must plan")
+            })
             .collect();
         return Dataset::from_plans(plans);
     }
@@ -55,7 +62,10 @@ pub fn collect_dataset(db: &Database, queries: &[Query], machine: MachineId) -> 
                 scope.spawn(move |_| {
                     qs.iter()
                         .enumerate()
-                        .map(|(i, q)| label_query(db, q, machine, (ci * chunk + i) as u64))
+                        .map(|(i, q)| {
+                            label_query(db, q, machine, (ci * chunk + i) as u64)
+                                .expect("generated workload queries must plan")
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -70,7 +80,7 @@ pub fn collect_dataset(db: &Database, queries: &[Query], machine: MachineId) -> 
 
 /// Convenience: EXPLAIN ANALYZE rendering of one labeled query.
 pub fn explain_analyze(db: &Database, query: &Query, machine: MachineId) -> (PlanTree, String) {
-    let labeled = label_query(db, query, machine, 0);
+    let labeled = label_query(db, query, machine, 0).expect("explained query must plan");
     let text = dace_plan::explain_tree(&labeled.tree);
     (labeled.tree, text)
 }

@@ -290,7 +290,7 @@ mod tests {
             .collect();
         assert!(!queries.is_empty());
         for q in &queries {
-            let mut p = plan(&db, q, &CostModel::default());
+            let mut p = plan(&db, q, &CostModel::default()).unwrap();
             execute(&db, &mut p);
             let expected = brute_force_join(&db, q);
             assert_eq!(
@@ -313,7 +313,7 @@ mod tests {
             if q.limit.is_some() {
                 continue;
             }
-            let mut p = plan(&db, &q, &CostModel::default());
+            let mut p = plan(&db, &q, &CostModel::default()).unwrap();
             execute(&db, &mut p);
             let t = q.tables[0];
             let expected = (0..db.table_data(t).rows())
@@ -332,7 +332,7 @@ mod tests {
         let db = db();
         let mut q = Query::scan(0, TableId(0));
         q.limit = Some(5);
-        let mut p = plan(&db, &q, &CostModel::default());
+        let mut p = plan(&db, &q, &CostModel::default()).unwrap();
         execute(&db, &mut p);
         assert_eq!(p.actual_rows as u64, 5);
     }
@@ -342,7 +342,7 @@ mod tests {
         let db = db();
         let mut q = Query::scan(0, TableId(0));
         q.aggregates = vec![Aggregate::CountStar];
-        let mut p = plan(&db, &q, &CostModel::default());
+        let mut p = plan(&db, &q, &CostModel::default()).unwrap();
         execute(&db, &mut p);
         assert_eq!(p.actual_rows as u64, 1);
     }
@@ -364,7 +364,7 @@ mod tests {
         let mut q = Query::scan(0, t);
         q.group_by = Some(col);
         q.aggregates = vec![Aggregate::CountStar];
-        let mut p = plan(&db, &q, &CostModel::default());
+        let mut p = plan(&db, &q, &CostModel::default()).unwrap();
         execute(&db, &mut p);
         let mut distinct: std::collections::HashSet<i64> =
             db.column_data(col).iter().copied().collect();
@@ -384,7 +384,7 @@ mod tests {
     fn every_node_gets_actuals() {
         let db = db();
         for q in ComplexWorkloadGen::default().generate(&db, 50) {
-            let mut p = plan(&db, &q, &CostModel::default());
+            let mut p = plan(&db, &q, &CostModel::default()).unwrap();
             execute(&db, &mut p);
             assert_actuals_filled(&p);
         }

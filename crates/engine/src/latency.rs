@@ -296,7 +296,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, q)| {
-                let mut p = plan(&db, q, &CostModel::default());
+                let mut p = plan(&db, q, &CostModel::default()).unwrap();
                 execute(&db, &mut p);
                 profile.apply(&db, &mut p, seed + i as u64);
                 p

@@ -25,10 +25,17 @@ pub mod cost;
 pub mod exec;
 pub mod latency;
 pub mod planner;
+pub mod search;
 
 pub use card::CardEstimator;
 pub use collect::{collect_dataset, explain_analyze, label_query, plan_query};
 pub use cost::CostModel;
 pub use exec::execute;
 pub use latency::MachineProfile;
-pub use planner::{plan, PhysPlan};
+pub use planner::{
+    plan, plan_with_strategy, JoinStrategy, PhysPlan, PlanError, DP_AUTO_MAX, MAX_RELATIONS,
+};
+pub use search::{
+    AnalyticScorer, CrossMachineRouter, ExplorationScorer, HybridScorer, LearnedScorer, PlanScorer,
+    RoutingDecision, ScoreMemo, SearchReport, SearchSession,
+};

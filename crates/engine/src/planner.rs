@@ -10,6 +10,79 @@ use dace_query::{JoinEdge, Predicate, Query};
 use crate::card::CardEstimator;
 use crate::cost::CostModel;
 
+/// Join-enumeration cap: masks are `u32` bitsets and the DP table is
+/// `2^k` entries, so wider queries must be rejected up front.
+pub const MAX_RELATIONS: usize = 20;
+
+/// Relation count up to which [`JoinStrategy::Auto`] uses exhaustive dynamic
+/// programming; wider queries fall back to the greedy heuristic.
+pub const DP_AUTO_MAX: usize = 9;
+
+/// Typed planning failure — hostile or out-of-contract queries are errors,
+/// not panics, mirroring `TrainError::EmptyDataset`: automated callers
+/// (serving admission, search drivers, retrain loops) must be able to
+/// reject a bad query without killing their thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query references no tables at all.
+    EmptyTableList,
+    /// The query joins more relations than the enumerator supports.
+    TooManyRelations {
+        /// Relations the query references.
+        count: usize,
+        /// The enumeration cap ([`MAX_RELATIONS`]).
+        cap: usize,
+    },
+    /// The join graph does not connect all referenced tables, so no
+    /// cross-product-free plan covers the query.
+    DisconnectedJoinGraph,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyTableList => f.write_str("query references no tables"),
+            PlanError::TooManyRelations { count, cap } => {
+                write!(
+                    f,
+                    "query joins {count} relations; enumeration capped at {cap}"
+                )
+            }
+            PlanError::DisconnectedJoinGraph => {
+                f.write_str("join graph does not connect all referenced tables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Which join-enumeration algorithm [`plan_with_strategy`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Exhaustive DP for up to [`DP_AUTO_MAX`] relations, greedy beyond.
+    #[default]
+    Auto,
+    /// Force dynamic programming (up to [`MAX_RELATIONS`] relations).
+    Dp,
+    /// Force the greedy smallest-output heuristic at any width.
+    Greedy,
+}
+
+/// Validate the planning contract shared by every enumeration entry point.
+pub(crate) fn validate_query(query: &Query) -> Result<(), PlanError> {
+    if query.tables.is_empty() {
+        return Err(PlanError::EmptyTableList);
+    }
+    if query.tables.len() > MAX_RELATIONS {
+        return Err(PlanError::TooManyRelations {
+            count: query.tables.len(),
+            cap: MAX_RELATIONS,
+        });
+    }
+    Ok(())
+}
+
 /// What the executor must do at a physical node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecOp {
@@ -130,12 +203,20 @@ impl PhysPlan {
 /// style, bushy plans allowed) choosing among hash join, nested loop
 /// (with inner index lookup or materialization) and sort-merge join;
 /// aggregation picks hash vs. sorted grouping by cost.
-pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> PhysPlan {
-    assert!(!query.tables.is_empty(), "query references no tables");
-    assert!(
-        query.tables.len() <= 20,
-        "join enumeration capped at 20 relations"
-    );
+pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> Result<PhysPlan, PlanError> {
+    plan_with_strategy(db, query, cost_model, JoinStrategy::Auto)
+}
+
+/// [`plan`] with an explicit join-enumeration strategy. `Auto` reproduces
+/// [`plan`]'s behavior; `Dp`/`Greedy` force one enumerator regardless of
+/// query width (the plan-quality guard tests compare the two directly).
+pub fn plan_with_strategy(
+    db: &Database,
+    query: &Query,
+    cost_model: &CostModel,
+    strategy: JoinStrategy,
+) -> Result<PhysPlan, PlanError> {
+    validate_query(query)?;
     let est = CardEstimator::new(db);
 
     // Best access path per base relation.
@@ -146,12 +227,18 @@ pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> PhysPlan {
         .collect();
 
     // Join enumeration.
-    let joined = if query.tables.len() == 1 {
+    let k = query.tables.len();
+    let use_dp = match strategy {
+        JoinStrategy::Auto => k <= DP_AUTO_MAX,
+        JoinStrategy::Dp => true,
+        JoinStrategy::Greedy => false,
+    };
+    let joined = if k == 1 {
         base.into_iter().next().unwrap()
-    } else if query.tables.len() <= 9 {
-        dp_join(db, query, base, cost_model, &est)
+    } else if use_dp {
+        dp_join(db, query, base, cost_model, &est)?
     } else {
-        greedy_join(db, query, base, cost_model, &est)
+        greedy_join(db, query, base, cost_model, &est)?
     };
 
     // Aggregation.
@@ -162,6 +249,13 @@ pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> PhysPlan {
     };
 
     // LIMIT.
+    Ok(finish_limit(query, with_agg, cost_model))
+}
+
+/// Wrap the plan in its LIMIT node, if the query has one. The LIMIT wrap is
+/// deterministic (no physical alternatives), so the learned search driver
+/// shares it verbatim.
+pub(crate) fn finish_limit(query: &Query, with_agg: PhysPlan, cost_model: &CostModel) -> PhysPlan {
     match query.limit {
         Some(n) => {
             let child_rows = with_agg.est_rows;
@@ -182,6 +276,17 @@ pub fn plan(db: &Database, query: &Query, cost_model: &CostModel) -> PhysPlan {
     }
 }
 
+/// First-wins argmin over candidates by analytic cost: replicates the
+/// historical `if cand.est_cost < best.est_cost { best = cand }` chains
+/// exactly (ties keep the earlier candidate), so splitting generation from
+/// selection changes no plan the analytic planner picks.
+pub(crate) fn pick_min_cost(cands: Vec<PhysPlan>) -> PhysPlan {
+    cands
+        .into_iter()
+        .reduce(|best, c| if c.est_cost < best.est_cost { c } else { best })
+        .expect("candidate generators always emit at least one plan")
+}
+
 /// Threshold row count above which a parallel Gather plan is considered.
 const GATHER_MIN_ROWS: f64 = 15_000.0;
 /// Simulated parallel workers.
@@ -195,6 +300,21 @@ fn best_scan(
     cm: &CostModel,
     est: &CardEstimator<'_>,
 ) -> PhysPlan {
+    pick_min_cost(scan_candidates(db, query, table, cm, est))
+}
+
+/// Enumerate every viable access path for `table`, cheapest-analytic-first
+/// semantics left to the caller. Generation order matches the historical
+/// replace-if-strictly-cheaper chain (seq → gather → index → index-only →
+/// bitmap), so [`pick_min_cost`] over this list reproduces [`best_scan`]
+/// exactly; the learned search driver instead scores the whole list.
+pub(crate) fn scan_candidates(
+    db: &Database,
+    query: &Query,
+    table: TableId,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> Vec<PhysPlan> {
     let stats = db.table_stats(table);
     let rows = stats.row_count as f64;
     let n_cols = db.schema.table(table).columns.len();
@@ -210,7 +330,7 @@ fn best_scan(
 
     // Sequential scan (always available).
     let seq_cost = cm.seq_scan(rows, width as f64, preds.len());
-    let mut best = PhysPlan::new(
+    let mut cands = vec![PhysPlan::new(
         NodeType::SeqScan,
         out_rows,
         seq_cost,
@@ -218,31 +338,29 @@ fn best_scan(
         payload.clone(),
         exec.clone(),
         vec![],
-    );
+    )];
 
     // Parallel alternative for big sequential scans.
     if rows > GATHER_MIN_ROWS {
         let gather_cost = cm.gather(seq_cost, out_rows, GATHER_WORKERS);
-        if gather_cost < best.est_cost {
-            let child = PhysPlan::new(
-                NodeType::SeqScan,
-                out_rows,
-                seq_cost / GATHER_WORKERS,
-                width,
-                payload.clone(),
-                exec.clone(),
-                vec![],
-            );
-            best = PhysPlan::new(
-                NodeType::Gather,
-                out_rows,
-                gather_cost,
-                width,
-                OpPayload::Other,
-                ExecOp::PassThrough,
-                vec![child],
-            );
-        }
+        let child = PhysPlan::new(
+            NodeType::SeqScan,
+            out_rows,
+            seq_cost / GATHER_WORKERS,
+            width,
+            payload.clone(),
+            exec.clone(),
+            vec![],
+        );
+        cands.push(PhysPlan::new(
+            NodeType::Gather,
+            out_rows,
+            gather_cost,
+            width,
+            OpPayload::Other,
+            ExecOp::PassThrough,
+            vec![child],
+        ));
     }
 
     // Index paths need an indexed predicate column; drive the index with the
@@ -257,63 +375,57 @@ fn best_scan(
 
         // Plain index scan.
         let idx_cost = cm.index_scan(rows, fetched);
-        if idx_cost < best.est_cost {
-            best = PhysPlan::new(
-                NodeType::IndexScan,
-                out_rows,
-                idx_cost,
-                width,
-                payload.clone(),
-                exec.clone(),
-                vec![],
-            );
-        }
+        cands.push(PhysPlan::new(
+            NodeType::IndexScan,
+            out_rows,
+            idx_cost,
+            width,
+            payload.clone(),
+            exec.clone(),
+            vec![],
+        ));
 
         // Index-only scan when the predicate is on the primary key.
         if index_pred.column.column() == 0 {
             let io_cost = cm.index_only_scan(rows, fetched);
-            if io_cost < best.est_cost {
-                best = PhysPlan::new(
-                    NodeType::IndexOnlyScan,
-                    out_rows,
-                    io_cost,
-                    width,
-                    payload.clone(),
-                    exec.clone(),
-                    vec![],
-                );
-            }
+            cands.push(PhysPlan::new(
+                NodeType::IndexOnlyScan,
+                out_rows,
+                io_cost,
+                width,
+                payload.clone(),
+                exec.clone(),
+                vec![],
+            ));
         }
 
         // Bitmap scan pair.
         let pages = cm.pages(rows, width as f64);
         let bis_cost = cm.bitmap_index_scan(rows, fetched);
         let bhs_cost = bis_cost + cm.bitmap_heap_scan(pages, rows, fetched);
-        if bhs_cost < best.est_cost {
-            let index_child = PhysPlan::new(
-                NodeType::BitmapIndexScan,
-                fetched,
-                bis_cost,
-                8,
-                OpPayload::Other,
-                ExecOp::Scan {
-                    table,
-                    predicates: vec![index_pred.clone()],
-                },
-                vec![],
-            );
-            best = PhysPlan::new(
-                NodeType::BitmapHeapScan,
-                out_rows,
-                bhs_cost,
-                width,
-                payload,
-                exec,
-                vec![index_child],
-            );
-        }
+        let index_child = PhysPlan::new(
+            NodeType::BitmapIndexScan,
+            fetched,
+            bis_cost,
+            8,
+            OpPayload::Other,
+            ExecOp::Scan {
+                table,
+                predicates: vec![index_pred.clone()],
+            },
+            vec![],
+        );
+        cands.push(PhysPlan::new(
+            NodeType::BitmapHeapScan,
+            out_rows,
+            bhs_cost,
+            width,
+            payload,
+            exec,
+            vec![index_child],
+        ));
     }
-    best
+    cands
 }
 
 fn scan_payload(
@@ -354,7 +466,7 @@ fn dp_join(
     base: Vec<PhysPlan>,
     cm: &CostModel,
     est: &CardEstimator<'_>,
-) -> PhysPlan {
+) -> Result<PhysPlan, PlanError> {
     let k = query.tables.len();
     let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
     let mut dp: Vec<Option<PhysPlan>> = vec![None; (full as usize) + 1];
@@ -393,7 +505,7 @@ fn dp_join(
     }
     dp[full as usize]
         .take()
-        .expect("query join graph is connected")
+        .ok_or(PlanError::DisconnectedJoinGraph)
 }
 
 /// Greedy fallback for very wide queries: repeatedly join the pair with the
@@ -404,7 +516,7 @@ fn greedy_join(
     base: Vec<PhysPlan>,
     cm: &CostModel,
     est: &CardEstimator<'_>,
-) -> PhysPlan {
+) -> Result<PhysPlan, PlanError> {
     // Each fragment tracks its table mask.
     let mut frags: Vec<(u32, PhysPlan)> = base
         .into_iter()
@@ -426,20 +538,20 @@ fn greedy_join(
                 }
             }
         }
-        let (i, j, joined) = best.expect("join graph is connected");
+        let (i, j, joined) = best.ok_or(PlanError::DisconnectedJoinGraph)?;
         let mask = frags[i].0 | frags[j].0;
         let (hi, lo) = if i > j { (i, j) } else { (j, i) };
         frags.swap_remove(hi);
         frags.swap_remove(lo);
         frags.push((mask, joined));
     }
-    frags.pop().unwrap().1
+    Ok(frags.pop().unwrap().1)
 }
 
 /// The join edge connecting table subsets `left` and `right`, if any.
 /// Query join graphs are trees (the generators add one new table per edge),
 /// so at most one edge connects any two disjoint fragments.
-fn connecting_edge(query: &Query, left: u32, right: u32) -> Option<JoinEdge> {
+pub(crate) fn connecting_edge(query: &Query, left: u32, right: u32) -> Option<JoinEdge> {
     let idx = |t: TableId| query.tables.iter().position(|&x| x == t).unwrap() as u32;
     query.joins.iter().copied().find(|e| {
         let c = 1u32 << idx(e.child);
@@ -451,13 +563,29 @@ fn connecting_edge(query: &Query, left: u32, right: u32) -> Option<JoinEdge> {
 /// Cheapest physical join of `l` and `r` along `edge`.
 fn best_join(
     db: &Database,
-    _query: &Query,
+    query: &Query,
     l: &PhysPlan,
     r: &PhysPlan,
     edge: JoinEdge,
     cm: &CostModel,
     est: &CardEstimator<'_>,
 ) -> PhysPlan {
+    pick_min_cost(join_candidates(db, query, l, r, edge, cm, est))
+}
+
+/// Enumerate every physical join of `l` and `r` along `edge`, in the
+/// historical consideration order (hash → NL-index both orientations →
+/// NL-materialize → sort-merge). [`pick_min_cost`] over this list is
+/// [`best_join`]; the learned driver batches the list for model scoring.
+pub(crate) fn join_candidates(
+    db: &Database,
+    _query: &Query,
+    l: &PhysPlan,
+    r: &PhysPlan,
+    edge: JoinEdge,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> Vec<PhysPlan> {
     let left_has_child = plan_tables(l).contains(&edge.child);
     let out_rows = est.join_rows(&edge, l.est_rows, r.est_rows, left_has_child);
     let width = l.width + r.width;
@@ -483,7 +611,7 @@ fn best_join(
         ExecOp::PassThrough,
         vec![build.clone()],
     );
-    let mut best = PhysPlan::new(
+    let mut cands = vec![PhysPlan::new(
         NodeType::HashJoin,
         out_rows,
         hash_cost,
@@ -491,7 +619,7 @@ fn best_join(
         payload.clone(),
         exec.clone(),
         vec![probe.clone(), hash_node],
-    );
+    )];
 
     // Nested loop with an index lookup on the inner side: available when the
     // inner fragment is the single parent table (PK lookup per outer row).
@@ -502,21 +630,19 @@ fn best_join(
             let per_probe = out_rows / outer.est_rows.max(1.0);
             let rescan = cm.index_scan(parent_rows, per_probe.max(1.0));
             let nl_cost = outer.est_cost + cm.nested_loop(outer.est_rows, rescan, out_rows);
-            if nl_cost < best.est_cost {
-                let mut inner_idx = inner.clone();
-                inner_idx.node_type = NodeType::IndexScan;
-                inner_idx.est_cost = outer.est_rows.max(1.0) * rescan;
-                inner_idx.est_rows = per_probe.max(1.0);
-                best = PhysPlan::new(
-                    NodeType::NestedLoop,
-                    out_rows,
-                    nl_cost,
-                    width,
-                    payload.clone(),
-                    exec.clone(),
-                    vec![outer.clone(), inner_idx],
-                );
-            }
+            let mut inner_idx = inner.clone();
+            inner_idx.node_type = NodeType::IndexScan;
+            inner_idx.est_cost = outer.est_rows.max(1.0) * rescan;
+            inner_idx.est_rows = per_probe.max(1.0);
+            cands.push(PhysPlan::new(
+                NodeType::NestedLoop,
+                out_rows,
+                nl_cost,
+                width,
+                payload.clone(),
+                exec.clone(),
+                vec![outer.clone(), inner_idx],
+            ));
         }
     }
 
@@ -532,26 +658,24 @@ fn best_join(
         let nl_cost = outer.est_cost
             + mat_cost
             + cm.nested_loop((outer.est_rows - 1.0).max(0.0), rescan, out_rows);
-        if nl_cost < best.est_cost {
-            let mat = PhysPlan::new(
-                NodeType::Materialize,
-                inner.est_rows,
-                mat_cost,
-                inner.width,
-                OpPayload::Other,
-                ExecOp::PassThrough,
-                vec![inner.clone()],
-            );
-            best = PhysPlan::new(
-                NodeType::NestedLoop,
-                out_rows,
-                nl_cost,
-                width,
-                payload.clone(),
-                exec.clone(),
-                vec![outer.clone(), mat],
-            );
-        }
+        let mat = PhysPlan::new(
+            NodeType::Materialize,
+            inner.est_rows,
+            mat_cost,
+            inner.width,
+            OpPayload::Other,
+            ExecOp::PassThrough,
+            vec![inner.clone()],
+        );
+        cands.push(PhysPlan::new(
+            NodeType::NestedLoop,
+            out_rows,
+            nl_cost,
+            width,
+            payload.clone(),
+            exec.clone(),
+            vec![outer.clone(), mat],
+        ));
     }
 
     // Sort-merge join.
@@ -563,30 +687,28 @@ fn best_join(
             + r.est_cost
             + sort_r
             + cm.merge_pass(l.est_rows, r.est_rows, out_rows);
-        if merge_cost < best.est_cost {
-            let mk_sort = |side: &PhysPlan, sort_cost: f64| {
-                PhysPlan::new(
-                    NodeType::Sort,
-                    side.est_rows,
-                    side.est_cost + sort_cost,
-                    side.width,
-                    OpPayload::Other,
-                    ExecOp::PassThrough,
-                    vec![side.clone()],
-                )
-            };
-            best = PhysPlan::new(
-                NodeType::MergeJoin,
-                out_rows,
-                merge_cost,
-                width,
-                payload,
-                exec,
-                vec![mk_sort(l, sort_l), mk_sort(r, sort_r)],
-            );
-        }
+        let mk_sort = |side: &PhysPlan, sort_cost: f64| {
+            PhysPlan::new(
+                NodeType::Sort,
+                side.est_rows,
+                side.est_cost + sort_cost,
+                side.width,
+                OpPayload::Other,
+                ExecOp::PassThrough,
+                vec![side.clone()],
+            )
+        };
+        cands.push(PhysPlan::new(
+            NodeType::MergeJoin,
+            out_rows,
+            merge_cost,
+            width,
+            payload,
+            exec,
+            vec![mk_sort(l, sort_l), mk_sort(r, sort_r)],
+        ));
     }
-    best
+    cands
 }
 
 fn join_payload(db: &Database, edge: JoinEdge) -> OpPayload {
@@ -606,7 +728,7 @@ fn join_payload(db: &Database, edge: JoinEdge) -> OpPayload {
 }
 
 /// Base tables covered by a sub-plan.
-fn plan_tables(p: &PhysPlan) -> Vec<TableId> {
+pub(crate) fn plan_tables(p: &PhysPlan) -> Vec<TableId> {
     let mut tables = Vec::new();
     collect_tables(p, &mut tables);
     tables.sort();
@@ -643,6 +765,20 @@ fn add_aggregate(
     cm: &CostModel,
     est: &CardEstimator<'_>,
 ) -> PhysPlan {
+    pick_min_cost(aggregate_candidates(db, query, &child, cm, est))
+}
+
+/// Enumerate aggregation roots over `child`: hash aggregate first, then
+/// sort + group aggregate (the historical `hash_cost <= sorted_cost` tie
+/// preference for hash equals first-wins argmin over this order). Grouping-
+/// free queries have exactly one candidate.
+pub(crate) fn aggregate_candidates(
+    db: &Database,
+    query: &Query,
+    child: &PhysPlan,
+    cm: &CostModel,
+    est: &CardEstimator<'_>,
+) -> Vec<PhysPlan> {
     let in_rows = child.est_rows;
     let groups = match query.group_by {
         Some(col) => est.group_count(col, in_rows),
@@ -656,39 +792,38 @@ fn add_aggregate(
     if query.group_by.is_none() {
         // Plain aggregate: single pass.
         let cost = child.est_cost + cm.group_agg(in_rows, 1.0);
-        return PhysPlan::new(
+        return vec![PhysPlan::new(
             NodeType::GroupAggregate,
             1.0,
             cost,
             width,
             OpPayload::Other,
             exec,
-            vec![child],
-        );
+            vec![child.clone()],
+        )];
     }
     let hash_cost = child.est_cost + cm.hash_agg(in_rows, groups);
     let sorted_cost =
         child.est_cost + cm.sort(in_rows, child.width as f64) + cm.group_agg(in_rows, groups);
-    if hash_cost <= sorted_cost {
+    let sort = PhysPlan::new(
+        NodeType::Sort,
+        in_rows,
+        child.est_cost + cm.sort(in_rows, child.width as f64),
+        child.width,
+        OpPayload::Other,
+        ExecOp::PassThrough,
+        vec![child.clone()],
+    );
+    vec![
         PhysPlan::new(
             NodeType::HashAggregate,
             groups,
             hash_cost,
             width,
             OpPayload::Other,
-            exec,
-            vec![child],
-        )
-    } else {
-        let sort = PhysPlan::new(
-            NodeType::Sort,
-            in_rows,
-            child.est_cost + cm.sort(in_rows, child.width as f64),
-            child.width,
-            OpPayload::Other,
-            ExecOp::PassThrough,
-            vec![child],
-        );
+            exec.clone(),
+            vec![child.clone()],
+        ),
         PhysPlan::new(
             NodeType::GroupAggregate,
             groups,
@@ -697,8 +832,8 @@ fn add_aggregate(
             OpPayload::Other,
             exec,
             vec![sort],
-        )
-    }
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -715,7 +850,7 @@ mod tests {
     fn single_table_plan_is_a_scan() {
         let db = db();
         let q = Query::scan(0, TableId(0));
-        let p = plan(&db, &q, &CostModel::default());
+        let p = plan(&db, &q, &CostModel::default()).unwrap();
         assert!(is_scan(&p) || p.node_type == NodeType::Gather);
         assert!(p.est_rows >= 1.0);
         assert!(p.est_cost > 0.0);
@@ -726,7 +861,7 @@ mod tests {
         let db = db();
         let queries = ComplexWorkloadGen::default().generate(&db, 100);
         for q in &queries {
-            let p = plan(&db, q, &CostModel::default());
+            let p = plan(&db, q, &CostModel::default()).unwrap();
             let covered = plan_tables(&p);
             let mut expect = q.tables.clone();
             expect.sort();
@@ -763,7 +898,7 @@ mod tests {
             if q.aggregates.is_empty() {
                 continue;
             }
-            let p = plan(&db, q, &CostModel::default());
+            let p = plan(&db, q, &CostModel::default()).unwrap();
             let root_ty = match q.limit {
                 Some(_) => p.children[0].node_type,
                 None => p.node_type,
@@ -784,7 +919,7 @@ mod tests {
             .generate(&db, 20)
             .pop()
             .unwrap();
-        let p = plan(&db, &q, &CostModel::default());
+        let p = plan(&db, &q, &CostModel::default()).unwrap();
         let tree = p.to_plan_tree();
         assert_eq!(tree.len(), p.len());
         assert_eq!(tree.node(tree.root()).node_type, p.node_type);
@@ -800,7 +935,7 @@ mod tests {
             op: dace_plan::CmpOp::Eq,
             values: vec![5],
         }];
-        let p = plan(&db, &q, &CostModel::default());
+        let p = plan(&db, &q, &CostModel::default()).unwrap();
         assert!(
             matches!(
                 p.node_type,
@@ -817,7 +952,7 @@ mod tests {
         let queries = ComplexWorkloadGen::default().generate(&db, 300);
         let mut seen = std::collections::HashSet::new();
         for q in &queries {
-            let p = plan(&db, q, &CostModel::default());
+            let p = plan(&db, q, &CostModel::default()).unwrap();
             collect_types(&p, &mut seen);
         }
         // The corpus should exercise a healthy operator variety.

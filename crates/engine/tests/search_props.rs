@@ -1,0 +1,311 @@
+//! Plan-search guarantees: the driven search must reproduce the analytic
+//! planner exactly under the analytic scorer, DP must dominate greedy under
+//! the analytic model, typed plan errors must replace panics, and the score
+//! memo must be invisible to search results while counting shared sub-trees
+//! correctly.
+
+use std::sync::OnceLock;
+
+use dace_catalog::{generate_database, suite_specs, Database, TableId};
+use dace_core::{DaceEstimator, TrainConfig, Trainer};
+use dace_engine::{
+    collect_dataset, plan, plan_with_strategy, AnalyticScorer, CostModel, CrossMachineRouter,
+    HybridScorer, JoinStrategy, LearnedScorer, PlanError, SearchSession, MAX_RELATIONS,
+};
+use dace_plan::MachineId;
+use dace_query::{ComplexWorkloadGen, Query};
+use dace_serve::ModelRegistry;
+use proptest::prelude::*;
+
+fn test_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| generate_database(&suite_specs()[2], 0.05))
+}
+
+/// A small DACE trained on this database's own workload — enough signal for
+/// the learned scorer to produce meaningful (and deterministic) scores.
+fn test_estimator() -> &'static DaceEstimator {
+    static EST: OnceLock<DaceEstimator> = OnceLock::new();
+    EST.get_or_init(|| {
+        let db = test_db();
+        let queries = ComplexWorkloadGen::default().generate(db, 80);
+        let data = collect_dataset(db, &queries, MachineId::M1);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&data)
+        .expect("training the test estimator")
+    })
+}
+
+#[test]
+fn analytic_search_is_bit_identical_to_planner() {
+    let db = test_db();
+    let cm = CostModel::default();
+    let session = SearchSession::new(db, &cm);
+    let queries = ComplexWorkloadGen::default().generate(db, 120);
+    for strategy in [JoinStrategy::Auto, JoinStrategy::Dp, JoinStrategy::Greedy] {
+        for q in &queries {
+            let direct = plan_with_strategy(db, q, &cm, strategy).unwrap();
+            let (searched, report) = session
+                .plan_with_strategy(q, &mut AnalyticScorer, strategy)
+                .unwrap();
+            assert_eq!(
+                searched, direct,
+                "analytic-scored search diverged from the planner ({strategy:?})"
+            );
+            assert!(report.candidates_scored >= 1);
+            assert!(report.decision_groups >= q.tables.len());
+        }
+    }
+}
+
+#[test]
+fn empty_table_list_is_a_typed_error() {
+    let db = test_db();
+    let q = Query {
+        db_id: db.db_id(),
+        tables: vec![],
+        joins: vec![],
+        predicates: vec![],
+        group_by: None,
+        aggregates: vec![],
+        limit: None,
+    };
+    assert_eq!(
+        plan(db, &q, &CostModel::default()).unwrap_err(),
+        PlanError::EmptyTableList
+    );
+    let cm = CostModel::default();
+    let err = SearchSession::new(db, &cm)
+        .plan(&q, &mut AnalyticScorer)
+        .unwrap_err();
+    assert_eq!(err, PlanError::EmptyTableList);
+    assert_eq!(err.to_string(), "query references no tables");
+}
+
+#[test]
+fn too_many_relations_is_a_typed_error() {
+    let db = test_db();
+    let q = Query {
+        db_id: db.db_id(),
+        tables: vec![TableId(0); MAX_RELATIONS + 1],
+        joins: vec![],
+        predicates: vec![],
+        group_by: None,
+        aggregates: vec![],
+        limit: None,
+    };
+    match plan(db, &q, &CostModel::default()) {
+        Err(PlanError::TooManyRelations { count, cap }) => {
+            assert_eq!(count, MAX_RELATIONS + 1);
+            assert_eq!(cap, MAX_RELATIONS);
+        }
+        other => panic!("expected TooManyRelations, got {other:?}"),
+    }
+}
+
+#[test]
+fn disconnected_join_graph_is_a_typed_error() {
+    let db = test_db();
+    // Two tables, no join edge between them.
+    let q = Query {
+        db_id: db.db_id(),
+        tables: vec![TableId(0), TableId(1)],
+        joins: vec![],
+        predicates: vec![],
+        group_by: None,
+        aggregates: vec![],
+        limit: None,
+    };
+    assert_eq!(
+        plan(db, &q, &CostModel::default()).unwrap_err(),
+        PlanError::DisconnectedJoinGraph
+    );
+    assert_eq!(
+        plan_with_strategy(db, &q, &CostModel::default(), JoinStrategy::Greedy).unwrap_err(),
+        PlanError::DisconnectedJoinGraph
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DP dominance: on queries the DP enumerator handles (≤ 9 relations),
+    /// exhaustive enumeration never produces a costlier plan than the
+    /// greedy heuristic — the plan-cost guard for the DP path the learned
+    /// scorer reuses. (Aggregates/limits are kept: both sit deterministically
+    /// on top of the join result, so dominance carries through.)
+    #[test]
+    fn greedy_never_beats_dp_under_analytic_model(seed in 0u64..400) {
+        let db = test_db();
+        let cm = CostModel::default();
+        let gen = ComplexWorkloadGen { max_joins: 8, seed, ..ComplexWorkloadGen::default() };
+        for q in gen.generate(db, 4) {
+            if q.tables.len() < 2 {
+                continue;
+            }
+            let dp = plan_with_strategy(db, &q, &cm, JoinStrategy::Dp).unwrap();
+            let greedy = plan_with_strategy(db, &q, &cm, JoinStrategy::Greedy).unwrap();
+            prop_assert!(
+                dp.est_cost <= greedy.est_cost * (1.0 + 1e-9),
+                "DP plan cost {} exceeds greedy cost {} on {} tables",
+                dp.est_cost, greedy.est_cost, q.tables.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn memo_enabled_search_is_bit_identical_to_memo_disabled() {
+    let db = test_db();
+    let cm = CostModel::default();
+    let est = test_estimator();
+    let session = SearchSession::new(db, &cm);
+    let queries = ComplexWorkloadGen::default().generate(db, 40);
+
+    let mut with_memo = LearnedScorer::new(est, 1 << 16);
+    let mut without_memo = LearnedScorer::new(est, 0);
+    for q in &queries {
+        let (a, ra) = session.plan(q, &mut with_memo).unwrap();
+        let (b, rb) = session.plan(q, &mut without_memo).unwrap();
+        assert_eq!(a, b, "memoized search chose a different plan");
+        assert_eq!(
+            ra, rb,
+            "memoized search enumerated a different candidate stream"
+        );
+    }
+    assert!(
+        with_memo.memo().hits() > 0,
+        "a 40-query workload must share sub-trees"
+    );
+    assert_eq!(without_memo.memo().hits(), 0);
+    // The memo saved exactly the shared scorings: the disabled run pushed
+    // every candidate through the model, the enabled run only the distinct
+    // fingerprints.
+    assert!(with_memo.session().plans_scored() < without_memo.session().plans_scored());
+}
+
+#[test]
+fn memo_hit_counts_match_shared_subtrees() {
+    let db = test_db();
+    let cm = CostModel::default();
+    let est = test_estimator();
+    let session = SearchSession::new(db, &cm);
+    let q = ComplexWorkloadGen {
+        max_joins: 5,
+        ..ComplexWorkloadGen::default()
+    }
+    .generate(db, 30)
+    .into_iter()
+    .max_by_key(|q| q.tables.len())
+    .unwrap();
+
+    let mut scorer = LearnedScorer::new(est, 1 << 16);
+    let (first_plan, first_report) = session.plan(&q, &mut scorer).unwrap();
+
+    // Accounting identity for the first pass: every candidate either hit
+    // the memo, missed it, and every miss is either a batch-local duplicate
+    // or a fresh fingerprint now stored in the memo.
+    let (hits1, misses1, dedup1) = (
+        scorer.memo().hits(),
+        scorer.memo().misses(),
+        scorer.dedup_hits(),
+    );
+    assert_eq!(
+        hits1 + misses1,
+        first_report.candidates_scored as u64,
+        "every candidate is looked up exactly once"
+    );
+    assert_eq!(
+        scorer.memo().len() as u64,
+        misses1 - dedup1,
+        "memo stores exactly the distinct fingerprints"
+    );
+    assert_eq!(
+        scorer.session().plans_scored(),
+        misses1 - dedup1,
+        "the model scores exactly the distinct sub-trees"
+    );
+
+    // Second pass over the same query: every sub-tree is shared with the
+    // first pass, so every lookup must hit and the model stays cold.
+    let scored_before = scorer.session().plans_scored();
+    let (second_plan, second_report) = session.plan(&q, &mut scorer).unwrap();
+    assert_eq!(second_plan, first_plan);
+    assert_eq!(
+        scorer.memo().hits() - hits1,
+        second_report.candidates_scored as u64,
+        "re-planning the same query must be 100% memo hits"
+    );
+    assert_eq!(scorer.memo().misses(), misses1);
+    assert_eq!(scorer.session().plans_scored(), scored_before);
+}
+
+#[test]
+fn hybrid_scorer_partitions_groups_and_plans_every_query() {
+    let db = test_db();
+    let cm = CostModel::default();
+    let est = test_estimator();
+    let session = SearchSession::new(db, &cm);
+    let queries = ComplexWorkloadGen::default().generate(db, 30);
+    // Median root cost at this scale is ~26 units; 15 splits scan-level
+    // decisions (cheap) from join-level ones (expensive).
+    let mut hybrid = HybridScorer::new(est, 1 << 14, 15.0);
+    for q in &queries {
+        let (p, _) = session.plan(q, &mut hybrid).unwrap();
+        assert!(p.est_cost > 0.0);
+    }
+    assert!(
+        hybrid.learned_groups() > 0,
+        "the threshold must route some decisions to the model"
+    );
+    assert!(
+        hybrid.analytic_groups() > 0,
+        "the threshold must leave some decisions analytic"
+    );
+}
+
+#[test]
+fn router_picks_the_machine_with_the_lower_prediction() {
+    let db = test_db();
+    let cm = CostModel::default();
+    let est = test_estimator();
+
+    // M2-tuned adapter: fine-tune the base on M2-labeled plans.
+    let queries = ComplexWorkloadGen {
+        seed: 0xBEEF,
+        ..ComplexWorkloadGen::default()
+    }
+    .generate(db, 60);
+    let m2_data = collect_dataset(db, &queries, MachineId::M2);
+    let m2_est = est.fine_tuned_clone(&m2_data, 2, 1e-3).expect("fine-tune");
+
+    let registry = ModelRegistry::new(est.clone());
+    registry
+        .install_estimator("m2", m2_est)
+        .expect("install m2 adapter");
+    let router = CrossMachineRouter::new(&registry, None, Some("m2".to_string()));
+
+    let session = SearchSession::new(db, &cm);
+    let mut scorer = LearnedScorer::new(est, 1 << 14);
+    let mut m1_picks = 0usize;
+    let mut m2_picks = 0usize;
+    for q in ComplexWorkloadGen::default().generate(db, 20) {
+        let (p, _) = session.plan(&q, &mut scorer).unwrap();
+        let d = router.route(&p).expect("routing");
+        match d.machine {
+            MachineId::M1 => {
+                assert!(d.m1_pred_ms <= d.m2_pred_ms);
+                m1_picks += 1;
+            }
+            MachineId::M2 => {
+                assert!(d.m2_pred_ms < d.m1_pred_ms);
+                m2_picks += 1;
+            }
+        }
+        assert!(d.m1_pred_ms > 0.0 && d.m2_pred_ms > 0.0);
+    }
+    assert_eq!(m1_picks + m2_picks, 20);
+}

@@ -50,7 +50,7 @@ fn greedy_planner_handles_many_relations() {
     let q = spanning_query(&db);
     assert!(q.tables.len() > 9, "query too narrow: {}", q.tables.len());
     assert!(q.is_connected());
-    let mut plan = plan_query(&db, &q);
+    let mut plan = plan_query(&db, &q).unwrap();
     // Every table appears as exactly one scan.
     let mut scan_count = 0;
     count_scans(&plan, &mut scan_count);
@@ -120,7 +120,7 @@ fn chain_joins_execute_exactly() {
         aggregates: vec![],
         limit: None,
     };
-    let mut plan = plan_query(&db, &q);
+    let mut plan = plan_query(&db, &q).unwrap();
     execute(&db, &mut plan);
 
     // Brute force: count rows of e1.child whose FK is non-null and whose

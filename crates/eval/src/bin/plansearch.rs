@@ -1,0 +1,149 @@
+//! Drive the learned-cost plan search end to end and report plan-quality
+//! lift, memo behavior, scoring throughput and routing quality.
+//!
+//! ```text
+//! plansearch [--scale S] [--dbs N] [--epochs E] [--json] [--smoke]
+//! ```
+//!
+//! Default: the full measurement over every suite database at `--scale`
+//! (training corpora collected inline, like `expts plansearch` but without
+//! the shared harness context).
+//!
+//! `--smoke` shrinks everything to a 3-database run at scale 0.05 and gates
+//! on the subsystem's contract (CI's plan-search gate); any violation exits
+//! non-zero:
+//!
+//! - the sub-plan memo must actually share work (hit rate > 0),
+//! - DACE-picked plans must not regress total executed latency by more
+//!   than 5% against the analytic picks,
+//! - the cross-machine router must route every query and beat or match the
+//!   worse of the two fixed-machine policies.
+
+use dace_eval::experiments::plansearch::{measure, render, smoke, PlanSearchOptions};
+use dace_eval::EvalConfig;
+use dace_plan::MachineId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut dbs: Option<usize> = None;
+    let mut epochs: Option<usize> = None;
+    let mut json = false;
+    let mut smoke_run = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--scale" => scale = parse(args.get(i), "--scale"),
+            "--dbs" => dbs = Some(parse(args.get(i), "--dbs")),
+            "--epochs" => epochs = Some(parse(args.get(i), "--epochs")),
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--smoke" => {
+                smoke_run = true;
+                continue;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: plansearch [--scale S] [--dbs N] [--epochs E] [--json] [--smoke]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let report = if smoke_run {
+        let cfg = EvalConfig::scaled(0.05);
+        let db_ids: &[u16] = &[0, 2, 7];
+        eprintln!(
+            "plansearch smoke: {} databases, {} training queries/db, {} eval queries/db…",
+            db_ids.len(),
+            cfg.queries_per_db,
+            (cfg.queries_per_db / 2).max(8)
+        );
+        smoke(&cfg, db_ids, epochs.unwrap_or(8))
+    } else {
+        let cfg = EvalConfig::scaled(scale);
+        let mut opts = PlanSearchOptions::full(&cfg);
+        if let Some(n) = dbs {
+            opts.db_ids.truncate(n.max(1));
+        }
+        if let Some(e) = epochs {
+            opts.epochs = e;
+        }
+        eprintln!(
+            "plansearch: {} databases, {} training queries/db, {} eval queries/db, {} epochs…",
+            opts.db_ids.len(),
+            cfg.queries_per_db,
+            opts.eval_queries_per_db,
+            opts.epochs
+        );
+        let mut train_m1 = dace_plan::Dataset::new();
+        let mut train_m2 = dace_plan::Dataset::new();
+        for &db_id in &opts.db_ids {
+            train_m1.extend(dace_eval::data::collect_db(&cfg, db_id, MachineId::M1));
+            train_m2.extend(dace_eval::data::collect_db(&cfg, db_id, MachineId::M2));
+        }
+        measure(&cfg, &opts, &train_m1, &train_m2)
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        println!("{}", render(&report));
+    }
+
+    if smoke_run {
+        let mut failed = false;
+        if report.scoring.memo_hit_rate <= 0.0 {
+            eprintln!("FAIL: sub-plan memo never hit across the smoke workload");
+            failed = true;
+        }
+        if report.learned_total_ms > report.analytic_total_ms * 1.05 {
+            eprintln!(
+                "FAIL: DACE-picked total latency {:.1} ms exceeds analytic {:.1} ms × 1.05",
+                report.learned_total_ms, report.analytic_total_ms
+            );
+            failed = true;
+        }
+        if report.routing.routed_queries != report.queries {
+            eprintln!(
+                "FAIL: routed {} of {} queries",
+                report.routing.routed_queries, report.queries
+            );
+            failed = true;
+        }
+        let worse_fixed = report.routing.always_m1_ms.max(report.routing.always_m2_ms);
+        if report.routing.routed_ms > worse_fixed {
+            eprintln!(
+                "FAIL: routed total {:.1} ms worse than the worse fixed machine {:.1} ms",
+                report.routing.routed_ms, worse_fixed
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        if !json {
+            println!("plansearch smoke OK");
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(val: Option<&String>, flag: &str) -> T {
+    val.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -68,7 +68,7 @@ fn main() {
         println!("   predicted {pred:.3} ms | actual {actual:.3} ms | qerror {qe:.2}");
         // Sub-plan predictions, DFS order (what plan comparison would use).
         let subs = est.predict_subplans_ms(&plan.tree);
-        let phys = plan_query(&db, q);
+        let phys = plan_query(&db, q).expect("query must plan");
         println!(
             "   sub-plans: {} nodes, predicted root-to-leaf profile: {:?}",
             phys.len(),

@@ -16,6 +16,7 @@ mod fig6;
 mod fig7;
 mod fig8;
 mod fig9;
+pub mod plansearch;
 mod table1;
 mod table2;
 
@@ -114,6 +115,11 @@ pub const EXPERIMENTS: &[(&str, &str, Runner)] = &[
         "DACE vs DACE-A (actual cardinalities) by training databases",
         fig12::run,
     ),
+    (
+        "plansearch",
+        "Learned-cost plan search: executed latency of DACE-picked vs analytic plans",
+        plansearch::run,
+    ),
 ];
 
 /// Run one experiment by id.
@@ -158,12 +164,22 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _, _)| *id).collect();
         for expected in [
-            "fig4", "fig5", "table1", "fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig4",
+            "fig5",
+            "table1",
+            "fig6",
+            "table2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
             "fig12",
+            "plansearch",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
     }
 
     #[test]

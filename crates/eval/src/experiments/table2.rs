@@ -56,7 +56,7 @@ pub(super) fn run(ctx: &Ctx) -> String {
         let queries = dace_query::MscnWorkloadGen::default().gen_train(&db, 200);
         let (_, secs) = time(|| {
             for q in &queries {
-                let _ = dace_engine::plan_query(&db, q);
+                let _ = dace_engine::plan_query(&db, q).unwrap();
             }
         });
         let _ = writeln!(

@@ -48,7 +48,7 @@ fn plan_strategy() -> impl Strategy<Value = PlanTree> {
             ..ComplexWorkloadGen::default()
         };
         let q = gen.generate(db, 1).pop().expect("one query");
-        label_query(db, &q, MachineId::M1, seed).tree
+        label_query(db, &q, MachineId::M1, seed).unwrap().tree
     })
 }
 

@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn scan_execution_is_exact(q in scan_query(test_db())) {
         let db = test_db();
-        let mut plan = plan_query(db, &q);
+        let mut plan = plan_query(db, &q).unwrap();
         execute(db, &mut plan);
         prop_assert_eq!(plan.actual_rows as usize, brute_scan_count(db, &q));
     }
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn join_output_bounded_by_child_side(q in join_query(test_db())) {
         let db = test_db();
-        let mut plan = plan_query(db, &q);
+        let mut plan = plan_query(db, &q).unwrap();
         execute(db, &mut plan);
         // FK (N:1) join output can never exceed the child table's rows.
         let child_rows = db.table_data(q.joins[0].child).rows() as f64;
@@ -140,7 +140,7 @@ proptest! {
     #[test]
     fn estimates_positive_and_labels_consistent(q in join_query(test_db())) {
         let db = test_db();
-        let labeled = label_query(db, &q, MachineId::M1, 7);
+        let labeled = label_query(db, &q, MachineId::M1, 7).unwrap();
         let tree = &labeled.tree;
         prop_assert!(labeled.latency_ms() > 0.0);
         for id in tree.ids() {
@@ -158,8 +158,8 @@ proptest! {
     #[test]
     fn labeling_is_deterministic(q in join_query(test_db()), seed in 0u64..1000) {
         let db = test_db();
-        let a = label_query(db, &q, MachineId::M2, seed);
-        let b = label_query(db, &q, MachineId::M2, seed);
+        let a = label_query(db, &q, MachineId::M2, seed).unwrap();
+        let b = label_query(db, &q, MachineId::M2, seed).unwrap();
         prop_assert_eq!(a.tree, b.tree);
     }
 

@@ -20,8 +20,8 @@ fn parsed_queries_plan_and_execute_identically() {
     for q in &queries {
         let sql = render_sql(q, &db.schema);
         let parsed = parse_sql(&sql, &db.schema, q.db_id).expect("round-trip parse");
-        let mut direct = plan_query(&db, q);
-        let mut via_sql = plan_query(&db, &parsed);
+        let mut direct = plan_query(&db, q).unwrap();
+        let mut via_sql = plan_query(&db, &parsed).unwrap();
         execute(&db, &mut direct);
         execute(&db, &mut via_sql);
         // Identical logical queries ⇒ identical plans and identical counts.
