@@ -34,13 +34,16 @@ echo "==> serve smoke"
 cargo run --release -q -p dace-eval --bin serve_bench -- --smoke
 
 # Observability smoke: a 2-epoch training run must emit a parseable JSONL
-# run manifest (one record per epoch with the expected keys), and the serve
-# registry's Prometheus export must carry the serve_* metric families.
+# run manifest (one record per epoch with the expected keys), the serve
+# registry's Prometheus export must carry the serve_* metric families, and
+# the flight-recorder trace (drained after server shutdown, so the flush
+# cannot race live workers) must come back as a non-empty event array.
 echo "==> obs smoke"
 OBS_TMP=$(mktemp -d)
 trap 'rm -rf "$OBS_TMP"' EXIT
 cargo run --release -q -p dace-eval --bin serve_bench -- --smoke --epochs 2 \
-    --manifest "$OBS_TMP/manifest.jsonl" --prom "$OBS_TMP/metrics.prom"
+    --manifest "$OBS_TMP/manifest.jsonl" --prom "$OBS_TMP/metrics.prom" \
+    --trace "$OBS_TMP/trace.json"
 jq -es 'length >= 2
         and all(.[]; has("phase") and has("epoch") and has("train_loss")
                      and has("grad_norm") and has("lr") and has("epoch_ms")
@@ -53,6 +56,46 @@ grep -q 'serve_e2e_us{quantile="0.5"}' "$OBS_TMP/metrics.prom" \
     || { echo "FAIL: Prometheus export missing serve_e2e_us quantiles"; exit 1; }
 grep -q '^serve_completed_total ' "$OBS_TMP/metrics.prom" \
     || { echo "FAIL: Prometheus export missing serve counters"; exit 1; }
+jq -e 'length > 0 and all(.[]; has("name") and has("ts") and has("pid"))' \
+    "$OBS_TMP/trace.json" >/dev/null \
+    || { echo "FAIL: smoke trace empty or malformed"; exit 1; }
+
+# Health smoke: the estimator health plane end to end. serve_bench
+# --introspect drives a mini observe→retrain→swap run against a server with
+# a durable journal, SLO burn-rate tracking and a live introspection
+# endpoint, hits /health, /metrics, /events, /version and /trace through
+# its in-process HTTP client (no curl), and injects a breaker-open window
+# that must flip /health to "degraded" and auto-dump a diagnostic bundle.
+# The binary exits non-zero on any violated gate; the journal tail and the
+# report JSON are re-asserted here: at least one SwapPromoted record, a
+# burn-rate Alert carrying both window burns and the threshold, an intact
+# causal trace from DriftTripped through SwapPromoted into the flight
+# recorder, and introspection-enabled throughput within 3% of the disabled
+# baseline.
+echo "==> health smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- \
+    --introspect --smoke --json --events "$OBS_TMP/events.json" \
+    >"$OBS_TMP/health.json"
+jq -e '(map(.event | objects | keys[0] | select(. == "SwapPromoted")) | length >= 1)
+       and (map(.event.Alert? | select(. != null)) | length >= 1)
+       and (map(.event.Alert? | select(. != null))
+            | all(has("fast_burn") and has("slow_burn") and has("threshold")))' \
+    "$OBS_TMP/events.json" >/dev/null \
+    || { echo "FAIL: journal tail missing swap/alert records"; cat "$OBS_TMP/events.json"; exit 1; }
+jq -e '.drift_trips >= 1
+       and .swaps_promoted >= 1
+       and .probation_passed >= 1
+       and .trace_match and .trace_in_recorder
+       and .alerts >= 1
+       and .alert_fast_burn > .alert_threshold
+       and .alert_slow_burn > .alert_threshold
+       and .health_ok_seen and .health_degraded_seen
+       and .breaker_opened_journaled
+       and .bundles_dumped >= 1
+       and .endpoints_ok
+       and .throughput_ratio >= 0.97' \
+    "$OBS_TMP/health.json" >/dev/null \
+    || { echo "FAIL: health smoke out of bounds"; cat "$OBS_TMP/health.json"; exit 1; }
 
 # Chaos smoke: run the serving path under a fixed seeded fault plan (1%
 # worker kills, 1% batch panics, 0.5% checkpoint corruption) with a

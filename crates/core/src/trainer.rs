@@ -433,6 +433,7 @@ fn run_epochs(
                 val_qerr_p99: quantile(&mut qerrs, 0.99),
                 early_stop: decision,
                 alloc_bytes,
+                trace: dace_obs::current_trace(),
             });
         }
         if early_stop && bad_epochs >= patience {
@@ -505,6 +506,7 @@ fn run_epochs_repack_baseline(
                 val_qerr_p99: None,
                 early_stop: "continue".to_string(),
                 alloc_bytes: alloc_delta(alloc_start),
+                trace: dace_obs::current_trace(),
             });
         }
     }

@@ -85,6 +85,11 @@ impl<'a> SearchSession<'a> {
         strategy: JoinStrategy,
     ) -> Result<(PhysPlan, SearchReport), PlanError> {
         validate_query(query)?;
+        // Give this planning session its own causal trace unless the caller
+        // already runs under one (e.g. a serve worker planning inside a
+        // request's scope) — every search span below inherits it.
+        let _trace = (dace_obs::current_trace() == 0)
+            .then(|| dace_obs::trace_scope(dace_obs::next_trace_id()));
         let est = CardEstimator::new(self.db);
         let mut report = SearchReport::default();
 

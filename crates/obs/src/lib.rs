@@ -34,16 +34,26 @@
 
 pub mod alloc;
 pub mod hist;
+pub mod journal;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
+pub mod sketch;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use alloc::{alloc_probe_bytes, set_alloc_probe};
 pub use hist::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, HIST_BUCKETS};
-pub use metrics::{parse_prometheus_text, Counter, MetricsRegistry, RegistrySnapshot};
+pub use journal::{
+    decode_journal, read_journal, EventJournal, JournalRecord, LifecycleEvent, DEFAULT_JOURNAL_TAIL,
+};
+pub use metrics::{parse_prometheus_text, Counter, Gauge, MetricsRegistry, RegistrySnapshot};
 pub use recorder::{chrome_trace, Event, EventRecord, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
 pub use sink::{
     parse_manifest, records_by_phase, EpochRecord, JsonlSink, MemorySink, RunSink, Verbosity,
 };
+pub use sketch::{escape_label_value, AccuracyLedger, QErrorSketch, QERR_BUCKETS};
+pub use slo::{SloAlert, SloConfig, SloSeries, SloStatus, SloTracker};
 pub use span::{intern_span_name, set_tracing, span_name, tracing_enabled, SpanGuard};
+pub use trace::{current_trace, next_trace_id, splitmix64, trace_scope, TraceScope};

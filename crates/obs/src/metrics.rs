@@ -44,9 +44,34 @@ impl Counter {
     }
 }
 
+/// A last-value-wins gauge (for externally tracked quantities sampled at
+/// export time, like ring drop counts owned by lock-free structures).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -59,6 +84,7 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -83,6 +109,19 @@ impl MetricsRegistry {
         {
             Metric::Counter(c) => Arc::clone(c),
             Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+            Metric::Gauge(_) => panic!("metric {name:?} is a gauge, not a counter"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
 
@@ -94,8 +133,18 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
         {
             Metric::Histogram(h) => Arc::clone(h),
-            Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+            _ => panic!("metric {name:?} is not a histogram"),
         }
+    }
+
+    /// Register a `# HELP` description for `name` (idempotent; the last
+    /// call wins). Series without a registered description are exported
+    /// with a placeholder so every series still carries a HELP line.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("metrics help poisoned")
+            .insert(name.to_string(), help.to_string());
     }
 
     /// Point-in-time snapshot of every registered metric, sorted by name.
@@ -107,11 +156,15 @@ impl MetricsRegistry {
                 Metric::Counter(c) => {
                     snap.counters.insert(name.clone(), c.get());
                 }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
                 Metric::Histogram(h) => {
                     snap.histograms.insert(name.clone(), h.snapshot());
                 }
             }
         }
+        snap.help = self.help.lock().expect("metrics help poisoned").clone();
         snap
     }
 
@@ -134,25 +187,54 @@ impl MetricsRegistry {
 pub struct RegistrySnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Registered `# HELP` descriptions by name.
+    #[serde(default)]
+    pub help: BTreeMap<String, String>,
+}
+
+/// Escape a `# HELP` text per the Prometheus exposition rules (backslash
+/// and newline).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 impl RegistrySnapshot {
+    fn help_line(&self, out: &mut String, name: &str) {
+        let help = self
+            .help
+            .get(name)
+            .map_or_else(|| format!("dace metric {name}"), |h| escape_help(h));
+        let _ = writeln!(out, "# HELP {name} {help}");
+    }
+
     /// Render this snapshot in the Prometheus text exposition format.
+    /// Every series carries `# HELP` and `# TYPE` lines.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
+            self.help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
         }
+        for (name, v) in &self.gauges {
+            self.help_line(&mut out, name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
         for (name, h) in &self.histograms {
+            self.help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} summary");
             let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", h.p50);
             let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", h.p95);
             let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", h.p99);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            self.help_line(&mut out, &format!("{name}_max"));
             let _ = writeln!(out, "# TYPE {name}_max gauge");
             let _ = writeln!(out, "{name}_max {}", h.max);
         }
@@ -244,6 +326,51 @@ mod tests {
         assert_eq!(parsed["e2e_us_sum"], 5050.0);
         assert_eq!(parsed["e2e_us_max"], 100.0);
         // Every non-comment line must have parsed into a sample.
+        let samples = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count();
+        assert_eq!(samples, parsed.len());
+    }
+
+    #[test]
+    fn gauges_export_and_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ring_dropped").set(17);
+        reg.gauge("ring_dropped").set(21); // last write wins
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE ring_dropped gauge"));
+        let parsed = parse_prometheus_text(&text);
+        assert_eq!(parsed["ring_dropped"], 21.0);
+        let back: RegistrySnapshot = serde_json::from_str(&reg.json()).unwrap();
+        assert_eq!(back.gauges["ring_dropped"], 21);
+    }
+
+    #[test]
+    fn every_series_carries_help_and_type_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served_total").inc();
+        reg.gauge("depth").set(3);
+        reg.histogram("lat_us").record(10);
+        reg.describe("served_total", "Requests served.");
+        reg.describe("depth", "Queue depth\nwith a newline \\ and slash.");
+        let text = reg.prometheus_text();
+        // Each sample family is preceded by HELP and TYPE.
+        for name in ["served_total", "depth", "lat_us", "lat_us_max"] {
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "missing HELP for {name} in:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing TYPE for {name} in:\n{text}"
+            );
+        }
+        assert!(text.contains("# HELP served_total Requests served."));
+        // HELP text is escaped: no raw newline inside the help line.
+        assert!(text.contains("Queue depth\\nwith a newline \\\\ and slash."));
+        // Hygiene: the parser still consumes every non-comment line.
+        let parsed = parse_prometheus_text(&text);
         let samples = text
             .lines()
             .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))

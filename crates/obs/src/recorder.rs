@@ -34,6 +34,8 @@ pub struct Event {
     pub thread: u32,
     /// Nesting depth inside this thread's span stack (0 = top level).
     pub depth: u32,
+    /// Causal trace id active when the span was entered (0 = untraced).
+    pub trace: u64,
 }
 
 /// One event slot: a sequence gate plus the event's packed words.
@@ -47,6 +49,7 @@ struct Slot {
     /// `name_id << 32 | thread`.
     ids: AtomicU64,
     depth: AtomicU64,
+    trace: AtomicU64,
 }
 
 impl Slot {
@@ -57,6 +60,7 @@ impl Slot {
             dur_us: AtomicU64::new(0),
             ids: AtomicU64::new(0),
             depth: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
         }
     }
 }
@@ -129,6 +133,7 @@ impl FlightRecorder {
                     Ordering::Relaxed,
                 );
                 slot.depth.store(ev.depth as u64, Ordering::Relaxed);
+                slot.trace.store(ev.trace, Ordering::Relaxed);
                 // Publish: readers accept the slot only at seq == ticket+1.
                 slot.seq.store(h + 1, Ordering::Release);
                 return true;
@@ -161,6 +166,7 @@ impl FlightRecorder {
                 name_id: (ids >> 32) as u32,
                 thread: ids as u32,
                 depth: slot.depth.load(Ordering::Relaxed) as u32,
+                trace: slot.trace.load(Ordering::Relaxed),
             });
             // Free the slot for the writer `t + capacity` (which only
             // claims once it observes this store).
@@ -179,6 +185,7 @@ impl FlightRecorder {
                 dur_us: ev.dur_us,
                 thread: ev.thread,
                 depth: ev.depth,
+                trace: ev.trace,
             })
             .collect()
     }
@@ -219,29 +226,48 @@ pub struct EventRecord {
     pub thread: u32,
     /// Span nesting depth.
     pub depth: u32,
+    /// Causal trace id (0 = untraced).
+    pub trace: u64,
 }
 
 /// Render drained events in the Chrome trace-event JSON format (open the
 /// output in `chrome://tracing` or Perfetto): one complete (`"ph": "X"`)
-/// event per record.
+/// event per record. Events are grouped causally: every distinct trace id
+/// becomes its own process lane (`pid` = dense per-trace index, assigned in
+/// first-seen order), so one request's queue→batch→worker→retrain story
+/// reads as one row; untraced events stay on `pid` 0. The full trace id is
+/// carried in `args.trace` as hex.
 pub fn chrome_trace(records: &[EventRecord]) -> String {
     use serde::Value;
     let field = |k: &str, v: Value| (k.to_string(), v);
+    let mut trace_pids: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+    for r in records {
+        if r.trace != 0 {
+            let next = trace_pids.len() as u32 + 1;
+            trace_pids.entry(r.trace).or_insert(next);
+        }
+    }
     let events: Vec<Value> = records
         .iter()
         .map(|r| {
+            let pid = if r.trace == 0 {
+                0
+            } else {
+                trace_pids[&r.trace]
+            };
+            let mut args = vec![field("depth", r.depth.serialize())];
+            if r.trace != 0 {
+                args.push(field("trace", Value::Str(format!("{:016x}", r.trace))));
+            }
             Value::Map(vec![
                 field("name", r.name.serialize()),
                 field("cat", Value::Str("dace".to_string())),
                 field("ph", Value::Str("X".to_string())),
                 field("ts", r.t_us.serialize()),
                 field("dur", r.dur_us.serialize()),
-                field("pid", 0u32.serialize()),
+                field("pid", pid.serialize()),
                 field("tid", r.thread.serialize()),
-                field(
-                    "args",
-                    Value::Map(vec![field("depth", r.depth.serialize())]),
-                ),
+                field("args", Value::Map(args)),
             ])
         })
         .collect();
@@ -260,6 +286,7 @@ mod tests {
             name_id: 0,
             thread: 0,
             depth: 0,
+            trace: 0,
         }
     }
 
@@ -321,6 +348,7 @@ mod tests {
             dur_us: 17,
             thread: 1,
             depth: 2,
+            trace: 0,
         }];
         let json = chrome_trace(&records);
         let v: serde::Value = serde_json::from_str(&json).unwrap();
@@ -333,6 +361,43 @@ mod tests {
         assert_eq!(
             u64::deserialize(serde::map_get(args, "depth").unwrap()).unwrap(),
             2
+        );
+    }
+
+    #[test]
+    fn chrome_trace_groups_by_trace_id() {
+        let rec = |name: &str, trace: u64| EventRecord {
+            name: name.to_string(),
+            t_us: 1,
+            dur_us: 2,
+            thread: 0,
+            depth: 0,
+            trace,
+        };
+        let records = vec![
+            rec("untraced", 0),
+            rec("req_a_admit", 0xabcd),
+            rec("req_b_admit", 0x1234),
+            rec("req_a_forward", 0xabcd),
+        ];
+        let json = chrome_trace(&records);
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let events = v.as_seq().unwrap();
+        let pid_of = |i: usize| {
+            u64::deserialize(serde::map_get(events[i].as_map().unwrap(), "pid").unwrap()).unwrap()
+        };
+        assert_eq!(pid_of(0), 0, "untraced events stay on pid 0");
+        assert_ne!(pid_of(1), 0);
+        assert_ne!(pid_of(2), 0);
+        assert_ne!(pid_of(1), pid_of(2), "distinct traces get distinct lanes");
+        assert_eq!(pid_of(1), pid_of(3), "same trace shares a lane");
+        let args = serde::map_get(events[1].as_map().unwrap(), "args")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        assert_eq!(
+            serde::map_get(args, "trace").unwrap().as_str(),
+            Some("000000000000abcd")
         );
     }
 }

@@ -58,6 +58,11 @@ pub struct EpochRecord {
     /// ([`crate::set_alloc_probe`]); `null` otherwise.
     #[serde(default)]
     pub alloc_bytes: Option<u64>,
+    /// Causal trace id of the lineage that spawned this run (the drift trip
+    /// for an adaptive retrain; 0 for standalone training). Lets one
+    /// request's journal chain be joined against the epochs it triggered.
+    #[serde(default)]
+    pub trace: u64,
 }
 
 impl EpochRecord {
@@ -195,6 +200,7 @@ mod tests {
             val_qerr_p99: Some(9.9),
             early_stop: "improved".to_string(),
             alloc_bytes: None,
+            trace: 0xfeed,
         }
     }
 

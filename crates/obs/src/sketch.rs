@@ -1,0 +1,306 @@
+//! Mergeable log-bucket q-error sketches and the per-(version, database)
+//! accuracy ledger.
+//!
+//! The serving estimator's accuracy is a *moving, keyed* quantity: each
+//! model version has its own error distribution, and the paper's
+//! database-agnostic story means the same version can be accurate on one
+//! database and poor on another. A [`QErrorSketch`] is a wait-free
+//! fixed-bucket histogram over q-error (≥ 1.0 by definition) with
+//! geometric buckets — ~5% relative resolution, mergeable by bucket-wise
+//! addition — and the [`AccuracyLedger`] keys one sketch per
+//! `(model version, db id)` pair, feeding Prometheus export with properly
+//! escaped labels.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Geometric bucket growth factor (~5% relative quantile error).
+const QERR_BASE: f64 = 1.05;
+/// Bucket count: covers q-errors up to `1.05^255` ≈ 2.5e5; everything
+/// larger (or non-finite) clamps into the final overflow bucket.
+pub const QERR_BUCKETS: usize = 256;
+
+/// Bucket index for a q-error value (values < 1.0 clamp to bucket 0,
+/// non-finite values clamp to the overflow bucket).
+#[inline]
+pub fn qerr_bucket(q: f64) -> usize {
+    if !q.is_finite() {
+        return QERR_BUCKETS - 1;
+    }
+    if q <= 1.0 {
+        return 0;
+    }
+    let i = (q.ln() / QERR_BASE.ln()).floor();
+    (i as usize).min(QERR_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (what quantile queries report).
+#[inline]
+pub fn qerr_bucket_upper(i: usize) -> f64 {
+    QERR_BASE.powi(i as i32 + 1)
+}
+
+/// A wait-free mergeable histogram of q-error samples.
+#[derive(Debug)]
+pub struct QErrorSketch {
+    buckets: Box<[AtomicU64; QERR_BUCKETS]>,
+    count: AtomicU64,
+}
+
+impl Default for QErrorSketch {
+    fn default() -> Self {
+        QErrorSketch::new()
+    }
+}
+
+impl QErrorSketch {
+    /// An empty sketch.
+    pub fn new() -> QErrorSketch {
+        QErrorSketch {
+            buckets: Box::new([0u64; QERR_BUCKETS].map(AtomicU64::new)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one q-error sample (one relaxed `fetch_add` per word).
+    #[inline]
+    pub fn record(&self, q: f64) {
+        self.buckets[qerr_bucket(q)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold another sketch into this one (bucket-wise addition) — the merge
+    /// that lets per-shard or per-db sketches roll up losslessly.
+    pub fn merge_from(&self, other: &QErrorSketch) {
+        let mut added = 0;
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+                added += c;
+            }
+        }
+        self.count.fetch_add(added, Ordering::Relaxed);
+    }
+
+    /// The `p`-quantile (bucket upper bound, ≤ ~5% high); 0.0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return qerr_bucket_upper(i);
+            }
+        }
+        qerr_bucket_upper(QERR_BUCKETS - 1)
+    }
+}
+
+/// Escape a Prometheus label value: backslash, double quote and newline
+/// must be escaped inside the `label="..."` syntax.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-(model version, db id) q-error accounting. Handles are get-or-create
+/// and shared: the registration lock is taken once per new key, after which
+/// recording touches only the sketch's atomics.
+#[derive(Debug, Default)]
+pub struct AccuracyLedger {
+    sketches: Mutex<BTreeMap<(u64, u32), Arc<QErrorSketch>>>,
+}
+
+impl AccuracyLedger {
+    /// An empty ledger.
+    pub fn new() -> AccuracyLedger {
+        AccuracyLedger::default()
+    }
+
+    /// Get or create the sketch for `(version, db)`.
+    pub fn sketch(&self, version: u64, db: u32) -> Arc<QErrorSketch> {
+        let mut map = self
+            .sketches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(map.entry((version, db)).or_default())
+    }
+
+    /// Record one q-error observation for `(version, db)`.
+    pub fn observe(&self, version: u64, db: u32, q: f64) {
+        self.sketch(version, db).record(q);
+    }
+
+    /// Every `(version, db)` key currently tracked, sorted.
+    pub fn keys(&self) -> Vec<(u64, u32)> {
+        self.sketches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// All sketches for `version` merged into one (accuracy of a version
+    /// across every database it has served).
+    pub fn merged_for_version(&self, version: u64) -> QErrorSketch {
+        let map = self
+            .sketches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = QErrorSketch::new();
+        for ((v, _), s) in map.iter() {
+            if *v == version {
+                out.merge_from(s);
+            }
+        }
+        out
+    }
+
+    /// Prometheus text for the ledger: per-key quantile summaries under
+    /// `dace_qerr` with `version`/`db` labels (values escaped), plus
+    /// per-key sample counts.
+    pub fn prometheus_text(&self) -> String {
+        let map = self
+            .sketches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        if map.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "# HELP dace_qerr Per-(model version, database) q-error quantiles."
+        );
+        let _ = writeln!(out, "# TYPE dace_qerr summary");
+        for ((version, db), sketch) in map.iter() {
+            let vl = escape_label_value(&version.to_string());
+            let dl = escape_label_value(&db.to_string());
+            for (p, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "dace_qerr{{version=\"{vl}\",db=\"{dl}\",quantile=\"{tag}\"}} {}",
+                    sketch.quantile(p)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "dace_qerr_count{{version=\"{vl}\",db=\"{dl}\"}} {}",
+                sketch.count()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range_with_bounded_error() {
+        for q in [1.0, 1.01, 1.5, 2.0, 10.0, 123.4, 1e4, 1e5] {
+            let i = qerr_bucket(q);
+            let hi = qerr_bucket_upper(i);
+            assert!(hi >= q || i == QERR_BUCKETS - 1, "upper({i})={hi} < {q}");
+            if i > 0 && i < QERR_BUCKETS - 1 {
+                assert!(
+                    hi <= q * QERR_BASE * QERR_BASE,
+                    "upper({i})={hi} too far above {q}"
+                );
+            }
+        }
+        assert_eq!(qerr_bucket(0.5), 0);
+        assert_eq!(qerr_bucket(f64::NAN), QERR_BUCKETS - 1);
+        assert_eq!(qerr_bucket(f64::INFINITY), QERR_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let s = QErrorSketch::new();
+        for i in 0..1000 {
+            // 90% of samples near 1.2, 10% near 8.0.
+            s.record(if i % 10 == 9 { 8.0 } else { 1.2 });
+        }
+        assert_eq!(s.count(), 1000);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((1.1..=1.4).contains(&p50), "p50 = {p50}");
+        assert!((7.0..=9.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = QErrorSketch::new();
+        let b = QErrorSketch::new();
+        for _ in 0..100 {
+            a.record(1.5);
+            b.record(6.0);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 200);
+        let p50 = a.quantile(0.5);
+        assert!((1.4..=1.7).contains(&p50), "p50 = {p50}");
+        let p99 = a.quantile(0.99);
+        assert!((5.5..=6.8).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn ledger_keys_and_version_rollup() {
+        let ledger = AccuracyLedger::new();
+        ledger.observe(1, 0, 1.2);
+        ledger.observe(1, 3, 4.0);
+        ledger.observe(2, 0, 1.1);
+        assert_eq!(ledger.keys(), vec![(1, 0), (1, 3), (2, 0)]);
+        assert_eq!(ledger.merged_for_version(1).count(), 2);
+        assert_eq!(ledger.merged_for_version(2).count(), 1);
+    }
+
+    #[test]
+    fn prometheus_export_has_labels_and_parses() {
+        let ledger = AccuracyLedger::new();
+        for _ in 0..50 {
+            ledger.observe(3, 7, 1.3);
+        }
+        let text = ledger.prometheus_text();
+        assert!(text.contains("# TYPE dace_qerr summary"));
+        assert!(text.contains("version=\"3\",db=\"7\",quantile=\"0.9\""));
+        let parsed = crate::parse_prometheus_text(&text);
+        assert_eq!(parsed["dace_qerr_count{version=\"3\",db=\"7\"}"], 50.0);
+        assert!(parsed["dace_qerr{version=\"3\",db=\"7\",quantile=\"0.5\"}"] > 1.0);
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+}

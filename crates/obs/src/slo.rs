@@ -1,0 +1,383 @@
+//! Multi-window, multi-burn-rate SLO tracking for estimator accuracy and
+//! deadline adherence.
+//!
+//! An SLO here is a *budgeted* objective: "at most `budget` of requests may
+//! be bad" (q-error above target, or a missed deadline). The **burn rate**
+//! is `bad_fraction / budget` — burn 1.0 consumes the budget exactly at the
+//! allowed pace; burn 10 exhausts it 10× too fast. Following the
+//! multi-window pattern from SRE practice, an [`SloSeries`] evaluates the
+//! burn over a **fast** window (reacts quickly, noisy) and a **slow**
+//! window (smooth, laggy) and raises an [`SloAlert`] only when *both*
+//! exceed the threshold — the fast window gates latency of detection, the
+//! slow window gates false positives from momentary spikes. Alerts latch:
+//! once raised, a series re-arms only after the fast-window burn falls back
+//! below half the threshold (hysteresis, so a hovering burn doesn't flap).
+//!
+//! Windows are sample-counted bit rings with running bad-counts — pushes
+//! are O(1) and the rings are sized in requests (default 5k fast / 50k
+//! slow), not wall time, so the math is identical at any throughput.
+
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+/// Targets and window geometry for the serving SLOs.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Q-error value above which a prediction counts as "bad".
+    pub qerr_target: f64,
+    /// Budget for the q-error SLO: allowed fraction of bad predictions.
+    pub qerr_budget: f64,
+    /// Budget for the deadline SLO: allowed fraction of missed deadlines.
+    pub deadline_budget: f64,
+    /// Fast-window size in samples.
+    pub fast_window: usize,
+    /// Slow-window size in samples.
+    pub slow_window: usize,
+    /// Burn-rate threshold both windows must exceed to alert.
+    pub burn_threshold: f64,
+    /// Minimum fill fraction of a window before its burn is trusted
+    /// (avoids alerting off the first handful of samples).
+    pub min_fill: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            qerr_target: 4.0,
+            qerr_budget: 0.10,
+            deadline_budget: 0.01,
+            fast_window: 5_000,
+            slow_window: 50_000,
+            burn_threshold: 2.0,
+            min_fill: 0.5,
+        }
+    }
+}
+
+/// A raised burn-rate alert (the journal's `Alert` payload).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloAlert {
+    /// Which SLO fired ("qerr_p90" or "deadline_miss").
+    pub slo: String,
+    /// Burn rate over the fast window at the moment of firing.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at the moment of firing.
+    pub slow_burn: f64,
+    /// The threshold both exceeded.
+    pub threshold: f64,
+}
+
+/// Point-in-time burn state of one series (the `/health` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SloStatus {
+    /// Fast-window burn rate.
+    pub fast_burn: f64,
+    /// Slow-window burn rate.
+    pub slow_burn: f64,
+    /// Samples seen by the fast window (saturates at its size).
+    pub fast_fill: u64,
+    /// Samples seen by the slow window (saturates at its size).
+    pub slow_fill: u64,
+    /// Whether the alert is currently latched.
+    pub alerting: bool,
+}
+
+/// Fixed-size bit ring with a running bad-count: O(1) push, O(1) burn.
+#[derive(Debug)]
+struct BitRing {
+    bits: Vec<bool>,
+    pos: usize,
+    filled: usize,
+    bad: usize,
+}
+
+impl BitRing {
+    fn new(len: usize) -> BitRing {
+        BitRing {
+            bits: vec![false; len.max(1)],
+            pos: 0,
+            filled: 0,
+            bad: 0,
+        }
+    }
+
+    fn push(&mut self, bad: bool) {
+        let evicted = std::mem::replace(&mut self.bits[self.pos], bad);
+        if self.filled == self.bits.len() && evicted {
+            self.bad -= 1;
+        }
+        if bad {
+            self.bad += 1;
+        }
+        self.pos = (self.pos + 1) % self.bits.len();
+        self.filled = (self.filled + 1).min(self.bits.len());
+    }
+
+    fn bad_fraction(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.bad as f64 / self.filled as f64
+    }
+}
+
+/// One budgeted objective evaluated over a fast and a slow window.
+#[derive(Debug)]
+pub struct SloSeries {
+    name: &'static str,
+    budget: f64,
+    threshold: f64,
+    min_fill: f64,
+    inner: Mutex<SeriesInner>,
+}
+
+#[derive(Debug)]
+struct SeriesInner {
+    fast: BitRing,
+    slow: BitRing,
+    alerting: bool,
+}
+
+impl SloSeries {
+    /// A series named `name` with the given budget and window geometry.
+    pub fn new(
+        name: &'static str,
+        budget: f64,
+        fast_window: usize,
+        slow_window: usize,
+        threshold: f64,
+        min_fill: f64,
+    ) -> SloSeries {
+        SloSeries {
+            name,
+            budget: budget.max(1e-9),
+            threshold,
+            min_fill: min_fill.clamp(0.0, 1.0),
+            inner: Mutex::new(SeriesInner {
+                fast: BitRing::new(fast_window),
+                slow: BitRing::new(slow_window),
+                alerting: false,
+            }),
+        }
+    }
+
+    /// This series' name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn burn(&self, ring: &BitRing) -> f64 {
+        if (ring.filled as f64) < self.min_fill * ring.bits.len() as f64 {
+            return 0.0;
+        }
+        ring.bad_fraction() / self.budget
+    }
+
+    /// Record one sample. Returns `Some(alert)` exactly when this push
+    /// crosses both windows above the threshold while not already latched.
+    pub fn push(&self, bad: bool) -> Option<SloAlert> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.fast.push(bad);
+        inner.slow.push(bad);
+        let fast_burn = self.burn(&inner.fast);
+        let slow_burn = self.burn(&inner.slow);
+        if inner.alerting {
+            // Hysteresis: re-arm once the fast window cools to half the
+            // threshold.
+            if fast_burn < self.threshold * 0.5 {
+                inner.alerting = false;
+            }
+            return None;
+        }
+        if fast_burn > self.threshold && slow_burn > self.threshold {
+            inner.alerting = true;
+            return Some(SloAlert {
+                slo: self.name.to_string(),
+                fast_burn,
+                slow_burn,
+                threshold: self.threshold,
+            });
+        }
+        None
+    }
+
+    /// Current burn state.
+    pub fn status(&self) -> SloStatus {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        SloStatus {
+            fast_burn: self.burn(&inner.fast),
+            slow_burn: self.burn(&inner.slow),
+            fast_fill: inner.fast.filled as u64,
+            slow_fill: inner.slow.filled as u64,
+            alerting: inner.alerting,
+        }
+    }
+}
+
+/// The serving SLO pair: accuracy (q-error) and deadline adherence.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    /// "qerr_p90": fraction of predictions with q-error above target.
+    pub qerr: SloSeries,
+    /// "deadline_miss": fraction of requests missing their deadline.
+    pub deadline: SloSeries,
+}
+
+impl SloTracker {
+    /// A tracker with the given config.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            qerr: SloSeries::new(
+                "qerr_p90",
+                config.qerr_budget,
+                config.fast_window,
+                config.slow_window,
+                config.burn_threshold,
+                config.min_fill,
+            ),
+            deadline: SloSeries::new(
+                "deadline_miss",
+                config.deadline_budget,
+                config.fast_window,
+                config.slow_window,
+                config.burn_threshold,
+                config.min_fill,
+            ),
+            config,
+        }
+    }
+
+    /// The config this tracker was built with.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Record one observed q-error; alerts when the burn crosses both
+    /// windows.
+    pub fn push_qerr(&self, q: f64) -> Option<SloAlert> {
+        self.qerr.push(q > self.config.qerr_target)
+    }
+
+    /// Record a batch's deadline outcomes (`missed` expired + `met` on
+    /// time); returns the first alert raised, if any.
+    pub fn push_deadline_batch(&self, missed: u64, met: u64) -> Option<SloAlert> {
+        let mut alert = None;
+        for _ in 0..missed {
+            alert = alert.or(self.deadline.push(true));
+        }
+        for _ in 0..met {
+            alert = alert.or(self.deadline.push(false));
+        }
+        alert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SloConfig {
+        SloConfig {
+            qerr_target: 4.0,
+            qerr_budget: 0.10,
+            deadline_budget: 0.01,
+            fast_window: 50,
+            slow_window: 200,
+            burn_threshold: 2.0,
+            min_fill: 0.5,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let t = SloTracker::new(small_config());
+        for _ in 0..1000 {
+            assert!(t.push_qerr(1.2).is_none());
+            assert!(t.push_deadline_batch(0, 1).is_none());
+        }
+        assert!(!t.qerr.status().alerting);
+        assert_eq!(t.qerr.status().fast_burn, 0.0);
+    }
+
+    #[test]
+    fn sustained_badness_alerts_once_and_latches() {
+        let t = SloTracker::new(small_config());
+        let mut alerts = Vec::new();
+        for _ in 0..400 {
+            if let Some(a) = t.push_qerr(50.0) {
+                alerts.push(a);
+            }
+        }
+        assert_eq!(alerts.len(), 1, "latched alert must fire exactly once");
+        let a = &alerts[0];
+        assert_eq!(a.slo, "qerr_p90");
+        assert!(a.fast_burn > a.threshold && a.slow_burn > a.threshold);
+        assert!(t.qerr.status().alerting);
+    }
+
+    #[test]
+    fn alert_rearms_after_recovery() {
+        let t = SloTracker::new(small_config());
+        let fired: usize = (0..400).filter_map(|_| t.push_qerr(50.0)).count();
+        assert_eq!(fired, 1);
+        // Recovery: fast window cools below threshold/2 and re-arms.
+        for _ in 0..400 {
+            assert!(t.push_qerr(1.1).is_none());
+        }
+        assert!(!t.qerr.status().alerting);
+        // A second sustained burn alerts again.
+        let fired: usize = (0..400).filter_map(|_| t.push_qerr(50.0)).count();
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn fast_spike_alone_does_not_alert() {
+        let t = SloTracker::new(small_config());
+        // Fill the slow window clean, then spike only the fast window: the
+        // slow burn stays below threshold (50 bad / 200 = 0.25 / 0.10 = 2.5
+        // — careful: that *would* cross; use a shorter spike).
+        for _ in 0..200 {
+            t.push_qerr(1.1);
+        }
+        let mut fired = 0;
+        for _ in 0..30 {
+            // 30 bad of fast 50 = 0.6/0.1 = 6 > 2; slow: 30/200 = 0.15/0.1
+            // = 1.5 < 2 → no alert.
+            if t.push_qerr(50.0).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 0, "slow window must veto a short spike");
+        assert!(t.qerr.status().fast_burn > 2.0);
+        assert!(t.qerr.status().slow_burn < 2.0);
+    }
+
+    #[test]
+    fn under_filled_windows_report_zero_burn() {
+        let t = SloTracker::new(small_config());
+        for _ in 0..10 {
+            assert!(t.push_qerr(100.0).is_none(), "min_fill must gate alerts");
+        }
+        assert_eq!(t.qerr.status().fast_burn, 0.0);
+    }
+
+    #[test]
+    fn deadline_batches_count_both_sides() {
+        let t = SloTracker::new(small_config());
+        // 100% misses blow through the 1% budget as soon as min_fill is met.
+        let alert = (0..10).find_map(|_| t.push_deadline_batch(20, 20));
+        let a = alert.expect("sustained misses must alert");
+        assert_eq!(a.slo, "deadline_miss");
+        let st = t.deadline.status();
+        assert!(st.alerting);
+        assert!(st.fast_fill >= 25);
+    }
+}

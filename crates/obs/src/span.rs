@@ -17,6 +17,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::recorder::{Event, FlightRecorder};
+use crate::trace::current_trace;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 
@@ -86,11 +87,13 @@ struct LiveSpan {
     name_id: u32,
     depth: u32,
     start: Instant,
+    trace: u64,
 }
 
 impl SpanGuard {
     /// Enter a span for the call site owning `slot` (its cached intern id).
-    /// Prefer the [`span!`] macro, which supplies the slot.
+    /// Prefer the [`span!`] macro, which supplies the slot. The thread's
+    /// current trace id (see [`crate::trace_scope`]) is captured at entry.
     #[inline]
     pub fn enter(name: &'static str, slot: &'static OnceLock<u32>) -> SpanGuard {
         if !tracing_enabled() {
@@ -107,8 +110,31 @@ impl SpanGuard {
                 name_id,
                 depth,
                 start: Instant::now(),
+                trace: current_trace(),
             }),
         }
+    }
+
+    /// Record an instant marker (`dur_us == 0`) named by `name`, stamped
+    /// with `trace`. Used at causal boundaries (admission, reply) where an
+    /// RAII span has nothing to measure but the trace's timeline needs the
+    /// point. A no-op (one relaxed load) when tracing is off. Prefer the
+    /// [`mark!`](crate::mark) macro, which supplies the slot.
+    #[inline]
+    pub fn mark(name: &'static str, slot: &'static OnceLock<u32>, trace: u64) {
+        if !tracing_enabled() {
+            return;
+        }
+        let name_id = *slot.get_or_init(|| intern_span_name(name));
+        let recorder = FlightRecorder::global();
+        recorder.record(Event {
+            t_us: recorder.offset_us(Instant::now()),
+            dur_us: 0,
+            name_id,
+            thread: current_thread_id(),
+            depth: DEPTH.with(|d| d.get()),
+            trace,
+        });
     }
 }
 
@@ -125,6 +151,7 @@ impl Drop for SpanGuard {
             name_id: live.name_id,
             thread: current_thread_id(),
             depth: live.depth,
+            trace: live.trace,
         });
     }
 }
@@ -141,6 +168,22 @@ macro_rules! span {
     ($name:literal) => {{
         static __DACE_SPAN_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
         $crate::SpanGuard::enter($name, &__DACE_SPAN_ID)
+    }};
+}
+
+/// Record an instant trace marker (zero-duration event) stamped with a
+/// trace id — the causal breadcrumbs connecting a request's admission,
+/// hand-offs and reply across threads.
+///
+/// ```
+/// let trace = dace_obs::next_trace_id();
+/// dace_obs::mark!("request_admit", trace);
+/// ```
+#[macro_export]
+macro_rules! mark {
+    ($name:literal, $trace:expr) => {{
+        static __DACE_SPAN_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::SpanGuard::mark($name, &__DACE_SPAN_ID, $trace)
     }};
 }
 
@@ -200,6 +243,28 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(span_name(a), "obs_intern_test");
         assert_eq!(span_name(u32::MAX), "?");
+    }
+
+    #[test]
+    fn spans_capture_the_current_trace() {
+        let events = with_tracing(|| {
+            {
+                let _scope = crate::trace::trace_scope(0xbeef);
+                let _s = span!("traced_span");
+            }
+            {
+                let _s = span!("untraced_span");
+            }
+            crate::mark!("traced_mark", 0x77);
+            FlightRecorder::global().snapshot_records()
+        });
+        let traced = events.iter().find(|e| e.name == "traced_span").unwrap();
+        assert_eq!(traced.trace, 0xbeef);
+        let untraced = events.iter().find(|e| e.name == "untraced_span").unwrap();
+        assert_eq!(untraced.trace, 0);
+        let mark = events.iter().find(|e| e.name == "traced_mark").unwrap();
+        assert_eq!(mark.trace, 0x77);
+        assert_eq!(mark.dur_us, 0);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Property tests for the lifecycle journal's crash safety, mirroring the
+//! checkpoint properties in `tests/checkpoint_props.rs`.
+//!
+//! The contract under test: `decode_journal` over *any* corruption of a
+//! valid journal — truncation at an arbitrary offset (a torn tail), a
+//! single flipped bit anywhere, a multi-byte stomp — returns a **prefix**
+//! of the original records, never panics, and never yields a record that
+//! differs from what was written. A reader can therefore trust every record
+//! it gets back after a crash; at worst it loses the tail.
+
+use dace_obs::journal::journal_fnv1a64;
+use dace_obs::{decode_journal, EventJournal, JournalRecord, LifecycleEvent};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A representative journal (every variant family) written once through the
+/// real append path, plus its canonical on-disk bytes.
+fn fixture() -> &'static (Vec<JournalRecord>, Vec<u8>) {
+    static FIX: OnceLock<(Vec<JournalRecord>, Vec<u8>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("dace-journal-props-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        std::fs::remove_file(&path).ok();
+        let events = vec![
+            LifecycleEvent::ServerStarted {
+                workers: 4,
+                version: 1,
+            },
+            LifecycleEvent::DriftTripped {
+                baseline_q: 1.25,
+                window_q: 7.5,
+                samples: 640,
+            },
+            LifecycleEvent::RetrainStarted { samples: 128 },
+            LifecycleEvent::RetrainFailed {
+                reason: "window drained empty".to_string(),
+            },
+            LifecycleEvent::SwapPromoted {
+                from: 1,
+                to: 2,
+                trigger: "drift".to_string(),
+                shadow_p90: 1.4,
+            },
+            LifecycleEvent::ProbationPassed {
+                version: 2,
+                q_p90: 1.3,
+            },
+            LifecycleEvent::RollbackFired {
+                from: 3,
+                to: 2,
+                q_p90: 9.0,
+                limit: 4.0,
+            },
+            LifecycleEvent::BreakerOpened {
+                error_percent: 55.0,
+            },
+            LifecycleEvent::BreakerHalfOpen,
+            LifecycleEvent::BreakerClosed,
+            LifecycleEvent::WorkerRespawned {
+                slot: 2,
+                consecutive: 1,
+            },
+            LifecycleEvent::CheckpointRejected {
+                reason: "checksum mismatch: header 0102, payload 0304".to_string(),
+            },
+            LifecycleEvent::Alert {
+                slo: "qerr_p90".to_string(),
+                fast_burn: 12.0,
+                slow_burn: 3.5,
+                threshold: 2.0,
+            },
+            LifecycleEvent::BundleDumped {
+                dir: "/tmp/bundle \"quoted\" \\ path".to_string(),
+                cause: "breaker_open".to_string(),
+            },
+        ];
+        let records: Vec<JournalRecord> = {
+            let j = EventJournal::open(&path).unwrap();
+            events
+                .into_iter()
+                .enumerate()
+                .map(|(i, ev)| j.append(0x1000 + i as u64, ev))
+                .collect()
+        };
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        (records, bytes)
+    })
+}
+
+/// The decode contract for possibly-corrupt bytes: whatever comes back must
+/// be an exact prefix of the original records.
+fn assert_prefix(bytes: &[u8]) {
+    let (canonical, _) = fixture();
+    let (decoded, valid_len) = decode_journal(bytes);
+    assert!(valid_len <= bytes.len());
+    assert!(
+        decoded.len() <= canonical.len(),
+        "decoded more records than were written"
+    );
+    for (got, want) in decoded.iter().zip(canonical.iter()) {
+        assert_eq!(got, want, "corruption changed a surviving record");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at any offset — a torn tail — yields a clean prefix.
+    #[test]
+    fn truncation_yields_a_clean_prefix(frac in 0.0f64..1.0) {
+        let (canonical, bytes) = fixture();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let prefix = &bytes[..cut.min(bytes.len())];
+        assert_prefix(prefix);
+        if prefix.len() == bytes.len() {
+            let (decoded, n) = decode_journal(prefix);
+            prop_assert_eq!(decoded.len(), canonical.len());
+            prop_assert_eq!(n, bytes.len());
+        }
+    }
+
+    /// A single flipped bit anywhere never corrupts a surviving record and
+    /// never panics; the damaged frame and everything after it are dropped.
+    #[test]
+    fn single_bit_flip_never_corrupts_survivors(frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (_, bytes) = fixture();
+        let pos = (((bytes.len() - 1) as f64) * frac) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        assert_prefix(&corrupt);
+    }
+
+    /// Multi-byte stomps obey the same prefix contract.
+    #[test]
+    fn byte_stomps_yield_a_clean_prefix(frac in 0.0f64..1.0, len in 1usize..64, fill in 0u8..=255) {
+        let (_, bytes) = fixture();
+        let pos = (((bytes.len() - 1) as f64) * frac) as usize;
+        let mut corrupt = bytes.clone();
+        let end = (pos + len).min(corrupt.len());
+        for b in &mut corrupt[pos..end] {
+            *b = fill;
+        }
+        assert_prefix(&corrupt);
+    }
+
+    /// Appending garbage after a valid journal never manufactures records:
+    /// the valid records all decode, and nothing beyond them does.
+    #[test]
+    fn trailing_garbage_is_ignored(garbage in proptest::collection::vec(0u8..=255, 1..256)) {
+        let (canonical, bytes) = fixture();
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&garbage);
+        let (decoded, _) = decode_journal(&extended);
+        // The garbage could by chance start with a digit and eat the
+        // framing, but it cannot *pass* the checksum, so the canonical
+        // prefix is intact and at most the canonical records decode.
+        prop_assert_eq!(decoded.len(), canonical.len());
+        for (got, want) in decoded.iter().zip(canonical.iter()) {
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+#[test]
+fn framing_checksum_covers_every_payload_byte() {
+    let (_, bytes) = fixture();
+    // Locate the first frame's JSON payload and verify the declared FNV.
+    let text =
+        std::str::from_utf8(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()]).unwrap();
+    let mut parts = text.splitn(3, ' ');
+    let len: usize = parts.next().unwrap().parse().unwrap();
+    let declared = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+    let json = parts.next().unwrap();
+    assert_eq!(json.len(), len);
+    assert_eq!(journal_fnv1a64(json.as_bytes()), declared);
+}

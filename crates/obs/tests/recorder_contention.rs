@@ -47,6 +47,7 @@ fn producers_racing_snapshots_lose_nothing_silently() {
                         name_id: 0,
                         thread: t as u32,
                         depth: (seq % 7) as u32,
+                        trace: sum.rotate_left(17),
                     });
                     if ok {
                         accepted.fetch_add(1, Ordering::Relaxed);
@@ -103,6 +104,7 @@ fn producers_racing_snapshots_lose_nothing_silently() {
             "torn event: {ev:?}"
         );
         assert_eq!(ev.depth as u64, ev.t_us % 7, "torn event: {ev:?}");
+        assert_eq!(ev.trace, ev.dur_us.rotate_left(17), "torn event: {ev:?}");
     }
 
     // Per-producer order survives as a strictly increasing subsequence.

@@ -53,15 +53,16 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dace_core::{quantile, save_checkpoint};
-use dace_obs::{span, Counter, MetricsRegistry};
+use dace_obs::{current_trace, span, trace_scope, Counter, LifecycleEvent, MetricsRegistry};
 use dace_plan::{Dataset, LabeledPlan, MachineId, PlanTree};
 
 use crate::fault::{FaultConfig, FaultInjector, FaultSite, INJECTED_PANIC};
+use crate::health::HealthPlane;
 use crate::metrics::Histogram;
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::scheduler::{Prediction, FALLBACK_VERSION};
@@ -459,6 +460,10 @@ pub struct AdaptiveConfig {
     /// directory (`save_checkpoint` → load → swap), so the artifact the
     /// registry installs is the artifact that survives a crash.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Database id this controller's observations are attributed to in the
+    /// accuracy ledger (one controller observes one database's traffic;
+    /// multi-database deployments run one per db).
+    pub db_id: u16,
 }
 
 impl Default for AdaptiveConfig {
@@ -476,6 +481,7 @@ impl Default for AdaptiveConfig {
             probation_samples: 256,
             probation_margin: 2.0,
             checkpoint_dir: None,
+            db_id: 0,
         }
     }
 }
@@ -509,6 +515,15 @@ pub struct AdaptiveController {
     /// At most one background retrain in flight.
     inflight: AtomicBool,
     retrain_handle: Mutex<Option<JoinHandle<()>>>,
+    /// The health plane, once attached via
+    /// [`set_health`](AdaptiveController::set_health): lifecycle journal,
+    /// accuracy ledger, SLO alerts. Absent, the loop runs exactly as
+    /// before (counters + spans only).
+    health: OnceLock<Arc<HealthPlane>>,
+    /// Trace id of the request whose q-error tripped the drift detector —
+    /// the causal anchor the retrain thread (and everything it journals or
+    /// trains) is stamped with.
+    last_trip_trace: AtomicU64,
 }
 
 impl AdaptiveController {
@@ -545,9 +560,36 @@ impl AdaptiveController {
             injector,
             inflight: AtomicBool::new(false),
             retrain_handle: Mutex::new(None),
+            health: OnceLock::new(),
+            last_trip_trace: AtomicU64::new(0),
             registry,
             config,
         })
+    }
+
+    /// Attach the server's health plane: lifecycle decisions journal
+    /// through it, accuracy observations feed its ledger and SLOs, and the
+    /// feedback ring's drop counter is exported as a gauge in `registry`.
+    /// Attach once, before traffic; later calls are ignored.
+    ///
+    /// The drop gauge captures a `Weak` back-reference — the plane outlives
+    /// servers and controllers, so a strong cycle here would leak both.
+    pub fn set_health(self: &Arc<Self>, plane: Arc<HealthPlane>, registry: &MetricsRegistry) {
+        let weak = Arc::downgrade(self);
+        plane.register_drop_gauge(
+            registry,
+            "adaptive_feedback_ring_dropped",
+            "Feedback samples dropped because the adaptive ring was full.",
+            move || weak.upgrade().map_or(0, |c| c.buffer.dropped()),
+        );
+        let _ = self.health.set(plane);
+    }
+
+    /// Journal a lifecycle event, when a health plane is attached.
+    fn emit(&self, trace: u64, event: LifecycleEvent) {
+        if let Some(h) = self.health.get() {
+            h.emit(trace, event);
+        }
     }
 
     /// The adaptive counters (shared with the registry passed at build).
@@ -587,6 +629,11 @@ impl AdaptiveController {
         }
         let q = q_error(pred.ms, observed_ms);
         self.metrics.samples.inc();
+        // Accuracy accounting: the (version, db) sketch plus the q-error
+        // SLO, both keyed by the version that actually answered.
+        if let Some(h) = self.health.get() {
+            h.observe_qerr(pred.version, u32::from(self.config.db_id), q, pred.trace);
+        }
         self.probation_observe(q, pred.version);
         let base = self.registry.base();
         let sample = FeedbackSample {
@@ -596,7 +643,7 @@ impl AdaptiveController {
             q_error: q,
             plan: LabeledPlan {
                 tree: relabel(tree, observed_ms),
-                db_id: 0,
+                db_id: self.config.db_id,
                 machine: MachineId::M1,
             },
         };
@@ -604,8 +651,20 @@ impl AdaptiveController {
             self.metrics.samples_dropped.inc();
         }
         let trip = lock_recover(&self.detector).push(q);
-        if trip.is_some() {
+        if let Some(t) = trip {
             self.metrics.drift_trips.inc();
+            // The tripping request's trace anchors the whole lineage:
+            // DriftTripped → RetrainStarted → … → SwapPromoted all carry it,
+            // as do the retrain thread's spans and epoch records.
+            self.last_trip_trace.store(pred.trace, Ordering::Release);
+            self.emit(
+                pred.trace,
+                LifecycleEvent::DriftTripped {
+                    baseline_q: t.baseline_q,
+                    window_q: t.window_q,
+                    samples: t.samples_seen,
+                },
+            );
             self.maybe_spawn_retrain();
         }
     }
@@ -628,6 +687,11 @@ impl AdaptiveController {
         let handle = std::thread::Builder::new()
             .name("dace-adaptive-retrain".into())
             .spawn(move || {
+                // The retrain thread inherits the tripping request's trace:
+                // every span, journal record and training epoch it produces
+                // joins that request's causal chain.
+                let trip_trace = this.last_trip_trace.load(Ordering::Acquire);
+                let _trace = trace_scope(trip_trace);
                 let t0 = Instant::now();
                 // An injected (or real) mid-retrain panic must not wedge the
                 // latch: catch it, count it, release.
@@ -637,6 +701,12 @@ impl AdaptiveController {
                     .record(t0.elapsed().as_micros() as u64);
                 if result.is_err() {
                     this.metrics.retrains_failed.inc();
+                    this.emit(
+                        trip_trace,
+                        LifecycleEvent::RetrainFailed {
+                            reason: "retrain thread panicked".to_string(),
+                        },
+                    );
                 }
                 this.inflight.store(false, Ordering::Release);
             })
@@ -650,8 +720,20 @@ impl AdaptiveController {
     fn retrain_once(&self) {
         let _span = span!("adaptive_retrain");
         let mut samples = self.buffer.drain();
+        self.emit(
+            current_trace(),
+            LifecycleEvent::RetrainStarted {
+                samples: samples.len() as u64,
+            },
+        );
         if samples.len() < self.config.min_retrain_samples.max(2) {
             self.metrics.retrains_failed.inc();
+            self.emit(
+                current_trace(),
+                LifecycleEvent::RetrainFailed {
+                    reason: format!("only {} samples drained", samples.len()),
+                },
+            );
             return;
         }
         let keep = self.config.retrain_window.max(2);
@@ -673,6 +755,12 @@ impl AdaptiveController {
         }
         if train.is_empty() || holdback.is_empty() {
             self.metrics.retrains_failed.inc();
+            self.emit(
+                current_trace(),
+                LifecycleEvent::RetrainFailed {
+                    reason: "train/holdback split left one side empty".to_string(),
+                },
+            );
             return;
         }
         if self.injector.should_fire(FaultSite::RetrainCrash) {
@@ -685,8 +773,14 @@ impl AdaptiveController {
             self.config.retrain_lr,
         ) {
             Ok(c) => c,
-            Err(_) => {
+            Err(e) => {
                 self.metrics.retrains_failed.inc();
+                self.emit(
+                    current_trace(),
+                    LifecycleEvent::RetrainFailed {
+                        reason: format!("fine-tune failed: {e:?}"),
+                    },
+                );
                 return;
             }
         };
@@ -711,6 +805,13 @@ impl AdaptiveController {
             // current model) keeps serving.
             let _span = span!("adaptive_rollback");
             self.metrics.retrains_rolled_back.inc();
+            self.emit(
+                current_trace(),
+                LifecycleEvent::RetrainRejected {
+                    candidate_q: cand_q,
+                    current_q: curr_q,
+                },
+            );
         }
     }
 
@@ -718,11 +819,19 @@ impl AdaptiveController {
     /// round-trip) and open a probation window.
     fn promote(&self, candidate: dace_core::DaceEstimator, cand_q: f64) {
         let _span = span!("adaptive_promote");
-        *lock_recover(&self.last_good) = Some(self.registry.base());
+        let prev = self.registry.base();
+        let from_version = prev.version;
+        *lock_recover(&self.last_good) = Some(prev);
         let swapped = if let Some(dir) = &self.config.checkpoint_dir {
             let path = dir.join("adaptive-candidate.ckpt");
             if save_checkpoint(&path, &candidate).is_err() {
                 self.metrics.retrains_failed.inc();
+                self.emit(
+                    current_trace(),
+                    LifecycleEvent::RetrainFailed {
+                        reason: "promotion checkpoint save failed".to_string(),
+                    },
+                );
                 return;
             }
             if self.injector.should_fire(FaultSite::CheckpointCorrupt) {
@@ -730,9 +839,14 @@ impl AdaptiveController {
             }
             // The loader verifies magic + checksum; a corrupt artifact is
             // rejected here and last-good never stops serving.
-            self.registry
-                .swap_base_from_checkpoint(&path)
-                .map_err(|_| ())
+            self.registry.swap_base_from_checkpoint(&path).map_err(|e| {
+                self.emit(
+                    current_trace(),
+                    LifecycleEvent::CheckpointRejected {
+                        reason: e.to_string(),
+                    },
+                );
+            })
         } else {
             self.registry.swap_base(candidate).map_err(|_| ())
         };
@@ -745,6 +859,15 @@ impl AdaptiveController {
         };
         self.metrics.retrains_succeeded.inc();
         self.metrics.promotions.inc();
+        self.emit(
+            current_trace(),
+            LifecycleEvent::SwapPromoted {
+                from: from_version,
+                to: new_version,
+                trigger: "drift".to_string(),
+                shadow_p90: cand_q,
+            },
+        );
         *lock_recover(&self.probation) = Some(Probation {
             qs: Vec::with_capacity(self.config.probation_samples),
             limit_q: (cand_q * self.config.probation_margin).max(1.0),
@@ -769,20 +892,39 @@ impl AdaptiveController {
                 return;
             }
             let p = guard.take().expect("probation present");
+            let min_version = p.min_version;
             let mut qs = p.qs;
             let live_q = quantile(&mut qs, self.config.shadow_quantile).unwrap_or(f64::INFINITY);
-            (live_q, p.limit_q)
+            (live_q, p.limit_q, min_version)
         };
-        let (live_q, limit_q) = verdict;
+        let (live_q, limit_q, probed_version) = verdict;
+        let trace = self.last_trip_trace.load(Ordering::Acquire);
         let last = lock_recover(&self.last_good).take();
         if live_q.is_finite() && live_q <= limit_q {
-            return; // promotion confirmed; last-good no longer needed
+            // Promotion confirmed; last-good no longer needed.
+            self.emit(
+                trace,
+                LifecycleEvent::ProbationPassed {
+                    version: probed_version,
+                    q_p90: live_q,
+                },
+            );
+            return;
         }
         if let Some(lg) = last {
             let _span = span!("adaptive_rollback");
             if self.registry.swap_base(lg.estimator.clone()).is_ok() {
                 self.metrics.rollbacks.inc();
                 lock_recover(&self.detector).rebaseline();
+                self.emit(
+                    trace,
+                    LifecycleEvent::RollbackFired {
+                        from: probed_version,
+                        to: lg.version,
+                        q_p90: live_q,
+                        limit: limit_q,
+                    },
+                );
             }
         }
     }

@@ -1,0 +1,257 @@
+//! The introspection endpoint: a dependency-free HTTP/1.1 server over
+//! `std::net::TcpListener` exposing the health plane.
+//!
+//! Routes (all `GET`):
+//!
+//! - `/health` — JSON [`HealthReport`](crate::HealthReport); the status
+//!   field flips `ok` → `degraded` while the breaker is open/half-open or
+//!   an SLO burn-rate alert is latched. The HTTP status stays 200 so
+//!   scrapers can always read the body.
+//! - `/metrics` — Prometheus text: serve/adaptive series, refreshed drop
+//!   gauges, and the per-(version, db) q-error ledger.
+//! - `/events?n=N` — the last `N` (default 256) lifecycle journal records
+//!   as a JSON array.
+//! - `/trace` — Chrome-trace JSON of the flight recorder. **Draining**:
+//!   this consumes the ring, like any other snapshot consumer.
+//! - `/version` — JSON model-registry summary (base version, publishes,
+//!   adapters).
+//!
+//! The accept loop is nonblocking and polls a shutdown flag every ~2 ms,
+//! so [`IntrospectServer::stop`] (and server shutdown) join promptly. One
+//! request per connection, `Connection: close` — diagnostics traffic, not
+//! a web server. [`http_get`] is the matching curl-free client used by CI
+//! and the benches.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use dace_obs::{chrome_trace, FlightRecorder, MetricsRegistry};
+
+use crate::health::HealthPlane;
+use crate::registry::ModelRegistry;
+use crate::scheduler::WorkerCtx;
+
+/// Default `/events` tail length when `?n=` is absent.
+const DEFAULT_EVENTS_TAIL: usize = 256;
+
+/// Model-registry summary served by `/version`.
+#[derive(Debug, Serialize)]
+struct VersionInfo {
+    base_version: u64,
+    versions_published: u64,
+    adapters: Vec<String>,
+}
+
+/// Handle to the background introspection listener. Stops (sets the flag,
+/// joins the thread) on [`stop`](IntrospectServer::stop) or drop.
+#[derive(Debug)]
+pub struct IntrospectServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntrospectServer {
+    /// Bind `addr` (port 0 picks a free port — read it back via
+    /// [`addr`](IntrospectServer::addr)) and serve the health plane from a
+    /// background thread.
+    pub(crate) fn start(
+        addr: SocketAddr,
+        plane: Arc<HealthPlane>,
+        registry: Arc<MetricsRegistry>,
+        models: Arc<ModelRegistry>,
+        ctx: Arc<WorkerCtx>,
+    ) -> std::io::Result<IntrospectServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dace-introspect".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &stop_flag, &plane, &registry, &models, &ctx);
+            })?;
+        Ok(IntrospectServer {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolved port when constructed with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the accept loop to exit and join it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IntrospectServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    plane: &HealthPlane,
+    registry: &MetricsRegistry,
+    models: &ModelRegistry,
+    ctx: &WorkerCtx,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Diagnostics traffic is sparse; serve inline rather than
+                // spawning. A stuck client is bounded by the read timeout.
+                let _ = serve_connection(stream, plane, registry, models, ctx);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    plane: &HealthPlane,
+    registry: &MetricsRegistry,
+    models: &ModelRegistry,
+    ctx: &WorkerCtx,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nonblocking(false)?;
+
+    // Read until the end of the request head; the routes take no body.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.len() > 16 * 1024 {
+                    break; // oversized head: answer whatever we parsed
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+
+    match path {
+        "/health" => {
+            let breaker = ctx.degrade.as_ref().map(|d| d.breaker.state());
+            let body = serde_json::to_string(&plane.health_report(breaker))
+                .unwrap_or_else(|_| "{}".to_string());
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/metrics" => {
+            let body = plane.prometheus_text(registry);
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/events" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("n="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                })
+                .unwrap_or(DEFAULT_EVENTS_TAIL);
+            let body = serde_json::to_string(&plane.journal().tail(n))
+                .unwrap_or_else(|_| "[]".to_string());
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/trace" => {
+            let events = FlightRecorder::global().snapshot_records();
+            respond(&mut stream, 200, "application/json", &chrome_trace(&events))
+        }
+        "/version" => {
+            let base = models.base();
+            let info = VersionInfo {
+                base_version: base.version,
+                versions_published: models.versions_published(),
+                adapters: models.adapter_names(),
+            };
+            let body = serde_json::to_string(&info).unwrap_or_else(|_| "{}".to_string());
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET against an introspection endpoint — the
+/// curl-free client CI and the benches use. Returns `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}

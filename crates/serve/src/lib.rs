@@ -54,6 +54,8 @@ mod adaptive;
 mod cache;
 mod fallback;
 mod fault;
+mod health;
+mod introspect;
 mod metrics;
 mod registry;
 mod scheduler;
@@ -64,12 +66,16 @@ pub use adaptive::{
     DriftTrip, FeedbackBuffer, FeedbackSample,
 };
 pub use cache::{FeatureCache, ShardedLruCache};
-pub use dace_obs::MetricsRegistry;
+pub use dace_obs::{
+    EventJournal, JournalRecord, LifecycleEvent, MetricsRegistry, SloConfig, SloStatus,
+};
 pub use fallback::{
     BreakerConfig, BreakerEvent, BreakerGate, BreakerState, CircuitBreaker, CostLinearFallback,
     FallbackEstimator,
 };
 pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, FaultSite, INJECTED_PANIC};
+pub use health::{HealthConfig, HealthPlane, HealthReport};
+pub use introspect::{http_get, IntrospectServer};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError, ReloadError};
 pub use scheduler::{

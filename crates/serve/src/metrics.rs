@@ -101,6 +101,9 @@ impl ServeMetrics {
     /// the resolved handles. Registering twice against the same registry
     /// yields handles to the *same* underlying metrics.
     pub fn register(registry: &MetricsRegistry) -> ServeMetrics {
+        for (name, help) in SERVE_METRIC_HELP {
+            registry.describe(name, help);
+        }
         ServeMetrics {
             submitted: registry.counter("serve_submitted_total"),
             completed: registry.counter("serve_completed_total"),
@@ -172,6 +175,104 @@ impl Default for ServeMetrics {
         ServeMetrics::new()
     }
 }
+
+/// `# HELP` text for every serve series, registered alongside the metrics
+/// so the Prometheus export is self-describing.
+const SERVE_METRIC_HELP: &[(&str, &str)] = &[
+    ("serve_submitted_total", "Requests admitted into the queue."),
+    (
+        "serve_completed_total",
+        "Requests answered with a prediction.",
+    ),
+    (
+        "serve_shed_total",
+        "Requests rejected at admission because the queue was full.",
+    ),
+    (
+        "serve_expired_total",
+        "Requests dropped because their deadline passed in queue.",
+    ),
+    (
+        "serve_unknown_adapter_total",
+        "Requests naming an adapter the registry does not hold.",
+    ),
+    (
+        "serve_invalid_plan_total",
+        "Requests rejected by admission-time plan validation.",
+    ),
+    (
+        "serve_degraded_total",
+        "Requests answered from the fallback estimator (degraded).",
+    ),
+    (
+        "serve_batch_panics_total",
+        "Forward-path panics caught per adapter group.",
+    ),
+    (
+        "serve_worker_panics_total",
+        "Worker threads that died to a panic.",
+    ),
+    (
+        "serve_worker_restarts_total",
+        "Workers respawned by the supervisor.",
+    ),
+    (
+        "serve_spawn_failures_total",
+        "Supervisor respawn attempts that failed at thread::spawn.",
+    ),
+    (
+        "serve_pool_exhausted_total",
+        "Spawn failures that left the worker pool empty.",
+    ),
+    (
+        "serve_breaker_opened_total",
+        "Circuit-breaker trips (closed to open, or a failed probe).",
+    ),
+    (
+        "serve_breaker_closed_total",
+        "Circuit-breaker recoveries (half-open to closed).",
+    ),
+    ("serve_batches_total", "Batches drained by workers."),
+    ("serve_cache_hits_total", "Featurization-cache hits."),
+    ("serve_cache_misses_total", "Featurization-cache misses."),
+    (
+        "serve_queue_wait_us",
+        "Time each request spent queued before a worker drained it (us).",
+    ),
+    (
+        "serve_batch_size",
+        "Drained batch sizes (requests per batch).",
+    ),
+    (
+        "serve_drain_us",
+        "Per-batch collection time: first request drained to dispatch (us).",
+    ),
+    (
+        "serve_cache_lookup_us",
+        "Per-group fingerprint and cache-probe time (us).",
+    ),
+    (
+        "serve_featurize_us",
+        "Per-batch featurization time, cache misses included (us).",
+    ),
+    (
+        "serve_forward_us",
+        "Per-batch packed forward-pass time (us).",
+    ),
+    (
+        "serve_attention_us",
+        "Attention share of the forward pass (us).",
+    ),
+    ("serve_mlp_us", "MLP share of the forward pass (us)."),
+    (
+        "serve_respond_us",
+        "Per-batch response-delivery time including wakeups (us).",
+    ),
+    (
+        "serve_e2e_us",
+        "End-to-end request latency, admission to response (us).",
+    ),
+];
 
 /// Point-in-time view of the whole serve path, printable and serializable
 /// (what `serve_bench` reports and CI asserts on).
@@ -383,5 +484,29 @@ mod tests {
         let parsed = dace_obs::parse_prometheus_text(&text);
         assert_eq!(parsed["serve_completed_total"], 1.0);
         assert!(parsed.contains_key("serve_e2e_us{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn every_serve_series_carries_registered_help() {
+        let registry = MetricsRegistry::new();
+        let _m = ServeMetrics::register(&registry);
+        let text = registry.prometheus_text();
+        for (name, help) in SERVE_METRIC_HELP {
+            assert!(
+                text.contains(&format!("# HELP {name} {help}")),
+                "missing registered HELP for {name}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing TYPE for {name}"
+            );
+        }
+        // Hygiene: the round-trip parser consumes every sample line.
+        let parsed = dace_obs::parse_prometheus_text(&text);
+        let samples = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count();
+        assert_eq!(samples, parsed.len());
     }
 }

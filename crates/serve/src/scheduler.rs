@@ -38,6 +38,7 @@
 //! [`PackedBatch`]: dace_core::PackedBatch
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -45,7 +46,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dace_core::{featurize_trees_sharded, DaceEstimator, PlanFeatures, Workspace};
-use dace_obs::{span, MetricsRegistry};
+use dace_obs::{mark, next_trace_id, span, trace_scope, LifecycleEvent, MetricsRegistry};
 use dace_plan::{validate_plan, PlanTree, PlanValidationError, DEFAULT_MAX_PLAN_DEPTH};
 
 use crate::cache::FeatureCache;
@@ -53,6 +54,8 @@ use crate::fallback::{
     BreakerConfig, BreakerEvent, BreakerGate, BreakerState, CircuitBreaker, FallbackEstimator,
 };
 use crate::fault::{FaultConfig, FaultInjector, INJECTED_PANIC};
+use crate::health::{HealthConfig, HealthPlane};
+use crate::introspect::IntrospectServer;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::supervisor::{lock_recover, WorkerPool};
@@ -105,6 +108,11 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan; [`FaultConfig::disabled`] (the
     /// default) compiles to one relaxed atomic load per site.
     pub faults: FaultConfig,
+    /// Bind address for the introspection endpoint (`/health`, `/metrics`,
+    /// `/events`, `/trace`, `/version`). `None` (the default) disables it;
+    /// port 0 binds a free port, readable via
+    /// [`DaceServer::introspect_addr`].
+    pub introspect_addr: Option<SocketAddr>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +130,7 @@ impl Default for ServeConfig {
             max_plan_depth: DEFAULT_MAX_PLAN_DEPTH,
             breaker: BreakerConfig::default(),
             faults: FaultConfig::disabled(),
+            introspect_addr: None,
         }
     }
 }
@@ -195,6 +204,12 @@ pub struct Prediction {
     /// when [`ServeConfig::stage_timing`] is off (and on degraded answers,
     /// which skip the staged path).
     pub stages: Option<StageBreakdown>,
+    /// Causal trace id minted at admission and carried through the queue,
+    /// batch, worker, and (via [`crate::AdaptiveController::observe`]) any
+    /// drift→retrain→swap lineage this request triggers. Nonzero on every
+    /// served answer; joins against flight-recorder events, journal
+    /// records, and retrain `EpochRecord`s.
+    pub trace: u64,
 }
 
 /// Where a served request's time went, stage by stage (all µs). Queue wait
@@ -219,6 +234,7 @@ pub(crate) struct Job {
     adapter: Option<String>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    trace: u64,
     resp: SyncSender<Result<Prediction, ServeError>>,
 }
 
@@ -257,6 +273,9 @@ pub(crate) struct WorkerCtx {
     pub config: ServeConfig,
     pub degrade: Option<DegradeState>,
     pub injector: FaultInjector,
+    /// The health plane every lifecycle event and SLO observation reports
+    /// through. Always present (defaults to in-memory journaling).
+    pub health: Arc<HealthPlane>,
     /// Raised before teardown so worker deaths during shutdown are not
     /// respawned (or miscounted as service-affecting).
     pub shutdown: AtomicBool,
@@ -278,6 +297,7 @@ pub struct DaceServer {
     sender: Option<SyncSender<Job>>,
     ctx: Arc<WorkerCtx>,
     pool: Option<WorkerPool>,
+    introspect: Option<IntrospectServer>,
 }
 
 impl DaceServer {
@@ -300,10 +320,32 @@ impl DaceServer {
         DaceServer::build(registry, config, Some(fallback))
     }
 
+    /// Start a server with an explicit [`HealthConfig`] — a persistent
+    /// lifecycle journal, a diagnostic-bundle directory, and/or tuned SLO
+    /// windows. `fallback` is optional, as in
+    /// [`new`](DaceServer::new)/[`with_fallback`](DaceServer::with_fallback).
+    pub fn with_health(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fallback: Option<Box<dyn FallbackEstimator>>,
+        health: HealthConfig,
+    ) -> DaceServer {
+        DaceServer::build_with_health(registry, config, fallback, health)
+    }
+
     fn build(
         registry: Arc<ModelRegistry>,
         config: ServeConfig,
         fallback: Option<Box<dyn FallbackEstimator>>,
+    ) -> DaceServer {
+        DaceServer::build_with_health(registry, config, fallback, HealthConfig::default())
+    }
+
+    fn build_with_health(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fallback: Option<Box<dyn FallbackEstimator>>,
+        health_cfg: HealthConfig,
     ) -> DaceServer {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         // Per-server registry (not the process-global one) so two servers —
@@ -319,6 +361,15 @@ impl DaceServer {
             fallback,
             breaker: CircuitBreaker::new(config.breaker),
         });
+        let health = HealthPlane::new(health_cfg);
+        // Flight-recorder drops are owned by the lock-free ring; export
+        // them as a gauge sampled at scrape time.
+        health.register_drop_gauge(
+            &metrics_registry,
+            "obs_recorder_dropped",
+            "Flight-recorder events dropped because the ring was full.",
+            || dace_obs::FlightRecorder::global().dropped(),
+        );
         let ctx = Arc::new(WorkerCtx {
             rx: Mutex::new(rx),
             registry: Arc::clone(&registry),
@@ -327,9 +378,28 @@ impl DaceServer {
             config,
             degrade,
             injector: FaultInjector::new(config.faults),
+            health: Arc::clone(&health),
             shutdown: AtomicBool::new(false),
         });
         let pool = WorkerPool::start(Arc::clone(&ctx), config.workers);
+        health.emit(
+            0,
+            LifecycleEvent::ServerStarted {
+                workers: config.workers as u64,
+                version: registry.base().version,
+            },
+        );
+        let introspect = config.introspect_addr.and_then(|addr| {
+            IntrospectServer::start(
+                addr,
+                Arc::clone(&health),
+                Arc::clone(&metrics_registry),
+                Arc::clone(&registry),
+                Arc::clone(&ctx),
+            )
+            .map_err(|e| eprintln!("introspect: bind {addr} failed: {e}"))
+            .ok()
+        });
         DaceServer {
             registry,
             metrics_registry,
@@ -339,6 +409,7 @@ impl DaceServer {
             sender: Some(tx),
             ctx,
             pool: Some(pool),
+            introspect,
         }
     }
 
@@ -365,6 +436,18 @@ impl DaceServer {
         self.ctx.degrade.as_ref().map(|d| d.breaker.state())
     }
 
+    /// The health plane: lifecycle journal, accuracy ledger, SLO tracker.
+    pub fn health(&self) -> &Arc<HealthPlane> {
+        &self.ctx.health
+    }
+
+    /// The bound introspection address, when
+    /// [`ServeConfig::introspect_addr`] was set and the bind succeeded.
+    /// With port 0 this is the resolved port.
+    pub fn introspect_addr(&self) -> Option<SocketAddr> {
+        self.introspect.as_ref().map(IntrospectServer::addr)
+    }
+
     /// Submit a request without blocking for its response. Admission
     /// control happens *here*: plan validation rejects hostile input with
     /// [`ServeError::InvalidPlan`], and a full queue returns
@@ -382,11 +465,17 @@ impl DaceServer {
         }
         let now = Instant::now();
         let (tx, rx) = mpsc::sync_channel(1);
+        // Mint the causal trace id here, at admission: everything this
+        // request touches downstream (spans, journal records, retrain
+        // epochs) carries it.
+        let trace = next_trace_id();
+        mark!("serve_admit", trace);
         let job = Job {
             tree: tree.clone(),
             adapter: adapter.map(str::to_string),
             enqueued: now,
             deadline: deadline.or(self.config.default_deadline).map(|d| now + d),
+            trace,
             resp: tx,
         };
         match sender.try_send(job) {
@@ -450,6 +539,9 @@ impl DaceServer {
         self.sender.take();
         if let Some(pool) = self.pool.take() {
             pool.join();
+        }
+        if let Some(mut introspect) = self.introspect.take() {
+            introspect.stop();
         }
     }
 }
@@ -550,10 +642,25 @@ pub(crate) fn worker_loop(ctx: &WorkerCtx) {
     }
 }
 
-fn count_breaker_event(metrics: &ServeMetrics, ev: Option<BreakerEvent>) {
+/// Count a breaker transition and journal it through the health plane,
+/// stamped with the trace of the request that witnessed it. `BreakerOpened`
+/// additionally triggers a diagnostic bundle dump (see
+/// [`HealthPlane::emit`]).
+fn count_breaker_event(ctx: &WorkerCtx, ev: Option<BreakerEvent>, trace: u64) {
     match ev {
-        Some(BreakerEvent::Opened) => metrics.breaker_opened.inc(),
-        Some(BreakerEvent::Closed) => metrics.breaker_closed.inc(),
+        Some(BreakerEvent::Opened) => {
+            ctx.metrics.breaker_opened.inc();
+            ctx.health.emit(
+                trace,
+                LifecycleEvent::BreakerOpened {
+                    error_percent: ctx.config.breaker.error_percent as f64,
+                },
+            );
+        }
+        Some(BreakerEvent::Closed) => {
+            ctx.metrics.breaker_closed.inc();
+            ctx.health.emit(trace, LifecycleEvent::BreakerClosed);
+        }
         None => {}
     }
 }
@@ -568,23 +675,33 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
     // Admission-side triage, then group survivors by adapter so each group
     // runs one packed forward on one resolved snapshot.
     let mut groups: HashMap<Option<String>, Vec<Job>> = HashMap::new();
+    let (mut missed, mut met) = (0u64, 0u64);
+    let mut missed_trace = 0u64;
     for job in batch {
         metrics
             .queue_wait_us
             .record(drained_at.duration_since(job.enqueued).as_micros() as u64);
         if job.deadline.is_some_and(|d| drained_at >= d) {
             metrics.expired.inc();
+            missed += 1;
+            if missed_trace == 0 {
+                missed_trace = job.trace;
+            }
             // A deadline miss is model-path evidence too: enough of them
             // should trip the breaker into serving (fast) degraded answers
             // rather than missing more deadlines.
             if let Some(d) = &ctx.degrade {
-                count_breaker_event(metrics, d.breaker.on_result(false, false));
+                count_breaker_event(ctx, d.breaker.on_result(false, false), job.trace);
             }
             let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
+        met += 1;
         groups.entry(job.adapter.clone()).or_default().push(job);
     }
+    // Feed the deadline SLO at batch granularity; the alert (if any) is
+    // stamped with the first expired request's trace.
+    ctx.health.record_deadlines(missed, met, missed_trace);
 
     for (adapter, jobs) in groups {
         let version = match ctx.registry.resolve(adapter.as_deref()) {
@@ -599,11 +716,23 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
             }
         };
 
+        // The group's spans carry the first member's trace — a whole-group
+        // forward has no single owner, so the representative makes the
+        // batch's flight-recorder lane joinable with at least one journal
+        // chain.
+        let group_trace = jobs.first().map_or(0, |j| j.trace);
+
         // Route the group: model, breaker probe, or straight to fallback.
         let (use_model, probe) = match &ctx.degrade {
             Some(d) => match d.breaker.gate() {
                 BreakerGate::Model => (true, false),
-                BreakerGate::Probe => (true, true),
+                BreakerGate::Probe => {
+                    // `gate()` flips Open→HalfOpen internally without an
+                    // event; the probe grant is the observation point.
+                    ctx.health
+                        .emit(group_trace, LifecycleEvent::BreakerHalfOpen);
+                    (true, true)
+                }
                 BreakerGate::Fallback => (false, false),
             },
             None => (true, false),
@@ -617,13 +746,16 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
         // jobs: a panic (injected or real) leaves them intact, so the
         // group degrades to the fallback — or fails typed — instead of
         // killing the worker and poisoning the queue.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            forward_group(ctx, &version.estimator, &jobs, scratch)
-        }));
+        let outcome = {
+            let _trace = trace_scope(group_trace);
+            catch_unwind(AssertUnwindSafe(|| {
+                forward_group(ctx, &version.estimator, &jobs, scratch)
+            }))
+        };
         match outcome {
             Ok(group) => {
                 if let Some(d) = &ctx.degrade {
-                    count_breaker_event(metrics, d.breaker.on_result(true, probe));
+                    count_breaker_event(ctx, d.breaker.on_result(true, probe), group_trace);
                 }
                 respond_predictions(ctx, &version, jobs, group, &scratch.ms, drained_at);
             }
@@ -631,7 +763,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
                 metrics.batch_panics.inc();
                 match &ctx.degrade {
                     Some(d) => {
-                        count_breaker_event(metrics, d.breaker.on_result(false, probe));
+                        count_breaker_event(ctx, d.breaker.on_result(false, probe), group_trace);
                         respond_degraded(ctx, &version, jobs);
                     }
                     None => {
@@ -760,6 +892,7 @@ fn respond_predictions(
             queue_wait_us: drained_at.duration_since(job.enqueued).as_micros() as u64,
             ..s
         });
+        mark!("serve_reply", job.trace);
         let _ = job.resp.send(Ok(Prediction {
             ms,
             adapter: version.adapter.clone(),
@@ -768,6 +901,7 @@ fn respond_predictions(
             cache_hit: hit,
             degraded: false,
             stages,
+            trace: job.trace,
         }));
     }
     metrics
@@ -798,6 +932,7 @@ fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>
         metrics
             .e2e_us
             .record(job.enqueued.elapsed().as_micros() as u64);
+        mark!("serve_reply", job.trace);
         let _ = job.resp.send(Ok(Prediction {
             ms,
             adapter: version.adapter.clone(),
@@ -806,6 +941,7 @@ fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>
             cache_hit: false,
             degraded: true,
             stages: None,
+            trace: job.trace,
         }));
     }
 }

@@ -183,6 +183,13 @@ fn supervise(ctx: &Arc<WorkerCtx>, slots: &Arc<Vec<WorkerSlot>>) {
                     *lock_recover(&slots[i].handle) = Some(h);
                     ctx.metrics.worker_restarts.inc();
                     consecutive = consecutive.saturating_add(1);
+                    ctx.health.emit(
+                        0,
+                        dace_obs::LifecycleEvent::WorkerRespawned {
+                            slot: i as u64,
+                            consecutive: u64::from(consecutive),
+                        },
+                    );
                 }
                 Err(_) => {
                     ctx.metrics.spawn_failures.inc();

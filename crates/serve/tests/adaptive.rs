@@ -144,6 +144,7 @@ fn quick_adaptive_config() -> AdaptiveConfig {
         probation_samples: 32,
         probation_margin: 2.0,
         checkpoint_dir: None,
+        db_id: 0,
     }
 }
 
@@ -157,6 +158,7 @@ fn model_prediction(registry: &ModelRegistry, tree: &dace_plan::PlanTree) -> Pre
         cache_hit: false,
         degraded: false,
         stages: None,
+        trace: 0,
     }
 }
 

@@ -1,0 +1,259 @@
+//! Health-plane suite: causal trace ids under chaos, the lifecycle
+//! journal's view of a live server, and the introspection endpoint's HTTP
+//! round-trip — all against real worker threads.
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dace_serve::{
+    http_get, silence_injected_panics, CostLinearFallback, DaceServer, FaultConfig, HealthConfig,
+    LifecycleEvent, ModelRegistry, ServeConfig, SloConfig,
+};
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::from_micros(100),
+        min_fill: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn loopback() -> std::net::SocketAddr {
+    "127.0.0.1:0".parse().expect("loopback literal parses")
+}
+
+/// Every answered request carries a unique non-zero trace id, even while
+/// injected worker kills force the supervisor to respawn workers under the
+/// traffic — respawns must not duplicate, zero, or drop trace stamps.
+#[test]
+fn trace_ids_survive_worker_respawns_without_duplicates() {
+    silence_injected_panics();
+    let (est, train) = common::quick_estimator(21);
+    let registry = Arc::new(ModelRegistry::new(est));
+    let fallback = Box::new(CostLinearFallback::fit(&train));
+    let config = ServeConfig {
+        faults: FaultConfig {
+            seed: 0xBEEF,
+            worker_kill_ppm: 50_000, // 5% of drains kill their worker
+            ..FaultConfig::disabled()
+        },
+        ..base_config()
+    };
+    let server = DaceServer::with_fallback(registry, config, fallback);
+
+    let clients = 8usize;
+    let requests = 100usize;
+    let traces: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = &server;
+                let train = &train;
+                s.spawn(move || {
+                    let mut got = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let tree = &train.plans[(c * 13 + r) % train.plans.len()].tree;
+                        if let Ok(pred) = server.predict(tree) {
+                            got.push(pred.trace);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert!(
+        traces.len() as u64 >= (clients * requests) as u64 * 9 / 10,
+        "kills answered too few requests: {}",
+        traces.len()
+    );
+    assert!(traces.iter().all(|&t| t != 0), "a response lost its trace");
+    let unique: HashSet<u64> = traces.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        traces.len(),
+        "duplicate trace ids across responses"
+    );
+
+    // The supervisor actually respawned under this traffic, and said so in
+    // the journal. Let any respawn in flight at end-of-traffic land first
+    // (poll cadence 1 ms, backoff cap 100 ms).
+    std::thread::sleep(Duration::from_millis(250));
+    let snap = server.metrics_snapshot();
+    assert!(snap.worker_restarts > 0, "fault plan never killed a worker");
+    let respawns = server
+        .health()
+        .journal()
+        .records()
+        .iter()
+        .filter(|r| matches!(r.event, LifecycleEvent::WorkerRespawned { .. }))
+        .count() as u64;
+    assert_eq!(
+        respawns, snap.worker_restarts,
+        "journal and counter disagree on respawns"
+    );
+}
+
+/// The five introspection endpoints answer over real HTTP on a fresh
+/// healthy server: `/health` says ok, `/metrics` carries HELP'd serve
+/// series, `/events` is a JSON array holding the `ServerStarted` head
+/// marker, `/version` reports the registry, and unknown paths 404.
+#[test]
+fn introspect_endpoints_round_trip_over_http() {
+    let (est, train) = common::quick_estimator(22);
+    let registry = Arc::new(ModelRegistry::new(est));
+    let config = ServeConfig {
+        introspect_addr: Some(loopback()),
+        ..base_config()
+    };
+    let server = DaceServer::new(registry, config);
+    let addr = server.introspect_addr().expect("port 0 bind succeeds");
+
+    for r in 0..16 {
+        let tree = &train.plans[r % train.plans.len()].tree;
+        server.predict(tree).expect("healthy request");
+    }
+
+    let (code, body) = http_get(addr, "/health").expect("GET /health");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"qerr\""), "{body}");
+    assert!(body.contains("\"deadline\""), "{body}");
+
+    let (code, body) = http_get(addr, "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("# HELP serve_submitted_total"), "{body}");
+    assert!(body.contains("# TYPE serve_submitted_total counter"));
+    assert!(body.contains("obs_recorder_dropped"));
+
+    let (code, body) = http_get(addr, "/events?n=10").expect("GET /events");
+    assert_eq!(code, 200);
+    assert!(body.starts_with('['), "{body}");
+    assert!(body.contains("ServerStarted"), "{body}");
+
+    let (code, body) = http_get(addr, "/version").expect("GET /version");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"base_version\""), "{body}");
+    assert!(body.contains("\"versions_published\""), "{body}");
+
+    let (code, _) = http_get(addr, "/nope").expect("GET /nope");
+    assert_eq!(code, 404);
+
+    server.shutdown();
+}
+
+/// An injected breaker-open window flips `/health` from ok to degraded,
+/// journals the breaker transitions, and auto-dumps a diagnostic bundle
+/// into the configured directory.
+#[test]
+fn breaker_open_flips_health_endpoint_to_degraded_and_dumps_a_bundle() {
+    silence_injected_panics();
+    let (est, train) = common::quick_estimator(23);
+    let registry = Arc::new(ModelRegistry::new(est));
+    let fallback = Box::new(CostLinearFallback::fit(&train));
+    let dir = std::env::temp_dir().join(format!("dace-health-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ServeConfig {
+        introspect_addr: Some(loopback()),
+        faults: FaultConfig {
+            seed: 5,
+            batch_panic_ppm: 1_000_000, // every forward panics
+            ..FaultConfig::disabled()
+        },
+        ..base_config()
+    };
+    let health = HealthConfig {
+        bundle_dir: Some(dir.clone()),
+        ..HealthConfig::default()
+    };
+    let server = DaceServer::with_health(registry, config, Some(fallback), health);
+    let addr = server.introspect_addr().expect("port 0 bind succeeds");
+
+    let (code, body) = http_get(addr, "/health").expect("GET /health (fresh)");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    for r in 0..64 {
+        let tree = &train.plans[r % train.plans.len()].tree;
+        let pred = server.predict(tree).expect("fallback answers");
+        assert!(pred.degraded || pred.ms.is_finite());
+    }
+
+    let (code, body) = http_get(addr, "/health").expect("GET /health (open)");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+    let records = server.health().journal().records();
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.event, LifecycleEvent::BreakerOpened { .. })),
+        "breaker opening must be journaled"
+    );
+    assert!(server.health().bundles_dumped() >= 1);
+    let dumped = records.iter().any(
+        |r| matches!(&r.event, LifecycleEvent::BundleDumped { cause, .. } if cause == "breaker_open"),
+    );
+    assert!(dumped, "bundle dump must be journaled with its cause");
+    // The bundle actually landed: a journal tail and a chrome trace.
+    let bundle = std::fs::read_dir(&dir)
+        .expect("bundle dir exists")
+        .next()
+        .expect("one bundle written")
+        .expect("readable entry");
+    assert!(bundle.path().join("journal_tail.jsonl").exists());
+    assert!(bundle.path().join("flight_recorder.json").exists());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A durable journal survives the server: records written by one server
+/// are read back (and continued) by the next one on the same path — the
+/// restart story for post-mortems.
+#[test]
+fn durable_journal_reconstructs_across_server_restarts() {
+    let (est, train) = common::quick_estimator(24);
+    let dir = std::env::temp_dir().join(format!("dace-health-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let path = dir.join("journal.jsonl");
+    let health = HealthConfig {
+        journal_path: Some(path.clone()),
+        slo: SloConfig::default(),
+        ..HealthConfig::default()
+    };
+
+    let registry = Arc::new(ModelRegistry::new(est.clone()));
+    let server = DaceServer::with_health(registry, base_config(), None, health.clone());
+    server.predict(&train.plans[0].tree).expect("request");
+    let first_len = server.health().journal().len();
+    assert!(first_len >= 1, "ServerStarted must be journaled");
+    server.shutdown();
+
+    // Second server, same path: the sequence continues, nothing is lost.
+    let registry = Arc::new(ModelRegistry::new(est));
+    let server = DaceServer::with_health(registry, base_config(), None, health);
+    let records = server.health().journal().records();
+    assert!(records.len() as u64 > first_len);
+    let started = records
+        .iter()
+        .filter(|r| matches!(r.event, LifecycleEvent::ServerStarted { .. }))
+        .count();
+    assert_eq!(started, 2, "both boots must appear in one journal");
+    let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "journal sequence must be gapless across restarts"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
