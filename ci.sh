@@ -115,6 +115,25 @@ jq -e '.availability >= 0.99
     "$OBS_TMP/chaos.json" >/dev/null \
     || { echo "FAIL: chaos smoke out of bounds"; cat "$OBS_TMP/chaos.json"; exit 1; }
 
+# Sharding smoke: the sharded scheduler plus the quantized fast tier.
+# serve_bench --shards exits non-zero itself on any violated gate
+# (per-shard completion parity > 1.25 in the saturated parity pass, a
+# lost or duplicated request under work-stealing, zero steals under
+# forced imbalance, the quantized tier outside its q-error bound, or —
+# only on machines with at least as many cores as shards — 1→4 shard
+# scaling below 3×); the emitted JSON is re-asserted here.
+echo "==> sharding smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- \
+    --shards 4 --smoke --json >"$OBS_TMP/sharding.json"
+jq -e '.parity_ratio <= 1.25
+       and .steal_lost == 0
+       and .steal_answered == .steal_requests
+       and .steal_count >= 1
+       and .quantized_max_qerror < 1.5
+       and ((.scaling_gated | not) or .scaling_1_to_max >= 3.0)' \
+    "$OBS_TMP/sharding.json" >/dev/null \
+    || { echo "FAIL: sharding smoke out of bounds"; cat "$OBS_TMP/sharding.json"; exit 1; }
+
 # Adaptive smoke: run the observe→retrain→swap loop end to end (clean
 # traffic → sustained 6× drift → background retrain → shadow eval →
 # checkpointed promotion → probation), plus a sabotaged sub-run whose

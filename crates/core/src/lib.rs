@@ -24,6 +24,7 @@ mod featurize;
 mod loss;
 mod model;
 mod persist;
+mod quantized;
 mod scoring;
 mod trainer;
 
@@ -36,6 +37,7 @@ pub use persist::{
     decode_checkpoint, encode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint,
     CheckpointError, CHECKPOINT_MAGIC,
 };
+pub use quantized::{QuantWorkspace, QuantizedEstimator, QuantizedModel};
 pub use scoring::ScoreSession;
 pub use trainer::{
     featurize_trees_sharded, quantile, DaceEstimator, TrainConfig, TrainError, Trainer,

@@ -102,6 +102,49 @@ struct BenchReport {
     open_loop_expired: u64,
 }
 
+/// One point on the `--shards` scaling curve.
+#[derive(Debug, Serialize)]
+struct ShardPoint {
+    shards: usize,
+    requests_per_sec: f64,
+    per_shard_completed: Vec<u64>,
+    per_shard_stolen: Vec<u64>,
+    parity_ratio: f64,
+}
+
+/// What `--shards` measures: the scaling curve over shard counts, the
+/// saturated parity pass (uniform load, slow forwards: work-stealing must
+/// level the FNV routing skew to max/min ≤ 1.25 per-shard completions —
+/// gated on any machine, single-core included), the forced-imbalance steal
+/// sub-phase (hot plan: thieves must drain the hot shard without losing or
+/// duplicating a request), and the quantized fast tier's per-plan cost and
+/// accuracy against full precision. The ≥3× 1→4 scaling gate applies only
+/// when the machine has at least as many cores as shards.
+#[derive(Debug, Serialize)]
+struct ShardingReport {
+    cores: usize,
+    curve: Vec<ShardPoint>,
+    scaling_1_to_max: f64,
+    scaling_gated: bool,
+    parity_ratio: f64,
+    parity_per_shard_completed: Vec<u64>,
+    parity_steals: u64,
+    steal_requests: u64,
+    steal_answered: u64,
+    steal_lost: u64,
+    steal_count: u64,
+    full_us_per_plan: f64,
+    quantized_us_per_plan: f64,
+    quantized_speedup: f64,
+    quantized_max_qerror: f64,
+    full_attention_us: u64,
+    full_mlp_us: u64,
+    quantized_attention_us: u64,
+    quantized_mlp_us: u64,
+    full_weight_bytes: usize,
+    quantized_weight_bytes: usize,
+}
+
 /// What `--chaos` measures: availability and degradation accounting under
 /// a seeded fault plan. `availability` counts degraded answers as answered
 /// (that is the point of the fallback); shed and dropped requests do not
@@ -198,6 +241,8 @@ fn main() {
     let mut adaptive = false;
     let mut introspect = false;
     let mut chaos_seed = 0xC4A05u64;
+    let mut shards: Option<usize> = None;
+    let mut md: Option<String> = None;
     let mut json = false;
     let mut manifest: Option<String> = None;
     let mut trace: Option<String> = None;
@@ -240,6 +285,8 @@ fn main() {
                 continue;
             }
             "--events" => events = Some(parse(args.get(i), "--events")),
+            "--shards" => shards = Some(parse(args.get(i), "--shards")),
+            "--md" => md = Some(parse(args.get(i), "--md")),
             "--chaos-seed" => chaos_seed = parse(args.get(i), "--chaos-seed"),
             "--json" => {
                 json = true;
@@ -249,7 +296,8 @@ fn main() {
                 eprintln!(
                     "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
                      [--epochs E] [--seconds S] [--json] [--smoke] [--chaos] \
-                     [--adaptive] [--introspect] [--chaos-seed S] [--manifest PATH] \
+                     [--adaptive] [--introspect] [--shards N] [--md PATH] \
+                     [--chaos-seed S] [--manifest PATH] \
                      [--trace PATH] [--prom PATH] [--events PATH] [--no-stage-timing]"
                 );
                 return;
@@ -363,6 +411,20 @@ fn main() {
         stage_timing,
         ..ServeConfig::default()
     };
+
+    if let Some(max_shards) = shards {
+        run_sharding(
+            registry,
+            &pool,
+            clients,
+            requests,
+            max_shards,
+            chaos_seed,
+            json,
+            md.as_deref(),
+        );
+        return;
+    }
 
     if introspect {
         run_introspect(
@@ -518,6 +580,398 @@ fn main() {
             report.speedup
         );
     }
+}
+
+/// The `--shards` phase: the sharded scheduler's scaling curve, the steal
+/// sub-phase, and the quantized-tier cost/accuracy measurement. Gates:
+/// per-shard completion parity ≤ 1.25 at the top shard count (holds on any
+/// machine — work-stealing levels routing skew even time-sliced on one
+/// core), at least one steal with zero lost/duplicated requests in the
+/// forced-imbalance sub-phase, the quantized tier within the proptested
+/// q-error bound of full precision, and — only when the machine has at
+/// least `max_shards` cores — ≥ 3× throughput from 1 shard to the top.
+#[allow(clippy::too_many_arguments)]
+fn run_sharding(
+    registry: Arc<ModelRegistry>,
+    pool: &[PlanTree],
+    clients: usize,
+    requests: usize,
+    max_shards: usize,
+    seed: u64,
+    json: bool,
+    md: Option<&str>,
+) {
+    let max_shards = max_shards.max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() < max_shards {
+        counts.push((counts.last().unwrap() * 2).min(max_shards));
+    }
+
+    let mut curve = Vec::with_capacity(counts.len());
+    for &n in &counts {
+        eprintln!("sharding: closed loop at {n} shard(s), {clients} clients × {requests}…");
+        let server = DaceServer::new(
+            Arc::clone(&registry),
+            ServeConfig {
+                shards: n,
+                workers: n,
+                pin_cores: cores >= n,
+                ..ServeConfig::default()
+            },
+        );
+        let (secs, ok) = closed_loop(&server, pool, clients, requests);
+        let snaps = server.shard_snapshot();
+        server.shutdown();
+        let completed: Vec<u64> = snaps.iter().map(|s| s.completed).collect();
+        let stolen: Vec<u64> = snaps.iter().map(|s| s.stolen).collect();
+        let (max_c, min_c) = (
+            completed.iter().copied().max().unwrap_or(0),
+            completed.iter().copied().min().unwrap_or(0),
+        );
+        let parity = if min_c == 0 {
+            f64::INFINITY
+        } else {
+            max_c as f64 / min_c as f64
+        };
+        eprintln!(
+            "  {:.0} req/s, per-shard completed {completed:?}, stolen {stolen:?}, parity {parity:.3}",
+            ok as f64 / secs
+        );
+        curve.push(ShardPoint {
+            shards: n,
+            requests_per_sec: ok as f64 / secs,
+            per_shard_completed: completed,
+            per_shard_stolen: stolen,
+            parity_ratio: parity,
+        });
+    }
+    let scaling = curve.last().unwrap().requests_per_sec / curve[0].requests_per_sec;
+    let scaling_gated = cores >= max_shards && max_shards >= 4;
+
+    // Parity pass: uniform load over the whole pool with 200 µs forwards
+    // and an aggressive steal policy. The FNV route alone leaves a
+    // multinomial skew across shards; backlogs make lighter shards finish
+    // early and steal from heavier ones, so completion counts must level
+    // to max/min ≤ 1.25 — the mechanism works even time-sliced on one core
+    // because stage delays sleep rather than spin.
+    eprintln!("sharding: parity pass (uniform load, 200 µs forwards, {max_shards} shards)…");
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: max_shards,
+            workers: max_shards,
+            steal_threshold: 1,
+            steal_max: 2,
+            max_batch: 1,
+            queue_depth: 8192,
+            faults: FaultConfig {
+                seed,
+                stage_delay_ppm: 1_000_000,
+                stage_delay: Duration::from_micros(200),
+                ..FaultConfig::disabled()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let parity_n = 240usize;
+    let handles: Vec<_> = (0..parity_n)
+        .filter_map(|r| server.submit(&pool[r % pool.len()], None, None).ok())
+        .collect();
+    for h in handles {
+        h.wait().expect("parity pass answers everything");
+    }
+    let snaps = server.shard_snapshot();
+    server.shutdown();
+    let parity_per_shard_completed: Vec<u64> = snaps.iter().map(|s| s.completed).collect();
+    let parity_steals: u64 = snaps.iter().map(|s| s.stolen).sum();
+    let (max_c, min_c) = (
+        parity_per_shard_completed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0),
+        parity_per_shard_completed
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0),
+    );
+    let parity_ratio = if min_c == 0 {
+        f64::INFINITY
+    } else {
+        max_c as f64 / min_c as f64
+    };
+    eprintln!(
+        "  per-shard completed {parity_per_shard_completed:?}, {parity_steals} steals, parity {parity_ratio:.3}"
+    );
+
+    // Forced imbalance: every request is the same plan (one shard by
+    // affinity) and every forward sleeps 1 ms, so the hot shard cannot keep
+    // up alone — peers must steal, and nothing may be lost or duplicated.
+    eprintln!("sharding: steal sub-phase (hot plan, 1 ms forwards, {max_shards} shards)…");
+    let steal_n = (clients * requests).min(256) as u64;
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: max_shards,
+            workers: max_shards,
+            steal_threshold: 1,
+            steal_max: 4,
+            max_batch: 1,
+            queue_depth: 8192,
+            faults: FaultConfig {
+                seed,
+                stage_delay_ppm: 1_000_000,
+                stage_delay: Duration::from_millis(1),
+                ..FaultConfig::disabled()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let hot = &pool[0];
+    let handles: Vec<_> = (0..steal_n)
+        .filter_map(|_| server.submit(hot, None, None).ok())
+        .collect();
+    let submitted = handles.len() as u64;
+    let answered = handles.into_iter().filter_map(|h| h.wait().ok()).count() as u64;
+    let snaps = server.shard_snapshot();
+    server.shutdown();
+    let steal_count: u64 = snaps.iter().map(|s| s.stolen).sum();
+    let completed_total: u64 = snaps.iter().map(|s| s.completed).sum();
+    let steal_lost = submitted - answered + completed_total.abs_diff(submitted);
+    eprintln!(
+        "  {answered}/{submitted} answered, {steal_count} stolen, per-shard {:?}",
+        snaps.iter().map(|s| s.completed).collect::<Vec<_>>()
+    );
+
+    // Tier measurement: the same features through the f32 path and the int8
+    // twin, offline (no scheduler noise), plus the worst-case divergence.
+    eprintln!(
+        "sharding: quantized-tier cost/accuracy over {} plans…",
+        pool.len()
+    );
+    let base = registry.base();
+    let est = &base.estimator;
+    let quant = &base.quantized;
+    let feats: Vec<_> = pool.iter().map(|t| est.featurizer.encode(t)).collect();
+    let refs: Vec<&dace_core::PlanFeatures> = feats.iter().collect();
+    let reps = 5;
+    let mut ws = dace_core::Workspace::default();
+    let (mut roots, mut full_ms) = (Vec::new(), Vec::new());
+    let mut full_t = dace_core::ForwardTimings::default();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for chunk in refs.chunks(32) {
+            let ft =
+                est.predict_features_batch_ms_timed_ws(chunk, &mut ws, &mut roots, &mut full_ms);
+            full_t.accumulate(ft);
+            std::hint::black_box(&full_ms);
+        }
+    }
+    let full_us = t.elapsed().as_micros() as f64 / (reps * refs.len()) as f64;
+    let mut qws = dace_core::QuantWorkspace::default();
+    let mut quant_ms = Vec::new();
+    let mut quant_t = dace_core::ForwardTimings::default();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for chunk in refs.chunks(32) {
+            let ft = quant.predict_features_batch_ms_timed_ws(
+                chunk,
+                &mut qws,
+                &mut roots,
+                &mut quant_ms,
+            );
+            quant_t.accumulate(ft);
+            std::hint::black_box(&quant_ms);
+        }
+    }
+    let quant_us = t.elapsed().as_micros() as f64 / (reps * refs.len()) as f64;
+    eprintln!(
+        "  breakdown (total µs over {reps}×{} plans): full attn {} mlp {}, quant attn {} mlp {}",
+        refs.len(),
+        full_t.attention_us,
+        full_t.mlp_us,
+        quant_t.attention_us,
+        quant_t.mlp_us
+    );
+    let full_all = est.predict_features_batch_ms(&refs);
+    quant.predict_features_batch_ms_timed_ws(&refs, &mut qws, &mut roots, &mut quant_ms);
+    let max_qerr = full_all
+        .iter()
+        .zip(&quant_ms)
+        .map(|(f, q)| (f / q).max(q / f))
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "  full {full_us:.1} µs/plan vs quantized {quant_us:.1} µs/plan \
+         ({:.2}×), max q-error {max_qerr:.4}",
+        full_us / quant_us
+    );
+
+    let report = ShardingReport {
+        cores,
+        scaling_1_to_max: scaling,
+        scaling_gated,
+        parity_ratio,
+        parity_per_shard_completed,
+        parity_steals,
+        steal_requests: submitted,
+        steal_answered: answered,
+        steal_lost,
+        steal_count,
+        full_us_per_plan: full_us,
+        quantized_us_per_plan: quant_us,
+        quantized_speedup: full_us / quant_us,
+        quantized_max_qerror: max_qerr,
+        full_attention_us: full_t.attention_us,
+        full_mlp_us: full_t.mlp_us,
+        quantized_attention_us: quant_t.attention_us,
+        quantized_mlp_us: quant_t.mlp_us,
+        full_weight_bytes: est.model.base_param_count() * 4,
+        quantized_weight_bytes: quant.model.bytes(),
+        curve,
+    };
+
+    if let Some(path) = md {
+        write_sharding_md(path, &report);
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("sharding report serializes")
+        );
+    } else {
+        println!("== sharding: scaling curve ==");
+        for p in &report.curve {
+            println!(
+                "  {} shard(s): {:.0} req/s, parity {:.3}, stolen {:?}",
+                p.shards, p.requests_per_sec, p.parity_ratio, p.per_shard_stolen
+            );
+        }
+        println!(
+            "  1→{max_shards}: {scaling:.2}× on {cores} core(s) (scaling gate {})",
+            if scaling_gated {
+                "armed"
+            } else {
+                "informational"
+            }
+        );
+        println!(
+            "== parity: per-shard {:?}, {} steals, ratio {:.3} ==",
+            report.parity_per_shard_completed, report.parity_steals, report.parity_ratio
+        );
+        println!(
+            "== steal: {}/{} answered, {} stolen, {} lost ==",
+            report.steal_answered, report.steal_requests, report.steal_count, report.steal_lost
+        );
+        println!(
+            "== tiers: full {:.1} µs/plan, quantized {:.1} µs/plan ({:.2}×), max q-error {:.4} ==",
+            report.full_us_per_plan,
+            report.quantized_us_per_plan,
+            report.quantized_speedup,
+            report.quantized_max_qerror
+        );
+    }
+
+    let mut failed = false;
+    if !parity_ratio.is_finite() || parity_ratio > 1.25 {
+        eprintln!("FAIL: per-shard parity {parity_ratio:.3} over the 1.25 gate");
+        failed = true;
+    }
+    if report.steal_lost != 0 || report.steal_answered != report.steal_requests {
+        eprintln!(
+            "FAIL: steal sub-phase lost requests ({} lost, {}/{} answered)",
+            report.steal_lost, report.steal_answered, report.steal_requests
+        );
+        failed = true;
+    }
+    if report.steal_count == 0 {
+        eprintln!("FAIL: forced imbalance produced zero steals");
+        failed = true;
+    }
+    if !(report.quantized_max_qerror.is_finite() && report.quantized_max_qerror < 1.5) {
+        eprintln!(
+            "FAIL: quantized tier diverges {:.4} from full precision (gate < 1.5)",
+            report.quantized_max_qerror
+        );
+        failed = true;
+    }
+    if scaling_gated && scaling < 3.0 {
+        eprintln!("FAIL: 1→{max_shards} shard scaling {scaling:.2}× below 3× on {cores} cores");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if !json {
+        println!("sharding OK");
+    }
+}
+
+/// Render the `--shards` report as the markdown scaling record.
+fn write_sharding_md(path: &str, r: &ShardingReport) {
+    let mut out = String::new();
+    out.push_str("# Sharded serving: scaling, stealing, and the quantized tier\n\n");
+    out.push_str(&format!(
+        "Measured by `serve_bench --shards {}` on {} core(s).\n\n",
+        r.curve.last().map_or(1, |p| p.shards),
+        r.cores
+    ));
+    out.push_str("## Scaling curve (closed loop)\n\n");
+    out.push_str("| shards | req/s | per-shard completed | per-shard stolen | parity |\n");
+    out.push_str("|---:|---:|---|---|---:|\n");
+    for p in &r.curve {
+        out.push_str(&format!(
+            "| {} | {:.0} | {:?} | {:?} | {:.3} |\n",
+            p.shards, p.requests_per_sec, p.per_shard_completed, p.per_shard_stolen, p.parity_ratio
+        ));
+    }
+    out.push_str(&format!(
+        "\n1→{} shards: **{:.2}×** ({}).\n\n",
+        r.curve.last().map_or(1, |p| p.shards),
+        r.scaling_1_to_max,
+        if r.scaling_gated {
+            "gated ≥ 3×"
+        } else {
+            "informational — fewer cores than shards, so shards time-slice one core"
+        }
+    ));
+    out.push_str("## Saturated parity (uniform load, stealing active)\n\n");
+    out.push_str(&format!(
+        "Per-shard completions {:?} with {} steals — max/min **{:.3}** (gate ≤ 1.25 on any \
+         machine: stealing levels the FNV routing skew).\n\n",
+        r.parity_per_shard_completed, r.parity_steals, r.parity_ratio
+    ));
+    out.push_str("## Forced-imbalance stealing\n\n");
+    out.push_str(&format!(
+        "Hot plan pinned to one shard by affinity, 1 ms forwards: {}/{} answered, \
+         **{} steals**, **{} lost/duplicated**.\n\n",
+        r.steal_answered, r.steal_requests, r.steal_count, r.steal_lost
+    ));
+    out.push_str("## Quantized fast tier\n\n");
+    out.push_str(&format!(
+        "| tier | µs/plan | attention µs (total) | MLP µs (total) | weight bytes |\n\
+         |---|---:|---:|---:|---:|\n\
+         | full (f32) | {:.1} | {} | {} | {} |\n\
+         | quantized (int8) | {:.1} | {} | {} | {} |\n\n\
+         End-to-end speedup **{:.2}×** (attention scores and softmax stay f32 in both tiers, so \
+         wins concentrate in the LoRA-folded MLP: **{:.2}×**), weights **{:.1}×** smaller, \
+         max q-error vs full precision **{:.4}** (gate < 1.5).\n",
+        r.full_us_per_plan,
+        r.full_attention_us,
+        r.full_mlp_us,
+        r.full_weight_bytes,
+        r.quantized_us_per_plan,
+        r.quantized_attention_us,
+        r.quantized_mlp_us,
+        r.quantized_weight_bytes,
+        r.quantized_speedup,
+        r.full_mlp_us as f64 / r.quantized_mlp_us.max(1) as f64,
+        r.full_weight_bytes as f64 / r.quantized_weight_bytes.max(1) as f64,
+        r.quantized_max_qerror
+    ));
+    std::fs::write(path, out).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote sharding report to {path}");
 }
 
 /// The `--chaos` phase: closed-loop clients (no deadlines) against a

@@ -84,6 +84,12 @@ impl MaskedSelfAttention {
         }
     }
 
+    /// Query/key width (`d_k`) — the softmax scale denominator. Exposed so
+    /// the quantized twin reproduces the exact scaling.
+    pub fn dk(&self) -> usize {
+        self.d_k
+    }
+
     /// Switch between training (activations cached for backward) and eval
     /// (no cache clone) behaviour of the caching forward entry points.
     pub fn set_train(&mut self, train: bool) {

@@ -18,6 +18,7 @@ mod adam;
 mod attention;
 mod linear;
 mod param;
+mod quant;
 mod relu;
 mod scaler;
 mod tensor;
@@ -27,6 +28,7 @@ pub use adam::Adam;
 pub use attention::{MaskedSelfAttention, MASK_NEG};
 pub use linear::{Linear, LoraLinear, LoraMode};
 pub use param::Param;
+pub use quant::{QuantRows, QuantScratch, QuantizedAttention, QuantizedLinear, QuantizedMatrix};
 pub use relu::Relu;
 pub use scaler::RobustScaler;
 pub use tensor::{set_kernel_tier, set_reference_kernels, KernelTier, Tensor2};

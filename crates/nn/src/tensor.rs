@@ -552,7 +552,7 @@ impl Tensor2 {
     /// never survive, and skipping the memset keeps the hot loops
     /// store-once. Paths that *accumulate* into the output (blocked/seed
     /// matmul) must zero it first — see [`Tensor2::fill_zero`].
-    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+    pub(crate) fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         let len = rows * cols;

@@ -53,6 +53,11 @@ fn producers_racing_snapshots_lose_nothing_silently() {
                         accepted.fetch_add(1, Ordering::Relaxed);
                     } else {
                         rejected.fetch_add(1, Ordering::Relaxed);
+                        // The ring is full: yield so a snapshot thread can
+                        // drain it even when cores are oversubscribed —
+                        // otherwise spinning producers starve the drainers
+                        // and the test never exercises concurrent frees.
+                        std::thread::yield_now();
                     }
                 }
             });
@@ -67,7 +72,7 @@ fn producers_racing_snapshots_lose_nothing_silently() {
                 } else if done.load(Ordering::Acquire) {
                     return;
                 }
-                std::hint::spin_loop();
+                std::thread::yield_now();
             });
         }
         // Flip `done` once every record() call has resolved, so the

@@ -79,6 +79,6 @@ pub use introspect::{http_get, IntrospectServer};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError, ReloadError};
 pub use scheduler::{
-    DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, StageBreakdown,
-    FALLBACK_VERSION,
+    DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, ShardSnapshot,
+    StageBreakdown, Tier, FALLBACK_VERSION,
 };

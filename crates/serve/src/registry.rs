@@ -28,18 +28,40 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use dace_core::{AdapterError, CheckpointError, DaceEstimator, LoraAdapter};
+use dace_core::{AdapterError, CheckpointError, DaceEstimator, LoraAdapter, QuantizedEstimator};
 
 /// One immutable published model snapshot.
 #[derive(Debug)]
 pub struct ModelVersion {
     /// The inference-only estimator (optimizer state detached).
     pub estimator: DaceEstimator,
+    /// The int8 fast-tier twin, re-quantized from `estimator` at publish
+    /// time. Every path that creates a version funnels through
+    /// [`ModelVersion::new`], so the twin can never lag the f32 weights —
+    /// including adaptive-loop promotions and checkpoint reloads.
+    pub quantized: QuantizedEstimator,
     /// Registry-global monotone version id; recorded on every response
     /// served by this snapshot.
     pub version: u64,
     /// Adapter name, or `None` for the base model.
     pub adapter: Option<String>,
+}
+
+impl ModelVersion {
+    /// The single construction path for published snapshots: detaches the
+    /// estimator for serving and builds the quantized twin. Quantization is
+    /// a swap-time cost (one pass over ~0.12 MB of weights), never paid on
+    /// the request path.
+    pub fn new(est: DaceEstimator, version: u64, adapter: Option<String>) -> ModelVersion {
+        let estimator = est.serving_clone();
+        let quantized = QuantizedEstimator::from_estimator(&estimator);
+        ModelVersion {
+            estimator,
+            quantized,
+            version,
+            adapter,
+        }
+    }
 }
 
 /// Why a registry operation failed.
@@ -194,11 +216,7 @@ impl ModelRegistry {
 
     /// Registry with explicit capacity knobs.
     pub fn with_config(base: DaceEstimator, config: RegistryConfig) -> ModelRegistry {
-        let first = Arc::new(ModelVersion {
-            estimator: base.serving_clone(),
-            version: 0,
-            adapter: None,
-        });
+        let first = Arc::new(ModelVersion::new(base, 0, None));
         ModelRegistry {
             base: VersionCell::new(config.versions_per_slot, first),
             adapters: (0..config.max_adapters).map(|_| OnceLock::new()).collect(),
@@ -251,11 +269,8 @@ impl ModelRegistry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let version = self.next_version();
-        self.base.publish(Arc::new(ModelVersion {
-            estimator: est.serving_clone(),
-            version,
-            adapter: None,
-        }))?;
+        self.base
+            .publish(Arc::new(ModelVersion::new(est, version, None)))?;
         Ok(version)
     }
 
@@ -281,11 +296,7 @@ impl ModelRegistry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let version = self.next_version();
-        let snapshot = Arc::new(ModelVersion {
-            estimator: est.serving_clone(),
-            version,
-            adapter: Some(name.to_string()),
-        });
+        let snapshot = Arc::new(ModelVersion::new(est, version, Some(name.to_string())));
         if let Some(cell) = self.find(name) {
             cell.publish(snapshot)?;
             return Ok(version);

@@ -1,27 +1,44 @@
-//! The micro-batching scheduler and the [`DaceServer`] facade.
+//! The sharded micro-batching scheduler and the [`DaceServer`] facade.
 //!
-//! Requests enter a **bounded** MPSC queue (`std::sync::mpsc::sync_channel`)
-//! and are drained by worker threads into [`PackedBatch`]es under a
+//! The server runs `ServeConfig::shards` **core-affine worker shards**.
+//! Each shard owns a bounded MPSC queue (`std::sync::mpsc::sync_channel`),
+//! a private featurization cache, and at least one dedicated worker;
+//! requests are routed to a shard at admission by a structural FNV-1a
+//! fingerprint of the plan ([`route_shard`]), so repeated plans always land
+//! where their features are already cached and shards share no lock or
+//! cache-line traffic on the hot path. An idle shard **steals bounded
+//! batches** from the deepest backlogged peer (`steal_threshold` /
+//! `steal_max`), so affinity skew cannot strand throughput; stolen jobs
+//! migrate whole — trace ids, deadlines, tiers and response channels
+//! intact.
+//!
+//! Within a shard, workers drain the queue into [`PackedBatch`]es under a
 //! `max_batch` / `max_wait` / `min_fill` policy: a worker blocks for the
 //! first request, splices in everything already queued, and dispatches as
 //! soon as the batch is full, full *enough* (`min_fill`), or the wait
-//! window closes. Under load the window never opens because the backlog
-//! fills the batch instantly, so batching adds latency only when the
-//! system is idle enough not to care — and `min_fill` keeps closed-loop
-//! clients (all blocked on responses, so no arrivals are even possible)
-//! from paying the window at all. Admission control keeps tail latency degrading gracefully
-//! instead of collapsing: a full queue sheds the request immediately with
-//! [`ServeError::Overloaded`] (the client can retry against a replica),
-//! malformed or hostile plans are rejected up front with
+//! window closes. The window is clamped by every held request's deadline,
+//! so batch-wait can never expire a request that arrived alive. Under load
+//! the window never opens because the backlog fills the batch instantly,
+//! so batching adds latency only when the system is idle enough not to
+//! care — and `min_fill` keeps closed-loop clients (all blocked on
+//! responses, so no arrivals are even possible) from paying the window at
+//! all. Admission control keeps tail latency degrading gracefully
+//! instead of collapsing: a full shard queue sheds the request immediately
+//! with [`ServeError::Overloaded`] (the client can retry against a
+//! replica), malformed or hostile plans are rejected up front with
 //! [`ServeError::InvalidPlan`], and requests whose deadline passed while
 //! queued are dropped with [`ServeError::DeadlineExceeded`] before any work
 //! is spent on them.
 //!
-//! Per batch, each request resolves its model through the lock-free
-//! [`ModelRegistry`], features come from the fingerprint-keyed
+//! Admission also picks a **precision tier** ([`Tier`]): requests whose
+//! deadline budget is at or under `fast_tier_deadline` route to the int8
+//! [`QuantizedEstimator`](dace_core::QuantizedEstimator) twin rebuilt at
+//! every registry swap; everything else runs full precision. Per batch,
+//! each request resolves its model through the lock-free
+//! [`ModelRegistry`], features come from the fingerprint-keyed shard-local
 //! [`FeatureCache`] (misses featurized through the same
 //! [`featurize_trees_sharded`] path training uses), and one block-diagonal
-//! forward serves the whole adapter group.
+//! forward serves each (adapter, tier) group.
 //!
 //! **Failure model.** Workers are supervised (see [`crate::supervisor`]): a
 //! panic anywhere in the drain/forward path kills only that worker, which
@@ -40,14 +57,15 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
-use dace_core::{featurize_trees_sharded, DaceEstimator, PlanFeatures, Workspace};
+use dace_core::{featurize_trees_sharded, PlanFeatures, QuantWorkspace, Workspace};
 use dace_obs::{mark, next_trace_id, span, trace_scope, LifecycleEvent, MetricsRegistry};
 use dace_plan::{validate_plan, PlanTree, PlanValidationError, DEFAULT_MAX_PLAN_DEPTH};
+use serde::Serialize;
 
 use crate::cache::FeatureCache;
 use crate::fallback::{
@@ -113,6 +131,29 @@ pub struct ServeConfig {
     /// port 0 binds a free port, readable via
     /// [`DaceServer::introspect_addr`].
     pub introspect_addr: Option<SocketAddr>,
+    /// Worker shards. Each shard owns a bounded queue (`queue_depth` slots
+    /// each), a private featurization cache, and at least one dedicated
+    /// worker; requests are routed to shards by structural plan fingerprint
+    /// (FNV-1a), so repeated plans land on the shard whose cache is warm.
+    /// `1` (the default) reproduces the single-queue scheduler exactly.
+    pub shards: usize,
+    /// A shard whose queue holds at least this many requests may be stolen
+    /// from by an idle shard. Affinity is a cache hint, not a correctness
+    /// property — stolen jobs keep their trace, deadline and response
+    /// channel, only the cache warmth differs.
+    pub steal_threshold: usize,
+    /// Most jobs one steal sweep moves (bounds how much affinity a single
+    /// imbalance can destroy).
+    pub steal_max: usize,
+    /// Requests whose effective deadline is at or under this duration are
+    /// served by the int8 quantized tier ([`Tier::Quantized`]) instead of
+    /// full precision. `None` (the default) disables tier routing: every
+    /// request runs full precision.
+    pub fast_tier_deadline: Option<Duration>,
+    /// Pin each shard's workers to a CPU core (`shard index` modulo the
+    /// core count), best effort: pinning failures are silently ignored and
+    /// non-Linux hosts never attempt it.
+    pub pin_cores: bool,
 }
 
 impl Default for ServeConfig {
@@ -131,6 +172,33 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             faults: FaultConfig::disabled(),
             introspect_addr: None,
+            shards: 1,
+            steal_threshold: 4,
+            steal_max: 8,
+            fast_tier_deadline: None,
+            pin_cores: false,
+        }
+    }
+}
+
+/// Which precision tier served (or will serve) a request. Decided once, at
+/// admission, from the request's effective deadline against
+/// [`ServeConfig::fast_tier_deadline`]; stolen work keeps its tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Full-precision f32 forward — the accuracy tier (default).
+    Full,
+    /// Int8 quantized forward — the deadline-tight fast tier.
+    Quantized,
+}
+
+impl Tier {
+    /// Stable label used in metrics (`serve_tier_requests_total{tier=...}`)
+    /// and ledgers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Quantized => "quantized",
         }
     }
 }
@@ -210,6 +278,11 @@ pub struct Prediction {
     /// served answer; joins against flight-recorder events, journal
     /// records, and retrain `EpochRecord`s.
     pub trace: u64,
+    /// Which precision tier this request was routed to at admission. A
+    /// degraded answer keeps the routed tier (the `degraded` flag already
+    /// says the model did not answer), so tier accounting stays consistent
+    /// across fallback episodes.
+    pub tier: Tier,
 }
 
 /// Where a served request's time went, stage by stage (all µs). Queue wait
@@ -235,6 +308,7 @@ pub(crate) struct Job {
     enqueued: Instant,
     deadline: Option<Instant>,
     trace: u64,
+    tier: Tier,
     resp: SyncSender<Result<Prediction, ServeError>>,
 }
 
@@ -262,14 +336,49 @@ pub(crate) struct DegradeState {
     pub breaker: CircuitBreaker,
 }
 
+/// One worker shard: a bounded queue, a private featurization cache (no
+/// cross-shard lock traffic on the hot path), and the shard-local counters
+/// the scaling bench and the Prometheus export read.
+pub(crate) struct ShardState {
+    pub rx: Mutex<Receiver<Job>>,
+    /// Jobs currently queued on this shard (incremented at admission,
+    /// decremented as workers — or thieves — receive them). Exported as
+    /// `serve_shard_queue_depth{shard}` and consulted by thieves.
+    pub depth: AtomicU64,
+    /// Shard-private featurization cache. Affinity routing makes repeated
+    /// plans land here warm; a stolen job simply featurizes into the
+    /// thief's cache instead.
+    pub cache: FeatureCache,
+    /// Requests answered by workers of this shard (stolen work counts for
+    /// the thief — it did the forward pass).
+    pub completed: AtomicU64,
+    /// `steals_from[v]` = jobs this shard stole from shard `v`. Exported as
+    /// `serve_steals_total{from="v",to="this"}`.
+    pub steals_from: Box<[AtomicU64]>,
+}
+
+/// Point-in-time view of one shard, for the scaling bench and tests.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// Requests answered by this shard's workers.
+    pub completed: u64,
+    /// Jobs this shard stole from its peers.
+    pub stolen: u64,
+    /// Entries in the shard's featurization cache.
+    pub cache_len: usize,
+}
+
 /// Everything a worker thread needs, bundled so the supervisor can respawn
-/// workers from one `Arc` — and so the receiver stays alive with
+/// workers from one `Arc` — and so the receivers stay alive with
 /// `workers = 0` (admission-control tests).
 pub(crate) struct WorkerCtx {
-    pub rx: Mutex<Receiver<Job>>,
+    pub shards: Box<[ShardState]>,
     pub registry: Arc<ModelRegistry>,
     pub metrics: Arc<ServeMetrics>,
-    pub cache: Arc<FeatureCache>,
     pub config: ServeConfig,
     pub degrade: Option<DegradeState>,
     pub injector: FaultInjector,
@@ -279,6 +388,52 @@ pub(crate) struct WorkerCtx {
     /// Raised before teardown so worker deaths during shutdown are not
     /// respawned (or miscounted as service-affecting).
     pub shutdown: AtomicBool,
+}
+
+impl WorkerCtx {
+    /// The shard-depth / steal-matrix / per-shard-completed exposition,
+    /// appended to `/metrics` through the health plane's text sources.
+    /// Label names are quoted per the Prometheus text format; the repo's
+    /// round-trip parser keys on the full `name{labels}` string.
+    pub(crate) fn shard_prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("# HELP serve_shard_queue_depth Requests currently queued per shard.\n");
+        out.push_str("# TYPE serve_shard_queue_depth gauge\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "serve_shard_queue_depth{{shard=\"{i}\"}} {}",
+                s.depth.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# HELP serve_shard_completed_total Requests answered per shard.\n");
+        out.push_str("# TYPE serve_shard_completed_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "serve_shard_completed_total{{shard=\"{i}\"}} {}",
+                s.completed.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP serve_steals_total Jobs stolen between shards (from victim, to thief).\n",
+        );
+        out.push_str("# TYPE serve_steals_total counter\n");
+        for (to, s) in self.shards.iter().enumerate() {
+            for (from, n) in s.steals_from.iter().enumerate() {
+                if from == to {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "serve_steals_total{{from=\"{from}\",to=\"{to}\"}} {}",
+                    n.load(Ordering::Relaxed)
+                );
+            }
+        }
+        out
+    }
 }
 
 /// The online estimator service: micro-batching scheduler over a
@@ -292,9 +447,8 @@ pub struct DaceServer {
     registry: Arc<ModelRegistry>,
     metrics_registry: Arc<MetricsRegistry>,
     metrics: Arc<ServeMetrics>,
-    cache: Arc<FeatureCache>,
     config: ServeConfig,
-    sender: Option<SyncSender<Job>>,
+    senders: Option<Vec<SyncSender<Job>>>,
     ctx: Arc<WorkerCtx>,
     pool: Option<WorkerPool>,
     introspect: Option<IntrospectServer>,
@@ -347,16 +501,20 @@ impl DaceServer {
         fallback: Option<Box<dyn FallbackEstimator>>,
         health_cfg: HealthConfig,
     ) -> DaceServer {
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let shards = config.shards.max(1);
+        // One bounded queue per shard; the server keeps all the senders and
+        // routes at admission by plan-fingerprint affinity.
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+            senders.push(tx);
+            receivers.push(rx);
+        }
         // Per-server registry (not the process-global one) so two servers —
         // or two sequential bench phases — never blend their counts.
         let metrics_registry = Arc::new(MetricsRegistry::new());
         let metrics = Arc::new(ServeMetrics::register(&metrics_registry));
-        let cache = Arc::new(FeatureCache::with_counters(
-            config.cache_capacity,
-            Arc::clone(&metrics.cache_hits),
-            Arc::clone(&metrics.cache_misses),
-        ));
         let degrade = fallback.map(|fallback| DegradeState {
             fallback,
             breaker: CircuitBreaker::new(config.breaker),
@@ -370,22 +528,53 @@ impl DaceServer {
             "Flight-recorder events dropped because the ring was full.",
             || dace_obs::FlightRecorder::global().dropped(),
         );
+        let shard_states: Box<[ShardState]> = receivers
+            .into_iter()
+            .map(|rx| ShardState {
+                rx: Mutex::new(rx),
+                depth: AtomicU64::new(0),
+                // Shard caches split the configured capacity so `shards`
+                // does not silently multiply the memory budget; hit/miss
+                // counters stay shared (the export is per-server).
+                cache: FeatureCache::with_counters(
+                    config.cache_capacity / shards,
+                    Arc::clone(&metrics.cache_hits),
+                    Arc::clone(&metrics.cache_misses),
+                ),
+                completed: AtomicU64::new(0),
+                steals_from: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
         let ctx = Arc::new(WorkerCtx {
-            rx: Mutex::new(rx),
+            shards: shard_states,
             registry: Arc::clone(&registry),
             metrics: Arc::clone(&metrics),
-            cache: Arc::clone(&cache),
             config,
             degrade,
             injector: FaultInjector::new(config.faults),
             health: Arc::clone(&health),
             shutdown: AtomicBool::new(false),
         });
-        let pool = WorkerPool::start(Arc::clone(&ctx), config.workers);
+        // Every shard needs a dedicated drainer or its queue would rely on
+        // opportunistic stealing; extra workers round-robin over shards.
+        let workers = if config.workers == 0 {
+            0
+        } else {
+            config.workers.max(shards)
+        };
+        {
+            let weak = Arc::downgrade(&ctx);
+            health.register_text_source(move || {
+                weak.upgrade()
+                    .map(|ctx| ctx.shard_prometheus_text())
+                    .unwrap_or_default()
+            });
+        }
+        let pool = WorkerPool::start(Arc::clone(&ctx), workers);
         health.emit(
             0,
             LifecycleEvent::ServerStarted {
-                workers: config.workers as u64,
+                workers: workers as u64,
                 version: registry.base().version,
             },
         );
@@ -404,9 +593,8 @@ impl DaceServer {
             registry,
             metrics_registry,
             metrics,
-            cache,
             config,
-            sender: Some(tx),
+            senders: Some(senders),
             ctx,
             pool: Some(pool),
             introspect,
@@ -458,7 +646,7 @@ impl DaceServer {
         adapter: Option<&str>,
         deadline: Option<Duration>,
     ) -> Result<PredictionHandle, ServeError> {
-        let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let senders = self.senders.as_ref().ok_or(ServeError::ShuttingDown)?;
         if let Err(e) = validate_plan(tree, self.config.max_plan_depth) {
             self.metrics.invalid_plan.inc();
             return Err(ServeError::InvalidPlan(e));
@@ -470,20 +658,33 @@ impl DaceServer {
         // epochs) carries it.
         let trace = next_trace_id();
         mark!("serve_admit", trace);
+        // Tier routing happens here, before any queueing: a deadline at or
+        // under the fast-tier threshold buys the int8 forward.
+        let budget = deadline.or(self.config.default_deadline);
+        let tier = match (self.config.fast_tier_deadline, budget) {
+            (Some(fast), Some(d)) if d <= fast => Tier::Quantized,
+            _ => Tier::Full,
+        };
+        let shard = route_shard(tree, senders.len());
         let job = Job {
             tree: tree.clone(),
             adapter: adapter.map(str::to_string),
             enqueued: now,
-            deadline: deadline.or(self.config.default_deadline).map(|d| now + d),
+            deadline: budget.map(|d| now + d),
             trace,
+            tier,
             resp: tx,
         };
-        match sender.try_send(job) {
+        match senders[shard].try_send(job) {
             Ok(()) => {
+                self.ctx.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
                 self.metrics.submitted.inc();
                 Ok(PredictionHandle { rx })
             }
             Err(TrySendError::Full(_)) => {
+                // Affinity is strict at admission: a full shard sheds
+                // rather than spilling (work-stealing is the pressure
+                // valve on the drain side, backpressure is per shard).
                 self.metrics.shed.inc();
                 Err(ServeError::Overloaded)
             }
@@ -512,9 +713,30 @@ impl DaceServer {
         self.metrics.snapshot()
     }
 
-    /// Entries currently held by the featurization cache.
+    /// Entries currently held by the featurization caches (all shards).
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.ctx.shards.iter().map(|s| s.cache.len()).sum()
+    }
+
+    /// Per-shard queue depth, completion and steal counters — what the
+    /// scaling bench turns into the parity and steal assertions.
+    pub fn shard_snapshot(&self) -> Vec<ShardSnapshot> {
+        self.ctx
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardSnapshot {
+                shard,
+                queue_depth: s.depth.load(Ordering::Relaxed),
+                completed: s.completed.load(Ordering::Relaxed),
+                stolen: s
+                    .steals_from
+                    .iter()
+                    .map(|n| n.load(Ordering::Relaxed))
+                    .sum(),
+                cache_len: s.cache.len(),
+            })
+            .collect()
     }
 
     /// The metrics registry every serve counter and histogram lives in —
@@ -531,12 +753,14 @@ impl DaceServer {
     }
 
     fn shutdown_inner(&mut self) {
-        // Flag first (stops supervision), then disconnect the channel by
-        // dropping the only sender; workers finish the backlog and exit.
+        // Flag first (stops supervision), then disconnect every shard's
+        // channel by dropping the senders; workers finish the backlog and
+        // exit (each shard's dedicated worker drains its own queue, and
+        // exiting workers sweep peers for stragglers).
         self.ctx
             .shutdown
             .store(true, std::sync::atomic::Ordering::Release);
-        self.sender.take();
+        self.senders.take();
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
@@ -552,19 +776,104 @@ impl Drop for DaceServer {
     }
 }
 
-/// Drain one batch from the shared receiver. Holding the lock across the
-/// wait window is deliberate: only one worker collects at a time (the
-/// others are either forwarding a previous batch or parked on the mutex,
-/// which is exactly the recv they would otherwise be parked on), and under
-/// load `recv_timeout` returns instantly so the lock hold is one splice.
+/// Structural FNV-1a fingerprint for shard routing: node types, child
+/// counts and the raw cost/cardinality estimates, in DFS order. Cheaper
+/// than the featurizer's fingerprint (no scaler math) and independent of
+/// which model version will serve the request — routing must not resolve
+/// the registry. Identical plans always hash identically, so repeats land
+/// on the shard whose cache already holds their features.
+fn route_shard(tree: &PlanTree, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for &id in &tree.dfs() {
+        let node = tree.node(id);
+        mix(node.node_type.one_hot_index() as u64);
+        mix(node.children.len() as u64);
+        mix(node.est_cost.to_bits());
+        mix(node.est_rows.to_bits());
+    }
+    (h % shards as u64) as usize
+}
+
+/// How long an idle shard waits on its own queue before looking for a
+/// backlogged peer to steal from.
+const STEAL_POLL: Duration = Duration::from_millis(1);
+
+/// Minimum headroom subtracted from a job's deadline when clamping the
+/// batch-wait window: dispatch must happen early enough for the forward
+/// pass to beat the deadline, not just the drain. The effective margin is
+/// `max(this, remaining_slack / 4)` — see `clamp_window` in `drain_batch`.
+const DISPATCH_MARGIN: Duration = Duration::from_micros(200);
+
+/// Steal up to `steal_max` jobs from the deepest peer whose queue depth is
+/// at least `threshold`. Non-blocking: a victim whose receiver is locked
+/// (its own worker is draining) is skipped — stealing is a relief valve,
+/// not a second queue discipline. Stolen `Job`s move whole, so trace ids,
+/// deadlines, tiers and response channels all survive the migration; the
+/// channel guarantees each job is received exactly once no matter how many
+/// thieves race.
+fn steal_batch(ctx: &WorkerCtx, thief: usize, threshold: u64) -> Option<Vec<Job>> {
+    let threshold = threshold.max(1);
+    let (victim, _) = ctx
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| i != thief && s.depth.load(Ordering::Relaxed) >= threshold)
+        .max_by_key(|(_, s)| s.depth.load(Ordering::Relaxed))?;
+    let vs = &ctx.shards[victim];
+    let rx = match vs.rx.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => return None,
+    };
+    let mut jobs = Vec::new();
+    while jobs.len() < ctx.config.steal_max.max(1) {
+        match rx.try_recv() {
+            Ok(job) => {
+                vs.depth.fetch_sub(1, Ordering::Relaxed);
+                jobs.push(job);
+            }
+            Err(_) => break,
+        }
+    }
+    if jobs.is_empty() {
+        return None;
+    }
+    ctx.shards[thief].steals_from[victim].fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    Some(jobs)
+}
+
+/// Drain one batch from this shard's receiver (or steal one from a
+/// backlogged peer). Holding the shard lock across the wait window is
+/// deliberate: only one worker of the shard collects at a time (the others
+/// are either forwarding a previous batch or parked on the mutex, which is
+/// exactly the recv they would otherwise be parked on), and under load
+/// `recv_timeout` returns instantly so the lock hold is one splice.
+/// Thieves never block on this lock (`try_lock` only), so holding it while
+/// idle cannot stall a peer.
 ///
 /// Fault sites: a worker kill fires *after* taking the queue lock but
 /// *before* receiving any job — the dying worker holds no request (nothing
-/// is lost) but does poison the mutex, exercising both poison recovery in
-/// its peers and the supervisor respawn. A queue stall sleeps while
-/// holding the lock, stalling every worker behind it.
-fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
-    let rx = lock_recover(&ctx.rx);
+/// is lost) but does poison the shard's mutex, exercising both poison
+/// recovery in its peers and the supervisor respawn. A queue stall sleeps
+/// while holding the lock, stalling every worker behind it.
+///
+/// The batching window is clamped by every held job's deadline (minus a
+/// slack-proportional margin floored at [`DISPATCH_MARGIN`]): a
+/// near-deadline request dispatches the batch
+/// early instead of expiring behind a `max_wait` computed from a global
+/// clock — no request may miss its deadline purely from batch-wait.
+fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
+    let my = &ctx.shards[shard];
+    let rx = lock_recover(&my.rx);
     if ctx
         .injector
         .should_fire(crate::fault::FaultSite::WorkerKill)
@@ -574,7 +883,28 @@ fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
     if let Some(stall) = ctx.injector.queue_stall() {
         std::thread::sleep(stall);
     }
-    let first = rx.recv().ok()?;
+    let first = loop {
+        match rx.recv_timeout(STEAL_POLL) {
+            Ok(job) => {
+                my.depth.fetch_sub(1, Ordering::Relaxed);
+                break job;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Own queue idle: relieve the deepest backlogged peer.
+                if let Some(stolen) = steal_batch(ctx, shard, ctx.config.steal_threshold as u64) {
+                    return Some(stolen);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: the senders are gone and this shard's backlog
+                // is fully drained. Sweep the peers once for stragglers
+                // (threshold 1) so no queued request is ever abandoned,
+                // then exit.
+                drop(rx);
+                return steal_batch(ctx, shard, 1);
+            }
+        }
+    };
     // The span opens after the blocking recv: it measures batch collection,
     // not idle time waiting for the first request.
     let _span = span!("serve_drain");
@@ -582,12 +912,28 @@ fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
     let config = ctx.config;
     let max_batch = config.max_batch.max(1);
     let min_fill = config.min_fill.clamp(1, max_batch);
+    let mut window_closes = collect_started + config.max_wait;
+    let clamp_window = |w: Instant, job: &Job| match job.deadline {
+        Some(d) => {
+            // Headroom scales with the job's remaining slack (¼ of it,
+            // floored at DISPATCH_MARGIN): the fixed floor covers the
+            // forward pass, the proportional part absorbs sleep overshoot
+            // on a loaded machine — a request 50 ms out can afford to
+            // dispatch 12 ms early, one 1 ms out cannot.
+            let now = Instant::now();
+            let margin = (d.saturating_duration_since(now) / 4).max(DISPATCH_MARGIN);
+            w.min(d.checked_sub(margin).unwrap_or(now))
+        }
+        None => w,
+    };
     let mut batch = Vec::with_capacity(max_batch);
+    window_closes = clamp_window(window_closes, &first);
     batch.push(first);
-    let window_closes = Instant::now() + config.max_wait;
     while batch.len() < max_batch {
         // Splice in everything already queued — free batching.
         if let Ok(job) = rx.try_recv() {
+            my.depth.fetch_sub(1, Ordering::Relaxed);
+            window_closes = clamp_window(window_closes, &job);
             batch.push(job);
             continue;
         }
@@ -604,6 +950,8 @@ fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
         // queue in one scheduler pass instead of one futex wake per job.
         std::thread::yield_now();
         if let Ok(job) = rx.try_recv() {
+            my.depth.fetch_sub(1, Ordering::Relaxed);
+            window_closes = clamp_window(window_closes, &job);
             batch.push(job);
             continue;
         }
@@ -614,7 +962,11 @@ fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
             break;
         }
         match rx.recv_timeout(window_closes - now) {
-            Ok(job) => batch.push(job),
+            Ok(job) => {
+                my.depth.fetch_sub(1, Ordering::Relaxed);
+                window_closes = clamp_window(window_closes, &job);
+                batch.push(job);
+            }
             Err(RecvTimeoutError::Timeout) => break,
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -625,20 +977,28 @@ fn drain_batch(ctx: &WorkerCtx) -> Option<Vec<Job>> {
     Some(batch)
 }
 
-/// Per-worker reusable inference scratch: the model workspace plus the
-/// prediction staging vectors. Buffers grow to the high-water batch size and
-/// then the drain loop's forward path stops allocating entirely.
+/// Per-worker reusable inference scratch: the f32 and int8 model
+/// workspaces plus the prediction staging vectors. Buffers grow to the
+/// high-water batch size and then the drain loop's forward path stops
+/// allocating entirely.
 #[derive(Default)]
 struct WorkerScratch {
     ws: Workspace,
+    qws: QuantWorkspace,
     roots: Vec<f32>,
     ms: Vec<f64>,
 }
 
-pub(crate) fn worker_loop(ctx: &WorkerCtx) {
+/// The serving loop for one worker bound to `shard`: drain (or steal) a
+/// batch, run it, repeat until the shard's channel disconnects and the
+/// final steal sweep comes back empty.
+pub(crate) fn worker_loop(ctx: &WorkerCtx, shard: usize) {
+    if ctx.config.pin_cores {
+        crate::supervisor::pin_current_thread(shard);
+    }
     let mut scratch = WorkerScratch::default();
-    while let Some(batch) = drain_batch(ctx) {
-        process_batch(ctx, batch, &mut scratch);
+    while let Some(batch) = drain_batch(ctx, shard) {
+        process_batch(ctx, shard, batch, &mut scratch);
     }
 }
 
@@ -665,16 +1025,17 @@ fn count_breaker_event(ctx: &WorkerCtx, ev: Option<BreakerEvent>, trace: u64) {
     }
 }
 
-fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) {
+fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut WorkerScratch) {
     let _span = span!("serve_process_batch");
     let metrics = &ctx.metrics;
     let drained_at = Instant::now();
     metrics.batches.inc();
     metrics.batch_size.record(batch.len() as u64);
 
-    // Admission-side triage, then group survivors by adapter so each group
-    // runs one packed forward on one resolved snapshot.
-    let mut groups: HashMap<Option<String>, Vec<Job>> = HashMap::new();
+    // Admission-side triage, then group survivors by (adapter, tier) so
+    // each group runs one packed forward on one resolved snapshot through
+    // one precision tier.
+    let mut groups: HashMap<(Option<String>, Tier), Vec<Job>> = HashMap::new();
     let (mut missed, mut met) = (0u64, 0u64);
     let mut missed_trace = 0u64;
     for job in batch {
@@ -693,23 +1054,28 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
             if let Some(d) = &ctx.degrade {
                 count_breaker_event(ctx, d.breaker.on_result(false, false), job.trace);
             }
+            ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
             let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
         met += 1;
-        groups.entry(job.adapter.clone()).or_default().push(job);
+        groups
+            .entry((job.adapter.clone(), job.tier))
+            .or_default()
+            .push(job);
     }
     // Feed the deadline SLO at batch granularity; the alert (if any) is
     // stamped with the first expired request's trace.
     ctx.health.record_deadlines(missed, met, missed_trace);
 
-    for (adapter, jobs) in groups {
+    for ((adapter, tier), jobs) in groups {
         let version = match ctx.registry.resolve(adapter.as_deref()) {
             Ok(v) => v,
             Err(_) => {
                 let name = adapter.unwrap_or_default();
                 for job in jobs {
                     metrics.unknown_adapter.inc();
+                    ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
                     let _ = job.resp.send(Err(ServeError::UnknownAdapter(name.clone())));
                 }
                 continue;
@@ -738,7 +1104,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
             None => (true, false),
         };
         if !use_model {
-            respond_degraded(ctx, &version, jobs);
+            respond_degraded(ctx, shard, &version, jobs);
             continue;
         }
 
@@ -749,7 +1115,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
         let outcome = {
             let _trace = trace_scope(group_trace);
             catch_unwind(AssertUnwindSafe(|| {
-                forward_group(ctx, &version.estimator, &jobs, scratch)
+                forward_group(ctx, shard, &version, tier, &jobs, scratch)
             }))
         };
         match outcome {
@@ -757,17 +1123,18 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>, scratch: &mut WorkerScratch) 
                 if let Some(d) = &ctx.degrade {
                     count_breaker_event(ctx, d.breaker.on_result(true, probe), group_trace);
                 }
-                respond_predictions(ctx, &version, jobs, group, &scratch.ms, drained_at);
+                respond_predictions(ctx, shard, &version, jobs, group, &scratch.ms, drained_at);
             }
             Err(_) => {
                 metrics.batch_panics.inc();
                 match &ctx.degrade {
                     Some(d) => {
                         count_breaker_event(ctx, d.breaker.on_result(false, probe), group_trace);
-                        respond_degraded(ctx, &version, jobs);
+                        respond_degraded(ctx, shard, &version, jobs);
                     }
                     None => {
                         for job in jobs {
+                            ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
                             let _ = job.resp.send(Err(ServeError::Internal));
                         }
                     }
@@ -784,32 +1151,39 @@ struct GroupOutput {
     stages: Option<StageBreakdown>,
 }
 
-/// The model path for one adapter group: featurize through the cache, one
-/// packed block-diagonal forward. May panic (that is the point — the
-/// caller catches it); must not consume the jobs.
+/// The model path for one (adapter, tier) group: featurize through the
+/// shard-local cache, one packed block-diagonal forward through the routed
+/// precision tier. May panic (that is the point — the caller catches it);
+/// must not consume the jobs.
 fn forward_group(
     ctx: &WorkerCtx,
-    est: &DaceEstimator,
+    shard: usize,
+    version: &ModelVersion,
+    tier: Tier,
     jobs: &[Job],
     scratch: &mut WorkerScratch,
 ) -> GroupOutput {
     let metrics = &ctx.metrics;
     let config = ctx.config;
+    let est = &version.estimator;
+    let cache = &ctx.shards[shard].cache;
     if let Some(delay) = ctx.injector.stage_delay() {
         std::thread::sleep(delay);
     }
 
-    // Featurize through the cache; misses go through the same sharded
-    // path training uses (serial below 64 trees). `featurize_us` keeps
-    // its historical meaning (probe + miss featurization); stage timing
-    // additionally splits out the probe cost.
+    // Featurize through the shard-local cache; misses go through the same
+    // sharded path training uses (serial below 64 trees). `featurize_us`
+    // keeps its historical meaning (probe + miss featurization); stage
+    // timing additionally splits out the probe cost. Both tiers share one
+    // cache: features are tier-independent (quantization happens inside
+    // the forward, not in the encoding).
     let t_feat = Instant::now();
     let fingerprints: Vec<u64> = jobs
         .iter()
         .map(|j| est.featurizer.fingerprint(&j.tree))
         .collect();
     let mut feats: Vec<Option<Arc<PlanFeatures>>> =
-        fingerprints.iter().map(|&fp| ctx.cache.get(fp)).collect();
+        fingerprints.iter().map(|&fp| cache.get(fp)).collect();
     let cache_lookup_us = t_feat.elapsed().as_micros() as u64;
     let hit_mask: Vec<bool> = feats.iter().map(Option::is_some).collect();
     let miss_idx: Vec<usize> = (0..jobs.len()).filter(|&i| feats[i].is_none()).collect();
@@ -819,7 +1193,7 @@ fn forward_group(
         let fresh = featurize_trees_sharded(&est.featurizer, &miss_trees, config.featurize_threads);
         for (&i, f) in miss_idx.iter().zip(fresh) {
             let f = Arc::new(f);
-            ctx.cache.insert(fingerprints[i], Arc::clone(&f));
+            cache.insert(fingerprints[i], Arc::clone(&f));
             feats[i] = Some(f);
         }
     }
@@ -834,7 +1208,8 @@ fn forward_group(
         panic!("{INJECTED_PANIC}: batch forward panic");
     }
 
-    // One packed block-diagonal forward for the whole group.
+    // One packed block-diagonal forward for the whole group, through the
+    // tier the requests were admitted to.
     let t_fwd = Instant::now();
     let refs: Vec<&PlanFeatures> = feats.iter().map(Arc::as_ref).collect();
     let stages = {
@@ -842,12 +1217,20 @@ fn forward_group(
         // Predictions land in the worker's reusable scratch
         // (`scratch.ms`, aligned with `jobs`): the steady-state forward
         // path allocates nothing.
-        let timings = est.predict_features_batch_ms_timed_ws(
-            &refs,
-            &mut scratch.ws,
-            &mut scratch.roots,
-            &mut scratch.ms,
-        );
+        let timings = match tier {
+            Tier::Full => est.predict_features_batch_ms_timed_ws(
+                &refs,
+                &mut scratch.ws,
+                &mut scratch.roots,
+                &mut scratch.ms,
+            ),
+            Tier::Quantized => version.quantized.predict_features_batch_ms_timed_ws(
+                &refs,
+                &mut scratch.qws,
+                &mut scratch.roots,
+                &mut scratch.ms,
+            ),
+        };
         if config.stage_timing {
             metrics.cache_lookup_us.record(cache_lookup_us);
             metrics.attention_us.record(timings.attention_us);
@@ -873,6 +1256,7 @@ fn forward_group(
 /// `forward_group` filled, aligned with `jobs`).
 fn respond_predictions(
     ctx: &WorkerCtx,
+    shard: usize,
     version: &Arc<ModelVersion>,
     jobs: Vec<Job>,
     group: GroupOutput,
@@ -885,6 +1269,8 @@ fn respond_predictions(
     let _span = span!("serve_respond");
     for ((job, &ms), hit) in jobs.into_iter().zip(ms).zip(group.hit_mask) {
         metrics.completed.inc();
+        ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
+        ctx.health.count_tier(job.tier);
         metrics
             .e2e_us
             .record(job.enqueued.elapsed().as_micros() as u64);
@@ -902,6 +1288,7 @@ fn respond_predictions(
             degraded: false,
             stages,
             trace: job.trace,
+            tier: job.tier,
         }));
     }
     metrics
@@ -917,7 +1304,7 @@ fn respond_predictions(
 /// resolved: these numbers did not come from that snapshot, and a drift
 /// detector ingesting them as model observations would trip on fallback
 /// noise (or worse, mask real model drift).
-fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>) {
+fn respond_degraded(ctx: &WorkerCtx, shard: usize, version: &Arc<ModelVersion>, jobs: Vec<Job>) {
     let metrics = &ctx.metrics;
     let degrade = ctx
         .degrade
@@ -929,6 +1316,8 @@ fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>
         let ms = degrade.fallback.predict_ms(&job.tree);
         metrics.degraded.inc();
         metrics.completed.inc();
+        ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
+        ctx.health.count_tier(job.tier);
         metrics
             .e2e_us
             .record(job.enqueued.elapsed().as_micros() as u64);
@@ -942,6 +1331,9 @@ fn respond_degraded(ctx: &WorkerCtx, version: &Arc<ModelVersion>, jobs: Vec<Job>
             degraded: true,
             stages: None,
             trace: job.trace,
+            // The answer keeps the tier the request was admitted to — the
+            // fallback served it, but the ledger splits on routed tier.
+            tier: job.tier,
         }));
     }
 }

@@ -35,6 +35,39 @@ pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Best-effort CPU affinity for the calling worker thread: pin shard `k`'s
+/// workers to core `k mod available_parallelism`, so a shard's queue, cache
+/// and scratch stay warm in one core's private caches. Uses the raw
+/// `sched_setaffinity` syscall (the workspace vendors no libc); anything
+/// short of Linux/x86_64 — or a kernel that refuses the mask (cgroup cpuset,
+/// exotic topology) — silently no-ops, because pinning is an optimization,
+/// never a correctness requirement.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) fn pin_current_thread(shard: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = shard % cores;
+    // cpu_set_t is 1024 bits = 16 u64 words; set exactly one bit.
+    let mut mask = [0u64; 16];
+    mask[core / 64] = 1u64 << (core % 64);
+    unsafe {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret, // SYS_sched_setaffinity
+            in("rdi") 0,                    // pid 0 = calling thread
+            in("rsi") mask.len() * 8,       // mask size in bytes
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        let _ = ret; // failure is fine: run unpinned
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub(crate) fn pin_current_thread(_shard: usize) {}
+
 /// First respawn delay once a crash loop is suspected (second consecutive
 /// death and onward); doubles per consecutive death.
 const BACKOFF_BASE: Duration = Duration::from_millis(1);
@@ -132,7 +165,11 @@ fn spawn_worker(
     std::thread::Builder::new()
         .name(format!("dace-serve-{i}"))
         .spawn(move || {
-            if catch_unwind(AssertUnwindSafe(|| worker_loop(&ctx))).is_err() {
+            // Static worker→shard mapping: slot index mod shard count. A
+            // respawned worker keeps its slot, so it rejoins the same
+            // shard — the supervisor is shard-aware for free.
+            let shard = i % ctx.config.shards.max(1);
+            if catch_unwind(AssertUnwindSafe(|| worker_loop(&ctx, shard))).is_err() {
                 ctx.metrics.worker_panics.inc();
                 if !ctx.shutdown.load(Ordering::Acquire) {
                     slots[i].dirty.store(true, Ordering::Release);

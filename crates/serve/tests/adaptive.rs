@@ -159,6 +159,7 @@ fn model_prediction(registry: &ModelRegistry, tree: &dace_plan::PlanTree) -> Pre
         degraded: false,
         stages: None,
         trace: 0,
+        tier: dace_serve::Tier::Full,
     }
 }
 
