@@ -134,6 +134,31 @@ jq -e '.parity_ratio <= 1.25
     "$OBS_TMP/sharding.json" >/dev/null \
     || { echo "FAIL: sharding smoke out of bounds"; cat "$OBS_TMP/sharding.json"; exit 1; }
 
+# Tenants smoke: the multi-tenant isolation gate. serve_bench --tenants
+# exits non-zero itself on any violated gate (per-tenant p99 fairness
+# spread over 3× among equal-weight tenants, any cross-tenant
+# featurization-cache hit, well-behaved availability under 99% while one
+# tenant floods at 10× its quota, a cold-tenant request shed instead of
+# answered zero-shot, an unbounded adapter hot set, or a dead fault
+# site); the emitted JSON is re-asserted here. The committed isolation
+# record results/tenants.md comes from the full (non-smoke) run.
+echo "==> tenants smoke"
+cargo run --release -q -p dace-eval --bin serve_bench -- \
+    --tenants --smoke --json >"$OBS_TMP/tenants.json"
+jq -e '.fairness.p99_spread <= 3
+       and .fairness.gated_tenants >= 2
+       and .bleed.cross_tenant_hits == 0
+       and .bleed.first_pass_misses == (.bleed.tenants * .bleed.plans_per_tenant)
+       and .noisy.well_behaved_availability >= 0.99
+       and .noisy.quota_rejected >= 1
+       and .noisy.well_behaved_shed == 0
+       and .paging.unanswered == 0
+       and .paging.cold_all_degraded
+       and .paging.adapter_evictions >= 1
+       and .paging.injected_corrupt_failures >= 1' \
+    "$OBS_TMP/tenants.json" >/dev/null \
+    || { echo "FAIL: tenants smoke out of bounds"; cat "$OBS_TMP/tenants.json"; exit 1; }
+
 # Adaptive smoke: run the observe→retrain→swap loop end to end (clean
 # traffic → sustained 6× drift → background retrain → shadow eval →
 # checkpointed promotion → probation), plus a sabotaged sub-run whose

@@ -4,8 +4,8 @@
 //! ```text
 //! serve_bench [--clients N] [--requests R] [--queries Q] [--epochs E]
 //!             [--seconds S] [--json] [--smoke] [--chaos] [--adaptive]
-//!             [--introspect] [--manifest PATH] [--trace PATH] [--prom PATH]
-//!             [--events PATH] [--no-stage-timing]
+//!             [--introspect] [--tenants] [--manifest PATH] [--trace PATH]
+//!             [--prom PATH] [--events PATH] [--no-stage-timing]
 //! ```
 //!
 //! Three phases:
@@ -42,6 +42,20 @@
 //! probation rollback fired on the clean run, and the sabotaged candidate
 //! was rejected.
 //!
+//! `--tenants` replaces the phases with the multi-tenant isolation gate,
+//! four sub-phases: a Zipf-skewed closed loop over up to 1000 equal-weight
+//! tenants gating the per-tenant p99 fairness spread (max/min ≤ 3× among
+//! well-sampled tenants); a cache-bleed pass where every (tenant, plan)
+//! pair must miss on first sight (any first-pass hit is cross-tenant
+//! bleed); a noisy-tenant storm (one tenant flooding at 10× its quota,
+//! burst timing driven by the seeded `TenantStorm` fault site) gating
+//! ≥99% availability for the well-behaved tenants and at least one quota
+//! rejection; and an adapter-paging pass over valid, missing, torn and
+//! injected-corrupt (`AdapterLoadCorrupt` at 100%) checkpoints gating
+//! zero unanswered cold-tenant requests — every cold answer is served
+//! zero-shot and degraded-flagged, never shed. `--md PATH` writes the
+//! markdown record.
+//!
 //! `--introspect` replaces the phases with the health-plane gate (it wins
 //! over `--chaos`/`--adaptive`; the adaptive loop runs inside it): paired
 //! closed loops measure the throughput cost of an enabled introspection
@@ -76,8 +90,8 @@ use dace_query::ComplexWorkloadGen;
 use dace_serve::{
     http_get, q_error, silence_injected_panics, AdaptiveConfig, AdaptiveController,
     CostLinearFallback, DaceServer, DriftConfig, FaultConfig, FaultInjector, FaultSite,
-    HealthConfig, LifecycleEvent, MetricsSnapshot, ModelRegistry, ServeConfig, ServeError,
-    SloConfig,
+    HealthConfig, LifecycleEvent, MetricsSnapshot, ModelRegistry, PagerConfig, ServeConfig,
+    ServeError, SloConfig,
 };
 use serde::Serialize;
 
@@ -197,6 +211,89 @@ struct AdaptiveReport {
     sabotage_promotions: u64,
 }
 
+/// Fairness sub-phase of `--tenants`: a Zipf-skewed closed loop over
+/// equal-weight tenants. `p99_spread` is max/min of per-tenant p99 e2e
+/// latency across tenants that collected at least `sample_floor`
+/// responses (thin tails are reported but not gated); the gate is ≤ 3×.
+#[derive(Debug, Serialize)]
+struct TenantFairnessReport {
+    tenants: usize,
+    clients: usize,
+    total_requests: u64,
+    answered: u64,
+    sample_floor: usize,
+    gated_tenants: usize,
+    min_p99_us: f64,
+    max_p99_us: f64,
+    p99_spread: f64,
+}
+
+/// Cache-bleed sub-phase: every (tenant, plan) pair is submitted once —
+/// each must miss (distinct salted fingerprints), so `cross_tenant_hits`
+/// (first-pass cache hits) must be exactly 0. The second pass re-submits
+/// the same pairs and must hit, proving the entries are real and usable,
+/// just never shared.
+#[derive(Debug, Serialize)]
+struct TenantBleedReport {
+    tenants: usize,
+    plans_per_tenant: usize,
+    first_pass_misses: u64,
+    cross_tenant_hits: u64,
+    second_pass_hits: u64,
+    cache_entries: usize,
+}
+
+/// Noisy-tenant sub-phase: one tenant floods at 10× its token-bucket
+/// quota (burst timing rolled on the seeded `TenantStorm` fault site)
+/// while well-behaved tenants keep a steady closed loop. Gates:
+/// `well_behaved_availability` ≥ 0.99, `quota_rejected` ≥ 1, and the
+/// well-behaved tenants are never shed.
+#[derive(Debug, Serialize)]
+struct TenantNoisyReport {
+    noisy_quota_rps: u32,
+    noisy_attempted: u64,
+    noisy_admitted: u64,
+    quota_rejected: u64,
+    noisy_shed: u64,
+    storm_bursts: u64,
+    well_behaved_tenants: usize,
+    well_behaved_attempted: u64,
+    well_behaved_ok: u64,
+    well_behaved_shed: u64,
+    well_behaved_availability: f64,
+}
+
+/// Adapter-paging sub-phase: cold tenants behind valid, missing, torn and
+/// injected-corrupt checkpoints. Every request must be answered
+/// (`unanswered == 0`): cold ones zero-shot and degraded-flagged, warm
+/// ones from the paged-in adapter at full fidelity; the hot set stays
+/// within its bound via LRU eviction.
+#[derive(Debug, Serialize)]
+struct TenantPagingReport {
+    valid_tenants: usize,
+    hot_set: usize,
+    requests: u64,
+    unanswered: u64,
+    cold_answers: u64,
+    cold_all_degraded: bool,
+    warm_full_fidelity: bool,
+    adapter_loads: u64,
+    adapter_load_failures: u64,
+    adapter_evictions: u64,
+    resident_len: usize,
+    injected_corrupt_failures: u64,
+}
+
+/// What `--tenants` measures: the four isolation sub-phases.
+#[derive(Debug, Serialize)]
+struct TenantsReport {
+    smoke: bool,
+    fairness: TenantFairnessReport,
+    bleed: TenantBleedReport,
+    noisy: TenantNoisyReport,
+    paging: TenantPagingReport,
+}
+
 /// What `--introspect` measures: the health plane end to end. Throughput
 /// is the paired closed-loop gate (enabled endpoint + durable journal vs
 /// plain server, best of three each; `throughput_ratio` must stay ≥ 0.97);
@@ -240,6 +337,7 @@ fn main() {
     let mut chaos = false;
     let mut adaptive = false;
     let mut introspect = false;
+    let mut tenants_phase = false;
     let mut chaos_seed = 0xC4A05u64;
     let mut shards: Option<usize> = None;
     let mut md: Option<String> = None;
@@ -284,6 +382,10 @@ fn main() {
                 introspect = true;
                 continue;
             }
+            "--tenants" => {
+                tenants_phase = true;
+                continue;
+            }
             "--events" => events = Some(parse(args.get(i), "--events")),
             "--shards" => shards = Some(parse(args.get(i), "--shards")),
             "--md" => md = Some(parse(args.get(i), "--md")),
@@ -296,7 +398,7 @@ fn main() {
                 eprintln!(
                     "usage: serve_bench [--clients N] [--requests R] [--queries Q] \
                      [--epochs E] [--seconds S] [--json] [--smoke] [--chaos] \
-                     [--adaptive] [--introspect] [--shards N] [--md PATH] \
+                     [--adaptive] [--introspect] [--tenants] [--shards N] [--md PATH] \
                      [--chaos-seed S] [--manifest PATH] \
                      [--trace PATH] [--prom PATH] [--events PATH] [--no-stage-timing]"
                 );
@@ -423,6 +525,11 @@ fn main() {
             json,
             md.as_deref(),
         );
+        return;
+    }
+
+    if tenants_phase {
+        run_tenants(registry, &pool, smoke, chaos_seed, json, md.as_deref());
         return;
     }
 
@@ -972,6 +1079,688 @@ fn write_sharding_md(path: &str, r: &ShardingReport) {
     ));
     std::fs::write(path, out).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
     eprintln!("wrote sharding report to {path}");
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// The `--tenants` phase: the multi-tenant isolation gate. Four
+/// sub-phases — Zipf fairness, cache bleed, noisy-tenant storm, adapter
+/// paging — each described on its report struct. Exits non-zero unless
+/// every gate holds.
+fn run_tenants(
+    registry: Arc<ModelRegistry>,
+    pool: &[PlanTree],
+    smoke: bool,
+    seed: u64,
+    json: bool,
+    md: Option<&str>,
+) {
+    // -- Fairness: Zipf-skewed closed loop over equal-weight tenants. ----
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let tenant_count = if smoke { 64 } else { 1000 };
+    // Client threads scale with the machine: oversubscribing a small box
+    // measures the OS scheduler's time-slicing tail, not the WFQ drain.
+    let clients = if smoke { 8 } else { (cores * 4).clamp(4, 16) };
+    let per_client = if smoke { 300 } else { 24_000 / clients };
+    // Enough samples that p99 sits strictly inside the distribution: one
+    // stray scheduling hiccup per tenant cannot decide the spread gate.
+    let sample_floor = if smoke { 24 } else { 100 };
+    eprintln!(
+        "tenants: fairness — {clients} clients × {per_client}, Zipf over {tenant_count} tenants…"
+    );
+    let names: Vec<String> = (0..tenant_count).map(|i| format!("z{i:04}")).collect();
+    // Zipf(s=1) cumulative mass over tenant ranks.
+    let mut cum: Vec<f64> = Vec::with_capacity(tenant_count);
+    let mut acc = 0.0;
+    for r in 0..tenant_count {
+        acc += 1.0 / (r + 1) as f64;
+        cum.push(acc);
+    }
+    let total_mass = acc;
+    let shards = if smoke { 2 } else { 4 };
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards,
+            workers: shards,
+            max_batch: 8,
+            min_fill: 1,
+            max_wait: Duration::from_micros(100),
+            // Uniform 1 ms forwards: service cost dominates scheduling
+            // jitter, so per-tenant latency differences are the
+            // scheduler's doing, not the model's.
+            faults: FaultConfig {
+                seed,
+                stage_delay_ppm: 1_000_000,
+                stage_delay: Duration::from_millis(1),
+                ..FaultConfig::disabled()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let mut samples: Vec<(u32, f64)> = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (server, names, cum) = (&server, &names, &cum);
+                s.spawn(move || {
+                    let mut rng = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1));
+                    let mut local = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let u = xorshift(&mut rng) as f64 / u64::MAX as f64 * total_mass;
+                        let t = cum.partition_point(|&m| m < u).min(names.len() - 1);
+                        let plan = &pool[(xorshift(&mut rng) % pool.len() as u64) as usize];
+                        let t0 = Instant::now();
+                        if server.predict_for(&names[t], plan).is_ok() {
+                            local.push((t as u32, t0.elapsed().as_secs_f64() * 1e6));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("fairness client"));
+        }
+    });
+    server.shutdown();
+    let answered = samples.len() as u64;
+    let mut per_tenant: Vec<Vec<f64>> = vec![Vec::new(); tenant_count];
+    for (t, us) in samples {
+        per_tenant[t as usize].push(us);
+    }
+    let mut p99s: Vec<f64> = per_tenant
+        .iter_mut()
+        .filter(|v| v.len() >= sample_floor)
+        .filter_map(|v| quantile(v, 0.99))
+        .collect();
+    p99s.sort_by(f64::total_cmp);
+    let (min_p99, max_p99) = (
+        p99s.first().copied().unwrap_or(0.0),
+        p99s.last().copied().unwrap_or(0.0),
+    );
+    let p99_spread = if min_p99 > 0.0 {
+        max_p99 / min_p99
+    } else {
+        f64::INFINITY
+    };
+    let fairness = TenantFairnessReport {
+        tenants: tenant_count,
+        clients,
+        total_requests: (clients * per_client) as u64,
+        answered,
+        sample_floor,
+        gated_tenants: p99s.len(),
+        min_p99_us: min_p99,
+        max_p99_us: max_p99,
+        p99_spread,
+    };
+    eprintln!(
+        "  {answered} answered, {} tenants ≥ {sample_floor} samples, p99 {:.0}–{:.0} µs \
+         (spread {p99_spread:.2}×)",
+        fairness.gated_tenants, min_p99, max_p99
+    );
+
+    // -- Bleed: every (tenant, plan) pair must miss on first sight. ------
+    let bleed_tenants = if smoke { 8 } else { 32 };
+    let plans_per_tenant = if smoke { 4 } else { 8 };
+    eprintln!(
+        "tenants: cache bleed — {bleed_tenants} tenants × {plans_per_tenant} plans, two passes…"
+    );
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: 1,
+            workers: 1,
+            cache_capacity: 4096,
+            ..ServeConfig::default()
+        },
+    );
+    let pair_plan = |t: usize, k: usize| &pool[(t * plans_per_tenant + k) % pool.len()];
+    for t in 0..bleed_tenants {
+        for k in 0..plans_per_tenant {
+            server
+                .predict_for(&format!("b{t:02}"), pair_plan(t, k))
+                .expect("bleed pass answered");
+        }
+    }
+    let first = server.metrics_snapshot();
+    for t in 0..bleed_tenants {
+        for k in 0..plans_per_tenant {
+            server
+                .predict_for(&format!("b{t:02}"), pair_plan(t, k))
+                .expect("bleed second pass answered");
+        }
+    }
+    let second = server.metrics_snapshot();
+    let bleed = TenantBleedReport {
+        tenants: bleed_tenants,
+        plans_per_tenant,
+        first_pass_misses: first.cache_misses,
+        cross_tenant_hits: first.cache_hits,
+        second_pass_hits: second.cache_hits - first.cache_hits,
+        cache_entries: server.cache_len(),
+    };
+    server.shutdown();
+    eprintln!(
+        "  first pass: {} misses, {} hits; second pass: {} hits over {} entries",
+        bleed.first_pass_misses,
+        bleed.cross_tenant_hits,
+        bleed.second_pass_hits,
+        bleed.cache_entries
+    );
+
+    // -- Noisy tenant: 10× quota flood vs steady well-behaved loops. -----
+    let noisy_rps = 200u32;
+    let wb_count = 4usize;
+    let storm_secs = if smoke { 0.6 } else { 1.5 };
+    eprintln!(
+        "tenants: noisy storm — 1 tenant at 10× its {noisy_rps} rps quota vs {wb_count} \
+         well-behaved, {storm_secs:.1}s…"
+    );
+    let server = DaceServer::new(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: 2,
+            workers: 2,
+            queue_depth: 64,
+            max_batch: 8,
+            min_fill: 1,
+            max_wait: Duration::from_micros(100),
+            faults: FaultConfig {
+                seed,
+                stage_delay_ppm: 1_000_000,
+                stage_delay: Duration::from_micros(200),
+                ..FaultConfig::disabled()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    server
+        .set_tenant_quota("storm", noisy_rps, noisy_rps / 10)
+        .expect("quota set");
+    let storm_injector = FaultInjector::new(FaultConfig {
+        seed,
+        tenant_storm_ppm: 250_000,
+        ..FaultConfig::disabled()
+    });
+    let deadline = Instant::now() + Duration::from_secs_f64(storm_secs);
+    let mut noisy_attempted = 0u64;
+    let mut noisy_admitted = 0u64;
+    let mut quota_rejected = 0u64;
+    let mut noisy_shed = 0u64;
+    let mut storm_bursts = 0u64;
+    let mut wb_attempted = 0u64;
+    let mut wb_ok = 0u64;
+    std::thread::scope(|s| {
+        let wb_handles: Vec<_> = (0..wb_count)
+            .map(|w| {
+                let server = &server;
+                s.spawn(move || {
+                    let name = format!("wb{w}");
+                    let (mut attempted, mut ok) = (0u64, 0u64);
+                    let mut i = 0usize;
+                    while Instant::now() < deadline {
+                        attempted += 1;
+                        if server
+                            .predict_for(&name, &pool[(w * 11 + i) % pool.len()])
+                            .is_ok()
+                        {
+                            ok += 1;
+                        }
+                        i += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    (attempted, ok)
+                })
+            })
+            .collect();
+        // The storm: paced at 10× the quota, with extra bursts rolled on
+        // the seeded TenantStorm fault site.
+        let storm = s.spawn(|| {
+            let interval = Duration::from_secs_f64(1.0 / (10.0 * f64::from(noisy_rps)));
+            let (mut attempted, mut admitted, mut rejected, mut shed, mut bursts) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            let mut handles = Vec::new();
+            while Instant::now() < deadline {
+                let wave = if storm_injector.should_fire(FaultSite::TenantStorm) {
+                    bursts += 1;
+                    10
+                } else {
+                    1
+                };
+                for _ in 0..wave {
+                    attempted += 1;
+                    match server.submit_for(Some("storm"), &pool[0], None, None) {
+                        Ok(h) => {
+                            admitted += 1;
+                            handles.push(h);
+                        }
+                        Err(ServeError::QuotaExceeded) => rejected += 1,
+                        Err(ServeError::Overloaded) => shed += 1,
+                        Err(_) => {}
+                    }
+                }
+                std::thread::sleep(interval);
+            }
+            for h in handles {
+                let _ = h.wait();
+            }
+            (attempted, admitted, rejected, shed, bursts)
+        });
+        for h in wb_handles {
+            let (a, o) = h.join().expect("well-behaved client");
+            wb_attempted += a;
+            wb_ok += o;
+        }
+        let (a, ad, r, sh, b) = storm.join().expect("storm client");
+        (
+            noisy_attempted,
+            noisy_admitted,
+            quota_rejected,
+            noisy_shed,
+            storm_bursts,
+        ) = (a, ad, r, sh, b);
+    });
+    let wb_shed: u64 = server
+        .tenant_snapshot()
+        .iter()
+        .filter(|t| t.tenant.starts_with("wb"))
+        .map(|t| t.shed)
+        .sum();
+    server.shutdown();
+    let noisy = TenantNoisyReport {
+        noisy_quota_rps: noisy_rps,
+        noisy_attempted,
+        noisy_admitted,
+        quota_rejected,
+        noisy_shed,
+        storm_bursts,
+        well_behaved_tenants: wb_count,
+        well_behaved_attempted: wb_attempted,
+        well_behaved_ok: wb_ok,
+        well_behaved_shed: wb_shed,
+        well_behaved_availability: if wb_attempted == 0 {
+            0.0
+        } else {
+            wb_ok as f64 / wb_attempted as f64
+        },
+    };
+    eprintln!(
+        "  storm: {}/{} admitted, {} quota-rejected, {} shed, {} bursts; \
+         well-behaved: {}/{} ok ({:.2}% available, {} shed)",
+        noisy.noisy_admitted,
+        noisy.noisy_attempted,
+        noisy.quota_rejected,
+        noisy.noisy_shed,
+        noisy.storm_bursts,
+        noisy.well_behaved_ok,
+        noisy.well_behaved_attempted,
+        100.0 * noisy.well_behaved_availability,
+        noisy.well_behaved_shed
+    );
+
+    // -- Adapter paging: cold starts answered, never shed. ---------------
+    let valid = if smoke { 3 } else { 6 };
+    let hot_set = if smoke { 2 } else { 3 };
+    eprintln!(
+        "tenants: adapter paging — {valid} valid checkpoints (hot set {hot_set}), \
+         1 missing, 1 torn, 1 injected-corrupt…"
+    );
+    let dir = std::env::temp_dir().join(format!("dace-bench-paging-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| die(&format!("mkdir {dir:?}: {e}")));
+    let base_est = registry.base().estimator.clone();
+    for t in 0..valid {
+        dace_core::save_checkpoint(&dir.join(format!("p{t}.ckpt")), &base_est)
+            .unwrap_or_else(|e| die(&format!("checkpoint write: {e}")));
+    }
+    std::fs::write(dir.join("torn.ckpt"), b"definitely not a checkpoint")
+        .unwrap_or_else(|e| die(&format!("torn write: {e}")));
+    let server = DaceServer::with_tenancy(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: 1,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        None,
+        HealthConfig::default(),
+        Some(PagerConfig {
+            hot_set,
+            retry_cooldown: Duration::from_millis(50),
+            ..PagerConfig::new(&dir)
+        }),
+    );
+    let pager = Arc::clone(server.pager().expect("pager configured"));
+    let mut requests = 0u64;
+    let mut unanswered = 0u64;
+    let mut cold_answers = 0u64;
+    let mut cold_all_degraded = true;
+    let mut warm_full_fidelity = true;
+    let cold_names: Vec<String> = (0..valid)
+        .map(|t| format!("p{t}"))
+        .chain(["ghost".to_string(), "torn".to_string()])
+        .collect();
+    for name in &cold_names {
+        requests += 1;
+        match server.predict_for(name, &pool[0]) {
+            Ok(pred) => {
+                cold_answers += 1;
+                cold_all_degraded &= pred.degraded;
+            }
+            Err(_) => unanswered += 1,
+        }
+    }
+    for t in 0..valid {
+        let name = format!("p{t}");
+        let wait = Instant::now() + Duration::from_secs(10);
+        while !pager.is_resident(&name) && Instant::now() < wait {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        requests += 1;
+        match server.predict_for(&name, &pool[1 % pool.len()]) {
+            Ok(pred) => warm_full_fidelity &= !pred.degraded,
+            Err(_) => unanswered += 1,
+        }
+    }
+    for name in ["ghost", "torn"] {
+        for k in 0..3usize {
+            requests += 1;
+            match server.predict_for(name, &pool[k % pool.len()]) {
+                Ok(pred) => {
+                    cold_answers += 1;
+                    cold_all_degraded &= pred.degraded;
+                }
+                Err(_) => unanswered += 1,
+            }
+        }
+    }
+    let snap = server.metrics_snapshot();
+    let resident_len = pager.resident_len();
+    server.shutdown();
+
+    // Injected corruption: the AdapterLoadCorrupt site at 100% — every
+    // load fails, the tenant quarantines, and traffic keeps flowing
+    // zero-shot.
+    let corrupt_server = DaceServer::with_tenancy(
+        Arc::clone(&registry),
+        ServeConfig {
+            shards: 1,
+            workers: 1,
+            faults: FaultConfig {
+                seed,
+                adapter_load_corrupt_ppm: 1_000_000,
+                ..FaultConfig::disabled()
+            },
+            ..ServeConfig::default()
+        },
+        None,
+        HealthConfig::default(),
+        Some(PagerConfig {
+            hot_set,
+            retry_cooldown: Duration::from_millis(50),
+            ..PagerConfig::new(&dir)
+        }),
+    );
+    let corrupt_pager = Arc::clone(corrupt_server.pager().expect("pager configured"));
+    requests += 1;
+    match corrupt_server.predict_for("p0", &pool[0]) {
+        Ok(pred) => {
+            cold_answers += 1;
+            cold_all_degraded &= pred.degraded;
+        }
+        Err(_) => unanswered += 1,
+    }
+    let wait = Instant::now() + Duration::from_secs(10);
+    while !corrupt_pager.is_failed("p0") && Instant::now() < wait {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let injected_corrupt_failures = corrupt_server.metrics_snapshot().adapter_load_failures;
+    corrupt_server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    let paging = TenantPagingReport {
+        valid_tenants: valid,
+        hot_set,
+        requests,
+        unanswered,
+        cold_answers,
+        cold_all_degraded,
+        warm_full_fidelity,
+        adapter_loads: snap.adapter_loads,
+        adapter_load_failures: snap.adapter_load_failures,
+        adapter_evictions: snap.adapter_evictions,
+        resident_len,
+        injected_corrupt_failures,
+    };
+    eprintln!(
+        "  {} requests, {} unanswered, {} cold answers (all degraded: {}), \
+         {} loads / {} failures / {} evictions, {} resident, {} injected-corrupt failures",
+        paging.requests,
+        paging.unanswered,
+        paging.cold_answers,
+        paging.cold_all_degraded,
+        paging.adapter_loads,
+        paging.adapter_load_failures,
+        paging.adapter_evictions,
+        paging.resident_len,
+        paging.injected_corrupt_failures
+    );
+
+    let report = TenantsReport {
+        smoke,
+        fairness,
+        bleed,
+        noisy,
+        paging,
+    };
+    if let Some(path) = md {
+        write_tenants_md(path, &report);
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("tenants report serializes")
+        );
+    } else {
+        println!(
+            "== fairness: {} tenants, p99 spread {:.2}× over {} gated ==",
+            report.fairness.tenants, report.fairness.p99_spread, report.fairness.gated_tenants
+        );
+        println!(
+            "== bleed: {} first-pass hits (must be 0), {} entries ==",
+            report.bleed.cross_tenant_hits, report.bleed.cache_entries
+        );
+        println!(
+            "== noisy: {:.2}% well-behaved availability, {} quota rejections ==",
+            100.0 * report.noisy.well_behaved_availability,
+            report.noisy.quota_rejected
+        );
+        println!(
+            "== paging: {}/{} answered, {} cold (degraded: {}) ==",
+            report.paging.requests - report.paging.unanswered,
+            report.paging.requests,
+            report.paging.cold_answers,
+            report.paging.cold_all_degraded
+        );
+    }
+
+    let mut failed = false;
+    if report.fairness.gated_tenants < 2 {
+        eprintln!(
+            "FAIL: only {} tenants crossed the {sample_floor}-sample floor",
+            report.fairness.gated_tenants
+        );
+        failed = true;
+    }
+    if !report.fairness.p99_spread.is_finite() || report.fairness.p99_spread > 3.0 {
+        eprintln!(
+            "FAIL: per-tenant p99 spread {:.2}× over the 3× fairness gate",
+            report.fairness.p99_spread
+        );
+        failed = true;
+    }
+    if report.bleed.cross_tenant_hits != 0 {
+        eprintln!(
+            "FAIL: {} cross-tenant cache hits (tenant partitioning leaked)",
+            report.bleed.cross_tenant_hits
+        );
+        failed = true;
+    }
+    let pairs = (report.bleed.tenants * report.bleed.plans_per_tenant) as u64;
+    if report.bleed.first_pass_misses != pairs || report.bleed.second_pass_hits != pairs {
+        eprintln!(
+            "FAIL: bleed accounting off ({} misses / {} second-pass hits, expected {pairs})",
+            report.bleed.first_pass_misses, report.bleed.second_pass_hits
+        );
+        failed = true;
+    }
+    if report.noisy.well_behaved_availability < 0.99 {
+        eprintln!(
+            "FAIL: well-behaved availability {:.4} under the noisy tenant (gate ≥ 0.99)",
+            report.noisy.well_behaved_availability
+        );
+        failed = true;
+    }
+    if report.noisy.quota_rejected == 0 {
+        eprintln!("FAIL: a 10× flood never tripped the quota");
+        failed = true;
+    }
+    if report.noisy.well_behaved_shed != 0 {
+        eprintln!(
+            "FAIL: {} well-behaved requests shed by someone else's flood",
+            report.noisy.well_behaved_shed
+        );
+        failed = true;
+    }
+    if report.noisy.storm_bursts == 0 {
+        eprintln!("FAIL: the TenantStorm fault site never fired");
+        failed = true;
+    }
+    if report.paging.unanswered != 0 {
+        eprintln!(
+            "FAIL: {} cold-tenant requests went unanswered (the contract is degraded, never shed)",
+            report.paging.unanswered
+        );
+        failed = true;
+    }
+    if !report.paging.cold_all_degraded {
+        eprintln!("FAIL: a cold answer was not degraded-flagged");
+        failed = true;
+    }
+    if !report.paging.warm_full_fidelity {
+        eprintln!("FAIL: a resident adapter still answered degraded");
+        failed = true;
+    }
+    if report.paging.adapter_loads < valid as u64 {
+        eprintln!(
+            "FAIL: only {} adapter loads for {valid} valid checkpoints",
+            report.paging.adapter_loads
+        );
+        failed = true;
+    }
+    if report.paging.adapter_load_failures < 2 {
+        eprintln!(
+            "FAIL: missing/torn checkpoints produced {} load failures (expected ≥ 2)",
+            report.paging.adapter_load_failures
+        );
+        failed = true;
+    }
+    if report.paging.adapter_evictions == 0 || report.paging.resident_len > hot_set {
+        eprintln!(
+            "FAIL: hot set unbounded ({} resident over {hot_set}, {} evictions)",
+            report.paging.resident_len, report.paging.adapter_evictions
+        );
+        failed = true;
+    }
+    if report.paging.injected_corrupt_failures == 0 {
+        eprintln!("FAIL: the AdapterLoadCorrupt fault site never failed a load");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if !json {
+        println!("tenants OK");
+    }
+}
+
+/// Render the `--tenants` report as the markdown isolation record.
+fn write_tenants_md(path: &str, r: &TenantsReport) {
+    let mut out = String::new();
+    out.push_str("# Multi-tenant isolation: fairness, quotas, breakers, and adapter paging\n\n");
+    out.push_str(&format!(
+        "Measured by `serve_bench --tenants{}`.\n\n",
+        if r.smoke { " --smoke" } else { "" }
+    ));
+    out.push_str("## Weighted-fair queueing (Zipf closed loop)\n\n");
+    out.push_str(&format!(
+        "{} clients over **{} equal-weight tenants** with Zipf-skewed popularity: \
+         {}/{} answered; among the {} tenants with ≥ {} samples, per-tenant p99 spans \
+         {:.0}–{:.0} µs — spread **{:.2}×** (gate ≤ 3×).\n\n",
+        r.fairness.clients,
+        r.fairness.tenants,
+        r.fairness.answered,
+        r.fairness.total_requests,
+        r.fairness.gated_tenants,
+        r.fairness.sample_floor,
+        r.fairness.min_p99_us,
+        r.fairness.max_p99_us,
+        r.fairness.p99_spread
+    ));
+    out.push_str("## Featurization-cache partitioning\n\n");
+    out.push_str(&format!(
+        "{} tenants × {} plans, every (tenant, plan) pair submitted twice: first pass \
+         {} misses and **{} cross-tenant hits** (gate: exactly 0 — fingerprints are salted \
+         per tenant), second pass {} hits over {} distinct entries.\n\n",
+        r.bleed.tenants,
+        r.bleed.plans_per_tenant,
+        r.bleed.first_pass_misses,
+        r.bleed.cross_tenant_hits,
+        r.bleed.second_pass_hits,
+        r.bleed.cache_entries
+    ));
+    out.push_str("## Noisy-tenant storm\n\n");
+    out.push_str(&format!(
+        "One tenant flooding at 10× its {} rps quota ({} attempts, {} admitted, \
+         **{} quota-rejected**, {} shed at its own lane, {} `TenantStorm` bursts) while {} \
+         well-behaved tenants kept a steady loop: **{:.2}% availability** (gate ≥ 99%), \
+         {} of their requests shed (gate: 0).\n\n",
+        r.noisy.noisy_quota_rps,
+        r.noisy.noisy_attempted,
+        r.noisy.noisy_admitted,
+        r.noisy.quota_rejected,
+        r.noisy.noisy_shed,
+        r.noisy.storm_bursts,
+        r.noisy.well_behaved_tenants,
+        100.0 * r.noisy.well_behaved_availability,
+        r.noisy.well_behaved_shed
+    ));
+    out.push_str("## Adapter paging\n\n");
+    out.push_str(&format!(
+        "{} valid checkpoints behind a hot set of {}, plus one missing, one torn and one \
+         injected-corrupt: {}/{} answered ({} cold-start answers, all degraded-flagged: {}), \
+         warm requests at full fidelity: {}. Pager: {} loads, {} failures, {} evictions, \
+         {} resident at exit, {} injected-corrupt failures.\n",
+        r.paging.valid_tenants,
+        r.paging.hot_set,
+        r.paging.requests - r.paging.unanswered,
+        r.paging.requests,
+        r.paging.cold_answers,
+        r.paging.cold_all_degraded,
+        r.paging.warm_full_fidelity,
+        r.paging.adapter_loads,
+        r.paging.adapter_load_failures,
+        r.paging.adapter_evictions,
+        r.paging.resident_len,
+        r.paging.injected_corrupt_failures
+    ));
+    std::fs::write(path, out).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote tenants report to {path}");
 }
 
 /// The `--chaos` phase: closed-loop clients (no deadlines) against a

@@ -154,6 +154,43 @@ pub enum LifecycleEvent {
         /// What triggered the dump ("breaker_open", "rollback", …).
         cause: String,
     },
+    /// A tenant's adapter was paged in from its checkpoint and is now
+    /// resident.
+    AdapterLoaded {
+        /// Tenant whose adapter loaded.
+        tenant: String,
+        /// Registry version id published for the paged-in snapshot.
+        version: u64,
+    },
+    /// A resident tenant adapter was evicted by the hot-set LRU.
+    AdapterEvicted {
+        /// Tenant whose adapter was evicted.
+        tenant: String,
+        /// Adapters still resident after the eviction.
+        resident: u64,
+    },
+    /// A tenant adapter checkpoint failed to load (missing, corrupt, or
+    /// rejected by validation); the tenant keeps serving zero-shot from the
+    /// base model.
+    AdapterLoadFailed {
+        /// Tenant whose load failed.
+        tenant: String,
+        /// The typed load error, stringified.
+        reason: String,
+    },
+    /// A tenant's private circuit breaker opened: that tenant degrades to
+    /// the fallback path while every other tenant keeps the model path.
+    TenantBreakerOpened {
+        /// The isolated tenant.
+        tenant: String,
+        /// Configured failure percentage the tenant's window crossed.
+        error_percent: f64,
+    },
+    /// A tenant's private circuit breaker closed again.
+    TenantBreakerClosed {
+        /// The recovered tenant.
+        tenant: String,
+    },
 }
 
 impl LifecycleEvent {
@@ -175,6 +212,11 @@ impl LifecycleEvent {
             LifecycleEvent::CheckpointRejected { .. } => "CheckpointRejected",
             LifecycleEvent::Alert { .. } => "Alert",
             LifecycleEvent::BundleDumped { .. } => "BundleDumped",
+            LifecycleEvent::AdapterLoaded { .. } => "AdapterLoaded",
+            LifecycleEvent::AdapterEvicted { .. } => "AdapterEvicted",
+            LifecycleEvent::AdapterLoadFailed { .. } => "AdapterLoadFailed",
+            LifecycleEvent::TenantBreakerOpened { .. } => "TenantBreakerOpened",
+            LifecycleEvent::TenantBreakerClosed { .. } => "TenantBreakerClosed",
         }
     }
 }

@@ -53,9 +53,19 @@ pub enum FaultSite {
     /// Corrupt a retrained candidate's weights before shadow evaluation —
     /// shadow eval must catch the regression and roll back to last-good.
     CandidateSabotage = 6,
+    /// Corrupt a tenant adapter checkpoint as the background pager loads it
+    /// — the load must fail typed, the tenant must keep serving zero-shot
+    /// from the base model, and a later retry must succeed once the fault
+    /// plan quiets. Rolled once per background load by the adapter pager.
+    AdapterLoadCorrupt = 7,
+    /// A noisy-tenant traffic storm: a burst of submissions from one tenant
+    /// far over its quota. Driven by the bench/test traffic generator (like
+    /// [`FaultSite::CheckpointCorrupt`]), not the scheduler — the serve
+    /// layer's quota and WFQ planes are what absorb it.
+    TenantStorm = 8,
 }
 
-const SITE_COUNT: usize = 7;
+const SITE_COUNT: usize = 9;
 
 /// Per-site salts so the same seed yields independent decision streams.
 const SITE_SALT: [u64; SITE_COUNT] = [
@@ -66,6 +76,8 @@ const SITE_SALT: [u64; SITE_COUNT] = [
     0x8163_52a1_88cf_9b61,
     0x6c62_272e_07bb_0142,
     0x3c79_ac49_2ba7_b653,
+    0x46d8_35a1_97b0_c2f9,
+    0x1f8e_6b54_d3a9_07ce,
 ];
 
 /// Fault plan: probabilities in parts-per-million per roll, plus the
@@ -97,6 +109,13 @@ pub struct FaultConfig {
     /// Candidate-sabotage probability per retrained candidate (ppm);
     /// corrupts the candidate before shadow eval so rollback must fire.
     pub sabotage_ppm: u32,
+    /// Adapter-load corruption probability per background page-in (ppm);
+    /// consumed by the adapter pager's loader thread.
+    pub adapter_load_corrupt_ppm: u32,
+    /// Noisy-tenant storm-burst probability per submission tick (ppm);
+    /// consumed by the bench/test traffic generator via
+    /// [`FaultInjector::should_fire`].
+    pub tenant_storm_ppm: u32,
 }
 
 impl FaultConfig {
@@ -113,6 +132,8 @@ impl FaultConfig {
             checkpoint_corrupt_ppm: 0,
             retrain_crash_ppm: 0,
             sabotage_ppm: 0,
+            adapter_load_corrupt_ppm: 0,
+            tenant_storm_ppm: 0,
         }
     }
 
@@ -125,6 +146,8 @@ impl FaultConfig {
             && self.checkpoint_corrupt_ppm == 0
             && self.retrain_crash_ppm == 0
             && self.sabotage_ppm == 0
+            && self.adapter_load_corrupt_ppm == 0
+            && self.tenant_storm_ppm == 0
     }
 
     fn ppm(&self, site: FaultSite) -> u32 {
@@ -136,6 +159,8 @@ impl FaultConfig {
             FaultSite::CheckpointCorrupt => self.checkpoint_corrupt_ppm,
             FaultSite::RetrainCrash => self.retrain_crash_ppm,
             FaultSite::CandidateSabotage => self.sabotage_ppm,
+            FaultSite::AdapterLoadCorrupt => self.adapter_load_corrupt_ppm,
+            FaultSite::TenantStorm => self.tenant_storm_ppm,
         }
     }
 }

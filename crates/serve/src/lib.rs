@@ -37,6 +37,14 @@
 //!   checkpoint path), and a probation window rolls back to last-good if
 //!   live traffic disagrees — all without touching the serve hot path
 //!   (`serve_bench --adaptive` proves the loop end to end).
+//! * **Multi-tenant isolation** — requests carry a tenant id
+//!   ([`DaceServer::submit_for`]): each shard drains per-tenant sub-queues
+//!   by deficit-round-robin weighted-fair queueing so a flooding tenant
+//!   sheds only its own traffic; admission enforces per-tenant token-bucket
+//!   quotas and in-flight caps ([`ServeError::QuotaExceeded`]); every
+//!   tenant has its own [`CircuitBreaker`]; and the [`AdapterPager`] keeps
+//!   a bounded hot set of per-tenant adapters, answering cold tenants
+//!   zero-shot from the base model (`degraded: true`, never blocked).
 //!
 //! ```no_run
 //! use dace_serve::{DaceServer, ModelRegistry, ServeConfig};
@@ -57,9 +65,11 @@ mod fault;
 mod health;
 mod introspect;
 mod metrics;
+mod paging;
 mod registry;
 mod scheduler;
 mod supervisor;
+mod tenant;
 
 pub use adaptive::{
     q_error, AdaptiveConfig, AdaptiveController, AdaptiveMetrics, DriftConfig, DriftDetector,
@@ -77,8 +87,10 @@ pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, FaultSite, 
 pub use health::{HealthConfig, HealthPlane, HealthReport};
 pub use introspect::{http_get, IntrospectServer};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, ServeMetrics};
+pub use paging::{AdapterPager, PagerConfig};
 pub use registry::{ModelRegistry, ModelVersion, RegistryConfig, RegistryError, ReloadError};
 pub use scheduler::{
     DaceServer, Prediction, PredictionHandle, ServeConfig, ServeError, ShardSnapshot,
     StageBreakdown, Tier, FALLBACK_VERSION,
 };
+pub use tenant::{validate_tenant_id, TenantConfig, TenantSnapshot, MAX_TENANT_ID_BYTES};

@@ -58,6 +58,20 @@ pub struct ServeMetrics {
     pub breaker_closed: Arc<Counter>,
     /// Batches drained by workers.
     pub batches: Arc<Counter>,
+    /// Requests rejected at admission by a tenant's rate quota or
+    /// in-flight cap.
+    pub quota_rejected: Arc<Counter>,
+    /// Requests rejected at admission for a malformed tenant id.
+    pub invalid_tenant: Arc<Counter>,
+    /// Requests answered zero-shot by the base model while the tenant's
+    /// adapter was cold (loading, quarantined, or just kicked).
+    pub cold_start: Arc<Counter>,
+    /// Adapters paged in from checkpoints by the background loader.
+    pub adapter_loads: Arc<Counter>,
+    /// Adapter checkpoint loads that failed (missing, torn, injected).
+    pub adapter_load_failures: Arc<Counter>,
+    /// Resident adapters evicted to keep the hot set bounded.
+    pub adapter_evictions: Arc<Counter>,
     /// Featurization-cache hits (shared with the cache itself).
     pub cache_hits: Arc<Counter>,
     /// Featurization-cache misses (shared with the cache itself).
@@ -120,6 +134,12 @@ impl ServeMetrics {
             breaker_opened: registry.counter("serve_breaker_opened_total"),
             breaker_closed: registry.counter("serve_breaker_closed_total"),
             batches: registry.counter("serve_batches_total"),
+            quota_rejected: registry.counter("serve_quota_rejected_total"),
+            invalid_tenant: registry.counter("serve_invalid_tenant_total"),
+            cold_start: registry.counter("serve_cold_start_total"),
+            adapter_loads: registry.counter("serve_adapter_loads_total"),
+            adapter_load_failures: registry.counter("serve_adapter_load_failures_total"),
+            adapter_evictions: registry.counter("serve_adapter_evictions_total"),
             cache_hits: registry.counter("serve_cache_hits_total"),
             cache_misses: registry.counter("serve_cache_misses_total"),
             queue_wait_us: registry.histogram("serve_queue_wait_us"),
@@ -154,6 +174,12 @@ impl ServeMetrics {
             breaker_opened: self.breaker_opened.get(),
             breaker_closed: self.breaker_closed.get(),
             batches: self.batches.get(),
+            quota_rejected: self.quota_rejected.get(),
+            invalid_tenant: self.invalid_tenant.get(),
+            cold_start: self.cold_start.get(),
+            adapter_loads: self.adapter_loads.get(),
+            adapter_load_failures: self.adapter_load_failures.get(),
+            adapter_evictions: self.adapter_evictions.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             queue_wait_us: self.queue_wait_us.snapshot(),
@@ -233,6 +259,30 @@ const SERVE_METRIC_HELP: &[(&str, &str)] = &[
         "Circuit-breaker recoveries (half-open to closed).",
     ),
     ("serve_batches_total", "Batches drained by workers."),
+    (
+        "serve_quota_rejected_total",
+        "Requests rejected by a tenant's rate quota or in-flight cap.",
+    ),
+    (
+        "serve_invalid_tenant_total",
+        "Requests rejected at admission for a malformed tenant id.",
+    ),
+    (
+        "serve_cold_start_total",
+        "Zero-shot base-model answers while the tenant adapter was cold.",
+    ),
+    (
+        "serve_adapter_loads_total",
+        "Adapters paged in from checkpoints by the background loader.",
+    ),
+    (
+        "serve_adapter_load_failures_total",
+        "Adapter checkpoint loads that failed (missing, torn, injected).",
+    ),
+    (
+        "serve_adapter_evictions_total",
+        "Resident adapters evicted to keep the hot set bounded.",
+    ),
     ("serve_cache_hits_total", "Featurization-cache hits."),
     ("serve_cache_misses_total", "Featurization-cache misses."),
     (
@@ -309,6 +359,18 @@ pub struct MetricsSnapshot {
     pub breaker_closed: u64,
     /// Batches drained.
     pub batches: u64,
+    /// Requests rejected by a tenant quota or in-flight cap.
+    pub quota_rejected: u64,
+    /// Requests rejected for a malformed tenant id.
+    pub invalid_tenant: u64,
+    /// Zero-shot answers served while the tenant adapter was cold.
+    pub cold_start: u64,
+    /// Adapters paged in by the background loader.
+    pub adapter_loads: u64,
+    /// Adapter checkpoint loads that failed.
+    pub adapter_load_failures: u64,
+    /// Resident adapters evicted over the hot-set bound.
+    pub adapter_evictions: u64,
     /// Featurization-cache hits.
     pub cache_hits: u64,
     /// Featurization-cache misses.
@@ -403,6 +465,16 @@ impl std::fmt::Display for MetricsSnapshot {
             self.pool_exhausted,
             self.breaker_opened,
             self.breaker_closed
+        )?;
+        writeln!(
+            f,
+            "tenancy:  {} quota-rejected, {} invalid-tenant, {} cold-start, adapters {} loaded / {} failed / {} evicted",
+            self.quota_rejected,
+            self.invalid_tenant,
+            self.cold_start,
+            self.adapter_loads,
+            self.adapter_load_failures,
+            self.adapter_evictions
         )?;
         writeln!(
             f,

@@ -1,0 +1,281 @@
+//! Adapter paging: a bounded hot set of resident per-tenant adapters,
+//! LRU eviction, and a background loader that pulls cold adapters from
+//! validated `persist` checkpoints.
+//!
+//! The paper's transfer claim, taken to production, means one server
+//! fronting thousands of per-(database, machine) LoRA adapters — far
+//! more than fit in memory at once. The pager keeps a small resident set
+//! and treats everything else as *cold*: the first request for a cold
+//! tenant kicks an asynchronous checkpoint load and is answered
+//! immediately, zero-shot, by the shared base model with
+//! `degraded: true`. Cold tenants are **never blocked and never shed** —
+//! degraded-but-answered is the contract (Hilprecht et al.'s zero-shot
+//! setting is exactly this cold-start path).
+//!
+//! Load failures (missing file, torn checkpoint, injected
+//! [`FaultSite::AdapterLoadCorrupt`]) quarantine the tenant for a retry
+//! cooldown instead of hot-looping the loader; the tenant keeps being
+//! served zero-shot throughout. Every transition — load, eviction,
+//! failure — lands in the lifecycle journal and the serve metrics.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultInjector, FaultSite};
+use crate::health::HealthPlane;
+use crate::metrics::ServeMetrics;
+use crate::registry::{ModelRegistry, ModelVersion};
+use dace_obs::LifecycleEvent;
+
+/// Paging policy: where checkpoints live and how many adapters stay hot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagerConfig {
+    /// Directory holding one `<tenant>.ckpt` checkpoint per tenant
+    /// (written by `dace_core::save_checkpoint`).
+    pub dir: PathBuf,
+    /// Most adapters resident at once; the least-recently-used is
+    /// evicted beyond this. Minimum 1.
+    pub hot_set: usize,
+    /// How long a failed load quarantines the tenant before the next
+    /// request retries it.
+    pub retry_cooldown: Duration,
+}
+
+impl PagerConfig {
+    /// Defaults: 8 resident adapters, 200 ms retry cooldown.
+    pub fn new(dir: impl Into<PathBuf>) -> PagerConfig {
+        PagerConfig {
+            dir: dir.into(),
+            hot_set: 8,
+            retry_cooldown: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Outcome of a page lookup on the request path.
+#[derive(Debug, Clone)]
+pub(crate) enum PagedResolve {
+    /// The tenant's adapter is resident — serve with it.
+    Resident(Arc<ModelVersion>),
+    /// Not resident (loading, quarantined, or just kicked) — serve this
+    /// request zero-shot from the base model, flagged degraded.
+    Cold,
+}
+
+#[derive(Debug)]
+struct PagerState {
+    /// Resident adapters with their last-touch stamp (monotone `clock`).
+    resident: HashMap<Arc<str>, (Arc<ModelVersion>, u64)>,
+    /// Tenants with a load in flight on the loader thread.
+    loading: HashSet<Arc<str>>,
+    /// Tenants whose last load failed, and when — retried after the
+    /// cooldown.
+    failed: HashMap<Arc<str>, Instant>,
+    clock: u64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The paging engine: request-path `resolve` plus one background loader
+/// thread feeding the resident set.
+#[derive(Debug)]
+pub struct AdapterPager {
+    config: PagerConfig,
+    state: Mutex<PagerState>,
+    tx: Mutex<Option<mpsc::Sender<Arc<str>>>>,
+    loader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl AdapterPager {
+    /// Build the pager and start its loader thread.
+    pub(crate) fn start(
+        config: PagerConfig,
+        registry: Arc<ModelRegistry>,
+        injector: Arc<FaultInjector>,
+        health: Arc<HealthPlane>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Arc<AdapterPager> {
+        let (tx, rx) = mpsc::channel::<Arc<str>>();
+        let pager = Arc::new(AdapterPager {
+            config,
+            state: Mutex::new(PagerState {
+                resident: HashMap::new(),
+                loading: HashSet::new(),
+                failed: HashMap::new(),
+                clock: 0,
+            }),
+            tx: Mutex::new(Some(tx)),
+            loader: Mutex::new(None),
+        });
+        let worker = Arc::clone(&pager);
+        let handle = std::thread::Builder::new()
+            .name("dace-adapter-pager".to_string())
+            .spawn(move || {
+                while let Ok(name) = rx.recv() {
+                    worker.load_one(&name, &registry, &injector, &health, &metrics);
+                }
+            })
+            .expect("spawn adapter pager thread");
+        *lock(&pager.loader) = Some(handle);
+        pager
+    }
+
+    /// Request-path lookup. Resident hits refresh the LRU stamp; misses
+    /// kick (at most) one asynchronous load and report [`PagedResolve::Cold`]
+    /// so the caller answers zero-shot without ever blocking on I/O.
+    pub(crate) fn resolve(&self, tenant: &Arc<str>) -> PagedResolve {
+        let mut st = lock(&self.state);
+        st.clock += 1;
+        let stamp = st.clock;
+        if let Some((version, touched)) = st.resident.get_mut(tenant) {
+            *touched = stamp;
+            return PagedResolve::Resident(Arc::clone(version));
+        }
+        if st.loading.contains(tenant) {
+            return PagedResolve::Cold;
+        }
+        if let Some(&when) = st.failed.get(tenant) {
+            if when.elapsed() < self.config.retry_cooldown {
+                return PagedResolve::Cold;
+            }
+            st.failed.remove(tenant);
+        }
+        st.loading.insert(Arc::clone(tenant));
+        drop(st);
+        let send_failed = match lock(&self.tx).as_ref() {
+            Some(tx) => tx.send(Arc::clone(tenant)).is_err(),
+            None => true,
+        };
+        if send_failed {
+            // Loader is gone (shutdown): keep answering zero-shot.
+            lock(&self.state).loading.remove(tenant);
+        }
+        PagedResolve::Cold
+    }
+
+    /// Loader-thread body for one tenant: read and validate the
+    /// checkpoint, publish a fresh [`ModelVersion`], evict over-budget
+    /// residents oldest-first.
+    fn load_one(
+        &self,
+        name: &Arc<str>,
+        registry: &ModelRegistry,
+        injector: &FaultInjector,
+        health: &HealthPlane,
+        metrics: &ServeMetrics,
+    ) {
+        let path = self.config.dir.join(format!("{name}.ckpt"));
+        let loaded = if injector.should_fire(FaultSite::AdapterLoadCorrupt) {
+            Err("injected checkpoint corruption".to_string())
+        } else {
+            dace_core::load_checkpoint(&path).map_err(|e| e.to_string())
+        };
+        match loaded {
+            Ok(est) => {
+                let version = registry.allocate_version();
+                let model = Arc::new(ModelVersion::new(est, version, Some(name.to_string())));
+                let mut evicted = Vec::new();
+                {
+                    let mut st = lock(&self.state);
+                    st.loading.remove(name);
+                    st.clock += 1;
+                    let stamp = st.clock;
+                    st.resident
+                        .insert(Arc::clone(name), (Arc::clone(&model), stamp));
+                    while st.resident.len() > self.config.hot_set.max(1) {
+                        let Some(coldest) = st
+                            .resident
+                            .iter()
+                            .min_by_key(|(_, (_, touched))| *touched)
+                            .map(|(k, _)| Arc::clone(k))
+                        else {
+                            break;
+                        };
+                        st.resident.remove(&coldest);
+                        evicted.push((coldest, st.resident.len() as u64));
+                    }
+                }
+                metrics.adapter_loads.inc();
+                health.emit(
+                    0,
+                    LifecycleEvent::AdapterLoaded {
+                        tenant: name.to_string(),
+                        version,
+                    },
+                );
+                for (tenant, resident) in evicted {
+                    metrics.adapter_evictions.inc();
+                    health.emit(
+                        0,
+                        LifecycleEvent::AdapterEvicted {
+                            tenant: tenant.to_string(),
+                            resident,
+                        },
+                    );
+                }
+            }
+            Err(reason) => {
+                {
+                    let mut st = lock(&self.state);
+                    st.loading.remove(name);
+                    st.failed.insert(Arc::clone(name), Instant::now());
+                }
+                metrics.adapter_load_failures.inc();
+                health.emit(
+                    0,
+                    LifecycleEvent::AdapterLoadFailed {
+                        tenant: name.to_string(),
+                        reason,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Paging policy in effect.
+    pub fn config(&self) -> &PagerConfig {
+        &self.config
+    }
+
+    /// Whether `tenant`'s adapter is currently resident.
+    pub fn is_resident(&self, tenant: &str) -> bool {
+        lock(&self.state).resident.contains_key(tenant)
+    }
+
+    /// Number of resident adapters.
+    pub fn resident_len(&self) -> usize {
+        lock(&self.state).resident.len()
+    }
+
+    /// Whether `tenant` is quarantined after a failed load.
+    pub fn is_failed(&self, tenant: &str) -> bool {
+        lock(&self.state).failed.contains_key(tenant)
+    }
+
+    /// Stop the loader: close the channel and join the thread. Idempotent.
+    pub(crate) fn stop(&self) {
+        drop(lock(&self.tx).take());
+        if let Some(h) = lock(&self.loader).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AdapterPager {
+    fn drop(&mut self) {
+        // Best-effort: the server calls `stop()` on shutdown; this covers
+        // pagers dropped without one (tests, build failures).
+        drop(lock(&self.tx).take());
+        if let Some(h) = lock(&self.loader).take() {
+            if std::thread::current().id() != h.thread().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -231,6 +231,14 @@ impl ModelRegistry {
         self.version_counter.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Reserve a version number for a snapshot published outside the
+    /// registry's own install paths (the adapter pager builds
+    /// `ModelVersion`s from paged-in checkpoints but shares this counter
+    /// so version numbers stay globally unique and monotone).
+    pub(crate) fn allocate_version(&self) -> u64 {
+        self.next_version()
+    }
+
     /// Lock-free lookup of an adapter's cell.
     fn find(&self, name: &str) -> Option<&VersionCell> {
         let len = self.adapter_len.load(Ordering::Acquire);

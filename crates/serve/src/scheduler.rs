@@ -1,16 +1,32 @@
 //! The sharded micro-batching scheduler and the [`DaceServer`] facade.
 //!
 //! The server runs `ServeConfig::shards` **core-affine worker shards**.
-//! Each shard owns a bounded MPSC queue (`std::sync::mpsc::sync_channel`),
-//! a private featurization cache, and at least one dedicated worker;
-//! requests are routed to a shard at admission by a structural FNV-1a
-//! fingerprint of the plan ([`route_shard`]), so repeated plans always land
+//! Each shard owns a bounded multi-lane queue
+//! ([`ShardQueue`](crate::tenant)) with one lane per tenant drained by
+//! deficit-round-robin weighted-fair queueing, a private featurization
+//! cache, and at least one dedicated worker; requests are routed to a
+//! shard at admission by a structural FNV-1a fingerprint of the plan
+//! ([`route_shard`]), salted per tenant, so repeated plans always land
 //! where their features are already cached and shards share no lock or
 //! cache-line traffic on the hot path. An idle shard **steals bounded
 //! batches** from the deepest backlogged peer (`steal_threshold` /
 //! `steal_max`), so affinity skew cannot strand throughput; stolen jobs
-//! migrate whole — trace ids, deadlines, tiers and response channels
-//! intact.
+//! migrate whole — trace ids, deadlines, tiers, tenants and response
+//! channels intact.
+//!
+//! **Tenancy.** Requests may carry a tenant id
+//! ([`DaceServer::submit_for`]): admission validates the id
+//! ([`ServeError::InvalidTenant`]), charges the tenant's token-bucket
+//! quota and in-flight cap ([`ServeError::QuotaExceeded`]), and enqueues
+//! into the tenant's own lane — a flooding tenant fills and sheds only its
+//! own lane while the fair drain keeps serving everyone else. Each tenant
+//! has its own [`CircuitBreaker`], so one tenant's panics and deadline
+//! misses degrade only that tenant to the fallback, never the global
+//! breaker; and with an [`AdapterPager`](crate::AdapterPager) configured
+//! ([`DaceServer::with_tenancy`]), tenants whose adapter is not resident
+//! are answered zero-shot by the base model (`degraded: true`) while the
+//! pager loads their checkpoint in the background — never blocked, never
+//! shed.
 //!
 //! Within a shard, workers drain the queue into [`PackedBatch`]es under a
 //! `max_batch` / `max_wait` / `min_fill` policy: a worker blocks for the
@@ -58,8 +74,8 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, TryLockError};
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dace_core::{featurize_trees_sharded, PlanFeatures, QuantWorkspace, Workspace};
@@ -75,8 +91,13 @@ use crate::fault::{FaultConfig, FaultInjector, INJECTED_PANIC};
 use crate::health::{HealthConfig, HealthPlane};
 use crate::introspect::IntrospectServer;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::paging::{AdapterPager, PagedResolve, PagerConfig};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::supervisor::{lock_recover, WorkerPool};
+use crate::tenant::{
+    validate_tenant_id, InFlightGuard, PopError, PushError, ShardQueue, TenantConfig,
+    TenantSnapshot, TenantState, TenantTable,
+};
 
 /// Scheduler policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +175,12 @@ pub struct ServeConfig {
     /// core count), best effort: pinning failures are silently ignored and
     /// non-Linux hosts never attempt it.
     pub pin_cores: bool,
+    /// Tenant-isolation policy: default fair-share weight, DRR quantum,
+    /// token-bucket quota, in-flight cap, tenant-table bound, and the
+    /// top-K metrics cardinality cut. Only consulted for requests that
+    /// carry a tenant id ([`DaceServer::submit_for`]); tenant-less traffic
+    /// is untouched.
+    pub tenants: TenantConfig,
 }
 
 impl Default for ServeConfig {
@@ -177,6 +204,7 @@ impl Default for ServeConfig {
             steal_max: 8,
             fast_tier_deadline: None,
             pin_cores: false,
+            tenants: TenantConfig::default(),
         }
     }
 }
@@ -219,6 +247,15 @@ pub enum ServeError {
     /// The model path panicked on this request's group and no fallback
     /// estimator was configured to absorb it.
     Internal,
+    /// The request's tenant is over its token-bucket rate quota or its
+    /// in-flight cap ([`TenantConfig`]). Per-tenant by construction: one
+    /// tenant exhausting its quota cannot surface this error to another.
+    QuotaExceeded,
+    /// The request carried a malformed tenant id (empty, over
+    /// [`MAX_TENANT_ID_BYTES`](crate::MAX_TENANT_ID_BYTES) bytes, or
+    /// outside the printable-ASCII charset). The payload says which check
+    /// failed.
+    InvalidTenant(String),
     /// The server is shutting down (or already shut down).
     ShuttingDown,
 }
@@ -231,6 +268,8 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownAdapter(n) => write!(f, "unknown adapter {n:?}"),
             ServeError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
             ServeError::Internal => write!(f, "model path failed and no fallback is configured"),
+            ServeError::QuotaExceeded => write!(f, "tenant over quota: request rejected"),
+            ServeError::InvalidTenant(reason) => write!(f, "invalid tenant id: {reason}"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
         }
     }
@@ -305,6 +344,13 @@ pub struct StageBreakdown {
 pub(crate) struct Job {
     tree: PlanTree,
     adapter: Option<String>,
+    /// The tenant this request belongs to (`None` = legacy tenant-less
+    /// traffic). Carries the cache salt, the per-tenant breaker and the
+    /// counters; stolen jobs keep it.
+    tenant: Option<Arc<TenantState>>,
+    /// RAII slot against the tenant's in-flight cap — released on *every*
+    /// exit path (answered, expired, dropped at shutdown) by Drop.
+    _in_flight: Option<InFlightGuard>,
     enqueued: Instant,
     deadline: Option<Instant>,
     trace: u64,
@@ -340,11 +386,17 @@ pub(crate) struct DegradeState {
 /// cross-shard lock traffic on the hot path), and the shard-local counters
 /// the scaling bench and the Prometheus export read.
 pub(crate) struct ShardState {
-    pub rx: Mutex<Receiver<Job>>,
-    /// Jobs currently queued on this shard (incremented at admission,
-    /// decremented as workers — or thieves — receive them). Exported as
+    /// The shard's multi-lane DRR queue: one bounded lane per tenant
+    /// (plus the `""` lane for tenant-less traffic), `queue_depth` slots
+    /// each. Its internal depth mirror is exported as
     /// `serve_shard_queue_depth{shard}` and consulted by thieves.
-    pub depth: AtomicU64,
+    pub queue: ShardQueue<Job>,
+    /// Collection mutex: exactly one worker of the shard collects a batch
+    /// at a time (the historical receiver-mutex semantics, kept as an
+    /// explicit lock now that the queue itself is shared). The WorkerKill
+    /// fault site panics while holding it, so peers still exercise poison
+    /// recovery.
+    pub drain_lock: Mutex<()>,
     /// Shard-private featurization cache. Affinity routing makes repeated
     /// plans land here warm; a stolen job simply featurizes into the
     /// thief's cache instead.
@@ -381,7 +433,13 @@ pub(crate) struct WorkerCtx {
     pub metrics: Arc<ServeMetrics>,
     pub config: ServeConfig,
     pub degrade: Option<DegradeState>,
-    pub injector: FaultInjector,
+    pub injector: Arc<FaultInjector>,
+    /// Live tenants: quotas, weights, breakers, counters. Always present;
+    /// empty (and free) when no request ever carried a tenant id.
+    pub tenants: TenantTable,
+    /// The adapter pager, when built [`DaceServer::with_tenancy`]. `None`
+    /// routes tenant requests through the registry like everyone else.
+    pub pager: Option<Arc<AdapterPager>>,
     /// The health plane every lifecycle event and SLO observation reports
     /// through. Always present (defaults to in-memory journaling).
     pub health: Arc<HealthPlane>,
@@ -404,7 +462,7 @@ impl WorkerCtx {
             let _ = writeln!(
                 out,
                 "serve_shard_queue_depth{{shard=\"{i}\"}} {}",
-                s.depth.load(Ordering::Relaxed)
+                s.queue.depth()
             );
         }
         out.push_str("# HELP serve_shard_completed_total Requests answered per shard.\n");
@@ -434,6 +492,14 @@ impl WorkerCtx {
         }
         out
     }
+
+    /// The bounded-cardinality per-tenant exposition (top-K exact +
+    /// `tenant="_other"`), appended to `/metrics` alongside the shard
+    /// series. Empty until a request carries a tenant id.
+    pub(crate) fn tenant_prometheus_text(&self) -> String {
+        self.tenants
+            .prometheus_text(self.config.tenants.top_k_series)
+    }
 }
 
 /// The online estimator service: micro-batching scheduler over a
@@ -448,7 +514,10 @@ pub struct DaceServer {
     metrics_registry: Arc<MetricsRegistry>,
     metrics: Arc<ServeMetrics>,
     config: ServeConfig,
-    senders: Option<Vec<SyncSender<Job>>>,
+    /// Lane key for tenant-less traffic: the one id
+    /// [`validate_tenant_id`] rejects, so it can never collide with a real
+    /// tenant's lane.
+    anon_lane: Arc<str>,
     ctx: Arc<WorkerCtx>,
     pool: Option<WorkerPool>,
     introspect: Option<IntrospectServer>,
@@ -484,7 +553,23 @@ impl DaceServer {
         fallback: Option<Box<dyn FallbackEstimator>>,
         health: HealthConfig,
     ) -> DaceServer {
-        DaceServer::build_with_health(registry, config, fallback, health)
+        DaceServer::build_with_health(registry, config, fallback, health, None)
+    }
+
+    /// Start a fully tenant-aware server: everything
+    /// [`with_health`](DaceServer::with_health) does, plus an
+    /// [`AdapterPager`] when `pager` is given — tenant requests resolve
+    /// through the bounded resident set, and cold tenants are answered
+    /// zero-shot by the base model (`degraded: true`) while their
+    /// checkpoint loads in the background.
+    pub fn with_tenancy(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        fallback: Option<Box<dyn FallbackEstimator>>,
+        health: HealthConfig,
+        pager: Option<PagerConfig>,
+    ) -> DaceServer {
+        DaceServer::build_with_health(registry, config, fallback, health, pager)
     }
 
     fn build(
@@ -492,7 +577,7 @@ impl DaceServer {
         config: ServeConfig,
         fallback: Option<Box<dyn FallbackEstimator>>,
     ) -> DaceServer {
-        DaceServer::build_with_health(registry, config, fallback, HealthConfig::default())
+        DaceServer::build_with_health(registry, config, fallback, HealthConfig::default(), None)
     }
 
     fn build_with_health(
@@ -500,17 +585,9 @@ impl DaceServer {
         config: ServeConfig,
         fallback: Option<Box<dyn FallbackEstimator>>,
         health_cfg: HealthConfig,
+        pager_cfg: Option<PagerConfig>,
     ) -> DaceServer {
         let shards = config.shards.max(1);
-        // One bounded queue per shard; the server keeps all the senders and
-        // routes at admission by plan-fingerprint affinity.
-        let mut senders = Vec::with_capacity(shards);
-        let mut receivers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-            senders.push(tx);
-            receivers.push(rx);
-        }
         // Per-server registry (not the process-global one) so two servers —
         // or two sequential bench phases — never blend their counts.
         let metrics_registry = Arc::new(MetricsRegistry::new());
@@ -528,11 +605,14 @@ impl DaceServer {
             "Flight-recorder events dropped because the ring was full.",
             || dace_obs::FlightRecorder::global().dropped(),
         );
-        let shard_states: Box<[ShardState]> = receivers
-            .into_iter()
-            .map(|rx| ShardState {
-                rx: Mutex::new(rx),
-                depth: AtomicU64::new(0),
+        let shard_states: Box<[ShardState]> = (0..shards)
+            .map(|_| ShardState {
+                // One bounded queue per shard, one lane (of `queue_depth`
+                // slots) per tenant inside it: backpressure is per tenant,
+                // and a single lane reproduces the old single-FIFO shard
+                // exactly.
+                queue: ShardQueue::new(config.queue_depth.max(1), config.tenants.quantum),
+                drain_lock: Mutex::new(()),
                 // Shard caches split the configured capacity so `shards`
                 // does not silently multiply the memory budget; hit/miss
                 // counters stay shared (the export is per-server).
@@ -545,13 +625,25 @@ impl DaceServer {
                 steals_from: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             })
             .collect();
+        let injector = Arc::new(FaultInjector::new(config.faults));
+        let pager = pager_cfg.map(|cfg| {
+            AdapterPager::start(
+                cfg,
+                Arc::clone(&registry),
+                Arc::clone(&injector),
+                Arc::clone(&health),
+                Arc::clone(&metrics),
+            )
+        });
         let ctx = Arc::new(WorkerCtx {
             shards: shard_states,
             registry: Arc::clone(&registry),
             metrics: Arc::clone(&metrics),
             config,
             degrade,
-            injector: FaultInjector::new(config.faults),
+            injector,
+            tenants: TenantTable::new(config.tenants, config.breaker),
+            pager,
             health: Arc::clone(&health),
             shutdown: AtomicBool::new(false),
         });
@@ -566,7 +658,11 @@ impl DaceServer {
             let weak = Arc::downgrade(&ctx);
             health.register_text_source(move || {
                 weak.upgrade()
-                    .map(|ctx| ctx.shard_prometheus_text())
+                    .map(|ctx| {
+                        let mut text = ctx.shard_prometheus_text();
+                        text.push_str(&ctx.tenant_prometheus_text());
+                        text
+                    })
                     .unwrap_or_default()
             });
         }
@@ -594,7 +690,7 @@ impl DaceServer {
             metrics_registry,
             metrics,
             config,
-            senders: Some(senders),
+            anon_lane: Arc::from(""),
             ctx,
             pool: Some(pool),
             introspect,
@@ -646,10 +742,69 @@ impl DaceServer {
         adapter: Option<&str>,
         deadline: Option<Duration>,
     ) -> Result<PredictionHandle, ServeError> {
-        let senders = self.senders.as_ref().ok_or(ServeError::ShuttingDown)?;
+        self.submit_for(None, tree, adapter, deadline)
+    }
+
+    /// Submit a request on behalf of a tenant. On top of everything
+    /// [`submit`](DaceServer::submit) enforces, tenant admission validates
+    /// the id ([`ServeError::InvalidTenant`]), charges the tenant's
+    /// token-bucket quota and in-flight cap
+    /// ([`ServeError::QuotaExceeded`]), and enqueues into the tenant's own
+    /// weighted-fair lane — so the only traffic a flooding tenant can shed
+    /// is its own. The quota token is charged exactly once, here; it is
+    /// refunded if the lane sheds the request, and *not* refunded for
+    /// answers served degraded (they are answers — the token paid for
+    /// one).
+    pub fn submit_for(
+        &self,
+        tenant: Option<&str>,
+        tree: &PlanTree,
+        adapter: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictionHandle, ServeError> {
+        if self.ctx.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
         if let Err(e) = validate_plan(tree, self.config.max_plan_depth) {
             self.metrics.invalid_plan.inc();
             return Err(ServeError::InvalidPlan(e));
+        }
+        let tenant = match tenant {
+            None => None,
+            Some(name) => {
+                if let Err(reason) = validate_tenant_id(name) {
+                    self.metrics.invalid_tenant.inc();
+                    return Err(ServeError::InvalidTenant(reason));
+                }
+                match self.ctx.tenants.get_or_create(name) {
+                    Some(t) => Some(t),
+                    // Tenant table full: the *new* tenant is shed; nobody
+                    // already admitted is affected.
+                    None => {
+                        self.metrics.shed.inc();
+                        return Err(ServeError::Overloaded);
+                    }
+                }
+            }
+        };
+        let mut in_flight = None;
+        if let Some(t) = &tenant {
+            if !t.charge_token() {
+                t.counters.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.quota_rejected.inc();
+                return Err(ServeError::QuotaExceeded);
+            }
+            match t.acquire_in_flight() {
+                Some(guard) => in_flight = Some(guard),
+                None => {
+                    // Rejected after charging: give the token back so the
+                    // cap cannot silently drain the bucket.
+                    t.refund_token();
+                    t.counters.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.quota_rejected.inc();
+                    return Err(ServeError::QuotaExceeded);
+                }
+            }
         }
         let now = Instant::now();
         let (tx, rx) = mpsc::sync_channel(1);
@@ -665,30 +820,57 @@ impl DaceServer {
             (Some(fast), Some(d)) if d <= fast => Tier::Quantized,
             _ => Tier::Full,
         };
-        let shard = route_shard(tree, senders.len());
+        // Routing is salted per tenant (salt 0 = tenant-less, the legacy
+        // route exactly): two tenants submitting the identical plan spread
+        // across shards instead of contending for one, and the salt also
+        // partitions the featurization cache downstream.
+        let salt = tenant.as_ref().map_or(0, |t| t.cache_salt);
+        let shard = route_shard(tree, salt, self.ctx.shards.len());
+        let (lane, weight) = match &tenant {
+            Some(t) => (Arc::clone(&t.name), t.weight()),
+            None => (Arc::clone(&self.anon_lane), 1),
+        };
         let job = Job {
             tree: tree.clone(),
             adapter: adapter.map(str::to_string),
+            tenant: tenant.clone(),
+            _in_flight: in_flight,
             enqueued: now,
             deadline: budget.map(|d| now + d),
             trace,
             tier,
             resp: tx,
         };
-        match senders[shard].try_send(job) {
+        match self.ctx.shards[shard].queue.push(&lane, weight, job) {
             Ok(()) => {
-                self.ctx.shards[shard].depth.fetch_add(1, Ordering::Relaxed);
                 self.metrics.submitted.inc();
+                if let Some(t) = &tenant {
+                    t.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(PredictionHandle { rx })
             }
-            Err(TrySendError::Full(_)) => {
-                // Affinity is strict at admission: a full shard sheds
+            Err((PushError::Full, job)) => {
+                // Affinity is strict at admission: a full lane sheds
                 // rather than spilling (work-stealing is the pressure
-                // valve on the drain side, backpressure is per shard).
+                // valve on the drain side, backpressure is per tenant per
+                // shard). Dropping the job releases the in-flight slot;
+                // the admission token is refunded — shed requests were
+                // never served.
+                drop(job);
+                if let Some(t) = &tenant {
+                    t.refund_token();
+                    t.counters.shed.fetch_add(1, Ordering::Relaxed);
+                }
                 self.metrics.shed.inc();
                 Err(ServeError::Overloaded)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err((PushError::Closed, job)) => {
+                drop(job);
+                if let Some(t) = &tenant {
+                    t.refund_token();
+                }
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -705,6 +887,61 @@ impl DaceServer {
         deadline: Option<Duration>,
     ) -> Result<Prediction, ServeError> {
         self.submit(tree, adapter, deadline)?.wait()
+    }
+
+    /// Blocking predict on behalf of a tenant (the tenant's paged adapter
+    /// when resident, zero-shot base otherwise).
+    pub fn predict_for(&self, tenant: &str, tree: &PlanTree) -> Result<Prediction, ServeError> {
+        self.submit_for(Some(tenant), tree, None, None)?.wait()
+    }
+
+    /// Set a tenant's fair-queueing weight (creating the tenant if it has
+    /// not been seen). Takes effect at the lane's next activation.
+    pub fn set_tenant_weight(&self, tenant: &str, weight: u32) -> Result<(), ServeError> {
+        self.tenant_entry(tenant)?.set_weight(weight);
+        Ok(())
+    }
+
+    /// Set a tenant's token-bucket quota (`rps` requests/second, `burst`
+    /// capacity; `0` rps = unlimited, `0` burst = same as rps), creating
+    /// the tenant if needed.
+    pub fn set_tenant_quota(&self, tenant: &str, rps: u32, burst: u32) -> Result<(), ServeError> {
+        self.tenant_entry(tenant)?.set_quota(rps, burst);
+        Ok(())
+    }
+
+    /// Set a tenant's in-flight cap (`0` = unlimited), creating the tenant
+    /// if needed.
+    pub fn set_tenant_max_in_flight(&self, tenant: &str, max: u32) -> Result<(), ServeError> {
+        self.tenant_entry(tenant)?.set_max_in_flight(max);
+        Ok(())
+    }
+
+    fn tenant_entry(&self, tenant: &str) -> Result<Arc<TenantState>, ServeError> {
+        validate_tenant_id(tenant).map_err(ServeError::InvalidTenant)?;
+        self.ctx
+            .tenants
+            .get_or_create(tenant)
+            .ok_or(ServeError::Overloaded)
+    }
+
+    /// Per-tenant counters, weights and breaker states, sorted by traffic
+    /// (what `serve_bench --tenants` reports and the isolation tests
+    /// assert on).
+    pub fn tenant_snapshot(&self) -> Vec<TenantSnapshot> {
+        self.ctx.tenants.snapshot()
+    }
+
+    /// A tenant's own circuit-breaker state; `None` if the tenant has
+    /// never been seen.
+    pub fn tenant_breaker_state(&self, tenant: &str) -> Option<BreakerState> {
+        self.ctx.tenants.get(tenant).map(|t| t.breaker.state())
+    }
+
+    /// The adapter pager, when the server was built
+    /// [`with_tenancy`](DaceServer::with_tenancy) with one.
+    pub fn pager(&self) -> Option<&Arc<AdapterPager>> {
+        self.ctx.pager.as_ref()
     }
 
     /// Snapshot all serve metrics, cache counters included (the cache
@@ -727,7 +964,7 @@ impl DaceServer {
             .enumerate()
             .map(|(shard, s)| ShardSnapshot {
                 shard,
-                queue_depth: s.depth.load(Ordering::Relaxed),
+                queue_depth: s.queue.depth(),
                 completed: s.completed.load(Ordering::Relaxed),
                 stolen: s
                     .steals_from
@@ -753,16 +990,21 @@ impl DaceServer {
     }
 
     fn shutdown_inner(&mut self) {
-        // Flag first (stops supervision), then disconnect every shard's
-        // channel by dropping the senders; workers finish the backlog and
-        // exit (each shard's dedicated worker drains its own queue, and
-        // exiting workers sweep peers for stragglers).
+        // Flag first (stops supervision and new admissions), then close
+        // every shard's queue; workers finish the backlog and exit (each
+        // shard's dedicated worker drains its own queue, and exiting
+        // workers sweep peers for stragglers).
         self.ctx
             .shutdown
             .store(true, std::sync::atomic::Ordering::Release);
-        self.senders.take();
+        for s in self.ctx.shards.iter() {
+            s.queue.close();
+        }
         if let Some(pool) = self.pool.take() {
             pool.join();
+        }
+        if let Some(pager) = &self.ctx.pager {
+            pager.stop();
         }
         if let Some(mut introspect) = self.introspect.take() {
             introspect.stop();
@@ -781,14 +1023,17 @@ impl Drop for DaceServer {
 /// than the featurizer's fingerprint (no scaler math) and independent of
 /// which model version will serve the request — routing must not resolve
 /// the registry. Identical plans always hash identically, so repeats land
-/// on the shard whose cache already holds their features.
-fn route_shard(tree: &PlanTree, shards: usize) -> usize {
+/// on the shard whose cache already holds their features. `salt` is the
+/// tenant's cache salt (0 = tenant-less, which reproduces the historical
+/// route bit-for-bit): two tenants submitting the same plan route
+/// independently, matching the tenant-partitioned cache keys downstream.
+fn route_shard(tree: &PlanTree, salt: u64, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
+    let mut h = FNV_OFFSET ^ salt;
     let mut mix = |v: u64| {
         h ^= v;
         h = h.wrapping_mul(FNV_PRIME);
@@ -814,34 +1059,26 @@ const STEAL_POLL: Duration = Duration::from_millis(1);
 const DISPATCH_MARGIN: Duration = Duration::from_micros(200);
 
 /// Steal up to `steal_max` jobs from the deepest peer whose queue depth is
-/// at least `threshold`. Non-blocking: a victim whose receiver is locked
-/// (its own worker is draining) is skipped — stealing is a relief valve,
-/// not a second queue discipline. Stolen `Job`s move whole, so trace ids,
-/// deadlines, tiers and response channels all survive the migration; the
-/// channel guarantees each job is received exactly once no matter how many
-/// thieves race.
+/// at least `threshold`. Non-blocking: the victim's queue is popped
+/// through the same DRR discipline its own worker uses (`try_pop`), so
+/// even stolen service respects tenant fair shares. Stolen `Job`s move
+/// whole, so trace ids, deadlines, tiers, tenants and response channels
+/// all survive the migration; the queue guarantees each job is popped
+/// exactly once no matter how many thieves race.
 fn steal_batch(ctx: &WorkerCtx, thief: usize, threshold: u64) -> Option<Vec<Job>> {
     let threshold = threshold.max(1);
     let (victim, _) = ctx
         .shards
         .iter()
         .enumerate()
-        .filter(|&(i, s)| i != thief && s.depth.load(Ordering::Relaxed) >= threshold)
-        .max_by_key(|(_, s)| s.depth.load(Ordering::Relaxed))?;
+        .filter(|&(i, s)| i != thief && s.queue.depth() >= threshold)
+        .max_by_key(|(_, s)| s.queue.depth())?;
     let vs = &ctx.shards[victim];
-    let rx = match vs.rx.try_lock() {
-        Ok(guard) => guard,
-        Err(TryLockError::Poisoned(p)) => p.into_inner(),
-        Err(TryLockError::WouldBlock) => return None,
-    };
     let mut jobs = Vec::new();
     while jobs.len() < ctx.config.steal_max.max(1) {
-        match rx.try_recv() {
-            Ok(job) => {
-                vs.depth.fetch_sub(1, Ordering::Relaxed);
-                jobs.push(job);
-            }
-            Err(_) => break,
+        match vs.queue.try_pop() {
+            Some(job) => jobs.push(job),
+            None => break,
         }
     }
     if jobs.is_empty() {
@@ -851,20 +1088,20 @@ fn steal_batch(ctx: &WorkerCtx, thief: usize, threshold: u64) -> Option<Vec<Job>
     Some(jobs)
 }
 
-/// Drain one batch from this shard's receiver (or steal one from a
-/// backlogged peer). Holding the shard lock across the wait window is
-/// deliberate: only one worker of the shard collects at a time (the others
-/// are either forwarding a previous batch or parked on the mutex, which is
-/// exactly the recv they would otherwise be parked on), and under load
-/// `recv_timeout` returns instantly so the lock hold is one splice.
-/// Thieves never block on this lock (`try_lock` only), so holding it while
-/// idle cannot stall a peer.
+/// Drain one batch from this shard's queue (or steal one from a
+/// backlogged peer). Holding the shard's drain lock across the wait
+/// window is deliberate: only one worker of the shard collects at a time
+/// (the others are either forwarding a previous batch or parked on the
+/// mutex, which is exactly the wait they would otherwise pay on the
+/// queue), and under load pops return instantly so the lock hold is one
+/// splice. Thieves never take this lock (the queue itself is
+/// thread-safe), so holding it while idle cannot stall a peer.
 ///
-/// Fault sites: a worker kill fires *after* taking the queue lock but
-/// *before* receiving any job — the dying worker holds no request (nothing
+/// Fault sites: a worker kill fires *after* taking the drain lock but
+/// *before* popping any job — the dying worker holds no request (nothing
 /// is lost) but does poison the shard's mutex, exercising both poison
 /// recovery in its peers and the supervisor respawn. A queue stall sleeps
-/// while holding the lock, stalling every worker behind it.
+/// while holding the lock, stalling every collector behind it.
 ///
 /// The batching window is clamped by every held job's deadline (minus a
 /// slack-proportional margin floored at [`DISPATCH_MARGIN`]): a
@@ -873,7 +1110,7 @@ fn steal_batch(ctx: &WorkerCtx, thief: usize, threshold: u64) -> Option<Vec<Job>
 /// clock — no request may miss its deadline purely from batch-wait.
 fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
     let my = &ctx.shards[shard];
-    let rx = lock_recover(&my.rx);
+    let drain = lock_recover(&my.drain_lock);
     if ctx
         .injector
         .should_fire(crate::fault::FaultSite::WorkerKill)
@@ -884,23 +1121,20 @@ fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
         std::thread::sleep(stall);
     }
     let first = loop {
-        match rx.recv_timeout(STEAL_POLL) {
-            Ok(job) => {
-                my.depth.fetch_sub(1, Ordering::Relaxed);
-                break job;
-            }
-            Err(RecvTimeoutError::Timeout) => {
+        match my.queue.pop_timeout(STEAL_POLL) {
+            Ok(job) => break job,
+            Err(PopError::Timeout) => {
                 // Own queue idle: relieve the deepest backlogged peer.
                 if let Some(stolen) = steal_batch(ctx, shard, ctx.config.steal_threshold as u64) {
                     return Some(stolen);
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                // Shutdown: the senders are gone and this shard's backlog
+            Err(PopError::Closed) => {
+                // Shutdown: the queue is closed and this shard's backlog
                 // is fully drained. Sweep the peers once for stragglers
                 // (threshold 1) so no queued request is ever abandoned,
                 // then exit.
-                drop(rx);
+                drop(drain);
                 return steal_batch(ctx, shard, 1);
             }
         }
@@ -930,9 +1164,10 @@ fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
     window_closes = clamp_window(window_closes, &first);
     batch.push(first);
     while batch.len() < max_batch {
-        // Splice in everything already queued — free batching.
-        if let Ok(job) = rx.try_recv() {
-            my.depth.fetch_sub(1, Ordering::Relaxed);
+        // Splice in everything already queued — free batching. Pops come
+        // through the DRR discipline, so even within one batch every
+        // backlogged tenant gets its fair share of the slots.
+        if let Some(job) = my.queue.try_pop() {
             window_closes = clamp_window(window_closes, &job);
             batch.push(job);
             continue;
@@ -949,8 +1184,7 @@ fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
         // producers are runnable right now, and letting them run fills the
         // queue in one scheduler pass instead of one futex wake per job.
         std::thread::yield_now();
-        if let Ok(job) = rx.try_recv() {
-            my.depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(job) = my.queue.try_pop() {
             window_closes = clamp_window(window_closes, &job);
             batch.push(job);
             continue;
@@ -961,14 +1195,12 @@ fn drain_batch(ctx: &WorkerCtx, shard: usize) -> Option<Vec<Job>> {
         if now >= window_closes {
             break;
         }
-        match rx.recv_timeout(window_closes - now) {
+        match my.queue.pop_timeout(window_closes - now) {
             Ok(job) => {
-                my.depth.fetch_sub(1, Ordering::Relaxed);
                 window_closes = clamp_window(window_closes, &job);
                 batch.push(job);
             }
-            Err(RecvTimeoutError::Timeout) => break,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(PopError::Timeout) | Err(PopError::Closed) => break,
         }
     }
     ctx.metrics
@@ -1025,6 +1257,68 @@ fn count_breaker_event(ctx: &WorkerCtx, ev: Option<BreakerEvent>, trace: u64) {
     }
 }
 
+/// Count and journal a *tenant* breaker transition. Deliberately does not
+/// touch the global `serve_breaker_*` counters or the global breaker's
+/// journal events: one tenant's trips are that tenant's weather, and the
+/// global series stays a clean signal for whole-server incidents.
+fn count_tenant_breaker_event(
+    ctx: &WorkerCtx,
+    tenant: &TenantState,
+    ev: Option<BreakerEvent>,
+    trace: u64,
+) {
+    match ev {
+        Some(BreakerEvent::Opened) => {
+            tenant
+                .counters
+                .breaker_opened
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.health.emit(
+                trace,
+                LifecycleEvent::TenantBreakerOpened {
+                    tenant: tenant.name.to_string(),
+                    error_percent: ctx.config.breaker.error_percent as f64,
+                },
+            );
+        }
+        Some(BreakerEvent::Closed) => {
+            tenant
+                .counters
+                .breaker_closed
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.health.emit(
+                trace,
+                LifecycleEvent::TenantBreakerClosed {
+                    tenant: tenant.name.to_string(),
+                },
+            );
+        }
+        None => {}
+    }
+}
+
+/// Record a model-path outcome on the breaker that gates this job's
+/// traffic: the tenant's own breaker for tenant jobs, the global breaker
+/// otherwise. Only meaningful with a fallback configured (no fallback =
+/// nothing to degrade to = no breaker).
+fn record_breaker_outcome(ctx: &WorkerCtx, tenant: Option<&TenantState>, ok: bool, trace: u64) {
+    if ctx.degrade.is_none() {
+        return;
+    }
+    match tenant {
+        Some(t) => count_tenant_breaker_event(ctx, t, t.breaker.on_result(ok, false), trace),
+        None => {
+            if let Some(d) = &ctx.degrade {
+                count_breaker_event(ctx, d.breaker.on_result(ok, false), trace);
+            }
+        }
+    }
+}
+
+/// Execution-group key: jobs sharing (tenant, adapter, tier) run as one
+/// packed forward on one resolved snapshot through one precision tier.
+type GroupKey = (Option<Arc<str>>, Option<String>, Tier);
+
 fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut WorkerScratch) {
     let _span = span!("serve_process_batch");
     let metrics = &ctx.metrics;
@@ -1032,10 +1326,11 @@ fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut W
     metrics.batches.inc();
     metrics.batch_size.record(batch.len() as u64);
 
-    // Admission-side triage, then group survivors by (adapter, tier) so
-    // each group runs one packed forward on one resolved snapshot through
-    // one precision tier.
-    let mut groups: HashMap<(Option<String>, Tier), Vec<Job>> = HashMap::new();
+    // Admission-side triage, then group survivors by (tenant, adapter,
+    // tier) so each group runs one packed forward on one resolved snapshot
+    // through one precision tier — and so one tenant's outcomes feed only
+    // its own breaker.
+    let mut groups: HashMap<GroupKey, Vec<Job>> = HashMap::new();
     let (mut missed, mut met) = (0u64, 0u64);
     let mut missed_trace = 0u64;
     for job in batch {
@@ -1050,17 +1345,21 @@ fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut W
             }
             // A deadline miss is model-path evidence too: enough of them
             // should trip the breaker into serving (fast) degraded answers
-            // rather than missing more deadlines.
-            if let Some(d) = &ctx.degrade {
-                count_breaker_event(ctx, d.breaker.on_result(false, false), job.trace);
-            }
+            // rather than missing more deadlines. Tenant jobs feed their
+            // own breaker — a slow tenant's misses never poison the global
+            // evidence window.
+            record_breaker_outcome(ctx, job.tenant.as_deref(), false, job.trace);
             ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
             let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             continue;
         }
         met += 1;
         groups
-            .entry((job.adapter.clone(), job.tier))
+            .entry((
+                job.tenant.as_ref().map(|t| Arc::clone(&t.name)),
+                job.adapter.clone(),
+                job.tier,
+            ))
             .or_default()
             .push(job);
     }
@@ -1068,18 +1367,30 @@ fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut W
     // stamped with the first expired request's trace.
     ctx.health.record_deadlines(missed, met, missed_trace);
 
-    for ((adapter, tier), jobs) in groups {
-        let version = match ctx.registry.resolve(adapter.as_deref()) {
-            Ok(v) => v,
-            Err(_) => {
-                let name = adapter.unwrap_or_default();
-                for job in jobs {
-                    metrics.unknown_adapter.inc();
-                    ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.resp.send(Err(ServeError::UnknownAdapter(name.clone())));
+    for ((_, adapter, tier), jobs) in groups {
+        let tenant = jobs.first().and_then(|j| j.tenant.clone());
+        // Resolve the group's model. Tenant requests without an explicit
+        // adapter go through the pager when one is configured: resident →
+        // the tenant's paged adapter; cold → answered *now*, zero-shot,
+        // by the base model with `degraded: true` — never blocked on the
+        // loader, never shed.
+        let (version, cold) = match (&tenant, &adapter, &ctx.pager) {
+            (Some(t), None, Some(pager)) => match pager.resolve(&t.name) {
+                PagedResolve::Resident(v) => (v, false),
+                PagedResolve::Cold => (ctx.registry.base(), true),
+            },
+            _ => match ctx.registry.resolve(adapter.as_deref()) {
+                Ok(v) => (v, false),
+                Err(_) => {
+                    let name = adapter.unwrap_or_default();
+                    for job in jobs {
+                        metrics.unknown_adapter.inc();
+                        ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.resp.send(Err(ServeError::UnknownAdapter(name.clone())));
+                    }
+                    continue;
                 }
-                continue;
-            }
+            },
         };
 
         // The group's spans carry the first member's trace — a whole-group
@@ -1089,8 +1400,16 @@ fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut W
         let group_trace = jobs.first().map_or(0, |j| j.trace);
 
         // Route the group: model, breaker probe, or straight to fallback.
-        let (use_model, probe) = match &ctx.degrade {
-            Some(d) => match d.breaker.gate() {
+        // Tenant groups consult the *tenant's* breaker, so one tenant
+        // being tripped degrades only that tenant's traffic; tenant-less
+        // groups consult the global breaker as always. Either way a
+        // breaker only gates when a fallback exists to degrade to.
+        let gating = ctx
+            .degrade
+            .as_ref()
+            .map(|d| tenant.as_ref().map_or(&d.breaker, |t| &t.breaker));
+        let (use_model, probe) = match gating {
+            Some(breaker) => match breaker.gate() {
                 BreakerGate::Model => (true, false),
                 BreakerGate::Probe => {
                     // `gate()` flips Open→HalfOpen internally without an
@@ -1118,25 +1437,46 @@ fn process_batch(ctx: &WorkerCtx, shard: usize, batch: Vec<Job>, scratch: &mut W
                 forward_group(ctx, shard, &version, tier, &jobs, scratch)
             }))
         };
+        // Outcomes echo to the same breaker that gated (probe included).
         match outcome {
             Ok(group) => {
-                if let Some(d) = &ctx.degrade {
-                    count_breaker_event(ctx, d.breaker.on_result(true, probe), group_trace);
+                match (&gating, &tenant) {
+                    (Some(b), Some(t)) => {
+                        count_tenant_breaker_event(ctx, t, b.on_result(true, probe), group_trace)
+                    }
+                    (Some(b), None) => {
+                        count_breaker_event(ctx, b.on_result(true, probe), group_trace)
+                    }
+                    _ => {}
                 }
-                respond_predictions(ctx, shard, &version, jobs, group, &scratch.ms, drained_at);
+                respond_predictions(
+                    ctx,
+                    shard,
+                    &version,
+                    jobs,
+                    group,
+                    &scratch.ms,
+                    drained_at,
+                    cold,
+                );
             }
             Err(_) => {
                 metrics.batch_panics.inc();
-                match &ctx.degrade {
-                    Some(d) => {
-                        count_breaker_event(ctx, d.breaker.on_result(false, probe), group_trace);
-                        respond_degraded(ctx, shard, &version, jobs);
+                match (&gating, &tenant) {
+                    (Some(b), Some(t)) => {
+                        count_tenant_breaker_event(ctx, t, b.on_result(false, probe), group_trace)
                     }
-                    None => {
-                        for job in jobs {
-                            ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
-                            let _ = job.resp.send(Err(ServeError::Internal));
-                        }
+                    (Some(b), None) => {
+                        count_breaker_event(ctx, b.on_result(false, probe), group_trace)
+                    }
+                    _ => {}
+                }
+                if ctx.degrade.is_some() {
+                    respond_degraded(ctx, shard, &version, jobs);
+                } else {
+                    for job in jobs {
+                        ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.resp.send(Err(ServeError::Internal));
                     }
                 }
             }
@@ -1178,9 +1518,15 @@ fn forward_group(
     // cache: features are tier-independent (quantization happens inside
     // the forward, not in the encoding).
     let t_feat = Instant::now();
+    // Cache keys are salted with the job's tenant salt (0 for tenant-less
+    // traffic, preserving historical keys): two tenants submitting the
+    // byte-identical plan can never share — or even observe — each
+    // other's cache entries.
     let fingerprints: Vec<u64> = jobs
         .iter()
-        .map(|j| est.featurizer.fingerprint(&j.tree))
+        .map(|j| {
+            est.featurizer.fingerprint(&j.tree) ^ j.tenant.as_ref().map_or(0, |t| t.cache_salt)
+        })
         .collect();
     let mut feats: Vec<Option<Arc<PlanFeatures>>> =
         fingerprints.iter().map(|&fp| cache.get(fp)).collect();
@@ -1253,7 +1599,14 @@ fn forward_group(
 }
 
 /// Deliver a group's model predictions (`ms` is the scratch-backed slice
-/// `forward_group` filled, aligned with `jobs`).
+/// `forward_group` filled, aligned with `jobs`). `cold` marks zero-shot
+/// answers served by the base model because the tenant's adapter was not
+/// resident: they are flagged `degraded: true` for the client, but —
+/// unlike fallback answers — they *did* come from a real registry
+/// snapshot, so they keep the base model's true version stamp rather than
+/// [`FALLBACK_VERSION`] (accuracy ledgers attribute them to the model
+/// that actually produced the numbers).
+#[allow(clippy::too_many_arguments)]
 fn respond_predictions(
     ctx: &WorkerCtx,
     shard: usize,
@@ -1262,6 +1615,7 @@ fn respond_predictions(
     group: GroupOutput,
     ms: &[f64],
     drained_at: Instant,
+    cold: bool,
 ) {
     let metrics = &ctx.metrics;
     let group_size = jobs.len();
@@ -1269,6 +1623,16 @@ fn respond_predictions(
     let _span = span!("serve_respond");
     for ((job, &ms), hit) in jobs.into_iter().zip(ms).zip(group.hit_mask) {
         metrics.completed.inc();
+        if cold {
+            metrics.cold_start.inc();
+        }
+        if let Some(t) = &job.tenant {
+            t.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if cold {
+                t.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                t.counters.cold_starts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
         ctx.health.count_tier(job.tier);
         metrics
@@ -1285,7 +1649,7 @@ fn respond_predictions(
             version: version.version,
             batch_size: group_size,
             cache_hit: hit,
-            degraded: false,
+            degraded: cold,
             stages,
             trace: job.trace,
             tier: job.tier,
@@ -1316,6 +1680,12 @@ fn respond_degraded(ctx: &WorkerCtx, shard: usize, version: &Arc<ModelVersion>, 
         let ms = degrade.fallback.predict_ms(&job.tree);
         metrics.degraded.inc();
         metrics.completed.inc();
+        if let Some(t) = &job.tenant {
+            // The answer still consumes only the token its admission
+            // charged — degraded answers never double-bill the quota.
+            t.counters.completed.fetch_add(1, Ordering::Relaxed);
+            t.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
         ctx.shards[shard].completed.fetch_add(1, Ordering::Relaxed);
         ctx.health.count_tier(job.tier);
         metrics
